@@ -1,0 +1,162 @@
+// Package warperbench benchmarks regenerate every paper table/figure at the
+// quick scale (one rep per configuration) so `go test -bench=.` exercises
+// the full experiment surface, plus micro-benchmarks for the hot paths.
+package warperbench
+
+import (
+	"math/rand"
+	"testing"
+
+	"warper/internal/annotator"
+	"warper/internal/ce"
+	"warper/internal/dataset"
+	"warper/internal/experiments"
+	"warper/internal/nn"
+	"warper/internal/query"
+	"warper/internal/warper"
+	"warper/internal/workload"
+)
+
+// benchScale returns the per-iteration experiment scale for benchmarks.
+func benchScale() experiments.Scale { return experiments.QuickScale() }
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	run, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := run(sc, int64(i)+1)
+		if len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+// One benchmark per paper table/figure.
+
+func BenchmarkFig1Motivation(b *testing.B)       { runExperiment(b, "fig1") }
+func BenchmarkFig5WorkloadViz(b *testing.B)      { runExperiment(b, "fig5") }
+func BenchmarkFig6AdaptationCurves(b *testing.B) { runExperiment(b, "fig6") }
+func BenchmarkFig7AdaptationViz(b *testing.B)    { runExperiment(b, "fig7") }
+func BenchmarkFig8WorkloadCurves(b *testing.B)   { runExperiment(b, "fig8") }
+func BenchmarkFig9EndToEnd(b *testing.B)         { runExperiment(b, "fig9") }
+func BenchmarkFig10Hyper(b *testing.B)           { runExperiment(b, "fig10") }
+func BenchmarkFig11GenBudget(b *testing.B)       { runExperiment(b, "fig11") }
+func BenchmarkTable6Costs(b *testing.B)          { runExperiment(b, "table6") }
+func BenchmarkTable7aSpeedups(b *testing.B)      { runExperiment(b, "table7a") }
+func BenchmarkTable7bModels(b *testing.B)        { runExperiment(b, "table7b") }
+func BenchmarkTable7cDrifts(b *testing.B)        { runExperiment(b, "table7c") }
+func BenchmarkTable7dJoinCE(b *testing.B)        { runExperiment(b, "table7d") }
+func BenchmarkTable8WorkloadPairs(b *testing.B)  { runExperiment(b, "table8") }
+func BenchmarkTable9PlanGaps(b *testing.B)       { runExperiment(b, "table9") }
+func BenchmarkTable10Ablations(b *testing.B)     { runExperiment(b, "table10") }
+func BenchmarkTable11GenCPU(b *testing.B)        { runExperiment(b, "table11") }
+
+// --- micro-benchmarks --------------------------------------------------------
+
+func BenchmarkAnnotatorCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tbl := dataset.PRSA(6000, rng)
+	sch := query.SchemaOf(tbl)
+	ann := annotator.New(tbl)
+	g := workload.New("w3", tbl, sch, workload.Options{})
+	preds := workload.Generate(g, 64, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ann.Count(preds[i%len(preds)])
+	}
+}
+
+func BenchmarkAnnotatorBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tbl := dataset.PRSA(6000, rng)
+	sch := query.SchemaOf(tbl)
+	ann := annotator.New(tbl)
+	g := workload.New("w3", tbl, sch, workload.Options{})
+	preds := workload.Generate(g, 100, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ann.AnnotateAll(preds)
+	}
+}
+
+func BenchmarkLMEstimate(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tbl := dataset.PRSA(3000, rng)
+	sch := query.SchemaOf(tbl)
+	ann := annotator.New(tbl)
+	g := workload.New("w1", tbl, sch, workload.Options{})
+	train := ann.AnnotateAll(workload.Generate(g, 300, rng))
+	lm := ce.NewLM(ce.LMMLP, sch, 1)
+	lm.Train(train)
+	preds := workload.Generate(g, 64, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lm.Estimate(preds[i%len(preds)])
+	}
+}
+
+func BenchmarkLMFineTune(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	tbl := dataset.PRSA(3000, rng)
+	sch := query.SchemaOf(tbl)
+	ann := annotator.New(tbl)
+	g := workload.New("w1", tbl, sch, workload.Options{})
+	train := ann.AnnotateAll(workload.Generate(g, 300, rng))
+	lm := ce.NewLM(ce.LMMLP, sch, 1)
+	lm.Train(train)
+	batch := ann.AnnotateAll(workload.Generate(g, 32, rng))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lm.Update(batch)
+	}
+}
+
+func BenchmarkNNForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	net := nn.MLP(18, 128, 3, 16, rng)
+	x := make([]float64, 18)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	grad := make([]float64, 16)
+	grad[0] = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x)
+		net.Backward(grad)
+	}
+}
+
+func BenchmarkWarperPeriod(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	tbl := dataset.PRSA(2000, rng)
+	sch := query.SchemaOf(tbl)
+	ann := annotator.New(tbl)
+	opts := workload.Options{MaxConstrained: 2}
+	gT := workload.New("w1", tbl, sch, opts)
+	gN := workload.New("w4", tbl, sch, opts)
+	train := ann.AnnotateAll(workload.Generate(gT, 250, rng))
+	lm := ce.NewLM(ce.LMMLP, sch, 1)
+	lm.Train(train)
+	cfg := warper.DefaultConfig()
+	cfg.Hidden = 64
+	cfg.Depth = 2
+	cfg.NIters = 30
+	cfg.Gamma = 200
+	cfg.PickSize = 100
+	ad := warper.New(cfg, lm, sch, ann, train)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arrivals := make([]warper.Arrival, 10)
+		for j := range arrivals {
+			p := gN.Gen(rng)
+			arrivals[j] = warper.Arrival{Pred: p, GT: ann.Count(p), HasGT: true}
+		}
+		ad.Period(arrivals)
+	}
+}

@@ -1,0 +1,42 @@
+// Command c2test is a diagnostic for the c2 comparison: it runs RunC2 on one
+// configuration and prints the method curves and speedups, for tuning the
+// experiment scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"warper/internal/experiments"
+)
+
+func main() {
+	var (
+		ds      = flag.String("dataset", "prsa", "dataset")
+		trainW  = flag.String("train", "w12", "train spec")
+		newW    = flag.String("new", "w345", "new spec")
+		model   = flag.String("model", "lm-mlp", "model")
+		period  = flag.Int("period", 40, "arrivals per period")
+		stream  = flag.Int("stream", 400, "stream size")
+		runs    = flag.Int("runs", 1, "runs")
+		seed    = flag.Int64("seed", 1, "seed")
+		methods = flag.String("methods", "FT,Warper", "methods")
+		genfrac = flag.Float64("genfrac", 0.1, "n_g fraction")
+	)
+	flag.Parse()
+	sc := experiments.DefaultScale()
+	sc.Warper.GenFraction = *genfrac
+	sc.PeriodSize = *period
+	sc.StreamSize = *stream
+	sc.Runs = *runs
+	res := experiments.RunC2(*ds, *trainW, *newW, *model, strings.Split(*methods, ","), sc, *seed)
+	fmt.Println(res.CurveTable("c2test", fmt.Sprintf("%s %s→%s %s", *ds, *trainW, *newW, *model)).String())
+	for _, m := range res.MethodOrder {
+		if m == "FT" || m == "RT" {
+			continue
+		}
+		d5, d8, d1 := res.Speedups(m)
+		fmt.Printf("%s: Δ.5=%.1f Δ.8=%.1f Δ1=%.1f (δm=%.1f δjs=%.2f)\n", m, d5, d8, d1, res.DeltaM, res.DeltaJS)
+	}
+}

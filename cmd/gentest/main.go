@@ -1,0 +1,61 @@
+// Command gentest diagnoses generated-query quality: cardinality
+// distribution of GAN-generated predicates vs real new-workload predicates.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"warper/internal/adapt"
+	"warper/internal/experiments"
+	"warper/internal/pool"
+	"warper/internal/warper"
+)
+
+func main() {
+	sc := experiments.DefaultScale()
+	env := experiments.NewEnv("prsa", "w12", "w345", "lm-mlp", sc, 1)
+	cfg := sc.Warper
+	cfg.Seed = 2
+	cfg.Gamma = sc.StreamSize
+	cfg.GenFraction = 1.0
+	m := env.Model.Clone()
+	ad := warper.New(cfg, m, env.Sch, env.Ann, env.Train)
+	periods := adapt.SplitPeriods(adapt.ArrivalsOf(env.Stream, true), sc.PeriodSize)
+	for _, p := range periods {
+		ad.Period(p)
+	}
+	var genCards, newCards []float64
+	for _, e := range ad.Pool.Entries {
+		if e.GT < 0 {
+			continue
+		}
+		switch e.Source {
+		case pool.SrcGen:
+			genCards = append(genCards, e.GT)
+		case pool.SrcNew:
+			newCards = append(newCards, e.GT)
+		}
+	}
+	sort.Float64s(genCards)
+	sort.Float64s(newCards)
+	q := func(xs []float64, p float64) float64 {
+		if len(xs) == 0 {
+			return -1
+		}
+		return xs[int(p*float64(len(xs)-1))]
+	}
+	rep := func(name string, xs []float64) {
+		zeros := 0
+		for _, x := range xs {
+			if x < 10 {
+				zeros++
+			}
+		}
+		fmt.Printf("%s: n=%d card<theta=%d (%.0f%%)  p10=%.0f p50=%.0f p90=%.0f\n",
+			name, len(xs), zeros, 100*float64(zeros)/float64(len(xs)),
+			q(xs, 0.1), q(xs, 0.5), q(xs, 0.9))
+	}
+	rep("gen", genCards)
+	rep("new", newCards)
+}

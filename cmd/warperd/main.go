@@ -1,0 +1,102 @@
+// Command warperd serves a Warper-adapted cardinality estimator over HTTP.
+//
+// It loads (or synthesizes) a table, trains a CE model on an initial
+// workload, wraps it in a Warper adapter, and exposes:
+//
+//	POST /estimate  {"lows": [...], "highs": [...]}            → {"cardinality": N}
+//	POST /feedback  {"lows": [...], "highs": [...], "cardinality": N}
+//	POST /period    run one adaptation period over buffered feedback
+//	GET  /status    model, pool, thresholds, component costs
+//	GET  /healthz
+//
+// Usage:
+//
+//	warperd -addr :8080 -dataset prsa                 # synthetic table
+//	warperd -addr :8080 -csv mydata.csv -model lm-mlp # your own CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+
+	"warper/internal/annotator"
+	"warper/internal/ce"
+	"warper/internal/dataset"
+	"warper/internal/query"
+	"warper/internal/serve"
+	"warper/internal/warper"
+	"warper/internal/workload"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		ds        = flag.String("dataset", "prsa", "synthetic dataset: higgs, prsa or poker")
+		csvPath   = flag.String("csv", "", "load the table from a CSV file instead")
+		rows      = flag.Int("rows", 6000, "synthetic table rows")
+		model     = flag.String("model", "lm-mlp", "CE model: lm-mlp, lm-gbt, lm-ply, lm-rbf")
+		trainSize = flag.Int("train", 600, "initial training workload size")
+		trainWkld = flag.String("workload", "w1", "initial workload spec (w1..w5, mixtures like w12)")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	var tbl *dataset.Table
+	if *csvPath != "" {
+		f, err := os.Open(*csvPath)
+		if err != nil {
+			log.Fatalf("open csv: %v", err)
+		}
+		tbl, err = dataset.FromCSV("csv", f, dataset.CSVOptions{HasHeader: true})
+		f.Close()
+		if err != nil {
+			log.Fatalf("parse csv: %v", err)
+		}
+	} else {
+		switch *ds {
+		case "higgs":
+			tbl = dataset.Higgs(*rows, rng)
+		case "poker":
+			tbl = dataset.Poker(*rows, rng)
+		case "prsa":
+			tbl = dataset.PRSA(*rows, rng)
+		default:
+			log.Fatalf("unknown dataset %q", *ds)
+		}
+	}
+	sch := query.SchemaOf(tbl)
+	ann := annotator.New(tbl)
+	log.Printf("table %q: %d rows × %d cols", tbl.Name, tbl.NumRows(), tbl.NumCols())
+
+	var m ce.Estimator
+	switch *model {
+	case "lm-mlp":
+		m = ce.NewLM(ce.LMMLP, sch, *seed)
+	case "lm-gbt":
+		m = ce.NewLM(ce.LMGBT, sch, *seed)
+	case "lm-ply":
+		m = ce.NewLM(ce.LMPly, sch, *seed)
+	case "lm-rbf":
+		m = ce.NewLM(ce.LMRBF, sch, *seed)
+	default:
+		log.Fatalf("unknown model %q", *model)
+	}
+	g := workload.Parse(*trainWkld, tbl, sch, workload.Options{MaxConstrained: 2})
+	train := ann.AnnotateAll(workload.Generate(g, *trainSize, rng))
+	m.Train(train)
+	log.Printf("trained %s on %d labeled %s queries (GMQ %.2f in-distribution)",
+		m.Name(), len(train), g.Name(), ce.EvalGMQ(m, train))
+
+	adapter := warper.New(warper.DefaultConfig(), m, sch, ann, train)
+	srv := serve.New(adapter, sch)
+	log.Printf("serving on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

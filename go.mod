@@ -1,0 +1,3 @@
+module warper
+
+go 1.22

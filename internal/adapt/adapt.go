@@ -1,0 +1,318 @@
+// Package adapt implements the adaptation baselines the paper compares
+// Warper against (§4.1): fine-tuning (FT, with re-training RT for models
+// that cannot fine-tune), Mixture (MIX), Gaussian-noise data augmentation
+// (AUG) and hard-example mining (HEM) — plus a shared period-driven runner
+// that produces the adaptation curves (GMQ vs. consumed new-workload
+// queries) behind Figures 6 and 8 and the Δ speedups of Tables 7, 8 and 10.
+package adapt
+
+import (
+	"math/rand"
+
+	"warper/internal/annotator"
+	"warper/internal/ce"
+	"warper/internal/metrics"
+	"warper/internal/query"
+	"warper/internal/warper"
+)
+
+// Method consumes one period of newly arrived queries at a time and keeps
+// its CE model as adapted as it can manage.
+type Method interface {
+	Name() string
+	// Step processes one adaptation period's arrivals.
+	Step(arrivals []warper.Arrival)
+	// Model returns the live CE model.
+	Model() ce.Estimator
+	// AnnotationsSpent reports the cumulative ground-truth computations the
+	// method has requested beyond the labels that arrived with queries.
+	AnnotationsSpent() int
+}
+
+// --- FT / RT ----------------------------------------------------------------
+
+// FT fine-tunes the model with each period's labeled arrivals; for models
+// with a re-train update policy it re-trains on everything seen so far
+// (the paper's RT fallback).
+type FT struct {
+	m        ce.Estimator
+	history  []query.Labeled // initial training + all labeled arrivals
+	nameOver string
+}
+
+// NewFT wraps a trained model with the original training corpus (needed by
+// re-train models).
+func NewFT(m ce.Estimator, train []query.Labeled) *FT {
+	return &FT{m: m, history: append([]query.Labeled(nil), train...)}
+}
+
+// Name implements Method.
+func (f *FT) Name() string {
+	if f.nameOver != "" {
+		return f.nameOver
+	}
+	if f.m.Policy() == ce.Retrain {
+		return "RT"
+	}
+	return "FT"
+}
+
+// Step implements Method.
+func (f *FT) Step(arrivals []warper.Arrival) {
+	labeled := labeledOf(arrivals)
+	if len(labeled) == 0 {
+		return
+	}
+	f.history = append(f.history, labeled...)
+	if f.m.Policy() == ce.Retrain {
+		f.m.Update(f.history)
+		return
+	}
+	f.m.Update(labeled)
+}
+
+// Model implements Method.
+func (f *FT) Model() ce.Estimator { return f.m }
+
+// AnnotationsSpent implements Method: FT never requests extra annotations.
+func (f *FT) AnnotationsSpent() int { return 0 }
+
+// --- MIX ---------------------------------------------------------------------
+
+// MIX updates the model with a combination of the original training workload
+// and the newly arrived labeled queries, improving generalization when the
+// distributions overlap.
+type MIX struct {
+	m     ce.Estimator
+	train []query.Labeled
+	seen  []query.Labeled
+	rng   *rand.Rand
+}
+
+// NewMIX builds the mixture baseline.
+func NewMIX(m ce.Estimator, train []query.Labeled, seed int64) *MIX {
+	return &MIX{m: m, train: train, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Method.
+func (x *MIX) Name() string { return "MIX" }
+
+// Step implements Method: each period updates on the new labeled arrivals
+// plus an equal-sized random draw from the original training workload.
+func (x *MIX) Step(arrivals []warper.Arrival) {
+	labeled := labeledOf(arrivals)
+	if len(labeled) == 0 {
+		return
+	}
+	x.seen = append(x.seen, labeled...)
+	mixed := append([]query.Labeled(nil), labeled...)
+	for i := 0; i < len(labeled) && len(x.train) > 0; i++ {
+		mixed = append(mixed, x.train[x.rng.Intn(len(x.train))])
+	}
+	if x.m.Policy() == ce.Retrain {
+		all := append(append([]query.Labeled(nil), x.train...), x.seen...)
+		x.m.Update(all)
+		return
+	}
+	x.m.Update(mixed)
+}
+
+// Model implements Method.
+func (x *MIX) Model() ce.Estimator { return x.m }
+
+// AnnotationsSpent implements Method.
+func (x *MIX) AnnotationsSpent() int { return 0 }
+
+// --- AUG ---------------------------------------------------------------------
+
+// AUG augments each period's arrivals with Gaussian-noise copies (std = 10%
+// of each column's range, §4.1) and annotates the synthetic queries.
+type AUG struct {
+	m   ce.Estimator
+	ann *annotator.Annotator
+	sch *query.Schema
+	rng *rand.Rand
+	// GenFraction matches Warper's n_g = frac·n_t (default 0.1).
+	GenFraction float64
+	history     []query.Labeled
+	spent       int
+}
+
+// NewAUG builds the augmentation baseline.
+func NewAUG(m ce.Estimator, sch *query.Schema, ann *annotator.Annotator, train []query.Labeled, seed int64) *AUG {
+	return &AUG{
+		m: m, ann: ann, sch: sch,
+		rng:         rand.New(rand.NewSource(seed)),
+		GenFraction: 0.1,
+		history:     append([]query.Labeled(nil), train...),
+	}
+}
+
+// Name implements Method.
+func (a *AUG) Name() string { return "AUG" }
+
+// Noisy returns a copy of p with N(0, (0.1·range)²) noise on each bound.
+func (a *AUG) Noisy(p query.Predicate) query.Predicate {
+	out := p.Clone()
+	for i := range out.Lows {
+		span := a.sch.Maxs[i] - a.sch.Mins[i]
+		out.Lows[i] += a.rng.NormFloat64() * 0.1 * span
+		out.Highs[i] += a.rng.NormFloat64() * 0.1 * span
+	}
+	return out.Normalize(a.sch)
+}
+
+// Step implements Method.
+func (a *AUG) Step(arrivals []warper.Arrival) {
+	labeled := labeledOf(arrivals)
+	nGen := int(a.GenFraction * float64(len(arrivals)))
+	var synth []query.Predicate
+	for i := 0; i < nGen && len(arrivals) > 0; i++ {
+		src := arrivals[a.rng.Intn(len(arrivals))]
+		synth = append(synth, a.Noisy(src.Pred))
+	}
+	if len(synth) > 0 {
+		annotated := a.ann.AnnotateAll(synth)
+		a.spent += len(synth)
+		labeled = append(labeled, annotated...)
+	}
+	if len(labeled) == 0 {
+		return
+	}
+	a.history = append(a.history, labeled...)
+	if a.m.Policy() == ce.Retrain {
+		a.m.Update(a.history)
+		return
+	}
+	a.m.Update(labeled)
+}
+
+// Model implements Method.
+func (a *AUG) Model() ce.Estimator { return a.m }
+
+// AnnotationsSpent implements Method.
+func (a *AUG) AnnotationsSpent() int { return a.spent }
+
+// --- HEM ---------------------------------------------------------------------
+
+// HEM (hard-example mining) weights the arrivals by the model's evaluation
+// error — high-error queries are replicated in the update set — and adds the
+// same Gaussian noise as AUG for robustness. It needs ground truth for the
+// new queries and annotates any that arrive unlabeled.
+type HEM struct {
+	m       ce.Estimator
+	ann     *annotator.Annotator
+	sch     *query.Schema
+	rng     *rand.Rand
+	history []query.Labeled
+	spent   int
+}
+
+// NewHEM builds the hard-example-mining baseline.
+func NewHEM(m ce.Estimator, sch *query.Schema, ann *annotator.Annotator, train []query.Labeled, seed int64) *HEM {
+	return &HEM{
+		m: m, ann: ann, sch: sch,
+		rng:     rand.New(rand.NewSource(seed)),
+		history: append([]query.Labeled(nil), train...),
+	}
+}
+
+// Name implements Method.
+func (h *HEM) Name() string { return "HEM" }
+
+// Step implements Method.
+func (h *HEM) Step(arrivals []warper.Arrival) {
+	var labeled []query.Labeled
+	for _, ar := range arrivals {
+		if ar.HasGT {
+			labeled = append(labeled, query.Labeled{Pred: ar.Pred, Card: ar.GT})
+		} else {
+			labeled = append(labeled, query.Labeled{Pred: ar.Pred, Card: h.ann.Count(ar.Pred)})
+			h.spent++
+		}
+	}
+	if len(labeled) == 0 {
+		return
+	}
+	// Weighted replication by q-error: every query appears once, the
+	// hardest examples up to three more times.
+	var update []query.Labeled
+	for _, lq := range labeled {
+		update = append(update, lq)
+		qe := metrics.QError(h.m.Estimate(lq.Pred), lq.Card)
+		reps := 0
+		switch {
+		case qe >= 32:
+			reps = 3
+		case qe >= 8:
+			reps = 2
+		case qe >= 2:
+			reps = 1
+		}
+		for r := 0; r < reps; r++ {
+			// Noisy replica (AUG-style) for robustness; labels come from a
+			// fresh annotation.
+			span := func(i int) float64 { return h.sch.Maxs[i] - h.sch.Mins[i] }
+			noisy := lq.Pred.Clone()
+			for i := range noisy.Lows {
+				noisy.Lows[i] += h.rng.NormFloat64() * 0.1 * span(i)
+				noisy.Highs[i] += h.rng.NormFloat64() * 0.1 * span(i)
+			}
+			noisy = noisy.Normalize(h.sch)
+			update = append(update, query.Labeled{Pred: noisy, Card: h.ann.Count(noisy)})
+			h.spent++
+		}
+	}
+	h.history = append(h.history, update...)
+	if h.m.Policy() == ce.Retrain {
+		h.m.Update(h.history)
+		return
+	}
+	h.m.Update(update)
+}
+
+// Model implements Method.
+func (h *HEM) Model() ce.Estimator { return h.m }
+
+// AnnotationsSpent implements Method.
+func (h *HEM) AnnotationsSpent() int { return h.spent }
+
+// --- Warper as a Method -------------------------------------------------------
+
+// WarperMethod adapts the warper.Adapter to the Method interface.
+type WarperMethod struct {
+	Adapter *warper.Adapter
+}
+
+// NewWarper wraps an Adapter.
+func NewWarper(a *warper.Adapter) *WarperMethod { return &WarperMethod{Adapter: a} }
+
+// Name implements Method.
+func (w *WarperMethod) Name() string { return "Warper" }
+
+// Step implements Method.
+func (w *WarperMethod) Step(arrivals []warper.Arrival) { w.Adapter.Period(arrivals) }
+
+// Model implements Method.
+func (w *WarperMethod) Model() ce.Estimator { return w.Adapter.M }
+
+// AnnotationsSpent implements Method.
+func (w *WarperMethod) AnnotationsSpent() int {
+	n := 0
+	for _, e := range w.Adapter.Pool.Entries {
+		if e.Source != 0 && e.GT >= 0 { // non-train entries with labels
+			n++
+		}
+	}
+	return n
+}
+
+func labeledOf(arrivals []warper.Arrival) []query.Labeled {
+	var out []query.Labeled
+	for _, ar := range arrivals {
+		if ar.HasGT {
+			out = append(out, query.Labeled{Pred: ar.Pred, Card: ar.GT})
+		}
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package annotator
+
+import (
+	"runtime"
+	"sync"
+
+	"warper/internal/dataset"
+	"warper/internal/query"
+)
+
+// ParallelAnnotate labels predicates with a pool of worker goroutines, each
+// scanning the (read-only) table independently. The paper's extended report
+// describes a multi-threaded variant of Algorithm 1; annotation is its
+// dominant parallelizable cost, and this helper lets deployments with spare
+// cores fan it out. workers <= 0 uses GOMAXPROCS.
+func ParallelAnnotate(t *dataset.Table, preds []query.Predicate, workers int) []query.Labeled {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(preds) {
+		workers = len(preds)
+	}
+	out := make([]query.Labeled, len(preds))
+	if len(preds) == 0 {
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := t.NumRows()
+			cols := t.Cols
+			for i := range next {
+				p := preds[i]
+				count := 0
+			rows:
+				for r := 0; r < n; r++ {
+					for c := range cols {
+						v := cols[c].Vals[r]
+						if v < p.Lows[c] || v > p.Highs[c] {
+							continue rows
+						}
+					}
+					count++
+				}
+				out[i] = query.Labeled{Pred: p, Card: float64(count)}
+			}
+		}()
+	}
+	for i := range preds {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

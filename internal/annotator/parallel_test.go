@@ -1,0 +1,36 @@
+package annotator
+
+import (
+	"math/rand"
+	"testing"
+
+	"warper/internal/dataset"
+	"warper/internal/query"
+	"warper/internal/workload"
+)
+
+func TestParallelAnnotateMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tbl := dataset.PRSA(2000, rng)
+	sch := query.SchemaOf(tbl)
+	g := workload.New("w3", tbl, sch, workload.Options{})
+	preds := workload.Generate(g, 40, rng)
+
+	serial := New(tbl).AnnotateAll(preds)
+	for _, workers := range []int{0, 1, 4} {
+		par := ParallelAnnotate(tbl, preds, workers)
+		for i := range serial {
+			if par[i].Card != serial[i].Card {
+				t.Fatalf("workers=%d pred %d: %v vs %v", workers, i, par[i].Card, serial[i].Card)
+			}
+		}
+	}
+}
+
+func TestParallelAnnotateEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tbl := dataset.PRSA(100, rng)
+	if out := ParallelAnnotate(tbl, nil, 4); len(out) != 0 {
+		t.Errorf("empty input produced %d results", len(out))
+	}
+}

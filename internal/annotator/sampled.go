@@ -1,0 +1,64 @@
+package annotator
+
+import (
+	"math/rand"
+	"time"
+
+	"warper/internal/dataset"
+	"warper/internal/query"
+)
+
+// Sampled is an approximate annotator that counts over a fixed row sample
+// and scales up — the sampling-based labeling alternative §2 discusses
+// ("some prior works suggest using samples; ... sampling-induced errors can
+// affect model quality"). It trades annotation cost for label noise; the
+// BenchmarkSampledAnnotator ablation quantifies the trade.
+type Sampled struct {
+	tbl     *dataset.Table
+	rows    []int   // sampled row indices
+	scale   float64 // NumRows / len(rows)
+	Queries int
+	Elapsed time.Duration
+}
+
+// NewSampled draws a uniform row sample of the given rate (0 < rate <= 1).
+func NewSampled(t *dataset.Table, rate float64, rng *rand.Rand) *Sampled {
+	if rate <= 0 || rate > 1 {
+		panic("annotator: sample rate must be in (0, 1]")
+	}
+	n := t.NumRows()
+	k := int(float64(n) * rate)
+	if k < 1 {
+		k = 1
+	}
+	perm := rng.Perm(n)
+	rows := append([]int(nil), perm[:k]...)
+	return &Sampled{tbl: t, rows: rows, scale: float64(n) / float64(k)}
+}
+
+// SampleSize returns the number of sampled rows.
+func (s *Sampled) SampleSize() int { return len(s.rows) }
+
+// Count returns the scaled-up approximate cardinality.
+func (s *Sampled) Count(p query.Predicate) float64 {
+	start := time.Now()
+	row := make([]float64, s.tbl.NumCols())
+	hits := 0
+	for _, r := range s.rows {
+		if p.Matches(s.tbl.Row(r, row)) {
+			hits++
+		}
+	}
+	s.Queries++
+	s.Elapsed += time.Since(start)
+	return float64(hits) * s.scale
+}
+
+// AnnotateAll labels every predicate approximately.
+func (s *Sampled) AnnotateAll(ps []query.Predicate) []query.Labeled {
+	out := make([]query.Labeled, len(ps))
+	for i, p := range ps {
+		out[i] = query.Labeled{Pred: p, Card: s.Count(p)}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package annotator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"warper/internal/dataset"
+	"warper/internal/query"
+	"warper/internal/workload"
+)
+
+func TestSampledApproximatesExactCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tbl := dataset.PRSA(8000, rng)
+	sch := query.SchemaOf(tbl)
+	exact := New(tbl)
+	approx := NewSampled(tbl, 0.2, rng)
+	g := workload.New("w3", tbl, sch, workload.Options{MaxConstrained: 1})
+
+	var relErrSum float64
+	n := 0
+	for i := 0; i < 40; i++ {
+		p := g.Gen(rng)
+		truth := exact.Count(p)
+		if truth < 100 {
+			continue // relative error meaningless on tiny counts
+		}
+		est := approx.Count(p)
+		relErrSum += math.Abs(est-truth) / truth
+		n++
+	}
+	if n == 0 {
+		t.Skip("no large-count probes drawn")
+	}
+	if mean := relErrSum / float64(n); mean > 0.25 {
+		t.Errorf("mean relative error = %v at 20%% sample, want < 0.25", mean)
+	}
+}
+
+func TestSampledScalesFullSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tbl := dataset.PRSA(500, rng)
+	sch := query.SchemaOf(tbl)
+	exact := New(tbl)
+	approx := NewSampled(tbl, 1.0, rng)
+	if approx.SampleSize() != 500 {
+		t.Fatalf("SampleSize = %d", approx.SampleSize())
+	}
+	p := query.NewFullRange(sch)
+	p.SetRange(1, 0, 80)
+	if got, want := approx.Count(p), exact.Count(p); got != want {
+		t.Errorf("full-rate sample must be exact: %v vs %v", got, want)
+	}
+}
+
+func TestSampledIsCheaperPerQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tbl := dataset.PRSA(8000, rng)
+	sch := query.SchemaOf(tbl)
+	approx := NewSampled(tbl, 0.05, rng)
+	if approx.SampleSize() != 400 {
+		t.Errorf("SampleSize = %d, want 400", approx.SampleSize())
+	}
+	full := query.NewFullRange(sch)
+	if got := approx.Count(full); got != 8000 {
+		t.Errorf("scaled full count = %v, want 8000", got)
+	}
+}
+
+func TestSampledAnnotateAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tbl := dataset.PRSA(1000, rng)
+	sch := query.SchemaOf(tbl)
+	approx := NewSampled(tbl, 0.5, rng)
+	g := workload.New("w1", tbl, sch, workload.Options{})
+	out := approx.AnnotateAll(workload.Generate(g, 10, rng))
+	if len(out) != 10 || approx.Queries != 10 {
+		t.Errorf("AnnotateAll bookkeeping wrong: %d results, %d queries", len(out), approx.Queries)
+	}
+}
+
+func TestSampledBadRatePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tbl := dataset.PRSA(100, rng)
+	for _, rate := range []float64{0, -0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rate %v should panic", rate)
+				}
+			}()
+			NewSampled(tbl, rate, rng)
+		}()
+	}
+}

@@ -1,0 +1,106 @@
+// Package ce implements the learned cardinality-estimation models that
+// Warper adapts: the LM family (Dutt et al., VLDB'19) with MLP, gradient-
+// boosted-tree, polynomial-kernel and RBF-kernel regression backends, and a
+// simplified MSCN (Kipf et al., CIDR'19) set model covering both single-table
+// and join cardinalities.
+//
+// Warper treats these models as black boxes behind the Estimator interface:
+// it only estimates, evaluates and updates — never inspects structure —
+// matching the paper's model-agnosticism requirement (§3.2).
+package ce
+
+import (
+	"math"
+
+	"warper/internal/metrics"
+	"warper/internal/query"
+)
+
+// UpdatePolicy distinguishes how a model incorporates new labeled queries.
+type UpdatePolicy int
+
+// Update policies (§3.2: "neural networks are iteratively trained and can be
+// fine-tuned but tree-based models usually need to be re-trained").
+const (
+	FineTune UpdatePolicy = iota
+	Retrain
+)
+
+// String returns the policy name.
+func (p UpdatePolicy) String() string {
+	if p == FineTune {
+		return "fine-tune"
+	}
+	return "re-train"
+}
+
+// Estimator is the black-box CE model 𝕄: any function that emits a
+// cardinality for a predicate and can update itself with labeled predicates.
+type Estimator interface {
+	// Train builds the model from scratch on the given corpus.
+	Train(examples []query.Labeled)
+	// Update incorporates labeled examples: a few fine-tuning epochs for
+	// iterative models, a full re-train for the rest. Callers with a
+	// Retrain-policy model must pass the entire corpus they want the new
+	// model built from.
+	Update(examples []query.Labeled)
+	// Estimate returns the predicted cardinality for a predicate.
+	Estimate(p query.Predicate) float64
+	// Policy reports whether Update fine-tunes or re-trains.
+	Policy() UpdatePolicy
+	// Clone returns an independent deep copy of the current model.
+	Clone() Estimator
+	Name() string
+}
+
+// JoinEstimator extends Estimator to key–foreign-key join queries (MSCN).
+type JoinEstimator interface {
+	TrainJoin(examples []query.LabeledJoin)
+	UpdateJoin(examples []query.LabeledJoin)
+	EstimateJoin(q *query.JoinQuery) float64
+}
+
+// EvalGMQ evaluates an estimator on a labeled test set and returns the GMQ.
+func EvalGMQ(e Estimator, test []query.Labeled) float64 {
+	ests := make([]float64, len(test))
+	acts := make([]float64, len(test))
+	for i, lq := range test {
+		ests[i] = e.Estimate(lq.Pred)
+		acts[i] = lq.Card
+	}
+	return metrics.GMQ(ests, acts)
+}
+
+// EvalJoinGMQ evaluates a join estimator on labeled join queries.
+func EvalJoinGMQ(e JoinEstimator, test []query.LabeledJoin) float64 {
+	ests := make([]float64, len(test))
+	acts := make([]float64, len(test))
+	for i, lq := range test {
+		ests[i] = e.EstimateJoin(lq.Query)
+		acts[i] = lq.Card
+	}
+	return metrics.GMQ(ests, acts)
+}
+
+// Cardinality targets are regressed in log space: wide dynamic range plus
+// the q-error metric make log the natural scale.
+
+// cardToTarget maps a cardinality to the regression target log(1+card).
+func cardToTarget(card float64) float64 {
+	if card < 0 {
+		card = 0
+	}
+	return math.Log1p(card)
+}
+
+// targetToCard inverts cardToTarget with clamping to non-negative values.
+func targetToCard(t float64) float64 {
+	c := math.Expm1(t)
+	if c < 0 {
+		return 0
+	}
+	if math.IsInf(c, 1) || math.IsNaN(c) {
+		return math.MaxFloat64
+	}
+	return c
+}

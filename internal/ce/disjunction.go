@@ -1,0 +1,29 @@
+package ce
+
+import "warper/internal/query"
+
+// EstimateDisjunction estimates the cardinality of an OR of predicates with
+// one Estimate call per disjunct ("multiple calls for disjunctions", §2),
+// combining them under a disjunct-independence assumption:
+//
+//	|A ∪ B ∪ …| ≈ N · (1 − ∏_j (1 − |A_j|/N))
+//
+// which is exact for disjoint predicates' upper regime and never exceeds N.
+// nRows is the table cardinality used to normalize selectivities.
+func EstimateDisjunction(e Estimator, d query.Disjunction, nRows float64) float64 {
+	if len(d) == 0 || nRows <= 0 {
+		return 0
+	}
+	missAll := 1.0
+	for _, p := range d {
+		sel := e.Estimate(p) / nRows
+		if sel < 0 {
+			sel = 0
+		}
+		if sel > 1 {
+			sel = 1
+		}
+		missAll *= 1 - sel
+	}
+	return nRows * (1 - missAll)
+}

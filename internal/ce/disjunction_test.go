@@ -1,0 +1,89 @@
+package ce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"warper/internal/annotator"
+	"warper/internal/dataset"
+	"warper/internal/metrics"
+	"warper/internal/query"
+	"warper/internal/workload"
+)
+
+func TestEstimateDisjunctionDisjointSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tbl := dataset.PRSA(4000, rng)
+	sch := query.SchemaOf(tbl)
+	ann := annotator.New(tbl)
+	h := NewHistogramEstimator(tbl, 64)
+
+	// Two disjoint ranges on the same column.
+	c := tbl.ColIndex("temp")
+	mid := (sch.Mins[c] + sch.Maxs[c]) / 2
+	p1 := query.NewFullRange(sch)
+	p1.SetRange(c, sch.Mins[c], mid-1)
+	p2 := query.NewFullRange(sch)
+	p2.SetRange(c, mid+1, sch.Maxs[c])
+	d := query.Disjunction{p1.Normalize(sch), p2.Normalize(sch)}
+
+	est := EstimateDisjunction(h, d, float64(tbl.NumRows()))
+	truth := ann.CountDisjunction(d)
+	if q := metrics.QError(est, truth); q > 1.5 {
+		t.Errorf("disjoint disjunction q-error = %v (est %v, true %v)", q, est, truth)
+	}
+	// The combination must not double-count past the table size.
+	full := query.Disjunction{query.NewFullRange(sch), query.NewFullRange(sch)}
+	if got := EstimateDisjunction(h, full, float64(tbl.NumRows())); got > float64(tbl.NumRows())+1 {
+		t.Errorf("disjunction exceeded table size: %v", got)
+	}
+}
+
+func TestEstimateDisjunctionRandomPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tbl := dataset.PRSA(4000, rng)
+	sch := query.SchemaOf(tbl)
+	ann := annotator.New(tbl)
+	h := NewHistogramEstimator(tbl, 64)
+	g := workload.New("w1", tbl, sch, workload.Options{MinConstrained: 1, MaxConstrained: 1})
+
+	var ests, acts []float64
+	for i := 0; i < 30; i++ {
+		d := query.Disjunction{g.Gen(rng), g.Gen(rng)}
+		ests = append(ests, EstimateDisjunction(h, d, float64(tbl.NumRows())))
+		acts = append(acts, ann.CountDisjunction(d))
+	}
+	if gmq := metrics.GMQ(ests, acts); gmq > 2.5 {
+		t.Errorf("disjunction GMQ = %v, want < 2.5", gmq)
+	}
+}
+
+func TestEstimateDisjunctionEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	tbl := dataset.PRSA(200, rng)
+	h := NewHistogramEstimator(tbl, 16)
+	if got := EstimateDisjunction(h, nil, 200); got != 0 {
+		t.Errorf("empty disjunction = %v", got)
+	}
+	if got := EstimateDisjunction(h, query.Disjunction{}, 0); got != 0 {
+		t.Errorf("zero rows = %v", got)
+	}
+}
+
+func TestDisjunctionMatchesAndClone(t *testing.T) {
+	p1 := query.Predicate{Lows: []float64{0}, Highs: []float64{1}}
+	p2 := query.Predicate{Lows: []float64{5}, Highs: []float64{6}}
+	d := query.Disjunction{p1, p2}
+	if !d.Matches([]float64{0.5}) || !d.Matches([]float64{5.5}) || d.Matches([]float64{3}) {
+		t.Error("Matches wrong")
+	}
+	c := d.Clone()
+	c[0].Lows[0] = 99
+	if d[0].Lows[0] == 99 {
+		t.Error("Clone aliases")
+	}
+	if math.IsNaN(d[0].Lows[0]) {
+		t.Error("unexpected NaN")
+	}
+}

@@ -1,0 +1,118 @@
+package ce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"warper/internal/annotator"
+	"warper/internal/dataset"
+	"warper/internal/metrics"
+	"warper/internal/query"
+	"warper/internal/workload"
+)
+
+func histFixture(t *testing.T) (*dataset.Table, *query.Schema, *annotator.Annotator) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	tbl := dataset.PRSA(4000, rng)
+	return tbl, query.SchemaOf(tbl), annotator.New(tbl)
+}
+
+func TestHistogramFullRangeIsRowCount(t *testing.T) {
+	tbl, sch, _ := histFixture(t)
+	h := NewHistogramEstimator(tbl, 64)
+	got := h.Estimate(query.NewFullRange(sch))
+	if math.Abs(got-float64(tbl.NumRows())) > 1 {
+		t.Errorf("full-range estimate = %v, want %d", got, tbl.NumRows())
+	}
+}
+
+func TestHistogramSingleColumnAccuracy(t *testing.T) {
+	tbl, sch, ann := histFixture(t)
+	h := NewHistogramEstimator(tbl, 64)
+	rng := rand.New(rand.NewSource(32))
+	g := workload.New("w1", tbl, sch, workload.Options{MinConstrained: 1, MaxConstrained: 1})
+	var ests, acts []float64
+	for i := 0; i < 60; i++ {
+		p := g.Gen(rng)
+		ests = append(ests, h.Estimate(p))
+		acts = append(acts, ann.Count(p))
+	}
+	// Single-column ranges have no independence error; equi-depth binning
+	// should be quite accurate.
+	if gmq := metrics.GMQ(ests, acts); gmq > 2.0 {
+		t.Errorf("single-column GMQ = %v, want < 2", gmq)
+	}
+}
+
+func TestHistogramWorkloadDriftImmunity(t *testing.T) {
+	// A data-driven estimator's accuracy must not change when only the
+	// workload drifts — the §2 contrast with workload-driven models.
+	tbl, sch, ann := histFixture(t)
+	h := NewHistogramEstimator(tbl, 64)
+	rng := rand.New(rand.NewSource(33))
+	opts := workload.Options{MinConstrained: 1, MaxConstrained: 1}
+	gmqOn := func(spec string) float64 {
+		g := workload.New(spec, tbl, sch, opts)
+		var ests, acts []float64
+		for i := 0; i < 60; i++ {
+			p := g.Gen(rng)
+			ests = append(ests, h.Estimate(p))
+			acts = append(acts, ann.Count(p))
+		}
+		return metrics.GMQ(ests, acts)
+	}
+	g1 := gmqOn("w1")
+	g4 := gmqOn("w4")
+	if g4 > g1*2.5 {
+		t.Errorf("histogram degraded across workloads: w1=%v w4=%v", g1, g4)
+	}
+}
+
+func TestHistogramStaleAfterDataDriftUntilUpdate(t *testing.T) {
+	tbl, sch, _ := histFixture(t)
+	h := NewHistogramEstimator(tbl, 64)
+	full := query.NewFullRange(sch)
+	before := h.Estimate(full)
+	dataset.SortTruncateHalf(tbl, 1)
+	// Without Update the estimator still reports the old row count.
+	if got := h.Estimate(full); got != before {
+		t.Errorf("estimate changed without rebuild: %v vs %v", got, before)
+	}
+	h.Update(nil)
+	after := h.Estimate(query.NewFullRange(query.SchemaOf(tbl)))
+	if math.Abs(after-float64(tbl.NumRows())) > 1 {
+		t.Errorf("post-rebuild full-range = %v, want %d", after, tbl.NumRows())
+	}
+}
+
+func TestHistogramImplementsEstimator(t *testing.T) {
+	tbl, _, _ := histFixture(t)
+	var e Estimator = NewHistogramEstimator(tbl, 16)
+	if e.Name() != "histogram" || e.Policy() != Retrain {
+		t.Error("metadata wrong")
+	}
+	c := e.Clone().(*HistogramEstimator)
+	c.bounds[0][0] = -999
+	if e.(*HistogramEstimator).bounds[0][0] == -999 {
+		t.Error("Clone aliases bounds")
+	}
+}
+
+func TestHistogramEqualityPredicates(t *testing.T) {
+	tbl, sch, ann := histFixture(t)
+	h := NewHistogramEstimator(tbl, 64)
+	// Categorical equality: station has 5 distinct values with heavy mass.
+	c := tbl.ColIndex("station")
+	p := query.NewFullRange(sch)
+	p.SetEquals(c, 2)
+	est := h.Estimate(p)
+	truth := ann.Count(p)
+	if est <= 0 {
+		t.Fatalf("equality estimate = %v, want > 0", est)
+	}
+	if q := metrics.QError(est, truth); q > 5 {
+		t.Errorf("equality q-error = %v (est %v, true %v)", q, est, truth)
+	}
+}

@@ -1,0 +1,218 @@
+package ce
+
+import (
+	"math/rand"
+
+	"warper/internal/gbt"
+	"warper/internal/kernel"
+	"warper/internal/nn"
+	"warper/internal/query"
+)
+
+// LM is the lightweight range-predicate model of Dutt et al.: the predicate
+// featurization {low₁..low_d, high₁..high_d} (normalized by column ranges)
+// fed to a regression backend predicting log-cardinality. The paper's LM-mlp,
+// LM-gbt, LM-ply and LM-rbf variants correspond to the four backends here.
+type LM struct {
+	Schema  *query.Schema
+	backend lmBackend
+	name    string
+	policy  UpdatePolicy
+	rng     *rand.Rand
+}
+
+// lmBackend is the pluggable regressor behind LM.
+type lmBackend interface {
+	fit(X [][]float64, y []float64, rng *rand.Rand)
+	// finetune runs a few incremental epochs; it returns false when the
+	// backend only supports re-training.
+	finetune(X [][]float64, y []float64, rng *rand.Rand) bool
+	predict(x []float64) float64
+	clone() lmBackend
+}
+
+// LMVariant names an LM backend.
+type LMVariant string
+
+// LM variants evaluated in the paper (§4.1.2).
+const (
+	LMMLP LMVariant = "lm-mlp"
+	LMGBT LMVariant = "lm-gbt"
+	LMPly LMVariant = "lm-ply"
+	LMRBF LMVariant = "lm-rbf"
+)
+
+// NewLM builds an untrained LM of the given variant over a schema. seed
+// controls weight initialization and training shuffles.
+func NewLM(variant LMVariant, s *query.Schema, seed int64) *LM {
+	rng := rand.New(rand.NewSource(seed))
+	lm := &LM{Schema: s, name: string(variant), rng: rng}
+	switch variant {
+	case LMMLP:
+		lm.backend = newMLPBackend(s.FeatureDim(), rng)
+		lm.policy = FineTune
+	case LMGBT:
+		lm.backend = &gbtBackend{cfg: gbt.Config{Stages: 120, Rate: 0.05, MaxDepth: 4, MinLeafSize: 3}}
+		lm.policy = Retrain
+	case LMPly:
+		lm.backend = &krrBackend{cfg: kernel.DefaultPolyConfig()}
+		lm.policy = Retrain
+	case LMRBF:
+		lm.backend = &krrBackend{cfg: kernel.DefaultRBFConfig()}
+		lm.policy = Retrain
+	default:
+		panic("ce: unknown LM variant " + string(variant))
+	}
+	return lm
+}
+
+// Train implements Estimator.
+func (lm *LM) Train(examples []query.Labeled) {
+	X, y := lm.featurizeAll(examples)
+	lm.backend.fit(X, y, lm.rng)
+}
+
+// Update implements Estimator: fine-tune when supported, otherwise re-train
+// on the given examples.
+func (lm *LM) Update(examples []query.Labeled) {
+	X, y := lm.featurizeAll(examples)
+	if !lm.backend.finetune(X, y, lm.rng) {
+		lm.backend.fit(X, y, lm.rng)
+	}
+}
+
+// Estimate implements Estimator.
+func (lm *LM) Estimate(p query.Predicate) float64 {
+	return targetToCard(lm.backend.predict(p.Featurize(lm.Schema)))
+}
+
+// Policy implements Estimator.
+func (lm *LM) Policy() UpdatePolicy { return lm.policy }
+
+// Name implements Estimator.
+func (lm *LM) Name() string { return lm.name }
+
+// Clone implements Estimator.
+func (lm *LM) Clone() Estimator {
+	c := *lm
+	c.backend = lm.backend.clone()
+	c.rng = rand.New(rand.NewSource(lm.rng.Int63()))
+	return &c
+}
+
+func (lm *LM) featurizeAll(examples []query.Labeled) ([][]float64, []float64) {
+	X := make([][]float64, len(examples))
+	y := make([]float64, len(examples))
+	for i, ex := range examples {
+		X[i] = ex.Pred.Featurize(lm.Schema)
+		y[i] = cardToTarget(ex.Card)
+	}
+	return X, y
+}
+
+// --- MLP backend -----------------------------------------------------------
+
+// Training-schedule constants for the MLP backend, following §4.1: batch
+// size 32 and learning rate 1e-3.
+const (
+	mlpTrainEpochs    = 60
+	mlpFinetuneEpochs = 8
+	mlpBatch          = 32
+	mlpRate           = 1e-3
+	mlpHidden         = 64
+	mlpDepth          = 2
+)
+
+type mlpBackend struct {
+	net *nn.Network
+	in  int
+}
+
+func newMLPBackend(in int, rng *rand.Rand) *mlpBackend {
+	return &mlpBackend{net: nn.MLP(in, mlpHidden, mlpDepth, 1, rng), in: in}
+}
+
+func (b *mlpBackend) fit(X [][]float64, y []float64, rng *rand.Rand) {
+	// Re-train from scratch: fresh weights, full epoch budget.
+	b.net = nn.MLP(b.in, mlpHidden, mlpDepth, 1, rng)
+	b.run(X, y, mlpTrainEpochs, rng)
+}
+
+func (b *mlpBackend) finetune(X [][]float64, y []float64, rng *rand.Rand) bool {
+	b.run(X, y, mlpFinetuneEpochs, rng)
+	return true
+}
+
+func (b *mlpBackend) run(X [][]float64, y []float64, epochs int, rng *rand.Rand) {
+	if len(X) == 0 {
+		return
+	}
+	ys := make([][]float64, len(y))
+	for i, v := range y {
+		ys[i] = []float64{v}
+	}
+	b.net.Fit(X, ys, nn.MSE{}, nn.NewAdam(mlpRate), epochs, mlpBatch, rng)
+}
+
+func (b *mlpBackend) predict(x []float64) float64 { return b.net.Forward(x)[0] }
+
+func (b *mlpBackend) clone() lmBackend { return &mlpBackend{net: b.net.Clone(), in: b.in} }
+
+// --- GBT backend -----------------------------------------------------------
+
+type gbtBackend struct {
+	cfg   gbt.Config
+	model *gbt.Regressor
+}
+
+func (b *gbtBackend) fit(X [][]float64, y []float64, _ *rand.Rand) {
+	b.model = gbt.Fit(X, y, b.cfg)
+}
+
+func (b *gbtBackend) finetune([][]float64, []float64, *rand.Rand) bool { return false }
+
+func (b *gbtBackend) predict(x []float64) float64 {
+	if b.model == nil {
+		return 0
+	}
+	return b.model.Predict(x)
+}
+
+func (b *gbtBackend) clone() lmBackend {
+	// The fitted ensemble is immutable after Fit, so sharing it is safe; a
+	// subsequent fit replaces the pointer rather than mutating trees.
+	return &gbtBackend{cfg: b.cfg, model: b.model}
+}
+
+// --- Kernel ridge backend (LM-ply / LM-rbf) ---------------------------------
+
+type krrBackend struct {
+	cfg   kernel.Config
+	model *kernel.Regressor
+}
+
+func (b *krrBackend) fit(X [][]float64, y []float64, rng *rand.Rand) {
+	m, err := kernel.Fit(X, y, b.cfg, rng)
+	if err != nil {
+		// Gram matrix not PD at this regularization; retry stiffer rather
+		// than leaving a stale model behind.
+		cfg := b.cfg
+		cfg.Lambda *= 100
+		m, err = kernel.Fit(X, y, cfg, rng)
+		if err != nil {
+			panic("ce: kernel fit failed: " + err.Error())
+		}
+	}
+	b.model = m
+}
+
+func (b *krrBackend) finetune([][]float64, []float64, *rand.Rand) bool { return false }
+
+func (b *krrBackend) predict(x []float64) float64 {
+	if b.model == nil {
+		return 0
+	}
+	return b.model.Predict(x)
+}
+
+func (b *krrBackend) clone() lmBackend { return &krrBackend{cfg: b.cfg, model: b.model} }

@@ -1,0 +1,328 @@
+package ce
+
+import (
+	"math/rand"
+
+	"warper/internal/nn"
+	"warper/internal/query"
+)
+
+// Catalog describes the tables and the key–foreign-key join graph an MSCN
+// model can see; it fixes the featurization (table one-hots, join one-hots,
+// padded per-table predicate features).
+type Catalog struct {
+	Order   []string
+	Schemas map[string]*query.Schema
+	Joins   []query.JoinCond
+	maxCols int
+}
+
+// NewCatalog builds a catalog over the given schemas (ordered as passed).
+func NewCatalog(schemas ...*query.Schema) *Catalog {
+	c := &Catalog{Schemas: make(map[string]*query.Schema, len(schemas))}
+	for _, s := range schemas {
+		c.Order = append(c.Order, s.Table)
+		c.Schemas[s.Table] = s
+		if s.NumCols() > c.maxCols {
+			c.maxCols = s.NumCols()
+		}
+	}
+	return c
+}
+
+// AddJoin registers a joinable edge in the catalog.
+func (c *Catalog) AddJoin(lt, lc, rt, rc string) *Catalog {
+	c.Joins = append(c.Joins, query.JoinCond{LeftTable: lt, LeftCol: lc, RightTable: rt, RightCol: rc})
+	return c
+}
+
+// tableIndex returns the position of a table in the catalog order, or -1.
+func (c *Catalog) tableIndex(name string) int {
+	for i, t := range c.Order {
+		if t == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// joinIndex matches a join condition against the catalog (either
+// orientation), or -1.
+func (c *Catalog) joinIndex(jc query.JoinCond) int {
+	for i, k := range c.Joins {
+		if k == jc {
+			return i
+		}
+		if k.LeftTable == jc.RightTable && k.LeftCol == jc.RightCol &&
+			k.RightTable == jc.LeftTable && k.RightCol == jc.LeftCol {
+			return i
+		}
+	}
+	return -1
+}
+
+// tableFeatDim is the width of one table-set element: a table one-hot plus
+// the padded predicate featurization.
+func (c *Catalog) tableFeatDim() int { return len(c.Order) + 2*c.maxCols }
+
+// MSCN training-schedule constants (§4.1: batch 32, lr 1e-3).
+const (
+	mscnHidden         = 32
+	mscnTrainEpochs    = 40
+	mscnFinetuneEpochs = 8
+	mscnBatch          = 32
+	mscnRate           = 1e-3
+)
+
+// MSCN is a simplified multi-set convolutional network: a per-table MLP
+// pooled by averaging, an optional per-join MLP pooled the same way, and an
+// output MLP over the concatenated pooled vectors, predicting
+// log-cardinality. For single-table use the join branch is dropped,
+// matching the paper's "simplified version ... removing the join condition
+// and bitmap inputs".
+type MSCN struct {
+	Catalog *Catalog
+
+	tableNet *nn.Network
+	joinNet  *nn.Network // nil when the catalog has no joins
+	outNet   *nn.Network
+	rng      *rand.Rand
+}
+
+// NewMSCN builds an untrained MSCN over a catalog.
+func NewMSCN(c *Catalog, seed int64) *MSCN {
+	rng := rand.New(rand.NewSource(seed))
+	m := &MSCN{Catalog: c, rng: rng}
+	m.initNets()
+	return m
+}
+
+func (m *MSCN) initNets() {
+	c := m.Catalog
+	m.tableNet = nn.MLP(c.tableFeatDim(), mscnHidden, 1, mscnHidden, m.rng)
+	outIn := mscnHidden
+	if len(c.Joins) > 0 {
+		m.joinNet = nn.MLP(len(c.Joins), mscnHidden, 1, mscnHidden, m.rng)
+		outIn += mscnHidden
+	}
+	m.outNet = nn.MLP(outIn, mscnHidden, 1, 1, m.rng)
+}
+
+// featurize builds the set elements for a join query.
+func (m *MSCN) featurize(q *query.JoinQuery) (tables, joins [][]float64) {
+	c := m.Catalog
+	for _, name := range q.Tables {
+		ti := c.tableIndex(name)
+		if ti < 0 {
+			panic("ce: mscn query references unknown table " + name)
+		}
+		s := c.Schemas[name]
+		f := make([]float64, c.tableFeatDim())
+		f[ti] = 1
+		pred, ok := q.Preds[name]
+		if !ok {
+			pred = query.NewFullRange(s)
+		}
+		pf := pred.Featurize(s)
+		d := s.NumCols()
+		// Pack lows then highs into the padded region.
+		copy(f[len(c.Order):len(c.Order)+d], pf[:d])
+		copy(f[len(c.Order)+c.maxCols:len(c.Order)+c.maxCols+d], pf[d:])
+		tables = append(tables, f)
+	}
+	for _, jc := range q.Joins {
+		ji := c.joinIndex(jc)
+		if ji < 0 {
+			panic("ce: mscn query uses unregistered join")
+		}
+		f := make([]float64, len(c.Joins))
+		f[ji] = 1
+		joins = append(joins, f)
+	}
+	return tables, joins
+}
+
+type mscnCache struct {
+	tables [][]float64
+	joins  [][]float64
+	outIn  []float64
+}
+
+// forward computes the model output for a query, returning the intermediate
+// inputs needed by backward.
+func (m *MSCN) forward(q *query.JoinQuery) (float64, *mscnCache) {
+	tables, joins := m.featurize(q)
+	pooledT := make([]float64, mscnHidden)
+	for _, f := range tables {
+		out := m.tableNet.Forward(f)
+		for i, v := range out {
+			pooledT[i] += v
+		}
+	}
+	if n := float64(len(tables)); n > 0 {
+		for i := range pooledT {
+			pooledT[i] /= n
+		}
+	}
+	outIn := pooledT
+	if m.joinNet != nil {
+		pooledJ := make([]float64, mscnHidden)
+		for _, f := range joins {
+			out := m.joinNet.Forward(f)
+			for i, v := range out {
+				pooledJ[i] += v
+			}
+		}
+		if n := float64(len(joins)); n > 0 {
+			for i := range pooledJ {
+				pooledJ[i] /= n
+			}
+		}
+		outIn = append(append(make([]float64, 0, 2*mscnHidden), pooledT...), pooledJ...)
+	}
+	pred := m.outNet.Forward(outIn)[0]
+	return pred, &mscnCache{tables: tables, joins: joins, outIn: outIn}
+}
+
+// backward accumulates gradients for one example given dLoss/dPred.
+func (m *MSCN) backward(grad float64, cache *mscnCache) {
+	// outNet caches are fresh from forward (one example at a time).
+	gIn := m.outNet.Backward([]float64{grad})
+	gT := gIn[:mscnHidden]
+	if n := float64(len(cache.tables)); n > 0 {
+		for _, f := range cache.tables {
+			m.tableNet.Forward(f) // refresh per-layer caches for this element
+			scaled := make([]float64, mscnHidden)
+			for i, g := range gT {
+				scaled[i] = g / n
+			}
+			m.tableNet.Backward(scaled)
+		}
+	}
+	if m.joinNet != nil && len(cache.joins) > 0 {
+		gJ := gIn[mscnHidden:]
+		n := float64(len(cache.joins))
+		for _, f := range cache.joins {
+			m.joinNet.Forward(f)
+			scaled := make([]float64, mscnHidden)
+			for i, g := range gJ {
+				scaled[i] = g / n
+			}
+			m.joinNet.Backward(scaled)
+		}
+	}
+}
+
+func (m *MSCN) params() []*nn.Param {
+	ps := append([]*nn.Param{}, m.tableNet.Params()...)
+	if m.joinNet != nil {
+		ps = append(ps, m.joinNet.Params()...)
+	}
+	return append(ps, m.outNet.Params()...)
+}
+
+func (m *MSCN) zeroGrad() {
+	for _, p := range m.params() {
+		p.ZeroGrad()
+	}
+}
+
+// trainEpochs runs minibatch MSE training in log space.
+func (m *MSCN) trainEpochs(examples []query.LabeledJoin, epochs int) {
+	if len(examples) == 0 {
+		return
+	}
+	opt := nn.NewAdam(mscnRate)
+	idx := make([]int, len(examples))
+	for i := range idx {
+		idx[i] = i
+	}
+	for e := 0; e < epochs; e++ {
+		m.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < len(idx); start += mscnBatch {
+			end := start + mscnBatch
+			if end > len(idx) {
+				end = len(idx)
+			}
+			m.zeroGrad()
+			for _, j := range idx[start:end] {
+				ex := examples[j]
+				pred, cache := m.forward(ex.Query)
+				target := cardToTarget(ex.Card)
+				m.backward(pred-target, cache) // d(½(p−t)²)/dp
+			}
+			scale := 1 / float64(end-start)
+			for _, p := range m.params() {
+				for i := range p.G {
+					p.G[i] *= scale
+				}
+			}
+			opt.Step(m.params())
+		}
+		opt.EndEpoch()
+	}
+}
+
+// TrainJoin implements JoinEstimator: fresh weights, full epoch budget.
+func (m *MSCN) TrainJoin(examples []query.LabeledJoin) {
+	m.initNets()
+	m.trainEpochs(examples, mscnTrainEpochs)
+}
+
+// UpdateJoin implements JoinEstimator: a few fine-tuning epochs.
+func (m *MSCN) UpdateJoin(examples []query.LabeledJoin) {
+	m.trainEpochs(examples, mscnFinetuneEpochs)
+}
+
+// EstimateJoin implements JoinEstimator.
+func (m *MSCN) EstimateJoin(q *query.JoinQuery) float64 {
+	pred, _ := m.forward(q)
+	return targetToCard(pred)
+}
+
+// singleTableQuery wraps a predicate on the catalog's only table.
+func (m *MSCN) singleTableQuery(p query.Predicate) *query.JoinQuery {
+	if len(m.Catalog.Order) != 1 {
+		panic("ce: single-table MSCN API requires a one-table catalog")
+	}
+	name := m.Catalog.Order[0]
+	q := query.NewJoinQuery(name)
+	q.SetPred(name, p)
+	return q
+}
+
+func (m *MSCN) toJoinExamples(examples []query.Labeled) []query.LabeledJoin {
+	out := make([]query.LabeledJoin, len(examples))
+	for i, ex := range examples {
+		out[i] = query.LabeledJoin{Query: m.singleTableQuery(ex.Pred), Card: ex.Card}
+	}
+	return out
+}
+
+// Train implements Estimator for the single-table configuration.
+func (m *MSCN) Train(examples []query.Labeled) { m.TrainJoin(m.toJoinExamples(examples)) }
+
+// Update implements Estimator for the single-table configuration.
+func (m *MSCN) Update(examples []query.Labeled) { m.UpdateJoin(m.toJoinExamples(examples)) }
+
+// Estimate implements Estimator for the single-table configuration.
+func (m *MSCN) Estimate(p query.Predicate) float64 {
+	return m.EstimateJoin(m.singleTableQuery(p))
+}
+
+// Policy implements Estimator: MSCN fine-tunes (§4.1).
+func (m *MSCN) Policy() UpdatePolicy { return FineTune }
+
+// Name implements Estimator.
+func (m *MSCN) Name() string { return "mscn" }
+
+// Clone implements Estimator.
+func (m *MSCN) Clone() Estimator {
+	c := &MSCN{Catalog: m.Catalog, rng: rand.New(rand.NewSource(m.rng.Int63()))}
+	c.tableNet = m.tableNet.Clone()
+	if m.joinNet != nil {
+		c.joinNet = m.joinNet.Clone()
+	}
+	c.outNet = m.outNet.Clone()
+	return c
+}

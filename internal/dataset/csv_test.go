@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFromCSVWithHeader(t *testing.T) {
+	in := "a,b,city\n1,2.5,rome\n3,4.5,oslo\n5,6.5,rome\n"
+	tbl, err := FromCSV("t", strings.NewReader(in), CSVOptions{HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 3 || tbl.NumCols() != 3 {
+		t.Fatalf("dims = %dx%d", tbl.NumRows(), tbl.NumCols())
+	}
+	if tbl.Col("a").Type != Real || tbl.Col("city").Type != Categorical {
+		t.Error("type inference wrong")
+	}
+	// Dictionary encoding: rome=0, oslo=1, rome=0.
+	city := tbl.Col("city").Vals
+	if city[0] != 0 || city[1] != 1 || city[2] != 0 {
+		t.Errorf("dict encoding = %v", city)
+	}
+	if tbl.Col("b").Vals[1] != 4.5 {
+		t.Error("numeric parse wrong")
+	}
+}
+
+func TestFromCSVHeaderAutodetect(t *testing.T) {
+	// No header: the first all-numeric row is data.
+	in := "1,2\n3,4\n"
+	tbl, err := FromCSV("t", strings.NewReader(in), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("rows = %d, want 2", tbl.NumRows())
+	}
+	if tbl.Cols[0].Name != "col0" {
+		t.Errorf("generated name = %q", tbl.Cols[0].Name)
+	}
+}
+
+func TestFromCSVExplicitTypes(t *testing.T) {
+	in := "day,kind\n100,1\n101,2\n"
+	tbl, err := FromCSV("t", strings.NewReader(in), CSVOptions{
+		HasHeader: true,
+		Types:     map[string]ColType{"day": Date, "kind": Categorical},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Col("day").Type != Date {
+		t.Error("explicit Date type ignored")
+	}
+	if tbl.Col("kind").Type != Categorical {
+		t.Error("explicit Categorical type ignored")
+	}
+	// Numeric categorical values are dictionary-encoded.
+	if tbl.Col("kind").Vals[0] != 0 || tbl.Col("kind").Vals[1] != 1 {
+		t.Errorf("categorical encoding = %v", tbl.Col("kind").Vals)
+	}
+}
+
+func TestFromCSVMaxRows(t *testing.T) {
+	in := "a\n1\n2\n3\n4\n"
+	tbl, err := FromCSV("t", strings.NewReader(in), CSVOptions{HasHeader: true, MaxRows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("rows = %d, want 2", tbl.NumRows())
+	}
+}
+
+func TestFromCSVRaggedRowFails(t *testing.T) {
+	in := "a,b\n1,2\n3\n"
+	if _, err := FromCSV("t", strings.NewReader(in), CSVOptions{HasHeader: true}); err == nil {
+		t.Fatal("expected error for ragged row")
+	}
+}
+
+func TestFromCSVEmptyInputFails(t *testing.T) {
+	if _, err := FromCSV("t", strings.NewReader(""), CSVOptions{}); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}

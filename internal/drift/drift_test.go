@@ -1,0 +1,116 @@
+package drift
+
+import (
+	"math/rand"
+	"testing"
+
+	"warper/internal/annotator"
+	"warper/internal/dataset"
+	"warper/internal/query"
+	"warper/internal/workload"
+)
+
+func driftsFixture(t *testing.T) (*dataset.Table, *query.Schema) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	tbl := dataset.PRSA(3000, rng)
+	return tbl, query.SchemaOf(tbl)
+}
+
+func TestDeltaJSIdenticalWorkloadsNearZero(t *testing.T) {
+	tbl, sch := driftsFixture(t)
+	rng := rand.New(rand.NewSource(2))
+	g := workload.New("w1", tbl, sch, workload.Options{})
+	a := workload.Generate(g, 300, rng)
+	b := workload.Generate(g, 300, rng)
+	js := DeltaJS(a, b, sch, DefaultJSConfig())
+	if js > 0.15 {
+		t.Errorf("δ_js of same distribution = %v, want near 0", js)
+	}
+}
+
+func TestDeltaJSDifferentWorkloadsLarger(t *testing.T) {
+	tbl, sch := driftsFixture(t)
+	rng := rand.New(rand.NewSource(3))
+	g1 := workload.New("w1", tbl, sch, workload.Options{})
+	g4 := workload.New("w4", tbl, sch, workload.Options{})
+	a := workload.Generate(g1, 300, rng)
+	b := workload.Generate(g1, 300, rng)
+	c := workload.Generate(g4, 300, rng)
+	same := DeltaJS(a, b, sch, DefaultJSConfig())
+	diff := DeltaJS(a, c, sch, DefaultJSConfig())
+	if diff <= same {
+		t.Errorf("δ_js(w1,w4)=%v should exceed δ_js(w1,w1)=%v", diff, same)
+	}
+	if diff <= 0 || diff > 1 {
+		t.Errorf("δ_js out of range: %v", diff)
+	}
+}
+
+func TestDeltaJSSymmetric(t *testing.T) {
+	tbl, sch := driftsFixture(t)
+	rng := rand.New(rand.NewSource(4))
+	a := workload.Generate(workload.New("w1", tbl, sch, workload.Options{}), 150, rng)
+	b := workload.Generate(workload.New("w3", tbl, sch, workload.Options{}), 150, rng)
+	ab := DeltaJS(a, b, sch, DefaultJSConfig())
+	ba := DeltaJS(b, a, sch, DefaultJSConfig())
+	if diff := ab - ba; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("not symmetric: %v vs %v", ab, ba)
+	}
+}
+
+func TestDeltaJSEmptyInputs(t *testing.T) {
+	_, sch := driftsFixture(t)
+	if got := DeltaJS(nil, nil, sch, DefaultJSConfig()); got != 0 {
+		t.Errorf("empty δ_js = %v", got)
+	}
+}
+
+func TestCanariesDetectDataDrift(t *testing.T) {
+	tbl, sch := driftsFixture(t)
+	rng := rand.New(rand.NewSource(5))
+	ann := annotator.New(tbl)
+	g := workload.New("w3", tbl, sch, workload.Options{})
+	can := NewCanaries(10, g, ann, rng)
+	if can.Len() != 10 {
+		t.Fatalf("Len = %d", can.Len())
+	}
+	if got := can.MaxRelChange(ann); got != 0 {
+		t.Errorf("unchanged table rel change = %v, want 0", got)
+	}
+	dataset.SortTruncateHalf(tbl, 1)
+	if got := can.MaxRelChange(ann); got < 0.1 {
+		t.Errorf("rel change after truncation = %v, want >= 0.1", got)
+	}
+	can.Rebase(ann)
+	if got := can.MaxRelChange(ann); got != 0 {
+		t.Errorf("after rebase = %v, want 0", got)
+	}
+}
+
+func TestDataTelemetryChangedRows(t *testing.T) {
+	tbl, _ := driftsFixture(t)
+	ann := annotator.New(tbl)
+	d := &DataTelemetry{}
+	if d.Detect(0.01, ann) {
+		t.Error("1% changed rows should not trigger with 5% threshold")
+	}
+	if !d.Detect(0.2, ann) {
+		t.Error("20% changed rows should trigger")
+	}
+}
+
+func TestDataTelemetryCanaryPath(t *testing.T) {
+	tbl, sch := driftsFixture(t)
+	rng := rand.New(rand.NewSource(6))
+	ann := annotator.New(tbl)
+	g := workload.New("w3", tbl, sch, workload.Options{})
+	d := &DataTelemetry{Canaries: NewCanaries(8, g, ann, rng)}
+	if d.Detect(0, ann) {
+		t.Error("no drift yet")
+	}
+	dataset.UpdateDrift(tbl, 1.0, 2.0, rng)
+	if !d.Detect(0, ann) {
+		t.Error("canaries missed a full-table update")
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"warper/internal/adapt"
+	"warper/internal/simclock"
+	"warper/internal/workload"
+)
+
+// costProfile holds measured per-component costs for one dataset.
+type costProfile struct {
+	AnnotatePerQuery time.Duration // c_gt
+	WarperBuild      time.Duration // one-time 𝔼/𝔾 pre-train + per-invocation component updates
+	ModelUpdate      time.Duration // CE model update per invocation
+	HEMBuild         time.Duration // HEM's model-evaluation pass
+}
+
+// measureCosts runs a short calibrated workload and extracts real compute
+// costs, which the Table 6 / Table 11 arithmetic then scales to the paper's
+// windows and arrival rates (§4.3: cost = c_gt·n_a + C).
+func measureCosts(ds string, sc Scale, seed int64) costProfile {
+	env := NewEnv(ds, "w12", "w345", "lm-mlp", sc, seed)
+	rng := rand.New(rand.NewSource(seed + 5))
+
+	var prof costProfile
+
+	// Annotation: time a fresh batch.
+	env.Ann.ResetMeters()
+	probe := workload.Generate(env.NewGen, 50, rng)
+	env.Ann.AnnotateAll(probe)
+	// AnnotateAll shares one scan across the batch; per-query cost for
+	// separately arriving queries uses single-query scans.
+	env.Ann.ResetMeters()
+	for _, p := range probe[:10] {
+		env.Ann.Count(p)
+	}
+	prof.AnnotatePerQuery = env.Ann.MeanCostPerQuery()
+
+	// Warper: component build + a few invocations.
+	ad, _ := env.NewWarperAdapter(sc, seed+7)
+	probeN := minI(len(env.Stream), 80)
+	periods := adapt.SplitPeriods(adapt.ArrivalsOf(env.Stream[:probeN], true), probeN/2)
+	for _, p := range periods {
+		ad.Period(p)
+	}
+	prof.WarperBuild = ad.Ledger.Get("pretrain") + ad.Ledger.Get("gan") + ad.Ledger.Get("ae") +
+		ad.Ledger.Get("gen") + ad.Ledger.Get("pick")
+	prof.ModelUpdate = ad.Ledger.Get("model")
+
+	// HEM: its extra cost is one model evaluation pass over arrivals.
+	w := simclock.StartWatch()
+	for _, lq := range env.Stream[:40] {
+		env.Model.Estimate(lq.Pred)
+	}
+	prof.HEMBuild = w.Stop()
+	return prof
+}
+
+// table6Scenarios are the (window, arrival-rate) combinations of Table 6.
+var table6Scenarios = []struct {
+	window time.Duration
+	rate   float64 // queries per second
+}{
+	{10 * time.Minute, 10},
+	{10 * time.Minute, 1},
+	{30 * time.Minute, 0.2},
+}
+
+// Table6 regenerates Table 6: per-method cost overhead (annotation cost,
+// model building cost, average CPU utilization at three arrival rates).
+// Costs are measured on the scaled tables and extrapolated with the paper's
+// §4.3 cost model.
+func Table6(sc Scale, seed int64) []*Table {
+	t := &Table{
+		ID:    "Table 6",
+		Title: "Cost overhead to adapt a CE model (measured on scaled tables)",
+		Header: []string{"Dataset", "Anno s/query", "Warper build", "Scenario",
+			"AUG CPU%", "HEM CPU%", "Warper CPU%"},
+	}
+	for _, ds := range datasets {
+		prof := measureCosts(ds, sc, seed)
+		for _, scen := range table6Scenarios {
+			nT := scen.rate * scen.window.Seconds()
+			nG := 0.1 * nT // n_g = 10%·n_t for AUG, HEM and Warper
+			annBusy := time.Duration(nG * float64(prof.AnnotatePerQuery))
+			augBusy := annBusy + prof.ModelUpdate
+			hemBusy := annBusy + prof.ModelUpdate + prof.HEMBuild
+			warperBusy := annBusy + prof.ModelUpdate + prof.WarperBuild
+			t.Rows = append(t.Rows, []string{
+				ds,
+				fmt.Sprintf("%.4f", prof.AnnotatePerQuery.Seconds()),
+				fmt.Sprintf("%.1fs", prof.WarperBuild.Seconds()),
+				fmt.Sprintf("%s @ %g q/s", scen.window, scen.rate),
+				f3(simclock.CPUPercent(augBusy, scen.window)),
+				f3(simclock.CPUPercent(hemBusy, scen.window)),
+				f3(simclock.CPUPercent(warperBusy, scen.window)),
+			})
+		}
+	}
+	return []*Table{t}
+}
+
+// Table11 regenerates Table 11: CPU utilization as the generated-query
+// budget n_g varies (0.1×..3× of n_t), 30-minute window, one query per 5 s.
+func Table11(sc Scale, seed int64) []*Table {
+	t := &Table{
+		ID:     "Table 11",
+		Title:  "Trading compute for speedup: CPU cost as n_g varies (30 min @ 0.2 q/s)",
+		Header: []string{"Dataset", "n_g", "Anno busy", "Components busy", "CPU%"},
+	}
+	window := 30 * time.Minute
+	nT := 0.2 * window.Seconds()
+	for _, ds := range []string{"prsa", "poker"} {
+		prof := measureCosts(ds, sc, seed)
+		for _, frac := range fig11Fractions {
+			nG := frac * nT
+			annBusy := time.Duration(nG * float64(prof.AnnotatePerQuery))
+			busy := annBusy + prof.ModelUpdate + prof.WarperBuild
+			t.Rows = append(t.Rows, []string{
+				ds,
+				fmt.Sprintf("%.1fx", frac),
+				fmt.Sprintf("%.2fs", annBusy.Seconds()),
+				fmt.Sprintf("%.2fs", (prof.ModelUpdate + prof.WarperBuild).Seconds()),
+				f3(simclock.CPUPercent(busy, window)),
+			})
+		}
+	}
+	return []*Table{t}
+}

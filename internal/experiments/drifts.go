@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"warper/internal/adapt"
+	"warper/internal/ce"
+	"warper/internal/dataset"
+	"warper/internal/metrics"
+	"warper/internal/query"
+	"warper/internal/warper"
+	"warper/internal/workload"
+)
+
+// Table7c regenerates Table 7c: data drift (c1) and label-starved workload
+// drift (c3), LM-mlp, Warper's picker vs random annotation at an identical
+// budget.
+func Table7c(sc Scale, seed int64) []*Table {
+	t := &Table{
+		ID:     "Table 7c",
+		Title:  "Different drifts (c1 data drift, c3 slow labeling), LM-mlp",
+		Header: []string{"Dataset", "Cs", "Wkld", "Model", "δm", "δjs", "Δ.5", "Δ.8", "Δ1"},
+	}
+	for _, ds := range datasets {
+		row := runC1(ds, sc, seed)
+		t.Rows = append(t.Rows, row)
+	}
+	for _, ds := range datasets {
+		row := runC3(ds, sc, seed)
+		t.Rows = append(t.Rows, row)
+	}
+	return []*Table{t}
+}
+
+// runC1 reproduces the c1 construction of §4.1.2: the table is sorted by one
+// column and truncated in half; every stored label goes stale; the workload
+// is unchanged. Warper's error-stratified picker chooses which training
+// queries to re-annotate; the FT baseline re-annotates uniformly at random
+// with the same per-period budget.
+func runC1(ds string, sc Scale, seed int64) []string {
+	var ftAgg, wAgg *aggCurve
+	var dmSum float64
+	for run := 0; run < sc.Runs; run++ {
+		runSeed := seed + int64(run)*104729
+		rng := rand.New(rand.NewSource(runSeed))
+		env := NewEnv(ds, "w12345", "w12345", "lm-mlp", sc, runSeed)
+
+		// Data drift: sort by column 0 and truncate in half.
+		dataset.SortTruncateHalf(env.Tbl, 0)
+		// The test set carries post-drift ground truth for the unchanged
+		// workload.
+		test := env.Ann.AnnotateAll(workload.Generate(env.TrainGen, sc.TestSize, rng))
+
+		// Oracle for δ_m: trained exclusively on post-drift labels.
+		oracle := NewModel("lm-mlp", env.Sch, runSeed+3)
+		oracle.Train(env.Ann.AnnotateAll(workload.Generate(env.TrainGen, sc.StreamSize, rng)))
+		dmSum += metrics.DeltaM(ce.EvalGMQ(env.Model, test), ce.EvalGMQ(oracle, test))
+		// δ_js is 0 by construction: the workload did not change.
+
+		budget := sc.PeriodSize
+		periods := sc.StreamSize / sc.PeriodSize
+
+		// FT baseline: re-annotate `budget` random training queries per
+		// period and fine-tune on them.
+		ftModel := env.Model.Clone()
+		ftCurve := &metrics.Curve{}
+		ftCurve.Append(0, ce.EvalGMQ(ftModel, test))
+		perm := rng.Perm(len(env.Train))
+		used := 0
+		for p := 0; p < periods; p++ {
+			var batch []query.Labeled
+			for i := 0; i < budget && used < len(perm); i++ {
+				lq := env.Train[perm[used]]
+				used++
+				batch = append(batch, query.Labeled{Pred: lq.Pred, Card: env.Ann.Count(lq.Pred)})
+			}
+			if len(batch) == 0 {
+				break
+			}
+			ftModel.Update(batch)
+			ftCurve.Append(float64(used), ce.EvalGMQ(ftModel, test))
+		}
+
+		// Warper: the adapter detects c1 via telemetry and uses the
+		// error-stratified picker under the same per-period budget.
+		cfg := sc.Warper
+		cfg.Seed = runSeed + 11
+		cfg.Gamma = sc.gamma()
+		cfg.AnnotateBudget = budget
+		wModel := env.Model.Clone()
+		ad := warper.New(cfg, wModel, env.Sch, env.Ann, env.Train)
+		wCurve := &metrics.Curve{}
+		wCurve.Append(0, ce.EvalGMQ(wModel, test))
+		spent := 0
+		for p := 0; p < periods; p++ {
+			arrivals := make([]warper.Arrival, budget/2)
+			for i := range arrivals {
+				pr := env.TrainGen.Gen(rng)
+				arrivals[i] = warper.Arrival{Pred: pr, GT: env.Ann.Count(pr), HasGT: true}
+			}
+			rep := ad.Period(arrivals)
+			spent += rep.Annotated
+			wCurve.Append(float64(spent), ce.EvalGMQ(wModel, test))
+		}
+		ftAgg = ftAgg.add(ftCurve)
+		wAgg = wAgg.add(wCurve)
+	}
+	ft, w := ftAgg.mean(sc.Runs), wAgg.mean(sc.Runs)
+	d5, d8, d1 := metrics.SpeedupTriple(ft, w)
+	return []string{ds, "c1", "w1-5", "LM-mlp", f1(dmSum / float64(sc.Runs)), "0.00", f1(d5), f1(d8), f1(d1)}
+}
+
+// runC3 reproduces the c3 scenario: the workload drifts but arrivals carry
+// no labels; both methods annotate with the same per-period budget — FT
+// picks uniformly at random, Warper uses the stratified picker.
+func runC3(ds string, sc Scale, seed int64) []string {
+	var ftAgg, wAgg *aggCurve
+	var dmSum, jsSum float64
+	for run := 0; run < sc.Runs; run++ {
+		runSeed := seed + int64(run)*104729
+		rng := rand.New(rand.NewSource(runSeed))
+		env := NewEnv(ds, "w12", "w345", "lm-mlp", sc, runSeed)
+		dmSum += env.DeltaM
+		jsSum += env.DeltaJS
+
+		budget := sc.PeriodSize / 2
+		periods := adapt.SplitPeriods(adapt.ArrivalsOf(env.Stream, false), sc.PeriodSize)
+
+		// FT baseline: annotate `budget` random arrivals per period.
+		ftModel := env.Model.Clone()
+		ftCurve := &metrics.Curve{}
+		ftCurve.Append(0, ce.EvalGMQ(ftModel, env.Test))
+		spent := 0
+		for _, period := range periods {
+			var batch []query.Labeled
+			idx := rng.Perm(len(period))
+			for i := 0; i < budget && i < len(idx); i++ {
+				pr := period[idx[i]].Pred
+				batch = append(batch, query.Labeled{Pred: pr, Card: env.Ann.Count(pr)})
+				spent++
+			}
+			ftModel.Update(batch)
+			ftCurve.Append(float64(spent), ce.EvalGMQ(ftModel, env.Test))
+		}
+
+		// Warper with the same budget.
+		cfg := sc.Warper
+		cfg.Seed = runSeed + 11
+		cfg.Gamma = sc.gamma()
+		cfg.AnnotateBudget = budget
+		cfg.GenFraction = 0.001 // c3: picker only, no generation
+		wModel := env.Model.Clone()
+		ad := warper.New(cfg, wModel, env.Sch, env.Ann, env.Train)
+		wCurve := &metrics.Curve{}
+		wCurve.Append(0, ce.EvalGMQ(wModel, env.Test))
+		wSpent := 0
+		for _, period := range periods {
+			rep := ad.Period(period)
+			wSpent += rep.Annotated
+			wCurve.Append(float64(wSpent), ce.EvalGMQ(wModel, env.Test))
+		}
+		ftAgg = ftAgg.add(ftCurve)
+		wAgg = wAgg.add(wCurve)
+	}
+	ft, w := ftAgg.mean(sc.Runs), wAgg.mean(sc.Runs)
+	d5, d8, d1 := metrics.SpeedupTriple(ft, w)
+	return []string{ds, "c3", "w12/345", "LM-mlp",
+		f1(dmSum / float64(sc.Runs)), f2(jsSum / float64(sc.Runs)), f1(d5), f1(d8), f1(d1)}
+}
+
+// aggCurve accumulates curves pointwise across runs. Curves from different
+// runs may have slightly different x grids (annotation counts); the
+// aggregate keeps the first run's grid and takes the pointwise median by
+// point index (robust to one divergent run).
+type aggCurve struct {
+	xs     []float64
+	points [][]float64
+}
+
+func (a *aggCurve) add(c *metrics.Curve) *aggCurve {
+	if a == nil {
+		a = &aggCurve{xs: append([]float64(nil), c.Queries...), points: make([][]float64, c.Len())}
+	}
+	for i := 0; i < len(a.points) && i < c.Len(); i++ {
+		a.points[i] = append(a.points[i], c.GMQ[i])
+	}
+	return a
+}
+
+func (a *aggCurve) mean(runs int) *metrics.Curve {
+	out := &metrics.Curve{}
+	for i := range a.points {
+		out.Append(a.xs[i], median(a.points[i]))
+	}
+	return out.MedianSmooth(3)
+}

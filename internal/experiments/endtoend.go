@@ -1,0 +1,358 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"warper/internal/annotator"
+	"warper/internal/ce"
+	"warper/internal/dataset"
+	"warper/internal/engine"
+	"warper/internal/query"
+	"warper/internal/tpch"
+	"warper/internal/warper"
+	"warper/internal/workload"
+)
+
+// e2eEnv is the §4.2 environment: the TPC-H-shaped tables, the mini engine,
+// and per-table CE machinery for the Figure 1 L⋈O query template.
+type e2eEnv struct {
+	db         *tpch.DB
+	eng        *engine.Engine
+	schL, schO *query.Schema
+	annL, annO *annotator.Annotator
+	rng        *rand.Rand
+}
+
+func newE2E(seed int64) *e2eEnv {
+	rng := rand.New(rand.NewSource(seed))
+	db := tpch.Generate(tpch.Config{Orders: 3000}, rng)
+	return &e2eEnv{
+		db:   db,
+		eng:  engine.New(db),
+		schL: query.SchemaOf(db.Lineitem),
+		schO: query.SchemaOf(db.Orders),
+		annL: annotator.New(db.Lineitem),
+		annO: annotator.New(db.Orders),
+		rng:  rng,
+	}
+}
+
+// e2eOpts constrains predicates to the non-key value columns so they behave
+// like the paper's template predicates.
+var e2eOpts = workload.Options{MinConstrained: 1, MaxConstrained: 2}
+
+func (e *e2eEnv) gen(spec string, tbl *dataset.Table, sch *query.Schema) workload.Generator {
+	return workload.Parse(spec, tbl, sch, e2eOpts)
+}
+
+// labeledPairs draws n (predL, predO) pairs from the given per-table specs
+// with fresh ground truth.
+func (e *e2eEnv) labeledPairs(specL, specO string, n int) (ls, os []query.Labeled) {
+	gl := e.gen(specL, e.db.Lineitem, e.schL)
+	gob := e.gen(specO, e.db.Orders, e.schO)
+	for i := 0; i < n; i++ {
+		pl := gl.Gen(e.rng)
+		po := gob.Gen(e.rng)
+		ls = append(ls, query.Labeled{Pred: pl, Card: e.annL.Count(pl)})
+		os = append(os, query.Labeled{Pred: po, Card: e.annO.Count(po)})
+	}
+	return ls, os
+}
+
+// Table9 regenerates Table 9: the maximum latency gap between plans chosen
+// with accurate vs inaccurate cardinality estimates, per scenario S1–S3.
+func Table9(sc Scale, seed int64) []*Table {
+	e := newE2E(seed)
+	t := &Table{
+		ID:     "Table 9",
+		Title:  "Max latency gap between accurate-CE and inaccurate-CE plans (100 queries each)",
+		Header: []string{"Scenario", "Executed as", "Predicate on", "Latency gap"},
+	}
+	const nQueries = 100
+	ls, osQ := e.labeledPairs("w1", "w1", nQueries)
+	scen := []struct {
+		s       engine.Scenario
+		execAs  string
+		predOn  string
+		mangle  func(trueL, trueO float64) (float64, float64)
+		fullOnO bool
+	}{
+		// S1: under-estimate the build side (the predicated L input) so the
+		// spill goes unplanned.
+		{engine.S1BufferSpill, "single thread", "L", func(l, o float64) (float64, float64) { return l / 100, o }, true},
+		// S2: under-estimate both sides so the planner picks a nested loop.
+		{engine.S2JoinType, "single thread", "L, O", func(l, o float64) (float64, float64) { return l / 1000, o / 1000 }, false},
+		// S3: invert the relative sizes so the bitmap lands on the wrong side.
+		{engine.S3BitmapSide, "multi thread", "L, O", func(l, o float64) (float64, float64) { return o, l }, false},
+	}
+	for _, s := range scen {
+		worst := 1.0
+		for i := 0; i < nQueries; i++ {
+			predL := ls[i].Pred
+			predO := osQ[i].Pred
+			if s.fullOnO {
+				predO = query.NewFullRange(e.schO)
+			}
+			trueL, trueO := ls[i].Card, osQ[i].Card
+			if s.fullOnO {
+				trueO = float64(e.db.Orders.NumRows())
+			}
+			estL, estO := s.mangle(trueL, trueO)
+			good, bad := e.eng.LatencyGap(s.s, predL, predO, estL, estO, trueL, trueO)
+			if good > 0 {
+				if r := float64(bad) / float64(good); r > worst {
+					worst = r
+				}
+			}
+		}
+		t.Rows = append(t.Rows, []string{s.s.String(), s.execAs, s.predOn, fmt.Sprintf("%.1fx", worst)})
+	}
+	return []*Table{t}
+}
+
+// e2eMethod adapts the two per-table CE models across periods.
+type e2eMethod interface {
+	name() string
+	step(arrL, arrO []warper.Arrival)
+	models() (ce.Estimator, ce.Estimator)
+}
+
+// e2eFT fine-tunes both models with labeled arrivals.
+type e2eFT struct{ mL, mO ce.Estimator }
+
+func (f *e2eFT) name() string { return "FT" }
+func (f *e2eFT) step(arrL, arrO []warper.Arrival) {
+	f.mL.Update(labeledArr(arrL))
+	f.mO.Update(labeledArr(arrO))
+}
+func (f *e2eFT) models() (ce.Estimator, ce.Estimator) { return f.mL, f.mO }
+
+// e2eNoAdapt leaves the models untouched (Figure 1's "before adaptation").
+type e2eNoAdapt struct{ mL, mO ce.Estimator }
+
+func (f *e2eNoAdapt) name() string                         { return "NoAdapt" }
+func (f *e2eNoAdapt) step(_, _ []warper.Arrival)           {}
+func (f *e2eNoAdapt) models() (ce.Estimator, ce.Estimator) { return f.mL, f.mO }
+
+// e2eWarper runs one Adapter per table.
+type e2eWarper struct {
+	adL, adO *warper.Adapter
+}
+
+func (w *e2eWarper) name() string { return "Warper" }
+func (w *e2eWarper) step(arrL, arrO []warper.Arrival) {
+	w.adL.Period(arrL)
+	w.adO.Period(arrO)
+}
+func (w *e2eWarper) models() (ce.Estimator, ce.Estimator) { return w.adL.M, w.adO.M }
+
+func labeledArr(arr []warper.Arrival) []query.Labeled {
+	var out []query.Labeled
+	for _, a := range arr {
+		if a.HasGT {
+			out = append(out, query.Labeled{Pred: a.Pred, Card: a.GT})
+		}
+	}
+	return out
+}
+
+// e2eDrift names one continuous-drift schedule of Figure 9.
+type e2eDrift struct {
+	name string
+	// specAt returns the workload spec for period t of total P.
+	specAt func(t, p int) string
+	// dataDrift, if set, fires once at period 0.
+	dataDrift func(e *e2eEnv)
+}
+
+func fig9Drifts() []e2eDrift {
+	return []e2eDrift{
+		{
+			name:   "A (w1→w2 persistent)",
+			specAt: func(t, p int) string { return "w2" },
+		},
+		{
+			name: "B (w4 first half, back to w1)",
+			specAt: func(t, p int) string {
+				if t < p/2 {
+					return "w4"
+				}
+				return "w1"
+			},
+		},
+		{
+			name:   "C (w1 + data drift)",
+			specAt: func(t, p int) string { return "w1" },
+			dataDrift: func(e *e2eEnv) {
+				dataset.SortTruncateHalf(e.db.Lineitem, tpch.LColQuantity)
+			},
+		},
+	}
+}
+
+// Fig9 regenerates Figure 9: under three continuous drifts, per-period CE
+// accuracy and S1–S3 query latency for Warper vs FT (latency normalized to
+// the true-cardinality plan).
+func Fig9(sc Scale, seed int64) []*Table {
+	var out []*Table
+	const (
+		periods    = 8
+		perPeriod  = 30
+		latQueries = 15
+	)
+	for _, d := range fig9Drifts() {
+		e := newE2E(seed)
+		// Seed models trained on w1 over both tables.
+		trainL, trainO := e.labeledPairs("w1", "w1", sc.TrainSize)
+		mkModels := func(s int64) (ce.Estimator, ce.Estimator) {
+			mL := ce.NewLM(ce.LMMLP, e.schL, s)
+			mL.Train(trainL)
+			mO := ce.NewLM(ce.LMMLP, e.schO, s+1)
+			mO.Train(trainO)
+			return mL, mO
+		}
+		wcfg := sc.Warper
+		wcfg.Gamma = periods * perPeriod
+		wcfg.Seed = seed + 5
+		mLW, mOW := mkModels(seed + 100)
+		mLF, mOF := mkModels(seed + 100) // same seed: identical start
+		methods := []e2eMethod{
+			&e2eFT{mL: mLF, mO: mOF},
+			&e2eWarper{
+				adL: warper.New(wcfg, mLW, e.schL, e.annL, trainL),
+				adO: warper.New(wcfg, mOW, e.schO, e.annO, trainO),
+			},
+		}
+		if d.dataDrift != nil {
+			d.dataDrift(e)
+		}
+
+		for _, s := range []engine.Scenario{engine.S1BufferSpill, engine.S2JoinType, engine.S3BitmapSide} {
+			t := &Table{
+				ID: fmt.Sprintf("Figure 9 (%s, Drift %s)", s, d.name),
+				Title: "Per-period GMQ and latency (normalized to the true-cardinality plan), " +
+					"Warper vs FT under a continuous drift",
+				Header: []string{"Period", "GMQ FT", "GMQ Warper", "Lat FT", "Lat Warper"},
+			}
+			out = append(out, t)
+		}
+		scenTables := out[len(out)-3:]
+
+		for t := 0; t < periods; t++ {
+			spec := d.specAt(t, periods)
+			arrL := make([]warper.Arrival, perPeriod)
+			arrO := make([]warper.Arrival, perPeriod)
+			ls, osQ := e.labeledPairs(spec, spec, perPeriod)
+			for i := 0; i < perPeriod; i++ {
+				arrL[i] = warper.Arrival{Pred: ls[i].Pred, GT: ls[i].Card, HasGT: true}
+				arrO[i] = warper.Arrival{Pred: osQ[i].Pred, GT: osQ[i].Card, HasGT: true}
+			}
+			testL, testO := e.labeledPairs(spec, spec, latQueries)
+
+			var gmqs [2]float64
+			for mi, m := range methods {
+				m.step(arrL, arrO)
+				mL, mO := m.models()
+				gmqs[mi] = (ce.EvalGMQ(mL, testL) + ce.EvalGMQ(mO, testO)) / 2
+			}
+			for si, s := range []engine.Scenario{engine.S1BufferSpill, engine.S2JoinType, engine.S3BitmapSide} {
+				var latFT, latW float64
+				for mi, m := range methods {
+					mL, mO := m.models()
+					var actual, ideal float64
+					for i := 0; i < latQueries; i++ {
+						good, bad := e.eng.LatencyGap(s,
+							testL[i].Pred, testO[i].Pred,
+							mL.Estimate(testL[i].Pred), mO.Estimate(testO[i].Pred),
+							testL[i].Card, testO[i].Card)
+						actual += float64(bad)
+						ideal += float64(good)
+					}
+					if mi == 0 {
+						latFT = actual / ideal
+					} else {
+						latW = actual / ideal
+					}
+				}
+				scenTables[si].Rows = append(scenTables[si].Rows, []string{
+					fmt.Sprint(t + 1), f2(gmqs[0]), f2(gmqs[1]), f2(latFT), f2(latW),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Fig1 regenerates the Figure 1 motivation: a workload drift on the L
+// predicate of the L⋈O template; adapting with Warper recovers both CE
+// accuracy and query latency, while no adaptation stays degraded.
+func Fig1(sc Scale, seed int64) []*Table {
+	e := newE2E(seed)
+	// Train on w2 (low-cardinality, log-concentrated predicates) and drift
+	// to w1 (wider uniform ranges): the stale model under-estimates the
+	// drifted queries, which is the error direction that skips spill
+	// planning and regresses latency (§4.2).
+	trainL, trainO := e.labeledPairs("w2", "w1", sc.TrainSize)
+	const (
+		periods   = 6
+		perPeriod = 30
+	)
+	mkModels := func(s int64) (ce.Estimator, ce.Estimator) {
+		mL := ce.NewLM(ce.LMMLP, e.schL, s)
+		mL.Train(trainL)
+		mO := ce.NewLM(ce.LMMLP, e.schO, s+1)
+		mO.Train(trainO)
+		return mL, mO
+	}
+	wcfg := sc.Warper
+	wcfg.Gamma = periods * perPeriod
+	wcfg.Seed = seed + 3
+	mLW, mOW := mkModels(seed + 200)
+	mLN, mON := mkModels(seed + 200)
+	methods := []e2eMethod{
+		&e2eNoAdapt{mL: mLN, mO: mON},
+		&e2eWarper{
+			adL: warper.New(wcfg, mLW, e.schL, e.annL, trainL),
+			adO: warper.New(wcfg, mOW, e.schO, e.annO, trainO),
+		},
+	}
+	t := &Table{
+		ID: "Figure 1",
+		Title: "Motivation: drift w2→w1 on the L predicate of L⋈O; GMQ and S1 latency " +
+			"(normalized to true-card plans), no adaptation vs Warper",
+		Header: []string{"Period", "GMQ NoAdapt", "GMQ Warper", "Lat NoAdapt", "Lat Warper"},
+	}
+	for p := 0; p < periods; p++ {
+		ls, osQ := e.labeledPairs("w1", "w1", perPeriod)
+		arrL := make([]warper.Arrival, perPeriod)
+		arrO := make([]warper.Arrival, perPeriod)
+		for i := 0; i < perPeriod; i++ {
+			arrL[i] = warper.Arrival{Pred: ls[i].Pred, GT: ls[i].Card, HasGT: true}
+			arrO[i] = warper.Arrival{Pred: osQ[i].Pred, GT: osQ[i].Card, HasGT: true}
+		}
+		testL, testO := e.labeledPairs("w1", "w1", 25)
+		row := []string{fmt.Sprint(p + 1)}
+		var gmqCells, latCells []string
+		for _, m := range methods {
+			m.step(arrL, arrO)
+			mL, mO := m.models()
+			gmq := (ce.EvalGMQ(mL, testL) + ce.EvalGMQ(mO, testO)) / 2
+			var actual, ideal float64
+			for i := range testL {
+				good, bad := e.eng.LatencyGap(engine.S1BufferSpill,
+					testL[i].Pred, testO[i].Pred,
+					mL.Estimate(testL[i].Pred), mO.Estimate(testO[i].Pred),
+					testL[i].Card, testO[i].Card)
+				actual += float64(bad)
+				ideal += float64(good)
+			}
+			gmqCells = append(gmqCells, f2(gmq))
+			latCells = append(latCells, f2(actual/ideal))
+		}
+		row = append(row, gmqCells...)
+		row = append(row, latCells...)
+		t.Rows = append(t.Rows, row)
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"warper/internal/adapt"
+	"warper/internal/annotator"
+	"warper/internal/ce"
+	"warper/internal/dataset"
+	"warper/internal/drift"
+	"warper/internal/metrics"
+	"warper/internal/pool"
+	"warper/internal/query"
+	"warper/internal/warper"
+	"warper/internal/workload"
+)
+
+// Env is one fully prepared single-table experiment environment: the table,
+// a trained CE model, the labeled query stream from the drifted workload and
+// a hold-out test set.
+type Env struct {
+	Dataset string
+	Tbl     *dataset.Table
+	Sch     *query.Schema
+	Ann     *annotator.Annotator
+	Model   ce.Estimator
+
+	Train  []query.Labeled
+	Stream []query.Labeled // drifted-workload arrivals, labeled
+	Test   []query.Labeled // drifted-workload hold-out
+
+	TrainGen workload.Generator
+	NewGen   workload.Generator
+
+	DeltaM  float64
+	DeltaJS float64
+}
+
+// wkldOpts is the shared predicate-generation option set (1–2 constrained
+// columns keeps cardinalities informative at the scaled row counts).
+var wkldOpts = workload.Options{MinConstrained: 1, MaxConstrained: 2}
+
+// NewEnv builds an environment: dsName in {higgs, prsa, poker}; trainSpec /
+// newSpec in the paper's notation ("w12", "w345", …); model in
+// {lm-mlp, lm-gbt, lm-ply, lm-rbf, mscn}.
+func NewEnv(dsName, trainSpec, newSpec, model string, sc Scale, seed int64) *Env {
+	rng := rand.New(rand.NewSource(seed))
+	tbl := datasetByName(dsName, sc.Rows, rng)
+	sch := query.SchemaOf(tbl)
+	ann := annotator.New(tbl)
+	e := &Env{Dataset: dsName, Tbl: tbl, Sch: sch, Ann: ann}
+	e.TrainGen = workload.Parse(trainSpec, tbl, sch, wkldOpts)
+	e.NewGen = workload.Parse(newSpec, tbl, sch, wkldOpts)
+
+	e.Train = ann.AnnotateAll(workload.Generate(e.TrainGen, sc.TrainSize, rng))
+	e.Stream = ann.AnnotateAll(workload.Generate(e.NewGen, sc.StreamSize, rng))
+	e.Test = ann.AnnotateAll(workload.Generate(e.NewGen, sc.TestSize, rng))
+
+	e.Model = NewModel(model, sch, seed+1)
+	e.Model.Train(e.Train)
+
+	// Drift metrics: δ_m (blind accuracy gap vs a model trained exclusively
+	// on the new workload) and δ_js (intrinsic distribution distance).
+	oracle := NewModel(model, sch, seed+2)
+	oracle.Train(e.Stream)
+	e.DeltaM = metrics.DeltaM(ce.EvalGMQ(e.Model, e.Test), ce.EvalGMQ(oracle, e.Test))
+	var trainPreds, newPreds []query.Predicate
+	for _, lq := range e.Train {
+		trainPreds = append(trainPreds, lq.Pred)
+	}
+	for _, lq := range e.Stream {
+		newPreds = append(newPreds, lq.Pred)
+	}
+	e.DeltaJS = drift.DeltaJS(newPreds, trainPreds, sch, drift.DefaultJSConfig())
+	return e
+}
+
+// datasetByName builds a synthetic evaluation table at the experiment scale
+// (rows = 0 picks per-dataset defaults tuned for the default scale).
+func datasetByName(name string, rows int, rng *rand.Rand) *dataset.Table {
+	switch name {
+	case "higgs":
+		if rows == 0 {
+			rows = 8000
+		}
+		return dataset.Higgs(rows, rng)
+	case "prsa":
+		if rows == 0 {
+			rows = 6000
+		}
+		return dataset.PRSA(rows, rng)
+	case "poker":
+		if rows == 0 {
+			rows = 8000
+		}
+		return dataset.Poker(rows, rng)
+	default:
+		panic("experiments: unknown dataset " + name)
+	}
+}
+
+// NewModel builds an untrained CE model by name.
+func NewModel(name string, sch *query.Schema, seed int64) ce.Estimator {
+	switch name {
+	case "lm-mlp":
+		return ce.NewLM(ce.LMMLP, sch, seed)
+	case "lm-gbt":
+		return ce.NewLM(ce.LMGBT, sch, seed)
+	case "lm-ply":
+		return ce.NewLM(ce.LMPly, sch, seed)
+	case "lm-rbf":
+		return ce.NewLM(ce.LMRBF, sch, seed)
+	case "mscn":
+		return ce.NewMSCN(ce.NewCatalog(sch), seed)
+	default:
+		panic("experiments: unknown model " + name)
+	}
+}
+
+// NewWarperAdapter builds an Adapter over a clone of the env's model (so
+// methods compare from identical starting weights).
+func (e *Env) NewWarperAdapter(sc Scale, seed int64) (*warper.Adapter, ce.Estimator) {
+	cfg := sc.Warper
+	cfg.Seed = seed
+	cfg.Gamma = sc.gamma()
+	m := e.Model.Clone()
+	return warper.New(cfg, m, e.Sch, e.Ann, e.Train), m
+}
+
+// Methods builds the named adaptation methods over clones of the env model.
+// Recognized names: FT, MIX, AUG, HEM, Warper, Warper:rnd, Warper:entropy,
+// Warper:augGen.
+func (e *Env) Methods(names []string, sc Scale, seed int64) []adapt.Method {
+	var out []adapt.Method
+	for i, name := range names {
+		s := seed + int64(i)*1000
+		switch name {
+		case "FT":
+			out = append(out, adapt.NewFT(e.Model.Clone(), e.Train))
+		case "MIX":
+			out = append(out, adapt.NewMIX(e.Model.Clone(), e.Train, s))
+		case "AUG":
+			out = append(out, adapt.NewAUG(e.Model.Clone(), e.Sch, e.Ann, e.Train, s))
+		case "HEM":
+			out = append(out, adapt.NewHEM(e.Model.Clone(), e.Sch, e.Ann, e.Train, s))
+		case "Warper":
+			ad, _ := e.NewWarperAdapter(sc, s)
+			out = append(out, adapt.NewWarper(ad))
+		case "Warper:rnd":
+			ad, _ := e.NewWarperAdapter(sc, s)
+			ad.Picker.Strategy = warper.StrategyRandom
+			out = append(out, named{adapt.NewWarper(ad), "Warper:rnd"})
+		case "Warper:entropy":
+			ad, _ := e.NewWarperAdapter(sc, s)
+			ad.Picker.Strategy = warper.StrategyEntropy
+			out = append(out, named{adapt.NewWarper(ad), "Warper:entropy"})
+		case "Warper:augGen":
+			ad, _ := e.NewWarperAdapter(sc, s)
+			ad.GenFunc = e.augGenFunc(s)
+			out = append(out, named{adapt.NewWarper(ad), "Warper:augGen"})
+		default:
+			panic(fmt.Sprintf("experiments: unknown method %q", name))
+		}
+	}
+	return out
+}
+
+// augGenFunc is the Table 10 "𝔾→AUG" ablation: replace the GAN generator
+// with Gaussian noise (std 10% of each column range) around the newly
+// arrived queries in the pool.
+func (e *Env) augGenFunc(seed int64) func(p *pool.Pool, n int) []query.Predicate {
+	rng := rand.New(rand.NewSource(seed))
+	return func(p *pool.Pool, n int) []query.Predicate {
+		newEntries := p.BySource(pool.SrcNew)
+		if len(newEntries) == 0 || n <= 0 {
+			return nil
+		}
+		out := make([]query.Predicate, 0, n)
+		for i := 0; i < n; i++ {
+			src := newEntries[rng.Intn(len(newEntries))].Pred.Clone()
+			for c := range src.Lows {
+				span := e.Sch.Maxs[c] - e.Sch.Mins[c]
+				src.Lows[c] += rng.NormFloat64() * 0.1 * span
+				src.Highs[c] += rng.NormFloat64() * 0.1 * span
+			}
+			out = append(out, src.Normalize(e.Sch))
+		}
+		return out
+	}
+}
+
+// named overrides a method's display name.
+type named struct {
+	adapt.Method
+	name string
+}
+
+func (n named) Name() string { return n.name }

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smokeScale is even smaller than QuickScale so every experiment's full code
+// path runs in seconds inside the unit-test suite.
+func smokeScale() Scale {
+	s := QuickScale()
+	s.TrainSize = 150
+	s.StreamSize = 60
+	s.PeriodSize = 20
+	s.TestSize = 50
+	s.Rows = 1000
+	s.Warper.NIters = 15
+	s.Warper.PickSize = 80
+	return s
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"table6", "table7a", "table7b", "table7c", "table7d", "table8",
+		"table9", "table10", "table11", "ext-histogram",
+	}
+	names := Names()
+	got := map[string]bool{}
+	for _, n := range names {
+		got[n] = true
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("experiment %q missing from registry", w)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("Lookup(nope) should fail")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID:     "T",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	s := tbl.String()
+	if !strings.Contains(s, "== T: demo ==") || !strings.Contains(s, "333") {
+		t.Errorf("rendering wrong:\n%s", s)
+	}
+}
+
+func TestRunC2ProducesConsistentCurves(t *testing.T) {
+	sc := smokeScale()
+	res := RunC2("prsa", "w1", "w4", "lm-mlp", []string{"FT", "Warper"}, sc, 5)
+	if len(res.Curves) != 2 {
+		t.Fatalf("curves = %d", len(res.Curves))
+	}
+	ft := res.Curves["FT"]
+	w := res.Curves["Warper"]
+	if ft.Len() != w.Len() || ft.Len() != sc.StreamSize/sc.PeriodSize+1 {
+		t.Errorf("curve lengths: ft=%d warper=%d", ft.Len(), w.Len())
+	}
+	// Both start from the same unadapted model error.
+	if ft.Initial() != w.Initial() {
+		t.Errorf("methods start from different errors: %v vs %v", ft.Initial(), w.Initial())
+	}
+	d5, d8, d1 := res.Speedups("Warper")
+	for _, d := range []float64{d5, d8, d1} {
+		if d < 0 {
+			t.Errorf("negative speedup %v", d)
+		}
+	}
+}
+
+func TestEnvDriftMetricsPopulated(t *testing.T) {
+	env := NewEnv("poker", "w12", "w345", "lm-mlp", smokeScale(), 3)
+	if env.DeltaJS <= 0 {
+		t.Errorf("δ_js = %v, want > 0 for drifted workloads", env.DeltaJS)
+	}
+	if len(env.Train) == 0 || len(env.Stream) == 0 || len(env.Test) == 0 {
+		t.Error("empty query sets")
+	}
+}
+
+func TestEnvUnknownInputsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewEnv("nope", "w1", "w2", "lm-mlp", smokeScale(), 1) },
+		func() { NewModel("nope", nil, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Smoke tests: every registered experiment runs end to end at tiny scale and
+// emits non-empty tables.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long smoke test")
+	}
+	sc := smokeScale()
+	for _, id := range Names() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			run, err := Lookup(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tables := run(sc, 9)
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tbl := range tables {
+				if len(tbl.Header) == 0 || len(tbl.Rows) == 0 {
+					t.Errorf("table %s is empty", tbl.ID)
+				}
+				for _, row := range tbl.Rows {
+					if len(row) != len(tbl.Header) {
+						t.Errorf("table %s: row width %d vs header %d", tbl.ID, len(row), len(tbl.Header))
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner is one registered experiment entry point.
+type Runner func(sc Scale, seed int64) []*Table
+
+// registry maps experiment ids (as used by `warperbench -exp`) to runners.
+var registry = map[string]Runner{
+	"fig1":    Fig1,
+	"fig5":    Fig5,
+	"fig6":    Fig6,
+	"fig7":    Fig7,
+	"fig8":    Fig8,
+	"fig9":    Fig9,
+	"fig10":   Fig10,
+	"fig11":   Fig11,
+	"table6":  Table6,
+	"table7a": Table7a,
+	"table7b": Table7b,
+	"table7c": Table7c,
+	"table7d": Table7d,
+	"table8":  Table8,
+	"table9":  Table9,
+	"table10": Table10,
+	"table11": Table11,
+	// Extensions beyond the paper's tables.
+	"ext-histogram": ExtHistogram,
+}
+
+// Names returns the registered experiment ids, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the runner for an experiment id.
+func Lookup(name string) (Runner, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, Names())
+	}
+	return r, nil
+}

@@ -1,0 +1,71 @@
+package gbt
+
+// Config controls a gradient-boosted ensemble.
+type Config struct {
+	Stages      int     // number of boosting rounds
+	Rate        float64 // shrinkage / learning rate (paper uses 1e-2 for LM-gbt)
+	MaxDepth    int     // per-tree depth
+	MinLeafSize int
+}
+
+// DefaultConfig mirrors the paper's LM-gbt settings: learning rate 1e-2 with
+// sklearn-style defaults for the ensemble shape.
+func DefaultConfig() Config {
+	return Config{Stages: 100, Rate: 1e-2, MaxDepth: 3, MinLeafSize: 2}
+}
+
+// Regressor is a gradient-boosted regression ensemble for squared loss:
+// F_0 = mean(y); F_m = F_{m-1} + rate * tree_m(residuals).
+type Regressor struct {
+	cfg   Config
+	base  float64
+	trees []*Tree
+}
+
+// Fit trains the ensemble from scratch. Boosted trees cannot be incrementally
+// fine-tuned, so estimator code calls Fit again on every model update.
+func Fit(X [][]float64, y []float64, cfg Config) *Regressor {
+	if len(X) != len(y) {
+		panic("gbt: X and y length mismatch")
+	}
+	r := &Regressor{cfg: cfg}
+	if len(y) == 0 {
+		return r
+	}
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	r.base = mean
+
+	pred := make([]float64, len(y))
+	for i := range pred {
+		pred[i] = mean
+	}
+	resid := make([]float64, len(y))
+	tc := TreeConfig{MaxDepth: cfg.MaxDepth, MinLeafSize: cfg.MinLeafSize}
+	for m := 0; m < cfg.Stages; m++ {
+		for i := range resid {
+			resid[i] = y[i] - pred[i]
+		}
+		tree := FitTree(X, resid, tc)
+		r.trees = append(r.trees, tree)
+		for i := range pred {
+			pred[i] += cfg.Rate * tree.Predict(X[i])
+		}
+	}
+	return r
+}
+
+// Predict returns the ensemble output for x.
+func (r *Regressor) Predict(x []float64) float64 {
+	out := r.base
+	for _, t := range r.trees {
+		out += r.cfg.Rate * t.Predict(x)
+	}
+	return out
+}
+
+// NumTrees returns the number of fitted boosting stages.
+func (r *Regressor) NumTrees() int { return len(r.trees) }

@@ -1,0 +1,173 @@
+// Package gbt implements gradient-boosted regression trees with squared
+// loss. It backs the LM-gbt cardinality-estimator variant from §4.1.2 of the
+// Warper paper (sklearn GradientBoostingRegressor in the original; this is a
+// faithful reimplementation of the same algorithm). Tree ensembles cannot be
+// fine-tuned, so the estimator built on this package re-trains from scratch
+// on every update, exactly as the paper describes.
+package gbt
+
+import (
+	"math"
+	"sort"
+)
+
+// treeNode is one node of a regression tree. Leaves have Feature == -1.
+type treeNode struct {
+	Feature   int // -1 for leaf
+	Threshold float64
+	Left      *treeNode
+	Right     *treeNode
+	Value     float64 // leaf prediction
+}
+
+// Tree is a single regression tree fit with exact greedy splits on SSE.
+type Tree struct {
+	root *treeNode
+}
+
+// TreeConfig controls regression-tree growth.
+type TreeConfig struct {
+	MaxDepth      int // maximum tree depth; 0 means a single leaf
+	MinLeafSize   int // minimum samples in each child after a split
+	MinImpurement float64
+}
+
+// FitTree grows a regression tree on rows X (each a feature vector) and
+// targets y.
+func FitTree(X [][]float64, y []float64, cfg TreeConfig) *Tree {
+	if len(X) != len(y) {
+		panic("gbt: X and y length mismatch")
+	}
+	if cfg.MinLeafSize < 1 {
+		cfg.MinLeafSize = 1
+	}
+	idx := make([]int, len(y))
+	for i := range idx {
+		idx[i] = i
+	}
+	return &Tree{root: growNode(X, y, idx, cfg, 0)}
+}
+
+func meanOf(y []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func growNode(X [][]float64, y []float64, idx []int, cfg TreeConfig, depth int) *treeNode {
+	node := &treeNode{Feature: -1, Value: meanOf(y, idx)}
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeafSize {
+		return node
+	}
+	feat, thr, gain := bestSplit(X, y, idx, cfg.MinLeafSize)
+	if feat < 0 || gain <= cfg.MinImpurement {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < cfg.MinLeafSize || len(right) < cfg.MinLeafSize {
+		return node
+	}
+	node.Feature = feat
+	node.Threshold = thr
+	node.Left = growNode(X, y, left, cfg, depth+1)
+	node.Right = growNode(X, y, right, cfg, depth+1)
+	return node
+}
+
+// bestSplit scans every feature with a sorted sweep and returns the split
+// that maximizes SSE reduction. It returns feature -1 when no valid split
+// exists.
+func bestSplit(X [][]float64, y []float64, idx []int, minLeaf int) (feature int, threshold, gain float64) {
+	n := len(idx)
+	if n < 2*minLeaf {
+		return -1, 0, 0
+	}
+	var totalSum, totalSq float64
+	for _, i := range idx {
+		totalSum += y[i]
+		totalSq += y[i] * y[i]
+	}
+	parentSSE := totalSq - totalSum*totalSum/float64(n)
+
+	feature = -1
+	d := len(X[idx[0]])
+	order := make([]int, n)
+	for f := 0; f < d; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		var leftSum, leftSq float64
+		for k := 0; k < n-1; k++ {
+			i := order[k]
+			leftSum += y[i]
+			leftSq += y[i] * y[i]
+			nl := k + 1
+			nr := n - nl
+			if nl < minLeaf || nr < minLeaf {
+				continue
+			}
+			// Skip ties: can't split between equal feature values.
+			if X[order[k]][f] == X[order[k+1]][f] {
+				continue
+			}
+			rightSum := totalSum - leftSum
+			rightSq := totalSq - leftSq
+			sse := (leftSq - leftSum*leftSum/float64(nl)) + (rightSq - rightSum*rightSum/float64(nr))
+			g := parentSSE - sse
+			if g > gain {
+				gain = g
+				feature = f
+				threshold = 0.5 * (X[order[k]][f] + X[order[k+1]][f])
+			}
+		}
+	}
+	return feature, threshold, gain
+}
+
+// Predict returns the tree's output for x.
+func (t *Tree) Predict(x []float64) float64 {
+	node := t.root
+	for node.Feature >= 0 {
+		if x[node.Feature] <= node.Threshold {
+			node = node.Left
+		} else {
+			node = node.Right
+		}
+	}
+	return node.Value
+}
+
+// Depth returns the depth of the tree (a lone leaf has depth 0).
+func (t *Tree) Depth() int { return nodeDepth(t.root) }
+
+func nodeDepth(n *treeNode) int {
+	if n == nil || n.Feature < 0 {
+		return 0
+	}
+	l, r := nodeDepth(n.Left), nodeDepth(n.Right)
+	return 1 + int(math.Max(float64(l), float64(r)))
+}
+
+// NumLeaves returns the number of leaves in the tree.
+func (t *Tree) NumLeaves() int { return countLeaves(t.root) }
+
+func countLeaves(n *treeNode) int {
+	if n == nil {
+		return 0
+	}
+	if n.Feature < 0 {
+		return 1
+	}
+	return countLeaves(n.Left) + countLeaves(n.Right)
+}

@@ -1,0 +1,90 @@
+package imdb
+
+import (
+	"math/rand"
+	"testing"
+
+	"warper/internal/annotator"
+)
+
+func TestGenerateStarSchema(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db := Generate(Config{Titles: 1000}, rng)
+	if db.Title.NumRows() != 1000 {
+		t.Fatalf("titles = %d", db.Title.NumRows())
+	}
+	if db.MovieCompanies.NumRows() < 1000 {
+		t.Errorf("movie_companies = %d, want >= titles", db.MovieCompanies.NumRows())
+	}
+	if len(db.Catalog.Order) != 3 || len(db.Catalog.Joins) != 2 {
+		t.Errorf("catalog: %d tables, %d joins", len(db.Catalog.Order), len(db.Catalog.Joins))
+	}
+}
+
+func TestForeignKeysResolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	db := Generate(Config{Titles: 500}, rng)
+	ids := map[float64]bool{}
+	for _, v := range db.Title.Cols[0].Vals {
+		ids[v] = true
+	}
+	for _, v := range db.MovieCompanies.Cols[0].Vals {
+		if !ids[v] {
+			t.Fatal("dangling movie_companies.movie_id")
+		}
+	}
+	for _, v := range db.MovieInfo.Cols[0].Vals {
+		if !ids[v] {
+			t.Fatal("dangling movie_info.movie_id")
+		}
+	}
+}
+
+func TestJoinWorkloadQueriesAnnotatable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := Generate(Config{Titles: 800}, rng)
+	ja := annotator.NewJoin(db.Tables()...)
+	for _, style := range []string{"uniform", "sample"} {
+		jw := &JoinWorkload{DB: db, PredStyle: style}
+		qs := jw.Generate(30, rng)
+		nonZero := 0
+		for _, q := range qs {
+			card := ja.Count(q)
+			if card < 0 {
+				t.Fatal("negative cardinality")
+			}
+			if card > 0 {
+				nonZero++
+			}
+		}
+		// Most queries should be non-empty; all-empty would make the CE
+		// training signal degenerate.
+		if nonZero < 10 {
+			t.Errorf("style %s: only %d/30 queries non-empty", style, nonZero)
+		}
+	}
+}
+
+func TestJoinWorkloadCoversAllShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	db := Generate(Config{Titles: 300}, rng)
+	jw := &JoinWorkload{DB: db, PredStyle: "uniform"}
+	twoWay, threeWay := false, false
+	for i := 0; i < 50; i++ {
+		q := jw.Gen(rng)
+		switch len(q.Tables) {
+		case 2:
+			twoWay = true
+		case 3:
+			threeWay = true
+		}
+		for _, name := range q.Tables {
+			if _, ok := q.Preds[name]; !ok {
+				t.Fatal("table without predicate")
+			}
+		}
+	}
+	if !twoWay || !threeWay {
+		t.Error("workload missed a join shape")
+	}
+}

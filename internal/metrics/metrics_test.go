@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQErrorIdentities(t *testing.T) {
+	if got := QError(100, 100); got != 1 {
+		t.Errorf("QError(100,100) = %v, want 1", got)
+	}
+	if got := QError(200, 100); got != 2 {
+		t.Errorf("QError(200,100) = %v, want 2", got)
+	}
+	if got := QError(100, 200); got != 2 {
+		t.Errorf("QError(100,200) = %v, want 2 (symmetric)", got)
+	}
+}
+
+func TestQErrorThetaFloor(t *testing.T) {
+	// Both values below θ=10 → clamped to θ → perfect.
+	if got := QError(0, 5); got != 1 {
+		t.Errorf("QError(0,5) = %v, want 1 (both under θ)", got)
+	}
+	if got := QError(0, 100); got != 10 {
+		t.Errorf("QError(0,100) = %v, want 10", got)
+	}
+}
+
+// Property: q-error is always ≥ 1 and symmetric.
+func TestQErrorProperties(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		q1, q2 := QError(a, b), QError(b, a)
+		return q1 >= 1 && q1 == q2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGMQ(t *testing.T) {
+	// q-errors 2 and 8 → geometric mean 4.
+	ests := []float64{200, 800}
+	acts := []float64{100, 100}
+	if got := GMQ(ests, acts); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GMQ = %v, want 4", got)
+	}
+	if got := GMQ(nil, nil); got != 0 {
+		t.Errorf("GMQ(empty) = %v", got)
+	}
+}
+
+func TestGMQMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GMQ([]float64{1}, []float64{1, 2})
+}
+
+func TestCurveQueriesToReach(t *testing.T) {
+	c := &Curve{}
+	c.Append(0, 10)
+	c.Append(100, 6)
+	c.Append(200, 2)
+	if got := c.QueriesToReach(10); got != 0 {
+		t.Errorf("reach 10 at %v, want 0", got)
+	}
+	if got := c.QueriesToReach(6); got != 100 {
+		t.Errorf("reach 6 at %v, want 100", got)
+	}
+	// Interpolation: target 8 is halfway between 10 and 6 → 50 queries.
+	if got := c.QueriesToReach(8); math.Abs(got-50) > 1e-9 {
+		t.Errorf("reach 8 at %v, want 50", got)
+	}
+	if got := c.QueriesToReach(1); !math.IsInf(got, 1) {
+		t.Errorf("reach 1 = %v, want +Inf", got)
+	}
+}
+
+func TestCurveInitialFinal(t *testing.T) {
+	c := &Curve{}
+	if !math.IsInf(c.Initial(), 1) || !math.IsInf(c.Final(), 1) {
+		t.Error("empty curve should report +Inf")
+	}
+	c.Append(0, 9)
+	c.Append(10, 3)
+	if c.Initial() != 9 || c.Final() != 3 || c.Len() != 2 {
+		t.Errorf("Initial=%v Final=%v Len=%d", c.Initial(), c.Final(), c.Len())
+	}
+}
+
+func TestSpeedupPaperExample(t *testing.T) {
+	// The §4.1 worked example: α=3, β=2, FT needs 100 queries to reach 2.5,
+	// method A needs 50 → Δ.5 = 2.
+	ft := &Curve{}
+	ft.Append(0, 3)
+	ft.Append(100, 2.5)
+	ft.Append(300, 2)
+	a := &Curve{}
+	a.Append(0, 3)
+	a.Append(50, 2.5)
+	a.Append(150, 2)
+	if got := Speedup(ft, a, 0.5); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Δ.5 = %v, want 2", got)
+	}
+	if got := Speedup(ft, a, 1.0); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Δ1 = %v, want 2", got)
+	}
+}
+
+func TestSpeedupIdenticalCurvesIsOne(t *testing.T) {
+	ft := &Curve{}
+	ft.Append(0, 5)
+	ft.Append(10, 4)
+	ft.Append(20, 3)
+	if got := Speedup(ft, ft, 0.8); math.Abs(got-1) > 1e-9 {
+		t.Errorf("self speedup = %v, want 1", got)
+	}
+}
+
+func TestSpeedupMethodNeverConverges(t *testing.T) {
+	ft := &Curve{}
+	ft.Append(0, 5)
+	ft.Append(10, 1)
+	a := &Curve{}
+	a.Append(0, 5)
+	a.Append(10, 5)
+	if got := Speedup(ft, a, 1.0); got != 0 {
+		t.Errorf("speedup of non-converging method = %v, want 0", got)
+	}
+}
+
+func TestSpeedupTriple(t *testing.T) {
+	ft := &Curve{}
+	ft.Append(0, 4)
+	ft.Append(100, 2)
+	a := &Curve{}
+	a.Append(0, 4)
+	a.Append(25, 2)
+	d5, d8, d1 := SpeedupTriple(ft, a)
+	if d5 < 1 || d8 < 1 || d1 < 1 {
+		t.Errorf("speedups = %v %v %v, all should be >= 1", d5, d8, d1)
+	}
+	if math.Abs(d1-4) > 1e-9 {
+		t.Errorf("Δ1 = %v, want 4", d1)
+	}
+}
+
+func TestDeltaM(t *testing.T) {
+	if got := DeltaM(5, 2); got != 3 {
+		t.Errorf("DeltaM = %v, want 3", got)
+	}
+	if got := DeltaM(2, 5); got != 0 {
+		t.Errorf("DeltaM negative gap = %v, want 0", got)
+	}
+}
+
+// Property: speedup against an everywhere-no-worse method is ≥ 1 when both
+// curves are monotone decreasing from the same start.
+func TestSpeedupDominanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ft := &Curve{}
+		a := &Curve{}
+		g := 10.0
+		for i := 0; i <= 10; i++ {
+			q := float64(i * 10)
+			drop := rng.Float64()
+			ft.Append(q, g)
+			// Method A is always at least as low as FT.
+			a.Append(q, g-rng.Float64()*0.2)
+			g -= drop
+			if g < 1 {
+				g = 1
+			}
+		}
+		for _, l := range []float64{0.5, 0.8, 1.0} {
+			if Speedup(ft, a, l) < 1-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,48 @@
+package metrics
+
+import "testing"
+
+func TestMedianSmoothSuppressesSpike(t *testing.T) {
+	c := &Curve{}
+	for i, g := range []float64{5, 4, 3.8, 1.0 /* transient dip */, 3.6, 3.4, 3.2} {
+		c.Append(float64(i*10), g)
+	}
+	s := c.MedianSmooth(3)
+	if s.GMQ[3] == 1.0 {
+		t.Error("transient dip survived smoothing")
+	}
+	if s.GMQ[3] < 3.0 {
+		t.Errorf("dip insufficiently suppressed: %v", s.GMQ[3])
+	}
+}
+
+func TestMedianSmoothPreservesAlphaAndLength(t *testing.T) {
+	c := &Curve{}
+	for i, g := range []float64{9, 7, 5, 3, 2} {
+		c.Append(float64(i), g)
+	}
+	s := c.MedianSmooth(3)
+	if s.Len() != c.Len() {
+		t.Fatalf("length changed: %d vs %d", s.Len(), c.Len())
+	}
+	if s.Initial() != 9 {
+		t.Errorf("α changed: %v", s.Initial())
+	}
+	// Original untouched.
+	if c.GMQ[1] != 7 {
+		t.Error("smoothing mutated the input")
+	}
+}
+
+func TestMedianSmoothSmallInputsPassThrough(t *testing.T) {
+	c := &Curve{}
+	c.Append(0, 5)
+	c.Append(1, 4)
+	s := c.MedianSmooth(3)
+	if s.GMQ[0] != 5 || s.GMQ[1] != 4 {
+		t.Errorf("short curve altered: %v", s.GMQ)
+	}
+	if got := c.MedianSmooth(1); got.Len() != 2 {
+		t.Error("window<3 should copy")
+	}
+}

@@ -1,0 +1,141 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Loss scores a prediction against a target and provides the gradient of the
+// loss with respect to the prediction.
+type Loss interface {
+	Loss(pred, target []float64) float64
+	Grad(pred, target []float64) []float64
+}
+
+// MSE is the mean squared error ½·mean((p−t)²); its gradient is (p−t)/n.
+type MSE struct{}
+
+// Loss implements Loss.
+func (MSE) Loss(pred, target []float64) float64 {
+	mustLossLens(pred, target)
+	var s float64
+	for i := range pred {
+		d := pred[i] - target[i]
+		s += d * d
+	}
+	return 0.5 * s / float64(len(pred))
+}
+
+// Grad implements Loss.
+func (MSE) Grad(pred, target []float64) []float64 {
+	mustLossLens(pred, target)
+	g := make([]float64, len(pred))
+	inv := 1 / float64(len(pred))
+	for i := range pred {
+		g[i] = (pred[i] - target[i]) * inv
+	}
+	return g
+}
+
+// L1 is the mean absolute error used for the autoencoder reconstruction loss
+// 𝓛_AE = |q − q̂| in §3.3 of the paper.
+type L1 struct{}
+
+// Loss implements Loss.
+func (L1) Loss(pred, target []float64) float64 {
+	mustLossLens(pred, target)
+	var s float64
+	for i := range pred {
+		s += math.Abs(pred[i] - target[i])
+	}
+	return s / float64(len(pred))
+}
+
+// Grad implements Loss. The subgradient at 0 is taken as 0.
+func (L1) Grad(pred, target []float64) []float64 {
+	mustLossLens(pred, target)
+	g := make([]float64, len(pred))
+	inv := 1 / float64(len(pred))
+	for i := range pred {
+		switch {
+		case pred[i] > target[i]:
+			g[i] = inv
+		case pred[i] < target[i]:
+			g[i] = -inv
+		}
+	}
+	return g
+}
+
+// SoftmaxCrossEntropy treats the prediction as raw class logits and the
+// target as a one-hot (or soft) distribution. It is the classifier loss for
+// the 3-class discriminator {gen, new, train} in §3.3.
+type SoftmaxCrossEntropy struct{}
+
+// Softmax returns the softmax of logits with the usual max-shift for
+// numerical stability.
+func Softmax(logits []float64) []float64 {
+	if len(logits) == 0 {
+		return nil
+	}
+	maxv := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Loss implements Loss: −Σ t_i log softmax(p)_i.
+func (SoftmaxCrossEntropy) Loss(pred, target []float64) float64 {
+	mustLossLens(pred, target)
+	probs := Softmax(pred)
+	var s float64
+	for i := range probs {
+		if target[i] != 0 {
+			s -= target[i] * math.Log(math.Max(probs[i], 1e-12))
+		}
+	}
+	return s
+}
+
+// Grad implements Loss with the standard softmax+CE fused gradient p−t.
+func (SoftmaxCrossEntropy) Grad(pred, target []float64) []float64 {
+	mustLossLens(pred, target)
+	probs := Softmax(pred)
+	g := make([]float64, len(pred))
+	for i := range probs {
+		g[i] = probs[i] - target[i]
+	}
+	return g
+}
+
+// OneHot returns a one-hot vector of length n with index k set.
+func OneHot(n, k int) []float64 {
+	if k < 0 || k >= n {
+		panic(fmt.Sprintf("nn: OneHot index %d out of range %d", k, n))
+	}
+	v := make([]float64, n)
+	v[k] = 1
+	return v
+}
+
+func mustLossLens(pred, target []float64) {
+	if len(pred) != len(target) {
+		panic(fmt.Sprintf("nn: loss length mismatch %d vs %d", len(pred), len(target)))
+	}
+	if len(pred) == 0 {
+		panic("nn: empty loss inputs")
+	}
+}

@@ -1,0 +1,170 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Network is an ordered stack of layers trained with backprop.
+type Network struct {
+	Layers []Layer
+}
+
+// NewNetwork builds a network from the given layers.
+func NewNetwork(layers ...Layer) *Network { return &Network{Layers: layers} }
+
+// MLP constructs the paper's standard module shape: `depth` hidden
+// fully-connected layers of width `hidden` with LeakyReLU activations,
+// followed by a linear output layer of width `out`. Table 3 uses
+// depth=3, hidden=128 for 𝔼 and 𝔾.
+func MLP(in, hidden, depth, out int, rng *rand.Rand) *Network {
+	var layers []Layer
+	prev := in
+	for i := 0; i < depth; i++ {
+		layers = append(layers, NewDense(prev, hidden, rng), NewLeakyReLU())
+		prev = hidden
+	}
+	layers = append(layers, NewDense(prev, out, rng))
+	return NewNetwork(layers...)
+}
+
+// Forward runs x through all layers and returns the output.
+func (n *Network) Forward(x []float64) []float64 {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates dLoss/dOutput through the stack (in reverse), returning
+// dLoss/dInput and accumulating parameter gradients. Forward must have been
+// called immediately before with the corresponding input.
+func (n *Network) Backward(grad []float64) []float64 {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns every trainable tensor in the network.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// Clone returns a deep copy with independent parameters (gradients zeroed).
+func (n *Network) Clone() *Network {
+	out := &Network{Layers: make([]Layer, len(n.Layers))}
+	for i, l := range n.Layers {
+		out.Layers[i] = l.Clone()
+	}
+	return out
+}
+
+// NumParams returns the total number of scalar parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.W)
+	}
+	return total
+}
+
+// InSize returns the input width of the first Dense layer, or -1 if none.
+func (n *Network) InSize() int {
+	for _, l := range n.Layers {
+		if d, ok := l.(*Dense); ok {
+			return d.In
+		}
+	}
+	return -1
+}
+
+// OutSize returns the output width of the last Dense layer, or -1 if none.
+func (n *Network) OutSize() int {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		if d, ok := n.Layers[i].(*Dense); ok {
+			return d.Out
+		}
+	}
+	return -1
+}
+
+// TrainBatch performs one optimizer step on a minibatch: for each (x, y) pair
+// it runs forward, computes the loss gradient, backpropagates, then applies a
+// single averaged update. It returns the mean loss over the batch.
+func (n *Network) TrainBatch(xs, ys [][]float64, loss Loss, opt Optimizer) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("nn: TrainBatch len mismatch %d vs %d", len(xs), len(ys)))
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	n.ZeroGrad()
+	var total float64
+	for i := range xs {
+		pred := n.Forward(xs[i])
+		total += loss.Loss(pred, ys[i])
+		n.Backward(loss.Grad(pred, ys[i]))
+	}
+	scaleGrads(n.Params(), 1/float64(len(xs)))
+	opt.Step(n.Params())
+	return total / float64(len(xs))
+}
+
+// Fit trains for `epochs` passes over the data with the given batch size,
+// shuffling each epoch with rng. It returns the mean loss of the final epoch.
+func (n *Network) Fit(xs, ys [][]float64, loss Loss, opt Optimizer, epochs, batch int, rng *rand.Rand) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if batch <= 0 {
+		batch = 32
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	var last float64
+	bx := make([][]float64, 0, batch)
+	by := make([][]float64, 0, batch)
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		var batches int
+		for start := 0; start < len(idx); start += batch {
+			end := start + batch
+			if end > len(idx) {
+				end = len(idx)
+			}
+			bx, by = bx[:0], by[:0]
+			for _, j := range idx[start:end] {
+				bx = append(bx, xs[j])
+				by = append(by, ys[j])
+			}
+			epochLoss += n.TrainBatch(bx, by, loss, opt)
+			batches++
+		}
+		opt.EndEpoch()
+		last = epochLoss / float64(batches)
+	}
+	return last
+}
+
+func scaleGrads(ps []*Param, s float64) {
+	for _, p := range ps {
+		for i := range p.G {
+			p.G[i] *= s
+		}
+	}
+}

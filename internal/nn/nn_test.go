@@ -1,0 +1,277 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// numericGrad estimates dLoss/dParam by central finite differences for the
+// network loss on a single example.
+func numericGrad(n *Network, x, y []float64, loss Loss, p *Param, i int) float64 {
+	const h = 1e-5
+	orig := p.W[i]
+	p.W[i] = orig + h
+	lp := loss.Loss(n.Forward(x), y)
+	p.W[i] = orig - h
+	lm := loss.Loss(n.Forward(x), y)
+	p.W[i] = orig
+	return (lp - lm) / (2 * h)
+}
+
+func checkGradients(t *testing.T, n *Network, loss Loss, in, out int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, in)
+	y := make([]float64, out)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	if _, isCE := loss.(SoftmaxCrossEntropy); isCE {
+		copy(y, OneHot(out, rng.Intn(out)))
+	} else {
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+	}
+	n.ZeroGrad()
+	pred := n.Forward(x)
+	n.Backward(loss.Grad(pred, y))
+	for pi, p := range n.Params() {
+		for i := 0; i < len(p.W); i += 7 { // sample every 7th weight for speed
+			want := numericGrad(n, x, y, loss, p, i)
+			got := p.G[i]
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Fatalf("param %d idx %d: analytic grad %v, numeric %v", pi, i, got, want)
+			}
+		}
+	}
+}
+
+func TestGradCheckDenseMSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := NewNetwork(NewDense(4, 5, rng), NewDense(5, 3, rng))
+	checkGradients(t, n, MSE{}, 4, 3, 10)
+}
+
+func TestGradCheckMLPLeakyReLUMSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := MLP(6, 8, 2, 2, rng)
+	checkGradients(t, n, MSE{}, 6, 2, 11)
+}
+
+func TestGradCheckSigmoidL1(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := NewNetwork(NewDense(3, 6, rng), NewSigmoid(), NewDense(6, 3, rng), NewSigmoid())
+	checkGradients(t, n, L1{}, 3, 3, 12)
+}
+
+func TestGradCheckTanhMSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := NewNetwork(NewDense(3, 5, rng), NewTanh(), NewDense(5, 2, rng))
+	checkGradients(t, n, MSE{}, 3, 2, 13)
+}
+
+func TestGradCheckReLUMSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	n := NewNetwork(NewDense(4, 6, rng), NewReLU(), NewDense(6, 2, rng))
+	checkGradients(t, n, MSE{}, 4, 2, 16)
+}
+
+func TestGradCheckCrossEntropy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := NewNetwork(NewDense(5, 8, rng), NewLeakyReLU(), NewDense(8, 3, rng))
+	checkGradients(t, n, SoftmaxCrossEntropy{}, 5, 3, 14)
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 || len(raw) > 16 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.Abs(v) > 500 {
+				return true
+			}
+		}
+		p := Softmax(raw)
+		var s float64
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				return false
+			}
+			s += v
+		}
+		return math.Abs(s-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	p := Softmax([]float64{1000, 1001, 1002})
+	for _, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("softmax overflowed: %v", p)
+		}
+	}
+	if p[2] < p[1] || p[1] < p[0] {
+		t.Errorf("ordering lost: %v", p)
+	}
+}
+
+func TestXORLearnable(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := MLP(2, 8, 2, 1, rng)
+	xs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	ys := [][]float64{{0}, {1}, {1}, {0}}
+	opt := NewAdam(0.01)
+	var loss float64
+	for e := 0; e < 500; e++ {
+		loss = n.TrainBatch(xs, ys, MSE{}, opt)
+	}
+	if loss > 0.01 {
+		t.Fatalf("XOR did not converge, loss=%v", loss)
+	}
+	for i, x := range xs {
+		p := n.Forward(x)[0]
+		if math.Abs(p-ys[i][0]) > 0.25 {
+			t.Errorf("xor(%v) = %v, want %v", x, p, ys[i][0])
+		}
+	}
+}
+
+func TestLinearRegressionWithSGD(t *testing.T) {
+	// y = 2x + 1 is exactly representable by a single Dense layer.
+	rng := rand.New(rand.NewSource(7))
+	n := NewNetwork(NewDense(1, 1, rng))
+	var xs, ys [][]float64
+	for i := 0; i < 64; i++ {
+		x := rng.Float64()*4 - 2
+		xs = append(xs, []float64{x})
+		ys = append(ys, []float64{2*x + 1})
+	}
+	loss := n.Fit(xs, ys, MSE{}, NewSGD(0.1), 200, 16, rng)
+	if loss > 1e-4 {
+		t.Fatalf("linear fit loss = %v", loss)
+	}
+	d := n.Layers[0].(*Dense)
+	if math.Abs(d.Weight.W[0]-2) > 0.05 || math.Abs(d.Bias.W[0]-1) > 0.05 {
+		t.Errorf("learned w=%v b=%v, want 2, 1", d.Weight.W[0], d.Bias.W[0])
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := MLP(3, 4, 1, 2, rng)
+	c := n.Clone()
+	before := c.Forward([]float64{1, 2, 3})
+	// Train the original; clone output must not change.
+	xs := [][]float64{{1, 2, 3}}
+	ys := [][]float64{{0, 0}}
+	for i := 0; i < 10; i++ {
+		n.TrainBatch(xs, ys, MSE{}, NewSGD(0.1))
+	}
+	after := c.Forward([]float64{1, 2, 3})
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("clone shares parameters with original")
+		}
+	}
+}
+
+func TestSGDDecaySchedule(t *testing.T) {
+	opt := NewPaperSGD(1e-3)
+	for i := 0; i < 10; i++ {
+		opt.EndEpoch()
+	}
+	if math.Abs(opt.LR()-5e-4) > 1e-12 {
+		t.Errorf("LR after 10 epochs = %v, want 5e-4", opt.LR())
+	}
+	for i := 0; i < 10; i++ {
+		opt.EndEpoch()
+	}
+	if math.Abs(opt.LR()-2.5e-4) > 1e-12 {
+		t.Errorf("LR after 20 epochs = %v, want 2.5e-4", opt.LR())
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	v := OneHot(3, 1)
+	if v[0] != 0 || v[1] != 1 || v[2] != 0 {
+		t.Errorf("OneHot = %v", v)
+	}
+}
+
+func TestOneHotOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OneHot(3, 3)
+}
+
+func TestL1LossIdentities(t *testing.T) {
+	l := L1{}
+	if got := l.Loss([]float64{1, 2}, []float64{1, 2}); got != 0 {
+		t.Errorf("L1 of equal = %v", got)
+	}
+	if got := l.Loss([]float64{0, 0}, []float64{1, -3}); got != 2 {
+		t.Errorf("L1 = %v, want 2", got)
+	}
+	g := l.Grad([]float64{2, 0, 1}, []float64{1, 1, 1})
+	if g[0] <= 0 || g[1] >= 0 || g[2] != 0 {
+		t.Errorf("L1 grad signs wrong: %v", g)
+	}
+}
+
+func TestNetworkSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := MLP(7, 128, 3, 4, rng)
+	if n.InSize() != 7 || n.OutSize() != 4 {
+		t.Errorf("sizes = %d,%d", n.InSize(), n.OutSize())
+	}
+	want := (7*128 + 128) + (128*128+128)*2 + (128*4 + 4)
+	if n.NumParams() != want {
+		t.Errorf("NumParams = %d, want %d", n.NumParams(), want)
+	}
+}
+
+func TestDenseRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d := NewDense(3, 2, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong input size")
+		}
+	}()
+	d.Forward([]float64{1, 2})
+}
+
+func TestTrainBatchEmptyIsNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := MLP(2, 4, 1, 1, rng)
+	if got := n.TrainBatch(nil, nil, MSE{}, NewSGD(0.1)); got != 0 {
+		t.Errorf("empty batch loss = %v", got)
+	}
+}
+
+func TestAdamConvergesOnIllConditioned(t *testing.T) {
+	// Loss surface with wildly different curvatures per dimension; Adam's
+	// per-coordinate scaling should still drive the loss near zero.
+	rng := rand.New(rand.NewSource(12))
+	n := NewNetwork(NewDense(2, 2, rng))
+	xs := [][]float64{{100, 0}, {0, 0.01}}
+	ys := [][]float64{{300, 0}, {0, -0.02}}
+	opt := NewAdam(0.05)
+	var l float64
+	for i := 0; i < 3000; i++ {
+		l = n.TrainBatch(xs, ys, MSE{}, opt)
+	}
+	if l > 1e-3 {
+		t.Errorf("Adam final loss = %v, want < 1e-3", l)
+	}
+}

@@ -1,0 +1,134 @@
+package pool
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"warper/internal/query"
+)
+
+func pred(v float64) query.Predicate {
+	return query.Predicate{Lows: []float64{v}, Highs: []float64{v + 1}}
+}
+
+func TestInitFromTraining(t *testing.T) {
+	train := []query.Labeled{{Pred: pred(0), Card: 10}, {Pred: pred(1), Card: 20}}
+	p := InitFromTraining(train)
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	for _, e := range p.Entries {
+		if e.Source != SrcTrain || !e.HasGT() {
+			t.Errorf("entry = %+v", e)
+		}
+	}
+}
+
+func TestAddVariants(t *testing.T) {
+	p := New()
+	p.AddNew(pred(0), 5, true)
+	p.AddNew(pred(1), 0, false)
+	p.AddGenerated(pred(2))
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if got := len(p.BySource(SrcNew)); got != 2 {
+		t.Errorf("new entries = %d", got)
+	}
+	if got := len(p.BySource(SrcGen)); got != 1 {
+		t.Errorf("gen entries = %d", got)
+	}
+	if p.CountLabeled() != 1 {
+		t.Errorf("labeled = %d", p.CountLabeled())
+	}
+	unl := p.Unlabeled()
+	if len(unl) != 2 {
+		t.Errorf("unlabeled = %d", len(unl))
+	}
+	if got := len(p.Unlabeled(SrcGen)); got != 1 {
+		t.Errorf("unlabeled gen = %d", got)
+	}
+}
+
+func TestLabeledBySource(t *testing.T) {
+	p := New()
+	p.AddNew(pred(0), 5, true)
+	p.Add(&Entry{Pred: pred(1), GT: 7, Source: SrcTrain})
+	p.Add(&Entry{Pred: pred(2), GT: 9, Source: SrcGen})
+	got := p.LabeledBySource(SrcNew, SrcGen)
+	if len(got) != 2 {
+		t.Errorf("LabeledBySource = %d entries", len(got))
+	}
+}
+
+func TestMarkAllStale(t *testing.T) {
+	p := InitFromTraining([]query.Labeled{{Pred: pred(0), Card: 10}})
+	p.AddNew(pred(1), 0, false)
+	p.MarkAllStale()
+	if p.CountLabeled() != 0 {
+		t.Error("stale entries still counted as labeled")
+	}
+	// Unlabeled (no-GT) entries should not be marked stale (GT=-1 stays).
+	if p.Entries[1].Stale {
+		t.Error("entry without GT marked stale")
+	}
+	// Re-annotating clears usability.
+	p.Entries[0].GT = 12
+	p.Entries[0].Stale = false
+	if p.CountLabeled() != 1 {
+		t.Error("re-annotated entry not counted")
+	}
+}
+
+func TestTrimGenerated(t *testing.T) {
+	p := New()
+	for i := 0; i < 10; i++ {
+		p.AddGenerated(pred(float64(i)))
+	}
+	p.AddNew(pred(100), 1, true)
+	p.TrimGenerated(3)
+	if got := len(p.BySource(SrcGen)); got != 3 {
+		t.Errorf("gen after trim = %d, want 3", got)
+	}
+	if got := len(p.BySource(SrcNew)); got != 1 {
+		t.Error("trim dropped non-generated entries")
+	}
+	// Most recent generated entries survive.
+	gen := p.BySource(SrcGen)
+	if gen[0].Pred.Lows[0] != 7 {
+		t.Errorf("kept wrong entries: %v", gen[0].Pred.Lows[0])
+	}
+}
+
+func TestTrimGeneratedNoopWhenUnder(t *testing.T) {
+	p := New()
+	p.AddGenerated(pred(0))
+	p.TrimGenerated(5)
+	if p.Len() != 1 {
+		t.Error("trim removed entries below the cap")
+	}
+}
+
+// Property: CountLabeled == len(Labeled()) for any mix of operations.
+func TestCountLabeledConsistent(t *testing.T) {
+	f := func(ops []uint8) bool {
+		p := New()
+		for i, op := range ops {
+			switch op % 4 {
+			case 0:
+				p.AddNew(pred(float64(i)), float64(i), true)
+			case 1:
+				p.AddNew(pred(float64(i)), 0, false)
+			case 2:
+				p.AddGenerated(pred(float64(i)))
+			case 3:
+				p.MarkAllStale()
+			}
+		}
+		return p.CountLabeled() == len(p.Labeled())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}

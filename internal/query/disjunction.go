@@ -1,0 +1,34 @@
+package query
+
+// Disjunction is an OR of conjunctive range predicates:
+// ⋁_j ⋀_i l_ij ≤ Col_i ≤ u_ij. §2 of the paper notes that the CE model
+// class generalizes to disjunctions "using multiple calls"; the ce package
+// provides the combination rule and the annotator counts them exactly.
+type Disjunction []Predicate
+
+// Matches reports whether the row satisfies at least one disjunct.
+func (d Disjunction) Matches(row []float64) bool {
+	for _, p := range d {
+		if p.Matches(row) {
+			return true
+		}
+	}
+	return false
+}
+
+// Normalize normalizes every disjunct in place and returns d.
+func (d Disjunction) Normalize(s *Schema) Disjunction {
+	for i := range d {
+		d[i] = d[i].Normalize(s)
+	}
+	return d
+}
+
+// Clone deep-copies the disjunction.
+func (d Disjunction) Clone() Disjunction {
+	out := make(Disjunction, len(d))
+	for i, p := range d {
+		out[i] = p.Clone()
+	}
+	return out
+}

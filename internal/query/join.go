@@ -1,0 +1,54 @@
+package query
+
+// JoinCond is one key–foreign-key equi-join condition between two tables.
+type JoinCond struct {
+	LeftTable  string
+	LeftCol    string
+	RightTable string
+	RightCol   string
+}
+
+// JoinQuery is a select-project-join query over a set of tables with one
+// conjunctive range predicate per table (possibly full-range), the class of
+// queries the MSCN model supports (§2).
+type JoinQuery struct {
+	Tables []string
+	Joins  []JoinCond
+	Preds  map[string]Predicate
+}
+
+// NewJoinQuery builds a join query over the named tables.
+func NewJoinQuery(tables ...string) *JoinQuery {
+	return &JoinQuery{Tables: tables, Preds: make(map[string]Predicate)}
+}
+
+// AddJoin appends a join condition.
+func (j *JoinQuery) AddJoin(lt, lc, rt, rc string) *JoinQuery {
+	j.Joins = append(j.Joins, JoinCond{LeftTable: lt, LeftCol: lc, RightTable: rt, RightCol: rc})
+	return j
+}
+
+// SetPred assigns the per-table predicate.
+func (j *JoinQuery) SetPred(table string, p Predicate) *JoinQuery {
+	j.Preds[table] = p
+	return j
+}
+
+// Clone deep-copies the join query.
+func (j *JoinQuery) Clone() *JoinQuery {
+	c := &JoinQuery{
+		Tables: append([]string(nil), j.Tables...),
+		Joins:  append([]JoinCond(nil), j.Joins...),
+		Preds:  make(map[string]Predicate, len(j.Preds)),
+	}
+	for t, p := range j.Preds {
+		c.Preds[t] = p.Clone()
+	}
+	return c
+}
+
+// LabeledJoin pairs a join query with its ground-truth cardinality.
+type LabeledJoin struct {
+	Query *JoinQuery
+	Card  float64
+}

@@ -1,0 +1,230 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"warper/internal/dataset"
+)
+
+func testSchema() *Schema {
+	return &Schema{
+		Table: "t",
+		Names: []string{"a", "b", "c"},
+		Types: []dataset.ColType{dataset.Real, dataset.Real, dataset.Categorical},
+		Mins:  []float64{0, -10, 0},
+		Maxs:  []float64{100, 10, 4},
+	}
+}
+
+func TestNewFullRangeMatchesEverything(t *testing.T) {
+	s := testSchema()
+	p := NewFullRange(s)
+	if !p.Matches([]float64{0, -10, 0}) || !p.Matches([]float64{100, 10, 4}) || !p.Matches([]float64{50, 0, 2}) {
+		t.Error("full range must match all in-range rows")
+	}
+	if p.Volume(s) != 1 {
+		t.Errorf("Volume = %v, want 1", p.Volume(s))
+	}
+}
+
+func TestMatchesBounds(t *testing.T) {
+	s := testSchema()
+	p := NewFullRange(s)
+	p.SetRange(0, 10, 20)
+	if p.Matches([]float64{9.99, 0, 2}) || p.Matches([]float64{20.01, 0, 2}) {
+		t.Error("out-of-range row matched")
+	}
+	if !p.Matches([]float64{10, 0, 2}) || !p.Matches([]float64{20, 0, 2}) {
+		t.Error("boundary rows must match (inclusive ranges)")
+	}
+}
+
+func TestSetEquals(t *testing.T) {
+	s := testSchema()
+	p := NewFullRange(s)
+	p.SetEquals(2, 3)
+	if !p.Matches([]float64{50, 0, 3}) || p.Matches([]float64{50, 0, 2}) {
+		t.Error("equality check wrong")
+	}
+}
+
+func TestNormalizeSwapsAndClamps(t *testing.T) {
+	s := testSchema()
+	p := NewFullRange(s)
+	p.SetRange(0, 80, 20)   // inverted
+	p.SetRange(1, -50, 500) // out of range
+	p = p.Normalize(s)
+	if p.Lows[0] != 20 || p.Highs[0] != 80 {
+		t.Errorf("swap failed: [%v,%v]", p.Lows[0], p.Highs[0])
+	}
+	if p.Lows[1] != -10 || p.Highs[1] != 10 {
+		t.Errorf("clamp failed: [%v,%v]", p.Lows[1], p.Highs[1])
+	}
+}
+
+func TestNormalizeDisjointRange(t *testing.T) {
+	s := testSchema()
+	p := NewFullRange(s)
+	p.SetRange(0, 200, 300) // entirely above column max
+	p = p.Normalize(s)
+	if p.Lows[0] != p.Highs[0] {
+		t.Errorf("disjoint range should become a point: [%v,%v]", p.Lows[0], p.Highs[0])
+	}
+	if p.Lows[0] < 0 || p.Lows[0] > 100 {
+		t.Errorf("pinned point out of range: %v", p.Lows[0])
+	}
+}
+
+func TestFeaturizeLayout(t *testing.T) {
+	s := testSchema()
+	p := NewFullRange(s)
+	p.SetRange(0, 25, 75)
+	f := p.Featurize(s)
+	if len(f) != 6 {
+		t.Fatalf("feature len = %d", len(f))
+	}
+	if math.Abs(f[0]-0.25) > 1e-12 || math.Abs(f[3]-0.75) > 1e-12 {
+		t.Errorf("col 0 features = %v, %v", f[0], f[3])
+	}
+	// Full-range columns featurize to [0,1].
+	if f[1] != 0 || f[4] != 1 {
+		t.Errorf("col 1 features = %v, %v", f[1], f[4])
+	}
+}
+
+func TestFeaturizeDimMismatchPanics(t *testing.T) {
+	s := testSchema()
+	p := Predicate{Lows: []float64{0}, Highs: []float64{1}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Featurize(s)
+}
+
+func TestUnfeaturizeRoundTrip(t *testing.T) {
+	s := testSchema()
+	p := NewFullRange(s)
+	p.SetRange(0, 10, 60)
+	p.SetRange(1, -5, 5)
+	p.SetEquals(2, 2)
+	q := Unfeaturize(p.Featurize(s), s)
+	for i := range p.Lows {
+		if math.Abs(q.Lows[i]-p.Lows[i]) > 1e-9 || math.Abs(q.Highs[i]-p.Highs[i]) > 1e-9 {
+			t.Errorf("col %d: got [%v,%v], want [%v,%v]", i, q.Lows[i], q.Highs[i], p.Lows[i], p.Highs[i])
+		}
+	}
+}
+
+func TestUnfeaturizeRoundsCategoricals(t *testing.T) {
+	s := testSchema()
+	f := make([]float64, 6)
+	f[2] = 0.6 // low of categorical col with range [0,4] → 2.4 → rounds to 2
+	f[5] = 0.6
+	p := Unfeaturize(f, s)
+	if p.Lows[2] != 2 || p.Highs[2] != 2 {
+		t.Errorf("categorical bounds = [%v,%v], want [2,2]", p.Lows[2], p.Highs[2])
+	}
+}
+
+// Property: Unfeaturize always produces a predicate that is already
+// normalized (low ≤ high, inside schema bounds), for arbitrary feature input.
+func TestUnfeaturizeAlwaysNormalized(t *testing.T) {
+	s := testSchema()
+	f := func(raw [6]float64) bool {
+		feats := raw[:]
+		for i, v := range feats {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				feats[i] = 0.5
+			}
+		}
+		p := Unfeaturize(feats, s)
+		for i := range p.Lows {
+			if p.Lows[i] > p.Highs[i] {
+				return false
+			}
+			if p.Lows[i] < s.Mins[i]-1e-9 || p.Highs[i] > s.Maxs[i]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: normalization is idempotent.
+func TestNormalizeIdempotent(t *testing.T) {
+	s := testSchema()
+	f := func(raw [6]float64) bool {
+		p := Predicate{Lows: make([]float64, 3), Highs: make([]float64, 3)}
+		for i := 0; i < 3; i++ {
+			lo, hi := raw[i], raw[3+i]
+			if math.IsNaN(lo) || math.IsInf(lo, 0) {
+				lo = 0
+			}
+			if math.IsNaN(hi) || math.IsInf(hi, 0) {
+				hi = 1
+			}
+			p.Lows[i], p.Highs[i] = lo, hi
+		}
+		once := p.Clone().Normalize(s)
+		twice := once.Clone().Normalize(s)
+		for i := 0; i < 3; i++ {
+			if once.Lows[i] != twice.Lows[i] || once.Highs[i] != twice.Highs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVolumeMonotonicInWidth(t *testing.T) {
+	s := testSchema()
+	narrow := NewFullRange(s)
+	narrow.SetRange(0, 40, 60)
+	wide := NewFullRange(s)
+	wide.SetRange(0, 20, 80)
+	if narrow.Volume(s) >= wide.Volume(s) {
+		t.Error("narrower box should have smaller volume")
+	}
+}
+
+func TestSchemaOf(t *testing.T) {
+	tbl := dataset.NewTable("x",
+		&dataset.Column{Name: "u", Type: dataset.Real, Vals: []float64{2, 8, 5}},
+		&dataset.Column{Name: "v", Type: dataset.Categorical, Vals: []float64{0, 1, 1}},
+	)
+	s := SchemaOf(tbl)
+	if s.Table != "x" || s.NumCols() != 2 || s.FeatureDim() != 4 {
+		t.Fatalf("schema = %+v", s)
+	}
+	if s.Mins[0] != 2 || s.Maxs[0] != 8 {
+		t.Errorf("ranges = %v %v", s.Mins, s.Maxs)
+	}
+	if s.Types[1] != dataset.Categorical {
+		t.Error("type not preserved")
+	}
+}
+
+func TestJoinQueryBuilders(t *testing.T) {
+	j := NewJoinQuery("l", "o").AddJoin("l", "orderkey", "o", "orderkey")
+	s := testSchema()
+	j.SetPred("l", NewFullRange(s))
+	if len(j.Tables) != 2 || len(j.Joins) != 1 || len(j.Preds) != 1 {
+		t.Fatalf("join query = %+v", j)
+	}
+	c := j.Clone()
+	c.Preds["l"].Lows[0] = 99
+	if j.Preds["l"].Lows[0] == 99 {
+		t.Error("Clone aliases predicates")
+	}
+}

@@ -1,0 +1,191 @@
+// Package serve exposes a Warper-adapted cardinality estimator over HTTP:
+// a query optimizer (or anything else) asks for estimates, posts execution
+// feedback, and triggers adaptation periods. This is the deployment shape
+// §1 of the paper sketches — the CE model serves estimates continuously
+// while Warper periodically repairs it against drifts.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"warper/internal/ce"
+	"warper/internal/query"
+	"warper/internal/warper"
+)
+
+// Server wires an Adapter behind an http.Handler. All handlers are safe for
+// concurrent use; adaptation runs under the same lock as estimation so the
+// model is never read mid-update.
+type Server struct {
+	mu      sync.Mutex
+	adapter *warper.Adapter
+	sch     *query.Schema
+	buffer  []warper.Arrival
+	periods int
+}
+
+// New builds a Server around an adapter.
+func New(a *warper.Adapter, sch *query.Schema) *Server {
+	return &Server{adapter: a, sch: sch}
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /estimate", s.handleEstimate)
+	mux.HandleFunc("POST /feedback", s.handleFeedback)
+	mux.HandleFunc("POST /period", s.handlePeriod)
+	mux.HandleFunc("GET /status", s.handleStatus)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// predicateJSON is the wire form of a predicate.
+type predicateJSON struct {
+	Lows  []float64 `json:"lows"`
+	Highs []float64 `json:"highs"`
+}
+
+func (s *Server) decodePredicate(pj predicateJSON) (query.Predicate, error) {
+	d := s.sch.NumCols()
+	if len(pj.Lows) != d || len(pj.Highs) != d {
+		return query.Predicate{}, fmt.Errorf("predicate needs %d lows and highs, got %d/%d",
+			d, len(pj.Lows), len(pj.Highs))
+	}
+	p := query.Predicate{Lows: pj.Lows, Highs: pj.Highs}
+	return p.Normalize(s.sch), nil
+}
+
+type estimateRequest struct {
+	predicateJSON
+}
+
+type estimateResponse struct {
+	Cardinality float64 `json:"cardinality"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req estimateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	p, err := s.decodePredicate(req.predicateJSON)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	card := s.adapter.M.Estimate(p)
+	s.mu.Unlock()
+	writeJSON(w, estimateResponse{Cardinality: card})
+}
+
+type feedbackRequest struct {
+	predicateJSON
+	// Cardinality is the observed true cardinality; negative or missing
+	// means the query ran without execution feedback.
+	Cardinality *float64 `json:"cardinality"`
+}
+
+type feedbackResponse struct {
+	Buffered int `json:"buffered"`
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req feedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	p, err := s.decodePredicate(req.predicateJSON)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ar := warper.Arrival{Pred: p}
+	if req.Cardinality != nil && *req.Cardinality >= 0 {
+		ar.GT = *req.Cardinality
+		ar.HasGT = true
+	}
+	s.mu.Lock()
+	s.buffer = append(s.buffer, ar)
+	n := len(s.buffer)
+	s.mu.Unlock()
+	writeJSON(w, feedbackResponse{Buffered: n})
+}
+
+type periodResponse struct {
+	Mode      string  `json:"mode"`
+	Arrivals  int     `json:"arrivals"`
+	Generated int     `json:"generated"`
+	Annotated int     `json:"annotated"`
+	Updated   bool    `json:"updated"`
+	DeltaM    float64 `json:"delta_m"`
+	DeltaJS   float64 `json:"delta_js"`
+}
+
+func (s *Server) handlePeriod(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	arrivals := s.buffer
+	s.buffer = nil
+	rep := s.adapter.Period(arrivals)
+	s.periods++
+	s.mu.Unlock()
+	writeJSON(w, periodResponse{
+		Mode:      rep.Detection.Mode.String(),
+		Arrivals:  len(arrivals),
+		Generated: rep.Generated,
+		Annotated: rep.Annotated,
+		Updated:   rep.Updated,
+		DeltaM:    rep.Detection.DeltaM,
+		DeltaJS:   rep.Detection.DeltaJS,
+	})
+}
+
+type statusResponse struct {
+	Model    string  `json:"model"`
+	PoolSize int     `json:"pool_size"`
+	Labeled  int     `json:"labeled"`
+	Buffered int     `json:"buffered"`
+	Periods  int     `json:"periods"`
+	Pi       float64 `json:"pi"`
+	Gamma    int     `json:"gamma"`
+	Costs    string  `json:"costs"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	resp := statusResponse{
+		Model:    s.adapter.M.Name(),
+		PoolSize: s.adapter.Pool.Len(),
+		Labeled:  s.adapter.Pool.CountLabeled(),
+		Buffered: len(s.buffer),
+		Periods:  s.periods,
+		Pi:       s.adapter.Pi(),
+		Gamma:    s.adapter.Gamma(),
+		Costs:    s.adapter.Ledger.String(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		httpError(w, http.StatusInternalServerError, "encode: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+// Estimator returns the served model, for tests.
+func (s *Server) Estimator() ce.Estimator { return s.adapter.M }

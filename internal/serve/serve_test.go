@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"warper/internal/annotator"
+	"warper/internal/ce"
+	"warper/internal/dataset"
+	"warper/internal/query"
+	"warper/internal/warper"
+	"warper/internal/workload"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server, *query.Schema, *annotator.Annotator, workload.Generator) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(61))
+	tbl := dataset.PRSA(2000, rng)
+	sch := query.SchemaOf(tbl)
+	ann := annotator.New(tbl)
+	opts := workload.Options{MaxConstrained: 2}
+	gTrain := workload.New("w1", tbl, sch, opts)
+	train := ann.AnnotateAll(workload.Generate(gTrain, 300, rng))
+	lm := ce.NewLM(ce.LMMLP, sch, 1)
+	lm.Train(train)
+
+	cfg := warper.DefaultConfig()
+	cfg.Hidden = 32
+	cfg.Depth = 2
+	cfg.NIters = 20
+	cfg.Gamma = 100
+	cfg.PickSize = 60
+	ad := warper.New(cfg, lm, sch, ann, train)
+	srv := New(ad, sch)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	gNew := workload.New("w4", tbl, sch, opts)
+	return srv, ts, sch, ann, gNew
+}
+
+func postJSON(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts, _, _, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+}
+
+func TestEstimateEndpoint(t *testing.T) {
+	srv, ts, sch, _, gNew := newTestServer(t)
+	p := gNew.Gen(rand.New(rand.NewSource(1)))
+	var resp estimateResponse
+	r := postJSON(t, ts.URL+"/estimate", predicateJSON{Lows: p.Lows, Highs: p.Highs}, &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", r.StatusCode)
+	}
+	want := srv.Estimator().Estimate(p.Normalize(sch))
+	if resp.Cardinality != want {
+		t.Errorf("estimate = %v, want %v", resp.Cardinality, want)
+	}
+}
+
+func TestEstimateRejectsBadDimensions(t *testing.T) {
+	_, ts, _, _, _ := newTestServer(t)
+	r := postJSON(t, ts.URL+"/estimate", predicateJSON{Lows: []float64{1}, Highs: []float64{2}}, nil)
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", r.StatusCode)
+	}
+}
+
+func TestEstimateRejectsGarbage(t *testing.T) {
+	_, ts, _, _, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/estimate", "application/json", bytes.NewBufferString("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestFeedbackPeriodStatusFlow(t *testing.T) {
+	_, ts, _, ann, gNew := newTestServer(t)
+	rng := rand.New(rand.NewSource(2))
+	// Post 30 labeled feedback items from the drifted workload.
+	for i := 0; i < 30; i++ {
+		p := gNew.Gen(rng)
+		card := ann.Count(p)
+		var fb feedbackResponse
+		r := postJSON(t, ts.URL+"/feedback", feedbackRequest{
+			predicateJSON: predicateJSON{Lows: p.Lows, Highs: p.Highs},
+			Cardinality:   &card,
+		}, &fb)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("feedback status = %d", r.StatusCode)
+		}
+		if fb.Buffered != i+1 {
+			t.Fatalf("buffered = %d, want %d", fb.Buffered, i+1)
+		}
+	}
+	// Trigger an adaptation period.
+	var pr periodResponse
+	r := postJSON(t, ts.URL+"/period", struct{}{}, &pr)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("period status = %d", r.StatusCode)
+	}
+	if pr.Arrivals != 30 {
+		t.Errorf("period consumed %d arrivals, want 30", pr.Arrivals)
+	}
+	// Status reflects the drained buffer and the period count.
+	resp, err := http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Buffered != 0 || st.Periods != 1 {
+		t.Errorf("status = %+v", st)
+	}
+	if st.Model == "" || st.PoolSize == 0 {
+		t.Errorf("status incomplete: %+v", st)
+	}
+}
+
+func TestPeriodWithEmptyBuffer(t *testing.T) {
+	_, ts, _, _, _ := newTestServer(t)
+	var pr periodResponse
+	r := postJSON(t, ts.URL+"/period", struct{}{}, &pr)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", r.StatusCode)
+	}
+	if pr.Arrivals != 0 {
+		t.Errorf("arrivals = %d", pr.Arrivals)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts, _, _, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/estimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("GET /estimate should not be OK")
+	}
+	_ = fmt.Sprint() // keep fmt import for potential debugging
+}

@@ -1,0 +1,86 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Error("fresh clock not at zero")
+	}
+	c.Advance(5 * time.Second)
+	c.Advance(2 * time.Second)
+	if c.Now() != 7*time.Second {
+		t.Errorf("Now = %v", c.Now())
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-time.Second)
+}
+
+func TestArrivalsCount(t *testing.T) {
+	a := Arrivals{Interval: 5 * time.Second}
+	if got := a.CountBetween(0, 30*time.Second); got != 6 {
+		t.Errorf("arrivals in 30s = %d, want 6", got)
+	}
+	if got := a.CountBetween(0, 4*time.Second); got != 0 {
+		t.Errorf("arrivals in 4s = %d, want 0", got)
+	}
+	if got := a.CountBetween(5*time.Second, 10*time.Second); got != 1 {
+		t.Errorf("arrivals in (5,10] = %d, want 1", got)
+	}
+	if got := a.CountBetween(10*time.Second, 10*time.Second); got != 0 {
+		t.Errorf("empty interval = %d", got)
+	}
+}
+
+func TestArrivalsDisjointIntervalsSum(t *testing.T) {
+	a := Arrivals{Interval: 7 * time.Second}
+	total := a.CountBetween(0, 100*time.Second)
+	split := a.CountBetween(0, 33*time.Second) + a.CountBetween(33*time.Second, 100*time.Second)
+	if total != split {
+		t.Errorf("split count %d != total %d", split, total)
+	}
+}
+
+func TestLedger(t *testing.T) {
+	l := NewLedger()
+	l.Charge("annotate", 3*time.Second)
+	l.Charge("annotate", 2*time.Second)
+	l.Charge("model", time.Second)
+	if l.Get("annotate") != 5*time.Second {
+		t.Errorf("annotate = %v", l.Get("annotate"))
+	}
+	if l.Total() != 6*time.Second {
+		t.Errorf("total = %v", l.Total())
+	}
+	if s := l.String(); s != "annotate=5s model=1s" {
+		t.Errorf("String = %q", s)
+	}
+	l.Reset()
+	if l.Total() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestCPUPercent(t *testing.T) {
+	if got := CPUPercent(3*time.Second, 5*time.Minute); got != 1 {
+		t.Errorf("CPUPercent = %v, want 1", got)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	w := StartWatch()
+	if w.Stop() < 0 {
+		t.Error("negative elapsed")
+	}
+}

@@ -1,0 +1,393 @@
+package warper
+
+import (
+	"math/rand"
+	"time"
+
+	"warper/internal/annotator"
+	"warper/internal/ce"
+	"warper/internal/drift"
+	"warper/internal/pool"
+	"warper/internal/query"
+	"warper/internal/simclock"
+)
+
+// Adapter is the Warper system (Figure 4): it owns the query pool, the
+// learned components 𝔼/𝔾/𝔻, the picker ℙ, the drift detector, and a
+// black-box reference to the CE model 𝕄 and the annotator 𝔸.
+type Adapter struct {
+	Cfg    Config
+	M      ce.Estimator
+	Pool   *pool.Pool
+	Ledger *simclock.Ledger
+	Picker *Picker
+	// GenFunc overrides the synthetic-query source (the Table 10 "𝔾→AUG"
+	// ablation swaps in Gaussian-noise augmentation). Nil uses the GAN
+	// generator 𝔾.
+	GenFunc func(p *pool.Pool, n int) []query.Predicate
+
+	sch   *query.Schema
+	ann   *annotator.Annotator
+	comps *components
+	det   *detector
+	rng   *rand.Rand
+
+	// bestEvalGMQ tracks the best post-update error seen, for the
+	// early-stop gain check (§3.4); stall counts consecutive periods with
+	// no improvement over that best.
+	bestEvalGMQ float64
+	haveBest    bool
+	stall       int
+}
+
+// Early-stop robustness constants: the number of consecutive small-gain
+// periods before π is raised, and the cap on π growth (×Config.Pi).
+const (
+	earlyStopStall = 3
+	maxPiGrowth    = 8.0
+)
+
+// New builds an Adapter around a previously trained CE model.
+//
+//   - m is the black-box CE model 𝕄, already trained on trainSet.
+//   - ann is the annotator 𝔸 over the live table.
+//   - trainSet is 𝕀train, used to seed the pool, pre-train the autoencoder
+//     offline (§3.5) and anchor the δ_js reference workload.
+func New(cfg Config, m ce.Estimator, sch *query.Schema, ann *annotator.Annotator, trainSet []query.Labeled) *Adapter {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	a := &Adapter{
+		Cfg:    cfg,
+		M:      m,
+		Pool:   pool.InitFromTraining(trainSet),
+		Ledger: simclock.NewLedger(),
+		Picker: &Picker{Strategy: StrategyWarper, Buckets: cfg.ErrorBuckets, KNN: cfg.KNN},
+		sch:    sch,
+		ann:    ann,
+		rng:    rng,
+	}
+	a.comps = newComponents(cfg, sch, ann.Table().NumRows(), rng)
+
+	// Pre-train 𝔼 and 𝔾 offline as an autoencoder on 𝕀train (§3.5); this
+	// one-time cost mirrors training the LM model offline.
+	w := simclock.StartWatch()
+	a.comps.UpdateAutoEncoder(a.Pool, 60)
+	a.comps.EmbedAll(a.Pool)
+	a.Ledger.Charge("pretrain", w.Stop())
+
+	// Training-time error baseline for δ_m and the detector state.
+	trainGMQ := ce.EvalGMQ(m, trainSet)
+	var trainPreds []query.Predicate
+	for _, lq := range trainSet {
+		trainPreds = append(trainPreds, lq.Pred)
+	}
+	canaryCount := cfg.Canaries
+	if canaryCount > len(trainSet) {
+		canaryCount = len(trainSet)
+	}
+	canaries := &drift.Canaries{}
+	if canaryCount > 0 {
+		canaries = drift.NewCanaries(canaryCount, staticGen(trainPreds), ann, rng)
+	}
+	a.det = &detector{
+		cfg:        cfg,
+		sch:        sch,
+		telemetry:  &drift.DataTelemetry{Canaries: canaries},
+		trainPreds: trainPreds,
+		trainGMQ:   trainGMQ,
+		pi:         cfg.Pi,
+		gamma:      cfg.Gamma,
+	}
+	return a
+}
+
+// staticGen adapts a fixed predicate list to the workload.Generator shape
+// needed by drift.NewCanaries without importing the workload package.
+type staticGenT struct{ preds []query.Predicate }
+
+func staticGen(preds []query.Predicate) staticGenT { return staticGenT{preds} }
+
+func (s staticGenT) Gen(rng *rand.Rand) query.Predicate {
+	return s.preds[rng.Intn(len(s.preds))].Clone()
+}
+func (s staticGenT) Name() string { return "canary" }
+
+// Report summarizes one Algorithm-1 invocation.
+type Report struct {
+	Detection Detection
+	// Generated is the number of synthetic queries added to the pool.
+	Generated int
+	// Annotated is the number of ground-truth computations spent (n_a).
+	Annotated int
+	// Picked is the number of distinct queries selected by ℙ.
+	Picked int
+	// Updated is true when 𝕄 was updated this period.
+	Updated bool
+	// EarlyStopped is true when the gain check raised π instead of adapting
+	// further.
+	EarlyStopped bool
+	// GANLoss carries the last GAN losses when update_MultiTask ran.
+	GANLoss ganLoss
+	// Busy is the compute charged to the virtual clock this period.
+	Busy time.Duration
+}
+
+// Period runs one Warper invocation (Figure 3 + Algorithm 1) over the
+// queries that arrived in the current adaptation period.
+func (a *Adapter) Period(arrivals []Arrival) Report {
+	w := simclock.StartWatch()
+	tbl := a.ann.Table()
+	recent := lastN(a.Pool.LabeledBySource(pool.SrcNew), 90)
+	det := a.det.detect(arrivals, recent, a.M, a.ann, tbl.ChangedFraction())
+	rep := Report{Detection: det}
+
+	// Line 1: inject arrivals into the pool regardless of mode.
+	var newEntries []*pool.Entry
+	for _, ar := range arrivals {
+		newEntries = append(newEntries, a.Pool.AddNew(ar.Pred, ar.GT, ar.HasGT))
+	}
+
+	if det.Mode == ModeNone {
+		// Quiet period: relax an early-stop-raised π back toward its base
+		// value so a later real drift (or resumed progress) re-triggers
+		// detection rather than staying silenced forever.
+		if a.det.pi > a.Cfg.Pi {
+			a.det.pi = maxF(a.Cfg.Pi, a.det.pi*0.8)
+		}
+		rep.Busy = w.Stop()
+		a.Ledger.Charge("detect", rep.Busy)
+		return rep
+	}
+
+	if det.FreshC1 {
+		// A new data drift: every stored label may be outdated. (A pending
+		// c1 continuation must not re-stale freshly re-annotated entries.)
+		a.Pool.MarkAllStale()
+		// Fresh arrivals with execution feedback are current by definition.
+		for i, ar := range arrivals {
+			if ar.HasGT {
+				newEntries[i].GT = ar.GT
+				newEntries[i].Stale = false
+			}
+		}
+		tbl.ResetChangeTracking()
+	}
+
+	// Lines 3–8: update the learned components; generate when in c2.
+	if det.Mode.Has(C2) {
+		gw := simclock.StartWatch()
+		rep.GANLoss = a.comps.UpdateMultiTask(a.Pool, a.Cfg.NIters)
+		a.Ledger.Charge("gan", gw.Stop())
+
+		nGen := int(a.Cfg.GenFraction * float64(maxI(det.NT, 1)))
+		if nGen >= 1 { // §4.3: generator disabled when n_g < 1
+			genW := simclock.StartWatch()
+			genFn := a.GenFunc
+			if genFn == nil {
+				genFn = a.comps.Generate
+			}
+			preds := genFn(a.Pool, nGen)
+			for _, p := range preds {
+				e := a.Pool.AddGenerated(p)
+				a.comps.Embed(e)
+				a.comps.Classify(e)
+			}
+			rep.Generated = len(preds)
+			a.Ledger.Charge("gen", genW.Stop())
+		}
+	} else {
+		aw := simclock.StartWatch()
+		a.comps.UpdateAutoEncoder(a.Pool, 2)
+		a.Ledger.Charge("ae", aw.Stop())
+	}
+
+	// Refresh embeddings so the picker sees current z.
+	a.comps.EmbedAll(a.Pool)
+	a.comps.ClassifyAll(a.Pool.BySource(pool.SrcGen))
+
+	// Line 9: pick queries and annotate them.
+	pw := simclock.StartWatch()
+	picked := a.pick(det.Mode)
+	rep.Picked = len(picked)
+	a.Ledger.Charge("pick", pw.Stop())
+
+	anW := simclock.StartWatch()
+	rep.Annotated = a.annotate(picked)
+	a.Ledger.Charge("annotate", anW.Stop())
+
+	// Line 10: update 𝕄 from the pool.
+	mw := simclock.StartWatch()
+	a.updateModel(picked)
+	rep.Updated = true
+	a.Ledger.Charge("model", mw.Stop())
+
+	// Early stop (§3.4): when the model stops improving on its best
+	// observed error for several consecutive periods, raise π so det_drft
+	// goes quiet until a larger drift appears. Comparing against the best
+	// (not the previous period) makes the check robust to evaluation
+	// noise, and π growth is capped so a real new drift can always
+	// re-trigger detection.
+	evalSet := a.Pool.LabeledBySource(pool.SrcNew)
+	if len(evalSet) >= 10 {
+		cur := ce.EvalGMQ(a.M, lastN(evalSet, 200))
+		if !a.haveBest || cur < a.bestEvalGMQ-a.Cfg.GainEps {
+			if !a.haveBest || cur < a.bestEvalGMQ {
+				a.bestEvalGMQ = cur
+			}
+			a.haveBest = true
+			a.stall = 0
+			a.det.pi = a.Cfg.Pi
+		} else {
+			a.stall++
+			if a.stall >= earlyStopStall {
+				if a.det.pi < a.Cfg.Pi*maxPiGrowth {
+					a.det.pi *= a.Cfg.PiBoost
+				}
+				rep.EarlyStopped = true
+			}
+			// γ online tuning: slow improvement under c4 suggests γ was
+			// underestimated (§3.4).
+			if det.Mode.Has(C4) {
+				a.det.gamma = a.det.gamma * 3 / 2
+			}
+		}
+	}
+
+	a.Pool.TrimGenerated(a.Cfg.MaxPoolGen)
+	if det.Mode.Has(C1) {
+		a.det.telemetry.Canaries.Rebase(a.ann)
+		// Keep c1 pending while stale labels remain (unless the early stop
+		// decided further adaptation is not worth it).
+		staleLeft := false
+		for _, pe := range a.Pool.Entries {
+			if pe.Stale {
+				staleLeft = true
+				break
+			}
+		}
+		a.det.pendingC1 = staleLeft && !rep.EarlyStopped
+	}
+	rep.Busy = w.Stop()
+	return rep
+}
+
+// pick runs ℙ according to the drift mode (Table 2).
+func (a *Adapter) pick(mode Mode) []*pool.Entry {
+	n := a.Cfg.PickSize
+	switch {
+	case mode.Has(C2):
+		// Generated queries weighted by discriminator confidence — labeled
+		// ones included, so previously annotated synthetic queries are
+		// re-used only while they still resemble the new workload; freshly
+		// arrived unlabeled queries ride along (they are the signal).
+		cands := a.Pool.BySource(pool.SrcGen)
+		picked := a.Picker.PickGenerated(cands, n, a.rng)
+		return append(picked, a.Pool.Unlabeled(pool.SrcNew)...)
+	case mode.Has(C1):
+		// Re-annotate the most useful training-set queries.
+		labeled := a.entriesWithAnyGT()
+		return a.Picker.PickStratified(a.M, labeled, a.Pool.BySource(pool.SrcTrain), n, a.rng)
+	case mode.Has(C3):
+		// Annotate the most useful unlabeled new queries.
+		labeled := a.entriesWithAnyGT()
+		return a.Picker.PickStratified(a.M, labeled, a.Pool.Unlabeled(pool.SrcNew), n, a.rng)
+	default: // c4: adequate labeled queries; nothing to pick.
+		return nil
+	}
+}
+
+// entriesWithAnyGT returns entries carrying a label, fresh or stale — stale
+// labels still inform the error stratification.
+func (a *Adapter) entriesWithAnyGT() []*pool.Entry {
+	var out []*pool.Entry
+	for _, e := range a.Pool.Entries {
+		if e.GT >= 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// annotate computes ground truth for picked entries that lack a fresh label,
+// honoring the annotation budget. It returns the number of annotator calls.
+func (a *Adapter) annotate(picked []*pool.Entry) int {
+	budget := a.Cfg.AnnotateBudget
+	count := 0
+	for _, e := range picked {
+		if e.HasGT() {
+			continue
+		}
+		if budget > 0 && count >= budget {
+			break
+		}
+		e.GT = a.ann.Count(e.Pred)
+		e.Stale = false
+		count++
+	}
+	return count
+}
+
+// updateModel runs line 10 of Algorithm 1: fine-tuning models get the
+// labeled picked/new queries; re-training models get the full labeled pool.
+func (a *Adapter) updateModel(picked []*pool.Entry) {
+	if a.M.Policy() == ce.Retrain {
+		all := a.Pool.Labeled()
+		if len(all) > 0 {
+			a.M.Update(all)
+		}
+		return
+	}
+	// Fine-tune on the labeled picked set (which re-samples the useful
+	// generated queries by current discriminator confidence) plus every
+	// labeled new arrival accumulated in the pool — the pool is Warper's
+	// advantage over plain fine-tuning, which only ever sees the fresh
+	// arrivals.
+	seen := map[*pool.Entry]bool{}
+	var examples []query.Labeled
+	add := func(e *pool.Entry) {
+		if e.HasGT() && !seen[e] {
+			seen[e] = true
+			examples = append(examples, query.Labeled{Pred: e.Pred, Card: e.GT})
+		}
+	}
+	for _, e := range picked {
+		add(e)
+	}
+	for _, e := range a.Pool.BySource(pool.SrcNew) {
+		add(e)
+	}
+	if len(examples) > 0 {
+		a.M.Update(examples)
+	}
+}
+
+// Gamma exposes the current (online-tuned) γ.
+func (a *Adapter) Gamma() int { return a.det.gamma }
+
+// Pi exposes the current drift threshold π.
+func (a *Adapter) Pi() float64 { return a.det.pi }
+
+// Components returns the learned modules for inspection (visualization,
+// tests). The returned struct is live.
+func (a *Adapter) Components() *components { return a.comps }
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func lastN(xs []query.Labeled, n int) []query.Labeled {
+	if len(xs) <= n {
+		return xs
+	}
+	return xs[len(xs)-n:]
+}

@@ -1,0 +1,445 @@
+package warper
+
+import (
+	"math"
+	"math/rand"
+
+	"warper/internal/mathx"
+	"warper/internal/nn"
+	"warper/internal/pool"
+	"warper/internal/query"
+)
+
+// components bundles the three learned Warper modules of Table 3:
+//
+//	encoder 𝔼:  (featurized predicate, gt signal) → z
+//	generator 𝔾: z (+ noise) → featurized predicate    (also the AE decoder)
+//	discriminator 𝔻: z → logits over {gen, new, train}
+type components struct {
+	enc  *nn.Network
+	gen  *nn.Network
+	disc *nn.Network
+
+	sch      *query.Schema
+	embedDim int
+	batch    int
+
+	optEnc  nn.Optimizer
+	optGen  nn.Optimizer
+	optDisc Optimizer4
+	rng     *rand.Rand
+
+	// gtScale normalizes log-cardinality inputs to the encoder.
+	gtScale float64
+}
+
+// Optimizer4 aliases nn.Optimizer; named to keep struct alignment readable.
+type Optimizer4 = nn.Optimizer
+
+// discriminator class indices: the source order {gen, new, train} from §3.3.
+const (
+	classGen   = 0
+	classNew   = 1
+	classTrain = 2
+	numClasses = 3
+)
+
+func classOf(s pool.Source) int {
+	switch s {
+	case pool.SrcGen:
+		return classGen
+	case pool.SrcNew:
+		return classNew
+	default:
+		return classTrain
+	}
+}
+
+// newComponents builds 𝔼, 𝔾, 𝔻 per Table 3 (with configurable width/depth
+// for the Figure 10 sweep). nRows scales the encoder's gt input.
+func newComponents(cfg Config, sch *query.Schema, nRows int, rng *rand.Rand) *components {
+	featDim := sch.FeatureDim()
+	encIn := featDim + 2 // features + normalized log-gt + has-gt flag
+	c := &components{
+		sch:      sch,
+		embedDim: cfg.EmbedDim,
+		batch:    cfg.Batch,
+		rng:      rng,
+		gtScale:  math.Log1p(float64(nRows) + 1),
+	}
+	// A tanh bottleneck bounds z to [-1,1]^k: unbounded embeddings make the
+	// decoder brittle under the ε perturbation and destabilize 𝔻 training.
+	enc := nn.MLP(encIn, cfg.Hidden, cfg.Depth, cfg.EmbedDim, rng)
+	enc.Layers = append(enc.Layers, nn.NewTanh())
+	c.enc = enc
+	// 𝔾 maps z → m (the featurization consumed by 𝕄). The output layer is
+	// linear — query.Unfeaturize clamps into the unit feature box; a sigmoid
+	// here would saturate at the (very common) 0/1 feature values and kill
+	// the reconstruction gradient exactly where predicates deviate.
+	c.gen = nn.MLP(cfg.EmbedDim, cfg.Hidden, cfg.Depth, featDim, rng)
+	// 𝔻 is a single FC layer (Table 3).
+	c.disc = nn.NewNetwork(nn.NewDense(cfg.EmbedDim, numClasses, rng))
+
+	// §3.5 trains with lr=1e-3; Adam (the sklearn/PyTorch default the paper
+	// builds on) converges in the few hundred steps available per
+	// invocation, where plain SGD at this rate would not.
+	c.optEnc = nn.NewAdam(cfg.LR)
+	c.optGen = nn.NewAdam(cfg.LR)
+	c.optDisc = nn.NewAdam(cfg.LR)
+	return c
+}
+
+// encoderInput builds the 𝔼 input for an entry: featurized predicate plus
+// the ground-truth signal when available and fresh (§3.2: "embed() uses the
+// ground truth labels as an additional input ... whenever they are available
+// and up-to-date").
+func (c *components) encoderInput(e *pool.Entry) []float64 {
+	feat := e.Pred.Featurize(c.sch)
+	in := make([]float64, len(feat)+2)
+	copy(in, feat)
+	if e.HasGT() {
+		in[len(feat)] = math.Log1p(e.GT) / c.gtScale
+		in[len(feat)+1] = 1
+	}
+	return in
+}
+
+// Embed computes z = 𝔼(q, gt) and stores it on the entry.
+func (c *components) Embed(e *pool.Entry) []float64 {
+	z := c.enc.Forward(c.encoderInput(e))
+	e.Z = append(e.Z[:0], z...)
+	return e.Z
+}
+
+// EmbedAll refreshes the embedding of every entry (each Algorithm-1
+// invocation re-embeds so stale z never lingers after 𝔼 updates).
+func (c *components) EmbedAll(p *pool.Pool) {
+	for _, e := range p.Entries {
+		c.Embed(e)
+	}
+}
+
+// Classify runs 𝔻 on an entry's embedding, storing l' and the confidence s'
+// (the softmax probability that the predicate resembles the new workload).
+func (c *components) Classify(e *pool.Entry) (pool.Source, float64) {
+	if len(e.Z) == 0 {
+		c.Embed(e)
+	}
+	probs := nn.Softmax(c.disc.Forward(e.Z))
+	best := classGen
+	for k := 1; k < numClasses; k++ {
+		if probs[k] > probs[best] {
+			best = k
+		}
+	}
+	var src pool.Source
+	switch best {
+	case classGen:
+		src = pool.SrcGen
+	case classNew:
+		src = pool.SrcNew
+	default:
+		src = pool.SrcTrain
+	}
+	e.PredSource = src
+	e.Conf = probs[classNew]
+	return src, probs[classNew]
+}
+
+// ClassifyAll refreshes l', s' for the given entries.
+func (c *components) ClassifyAll(entries []*pool.Entry) {
+	for _, e := range entries {
+		c.Classify(e)
+	}
+}
+
+// sampleEntries draws n entries uniformly with replacement.
+func sampleEntries(entries []*pool.Entry, n int, rng *rand.Rand) []*pool.Entry {
+	if len(entries) == 0 {
+		return nil
+	}
+	out := make([]*pool.Entry, n)
+	for i := range out {
+		out[i] = entries[rng.Intn(len(entries))]
+	}
+	return out
+}
+
+// aeStep runs one autoencoder minibatch: q → 𝔼 → z → 𝔾 → q̂ with L1
+// reconstruction loss (Eq. 1), updating 𝔼 and 𝔾.
+func (c *components) aeStep(batch []*pool.Entry) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	c.enc.ZeroGrad()
+	c.gen.ZeroGrad()
+	var loss nn.L1
+	var total float64
+	for _, e := range batch {
+		in := c.encoderInput(e)
+		target := in[:c.sch.FeatureDim()]
+		z := c.enc.Forward(in)
+		rec := c.gen.Forward(z)
+		total += loss.Loss(rec, target)
+		gz := c.gen.Backward(loss.Grad(rec, target))
+		c.enc.Backward(gz)
+	}
+	scale := 1 / float64(len(batch))
+	scaleGrads(c.enc, scale)
+	scaleGrads(c.gen, scale)
+	c.optEnc.Step(c.enc.Params())
+	c.optGen.Step(c.gen.Params())
+	return total / float64(len(batch))
+}
+
+// UpdateAutoEncoder implements update_AutoEncoder (§3.3) over the whole pool
+// for the given number of epochs, regardless of label availability.
+func (c *components) UpdateAutoEncoder(p *pool.Pool, epochs int) float64 {
+	entries := p.Entries
+	if len(entries) == 0 {
+		return 0
+	}
+	var last float64
+	for e := 0; e < epochs; e++ {
+		perm := c.rng.Perm(len(entries))
+		var epochLoss float64
+		var batches int
+		for start := 0; start < len(perm); start += c.batch {
+			end := start + c.batch
+			if end > len(perm) {
+				end = len(perm)
+			}
+			batch := make([]*pool.Entry, 0, end-start)
+			for _, j := range perm[start:end] {
+				batch = append(batch, entries[j])
+			}
+			epochLoss += c.aeStep(batch)
+			batches++
+		}
+		c.optEnc.EndEpoch()
+		c.optGen.EndEpoch()
+		last = epochLoss / float64(batches)
+	}
+	return last
+}
+
+// discStep trains 𝔻 on one minibatch with the 3-class cross-entropy
+// 𝓛_discr = CE(l, l_d). 𝔼 provides embeddings but is held fixed here; it
+// learns through the autoencoder task each iteration.
+func (c *components) discStep(batch []*pool.Entry) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	c.disc.ZeroGrad()
+	var loss nn.SoftmaxCrossEntropy
+	var total float64
+	for _, e := range batch {
+		z := c.enc.Forward(c.encoderInput(e))
+		logits := c.disc.Forward(z)
+		target := nn.OneHot(numClasses, classOf(e.Source))
+		total += loss.Loss(logits, target)
+		c.disc.Backward(loss.Grad(logits, target))
+	}
+	scaleGrads(c.disc, 1/float64(len(batch)))
+	c.optDisc.Step(c.disc.Params())
+	return total / float64(len(batch))
+}
+
+// genAnchorWeight balances the adversarial objective against an L1 anchor to
+// the seed predicate's featurization. The anchor keeps 𝔾 a usable decoder:
+// without it the adversarial gradient collapses 𝔾 to a single fooling point
+// and the generated queries stop resembling any real workload.
+const (
+	genAnchorWeight = 1.0
+	genAdvWeight    = 0.2
+)
+
+// genStep trains 𝔾 adversarially: z+ε → 𝔾 → q_gen → 𝔼 → z' → 𝔻 → l', with
+// 𝓛_gen = CE(l', new) + anchor·L1(q_gen, q_seed). Gradients flow through 𝔻
+// and 𝔼 but only 𝔾 steps.
+func (c *components) genStep(seeds []*pool.Entry, sigma []float64) float64 {
+	if len(seeds) == 0 {
+		return 0
+	}
+	c.enc.ZeroGrad()
+	c.gen.ZeroGrad()
+	c.disc.ZeroGrad()
+	var ce nn.SoftmaxCrossEntropy
+	var l1 nn.L1
+	target := nn.OneHot(numClasses, classNew)
+	var total float64
+	for _, seed := range seeds {
+		if len(seed.Z) != c.embedDim {
+			c.Embed(seed)
+		}
+		zin := c.noisy(seed.Z, sigma)
+		feat := c.gen.Forward(zin)
+		anchor := seed.Pred.Featurize(c.sch)
+		encIn := c.withoutGT(feat)
+		z2 := c.enc.Forward(encIn)
+		logits := c.disc.Forward(z2)
+		total += genAdvWeight*ce.Loss(logits, target) + genAnchorWeight*l1.Loss(feat, anchor)
+		gCE := ce.Grad(logits, target)
+		for i := range gCE {
+			gCE[i] *= genAdvWeight
+		}
+		gz2 := c.disc.Backward(gCE)
+		gEncIn := c.enc.Backward(gz2)
+		gFeat := gEncIn[:c.sch.FeatureDim()]
+		for i, g := range l1.Grad(feat, anchor) {
+			gFeat[i] += genAnchorWeight * g
+		}
+		c.gen.Backward(gFeat)
+	}
+	scaleGrads(c.gen, 1/float64(len(seeds)))
+	// 𝔻 and 𝔼 accumulated gradients are discarded: only 𝔾 steps here.
+	c.disc.ZeroGrad()
+	c.enc.ZeroGrad()
+	c.optGen.Step(c.gen.Params())
+	return total / float64(len(seeds))
+}
+
+// withoutGT pads a generated featurization into an encoder input with the
+// no-ground-truth signal.
+func (c *components) withoutGT(feat []float64) []float64 {
+	in := make([]float64, len(feat)+2)
+	copy(in, feat)
+	return in
+}
+
+// noiseScale shrinks the ε noise below the raw per-dimension embedding std:
+// seeding with z + N(0, σ²) would double the generated distribution's
+// variance relative to the real new workload, which measurably widens it
+// (higher δ_js to the target workload).
+var noiseScale = 0.4
+
+// noisy returns z + ε with ε ~ N(0, (noiseScale·σ)²) per dimension (§3.2: σ
+// derives from the std of the embeddings of previously seen predicates).
+func (c *components) noisy(z []float64, sigma []float64) []float64 {
+	out := make([]float64, len(z))
+	for i := range z {
+		out[i] = z[i] + c.rng.NormFloat64()*sigma[i]*noiseScale
+	}
+	return out
+}
+
+// embeddingStd computes the per-dimension std of the given entries'
+// embeddings.
+func (c *components) embeddingStd(entries []*pool.Entry) []float64 {
+	sigma := make([]float64, c.embedDim)
+	if len(entries) < 2 {
+		for i := range sigma {
+			sigma[i] = 0.1
+		}
+		return sigma
+	}
+	for d := 0; d < c.embedDim; d++ {
+		col := make(mathx.Vector, 0, len(entries))
+		for _, e := range entries {
+			if len(e.Z) == c.embedDim {
+				col = append(col, e.Z[d])
+			}
+		}
+		sigma[d] = col.Std()
+		if sigma[d] <= 0 {
+			sigma[d] = 0.05
+		}
+	}
+	return sigma
+}
+
+// ganLoss is one combined measurement of 𝓛_GAN = 𝓛_gen + 𝓛_discr used for
+// the convergence-based early stop in the GAN loop.
+type ganLoss struct{ AE, Gen, Disc float64 }
+
+func (g ganLoss) total() float64 { return g.Gen + g.Disc }
+
+// UpdateMultiTask implements update_MultiTask (§3.3): up to nIters GAN
+// iterations, each consisting of an autoencoder step (so 𝔼/𝔾 keep adapting
+// on the fly), a discriminator step over {gen,new,train} samples, and an
+// adversarial generator step from new-workload embeddings. It early-stops
+// when 𝓛_GAN converges (§3.5).
+func (c *components) UpdateMultiTask(p *pool.Pool, nIters int) ganLoss {
+	newEntries := p.BySource(pool.SrcNew)
+	if len(newEntries) == 0 {
+		// Nothing to imitate; fall back to the autoencoder task.
+		c.UpdateAutoEncoder(p, 1)
+		return ganLoss{}
+	}
+	c.EmbedAll(p)
+	var last ganLoss
+	prev := math.Inf(1)
+	stall := 0
+	for it := 0; it < nIters; it++ {
+		// Task 1: autoencoder minibatch over the whole pool.
+		aeBatch := sampleEntries(p.Entries, c.batch, c.rng)
+		last.AE = c.aeStep(aeBatch)
+
+		// Task 2: discriminator on real pool entries plus freshly generated
+		// fakes so 𝔻 sees all three classes.
+		discBatch := sampleEntries(p.Entries, c.batch/2, c.rng)
+		sigma := c.embeddingStd(newEntries)
+		fakes := c.generateEntries(newEntries, c.batch/2, sigma)
+		discBatch = append(discBatch, fakes...)
+		last.Disc = c.discStep(discBatch)
+
+		// Task 3: adversarial generator step seeded from new-workload
+		// embeddings.
+		seedEntries := sampleEntries(newEntries, c.batch/2, c.rng)
+		last.Gen = c.genStep(seedEntries, sigma)
+
+		c.optDisc.EndEpoch()
+
+		// Early stop when 𝓛_GAN stops improving.
+		if math.Abs(prev-last.total()) < 1e-3 {
+			stall++
+			if stall >= 5 {
+				break
+			}
+		} else {
+			stall = 0
+		}
+		prev = last.total()
+	}
+	return last
+}
+
+// generateEntries synthesizes n throwaway entries (not added to the pool)
+// for discriminator training.
+func (c *components) generateEntries(newEntries []*pool.Entry, n int, sigma []float64) []*pool.Entry {
+	out := make([]*pool.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		e := newEntries[c.rng.Intn(len(newEntries))]
+		c.Embed(e) // re-embed: 𝔼 may have changed since e.Z was cached
+		feat := c.gen.Forward(c.noisy(e.Z, sigma))
+		pred := query.Unfeaturize(feat, c.sch)
+		out = append(out, &pool.Entry{Pred: pred, GT: pool.NoGT, Source: pool.SrcGen})
+	}
+	return out
+}
+
+// Generate implements pool.gen(𝔾, 𝔼, n): n synthetic predicates seeded from
+// the embeddings of newly arrived queries plus Gaussian noise.
+func (c *components) Generate(p *pool.Pool, n int) []query.Predicate {
+	newEntries := p.BySource(pool.SrcNew)
+	if len(newEntries) == 0 || n <= 0 {
+		return nil
+	}
+	sigma := c.embeddingStd(newEntries)
+	out := make([]query.Predicate, 0, n)
+	for i := 0; i < n; i++ {
+		e := newEntries[c.rng.Intn(len(newEntries))]
+		c.Embed(e) // re-embed: 𝔼 may have changed since e.Z was cached
+		feat := c.gen.Forward(c.noisy(e.Z, sigma))
+		out = append(out, query.Unfeaturize(feat, c.sch))
+	}
+	return out
+}
+
+func scaleGrads(n *nn.Network, s float64) {
+	for _, p := range n.Params() {
+		for i := range p.G {
+			p.G[i] *= s
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package warper implements the paper's core contribution: a model-agnostic
+// adaptation layer that detects data and workload drifts (det_drft, §3.1),
+// synthesizes realistic predicates with a 3-class GAN when new queries are
+// scarce (𝔼/𝔾/𝔻, §3.3), picks the most useful queries to annotate (ℙ, §3.2)
+// and updates the underlying CE model (Algorithm 1), with the early-stopping
+// and γ-tuning robustness mechanisms of §3.4.
+package warper
+
+// Config holds every tunable of the Warper system. Zero values are replaced
+// with the paper's defaults by withDefaults.
+type Config struct {
+	// EmbedDim is |z|, the encoder output width.
+	EmbedDim int
+	// Hidden and Depth shape 𝔼 and 𝔾 (Table 3 uses 3 hidden FC-128 layers);
+	// Figure 10 sweeps these.
+	Hidden int
+	Depth  int
+	// NIters is n_i, the per-invocation cap on GAN update iterations (§3.5
+	// uses 100 with early stopping on loss convergence).
+	NIters int
+	// Batch is the minibatch size for component training.
+	Batch int
+	// LR is the component learning rate (§3.5: 1e-3, halved every 10
+	// epochs).
+	LR float64
+
+	// GenFraction sets n_g = GenFraction·n_t generated queries per step
+	// (§4.1 uses 10%); the generator is disabled when n_g < 1.
+	GenFraction float64
+	// PickSize is n_p, the number of queries the picker returns (§4.1 uses
+	// a fixed 1K; scaled deployments set it near their γ).
+	PickSize int
+	// AnnotateBudget caps annotations per invocation (n_a). 0 = unlimited.
+	AnnotateBudget int
+	// ErrorBuckets is the stratification bucket count for the c1/c3 picker.
+	ErrorBuckets int
+	// KNN is the neighbor count when assigning unlabeled queries to error
+	// buckets by embedding distance.
+	KNN int
+
+	// Pi is the initial drift threshold π on the accuracy gap δ_m.
+	Pi float64
+	// PiBoost multiplies π after an early stop (§3.4).
+	PiBoost float64
+	// GainEps is the minimum per-step GMQ gain below which Warper early
+	// stops.
+	GainEps float64
+	// JSThreshold flags a workload drift when δ_js exceeds it.
+	JSThreshold float64
+	// Gamma is γ, the number of annotated queries needed for a robust
+	// model, estimated offline from the training curve and tuned online.
+	Gamma int
+
+	// MaxPoolGen bounds retained generated entries across periods.
+	MaxPoolGen int
+	// Canaries is the number of canary predicates for data-drift telemetry.
+	Canaries int
+
+	// Seed drives all of Warper's internal randomness.
+	Seed int64
+}
+
+// DefaultConfig returns the §3.5/§4.1 settings scaled to this reproduction.
+func DefaultConfig() Config {
+	return Config{
+		EmbedDim:       16,
+		Hidden:         128,
+		Depth:          3,
+		NIters:         100,
+		Batch:          32,
+		LR:             1e-3,
+		GenFraction:    0.1,
+		PickSize:       1000,
+		AnnotateBudget: 0,
+		ErrorBuckets:   5,
+		KNN:            3,
+		Pi:             0.2,
+		PiBoost:        2.0,
+		GainEps:        0.02,
+		JSThreshold:    0.04,
+		Gamma:          400,
+		MaxPoolGen:     4000,
+		Canaries:       10,
+		Seed:           1,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.EmbedDim <= 0 {
+		c.EmbedDim = d.EmbedDim
+	}
+	if c.Hidden <= 0 {
+		c.Hidden = d.Hidden
+	}
+	if c.Depth <= 0 {
+		c.Depth = d.Depth
+	}
+	if c.NIters <= 0 {
+		c.NIters = d.NIters
+	}
+	if c.Batch <= 0 {
+		c.Batch = d.Batch
+	}
+	if c.LR <= 0 {
+		c.LR = d.LR
+	}
+	if c.GenFraction <= 0 {
+		c.GenFraction = d.GenFraction
+	}
+	if c.PickSize <= 0 {
+		c.PickSize = d.PickSize
+	}
+	if c.ErrorBuckets <= 0 {
+		c.ErrorBuckets = d.ErrorBuckets
+	}
+	if c.KNN <= 0 {
+		c.KNN = d.KNN
+	}
+	if c.Pi <= 0 {
+		c.Pi = d.Pi
+	}
+	if c.PiBoost <= 0 {
+		c.PiBoost = d.PiBoost
+	}
+	if c.GainEps <= 0 {
+		c.GainEps = d.GainEps
+	}
+	if c.JSThreshold <= 0 {
+		c.JSThreshold = d.JSThreshold
+	}
+	if c.Gamma <= 0 {
+		c.Gamma = d.Gamma
+	}
+	if c.MaxPoolGen <= 0 {
+		c.MaxPoolGen = d.MaxPoolGen
+	}
+	if c.Canaries <= 0 {
+		c.Canaries = d.Canaries
+	}
+	return c
+}

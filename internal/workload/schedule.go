@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"math/rand"
+
+	"warper/internal/dataset"
+)
+
+// Phase is one stretch of a drift schedule: which workload generates the
+// incoming queries, for how many adaptation periods, and an optional data
+// mutation applied once when the phase begins (for combined data+workload
+// drifts such as Drift C in §4.2).
+type Phase struct {
+	Gen     Generator
+	Periods int
+	// OnEnter, if non-nil, mutates the table when the phase starts.
+	OnEnter func(t *dataset.Table, rng *rand.Rand)
+}
+
+// Schedule sequences phases over adaptation periods, reproducing the drift
+// shapes of Figure 2: one-shot drifts, persistent drifts, alternating drifts
+// and combinations. After the last phase the final generator persists.
+type Schedule struct {
+	Phases []Phase
+}
+
+// NewSchedule builds a schedule from phases.
+func NewSchedule(phases ...Phase) *Schedule { return &Schedule{Phases: phases} }
+
+// PhaseAt returns the phase active at the given zero-based period and whether
+// that period is the phase's first (so OnEnter should fire).
+func (s *Schedule) PhaseAt(period int) (Phase, bool) {
+	acc := 0
+	for _, p := range s.Phases {
+		if period < acc+p.Periods {
+			return p, period == acc
+		}
+		acc += p.Periods
+	}
+	last := s.Phases[len(s.Phases)-1]
+	return last, false
+}
+
+// TotalPeriods returns the sum of phase lengths.
+func (s *Schedule) TotalPeriods() int {
+	n := 0
+	for _, p := range s.Phases {
+		n += p.Periods
+	}
+	return n
+}
