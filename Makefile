@@ -1,0 +1,23 @@
+# Build/test entry points. `make check` is the full tier-1 flow the CI
+# driver runs; `make race` exercises the concurrency-sensitive packages
+# (HTTP serving, metrics registry) under the race detector.
+
+GO ?= go
+
+.PHONY: build test race vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The serving lock split and the atomic metrics registry are the two places
+# new races would appear; keep them permanently under -race.
+race:
+	$(GO) test -race ./internal/serve/... ./internal/obs/...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race

@@ -3,22 +3,28 @@
 // It loads (or synthesizes) a table, trains a CE model on an initial
 // workload, wraps it in a Warper adapter, and exposes:
 //
-//	POST /estimate  {"lows": [...], "highs": [...]}            → {"cardinality": N}
-//	POST /feedback  {"lows": [...], "highs": [...], "cardinality": N}
-//	POST /period    run one adaptation period over buffered feedback
-//	GET  /status    model, pool, thresholds, component costs
+//	POST /estimate     {"lows": [...], "highs": [...]}            → {"cardinality": N}
+//	POST /feedback     {"lows": [...], "highs": [...], "cardinality": N}
+//	POST /period       run one adaptation period over buffered feedback
+//	GET  /status       model, pool, thresholds, component costs
+//	GET  /metrics      Prometheus text exposition
+//	GET  /debug/vars   JSON metric dump
+//	GET  /debug/pprof/ CPU/heap profiles (only with -pprof)
 //	GET  /healthz
+//
+// Logs are structured (log/slog): one summary line per adaptation period at
+// info level, per-request lines at debug level (-log-level debug).
 //
 // Usage:
 //
 //	warperd -addr :8080 -dataset prsa                 # synthetic table
 //	warperd -addr :8080 -csv mydata.csv -model lm-mlp # your own CSV
+//	warperd -addr :8080 -pprof -log-level debug       # full observability
 package main
 
 import (
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"os"
@@ -42,20 +48,33 @@ func main() {
 		trainSize = flag.Int("train", 600, "initial training workload size")
 		trainWkld = flag.String("workload", "w1", "initial workload spec (w1..w5, mixtures like w12)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		pprofOn   = flag.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		slog.Error("bad -log-level", "value", *logLevel, "err", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+
 	rng := rand.New(rand.NewSource(*seed))
 
 	var tbl *dataset.Table
 	if *csvPath != "" {
 		f, err := os.Open(*csvPath)
 		if err != nil {
-			log.Fatalf("open csv: %v", err)
+			logger.Error("open csv", "path", *csvPath, "err", err)
+			os.Exit(1)
 		}
 		tbl, err = dataset.FromCSV("csv", f, dataset.CSVOptions{HasHeader: true})
 		f.Close()
 		if err != nil {
-			log.Fatalf("parse csv: %v", err)
+			logger.Error("parse csv", "path", *csvPath, "err", err)
+			os.Exit(1)
 		}
 	} else {
 		switch *ds {
@@ -66,12 +85,13 @@ func main() {
 		case "prsa":
 			tbl = dataset.PRSA(*rows, rng)
 		default:
-			log.Fatalf("unknown dataset %q", *ds)
+			logger.Error("unknown dataset", "dataset", *ds)
+			os.Exit(1)
 		}
 	}
 	sch := query.SchemaOf(tbl)
 	ann := annotator.New(tbl)
-	log.Printf("table %q: %d rows × %d cols", tbl.Name, tbl.NumRows(), tbl.NumCols())
+	logger.Info("table loaded", "name", tbl.Name, "rows", tbl.NumRows(), "cols", tbl.NumCols())
 
 	var m ce.Estimator
 	switch *model {
@@ -84,19 +104,24 @@ func main() {
 	case "lm-rbf":
 		m = ce.NewLM(ce.LMRBF, sch, *seed)
 	default:
-		log.Fatalf("unknown model %q", *model)
+		logger.Error("unknown model", "model", *model)
+		os.Exit(1)
 	}
 	g := workload.Parse(*trainWkld, tbl, sch, workload.Options{MaxConstrained: 2})
 	train := ann.AnnotateAll(workload.Generate(g, *trainSize, rng))
 	m.Train(train)
-	log.Printf("trained %s on %d labeled %s queries (GMQ %.2f in-distribution)",
-		m.Name(), len(train), g.Name(), ce.EvalGMQ(m, train))
+	logger.Info("model trained",
+		"model", m.Name(), "examples", len(train), "workload", g.Name(),
+		"gmq_in_dist", ce.EvalGMQ(m, train))
 
 	adapter := warper.New(warper.DefaultConfig(), m, sch, ann, train)
-	srv := serve.New(adapter, sch)
-	log.Printf("serving on %s", *addr)
+	srv := serve.NewWithOptions(adapter, sch, serve.Options{
+		Logger:      logger,
+		EnablePprof: *pprofOn,
+	})
+	logger.Info("serving", "addr", *addr, "pprof", *pprofOn)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error("listen", "err", err)
 		os.Exit(1)
 	}
 }

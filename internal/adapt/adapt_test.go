@@ -7,6 +7,7 @@ import (
 	"warper/internal/annotator"
 	"warper/internal/ce"
 	"warper/internal/dataset"
+	"warper/internal/obs"
 	"warper/internal/query"
 	"warper/internal/warper"
 	"warper/internal/workload"
@@ -56,6 +57,24 @@ func TestFTImprovesOnNewWorkload(t *testing.T) {
 	}
 	if ft.AnnotationsSpent() != 0 {
 		t.Error("FT must not spend annotations")
+	}
+}
+
+func TestRunnerFeedsQErrorHistogram(t *testing.T) {
+	e := newEnv(t)
+	ft := NewFT(e.trainedLM(8), e.train)
+	h := obs.NewHistogram(obs.QErrorOpts())
+	r := &Runner{Test: e.test, QErrHist: h}
+	periods := SplitPeriods(ArrivalsOf(e.newQ[:120], true), 60)
+	curve := r.Run(ft, periods)
+	// One evaluation per curve point, one observation per test query.
+	want := int64(curve.Len() * len(e.test))
+	if got := h.Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	// q-errors are ≥ 1, so the histogram median must be too.
+	if q := h.Quantile(0.5); q < 0.5 {
+		t.Errorf("p50 q-error = %v, implausibly small", q)
 	}
 }
 

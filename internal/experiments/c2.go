@@ -5,6 +5,7 @@ import (
 
 	"warper/internal/adapt"
 	"warper/internal/metrics"
+	"warper/internal/obs"
 )
 
 // C2Result aggregates one c2 comparison: multiple adaptation methods run on
@@ -22,6 +23,11 @@ type C2Result struct {
 	Curves map[string]*metrics.Curve
 	// Annotations maps method name to mean extra annotations spent.
 	Annotations map[string]float64
+	// QErrors maps method name to the log-scale q-error histogram
+	// accumulated over every evaluation of every run — the same histogram
+	// shape the serving stack exports on /metrics, so tail behavior
+	// (p95/p99) is reported consistently on- and offline.
+	QErrors map[string]*obs.Histogram
 }
 
 // Speedups returns (Δ.5, Δ.8, Δ1) of a method relative to the FT curve.
@@ -41,6 +47,7 @@ func RunC2(dsName, trainSpec, newSpec, model string, methodNames []string, sc Sc
 		MethodOrder: methodNames,
 		Curves:      map[string]*metrics.Curve{},
 		Annotations: map[string]float64{},
+		QErrors:     map[string]*obs.Histogram{},
 	}
 	type agg struct {
 		points [][]float64 // per curve point, the GMQ of every run
@@ -56,6 +63,10 @@ func RunC2(dsName, trainSpec, newSpec, model string, methodNames []string, sc Sc
 		periods := adapt.SplitPeriods(adapt.ArrivalsOf(env.Stream, true), sc.PeriodSize)
 		runner := &adapt.Runner{Test: env.Test}
 		for _, m := range env.Methods(methodNames, sc, runSeed+17) {
+			if res.QErrors[m.Name()] == nil {
+				res.QErrors[m.Name()] = obs.NewHistogram(obs.QErrorOpts())
+			}
+			runner.QErrHist = res.QErrors[m.Name()]
 			curve := runner.Run(m, periods)
 			a := aggs[m.Name()]
 			if a == nil {

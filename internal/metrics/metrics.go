@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"log/slog"
 	"math"
 	"sort"
 
@@ -28,10 +29,15 @@ func QErrorTheta(est, actual, theta float64) float64 {
 }
 
 // GMQ returns the geometric mean q-error over paired estimates and actuals.
-// It panics if the slices differ in length and returns 0 for empty input.
+// It returns 0 for empty input. A length mismatch is a malformed batch (a
+// bug or bad feedback payload upstream); it is logged and reported as the
+// neutral GMQ 1 rather than panicking, so a malformed feedback batch can
+// never crash a serving process.
 func GMQ(ests, actuals []float64) float64 {
 	if len(ests) != len(actuals) {
-		panic("metrics: GMQ length mismatch")
+		slog.Warn("metrics: GMQ length mismatch, reporting neutral GMQ",
+			"estimates", len(ests), "actuals", len(actuals))
+		return 1
 	}
 	if len(ests) == 0 {
 		return 0

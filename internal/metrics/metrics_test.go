@@ -56,13 +56,21 @@ func TestGMQ(t *testing.T) {
 	}
 }
 
-func TestGMQMismatchPanics(t *testing.T) {
+// TestGMQMismatchDoesNotPanic is a regression test: a malformed feedback
+// batch (mismatched estimate/actual lengths) must degrade to the neutral
+// GMQ 1, never crash the server.
+func TestGMQMismatchDoesNotPanic(t *testing.T) {
 	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+		if r := recover(); r != nil {
+			t.Fatalf("GMQ panicked on length mismatch: %v", r)
 		}
 	}()
-	GMQ([]float64{1}, []float64{1, 2})
+	if got := GMQ([]float64{1}, []float64{1, 2}); got != 1 {
+		t.Errorf("GMQ(mismatch) = %v, want neutral 1", got)
+	}
+	if got := GMQ(nil, []float64{3}); got != 1 {
+		t.Errorf("GMQ(nil, one) = %v, want neutral 1", got)
+	}
 }
 
 func TestCurveQueriesToReach(t *testing.T) {

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden locks the exposition format byte-for-byte on a small
+// deterministic registry: HELP/TYPE headers, sorted families, label
+// rendering, cumulative histogram buckets.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Help("warper_http_requests_total", "HTTP requests by handler and code.")
+	r.Counter("warper_http_requests_total", "handler", "estimate", "code", "200").Add(3)
+	r.Counter("warper_http_requests_total", "handler", "period", "code", "409").Inc()
+	r.Gauge("warper_pi").Set(1.5)
+	h := r.Histogram("warper_qerror", HistogramOpts{Start: 1, Growth: 10, Count: 3})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(5000)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP warper_http_requests_total HTTP requests by handler and code.
+# TYPE warper_http_requests_total counter
+warper_http_requests_total{code="200",handler="estimate"} 3
+warper_http_requests_total{code="409",handler="period"} 1
+# TYPE warper_pi gauge
+warper_pi 1.5
+# TYPE warper_qerror histogram
+warper_qerror_bucket{le="1"} 1
+warper_qerror_bucket{le="10"} 2
+warper_qerror_bucket{le="100"} 2
+warper_qerror_bucket{le="+Inf"} 3
+warper_qerror_sum 5005.5
+warper_qerror_count 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestVarsJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "k", "v").Add(7)
+	r.Gauge("g").Set(2.25)
+	h := r.Histogram("h", HistogramOpts{Start: 1, Growth: 2, Count: 3})
+	h.Observe(1.5)
+	h.Observe(100)
+
+	rec := httptest.NewRecorder()
+	r.VarsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type = %q", ct)
+	}
+	var got map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("vars output is not valid JSON: %v", err)
+	}
+	var c int64
+	if err := json.Unmarshal(got[`c{k="v"}`], &c); err != nil || c != 7 {
+		t.Errorf("counter round-trip = %d, %v", c, err)
+	}
+	var g float64
+	if err := json.Unmarshal(got["g"], &g); err != nil || g != 2.25 {
+		t.Errorf("gauge round-trip = %v, %v", g, err)
+	}
+	var hj struct {
+		Count   int64   `json:"count"`
+		Sum     float64 `json:"sum"`
+		Buckets []struct {
+			Le    float64 `json:"le"`
+			Count int64   `json:"count"`
+		} `json:"buckets"`
+	}
+	if err := json.Unmarshal(got["h"], &hj); err != nil {
+		t.Fatalf("histogram round-trip: %v", err)
+	}
+	if hj.Count != 2 || hj.Sum != 101.5 {
+		t.Errorf("histogram = %+v", hj)
+	}
+	if n := len(hj.Buckets); n != 4 {
+		t.Fatalf("buckets = %d, want 4", n)
+	}
+	if hj.Buckets[3].Le != -1 || hj.Buckets[3].Count != 1 {
+		t.Errorf("overflow bucket = %+v", hj.Buckets[3])
+	}
+}
+
+func TestPrometheusHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	rec := httptest.NewRecorder()
+	r.PrometheusHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.HasPrefix(rec.Header().Get("Content-Type"), "text/plain") {
+		t.Errorf("content-type = %q", rec.Header().Get("Content-Type"))
+	}
+	if !strings.Contains(rec.Body.String(), "x 1") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}
+
+func TestAttachPprof(t *testing.T) {
+	mux := http.NewServeMux()
+	AttachPprof(mux)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Errorf("pprof index = %d", rec.Code)
+	}
+}

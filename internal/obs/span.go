@@ -1,0 +1,67 @@
+package obs
+
+import "time"
+
+// Span measures one timed section and records its duration, in seconds, into
+// a histogram. The zero Span is inert: End on it returns 0 and records
+// nothing, so callers can thread optional instrumentation without nil checks.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan begins timing against h (which may be nil).
+func StartSpan(h *Histogram) Span {
+	return Span{h: h, start: time.Now()}
+}
+
+// End stops the span, records the elapsed seconds and returns the duration.
+// It is safe to call on a zero Span and may be called at most once.
+func (s Span) End() time.Duration {
+	if s.start.IsZero() {
+		return 0
+	}
+	d := time.Since(s.start)
+	if s.h != nil {
+		s.h.Observe(d.Seconds())
+	}
+	return d
+}
+
+// Stages times a sequence of named stages within one operation: each call to
+// At closes the previous stage and opens the next, and Close closes the last
+// one. Durations are reported through the sink callback in call order,
+// making it easy to adapt to any observer interface.
+type Stages struct {
+	sink  func(stage string, d time.Duration)
+	cur   string
+	start time.Time
+}
+
+// NewStages begins a staged timing run. A nil sink makes every method a
+// no-op.
+func NewStages(sink func(stage string, d time.Duration)) *Stages {
+	return &Stages{sink: sink}
+}
+
+// At closes the current stage (if any) and starts the named one.
+func (t *Stages) At(stage string) {
+	if t == nil || t.sink == nil {
+		return
+	}
+	now := time.Now()
+	if t.cur != "" {
+		t.sink(t.cur, now.Sub(t.start))
+	}
+	t.cur = stage
+	t.start = now
+}
+
+// Close ends the current stage.
+func (t *Stages) Close() {
+	if t == nil || t.sink == nil || t.cur == "" {
+		return
+	}
+	t.sink(t.cur, time.Since(t.start))
+	t.cur = ""
+}

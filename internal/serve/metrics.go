@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"strconv"
+	"time"
+
+	"warper/internal/obs"
+	"warper/internal/warper"
+)
+
+// Metric names exposed on GET /metrics. Kept as constants so tests and the
+// README's operating guide cannot drift from the implementation.
+const (
+	mReqTotal        = "warper_http_requests_total"
+	mReqSeconds      = "warper_http_request_seconds"
+	mLockWait        = "warper_estimate_lock_wait_seconds"
+	mQError          = "warper_qerror"
+	mStageSeconds    = "warper_period_stage_seconds"
+	mPeriodsTotal    = "warper_periods_total"
+	mPeriodConflicts = "warper_period_conflicts_total"
+	mGeneratedTotal  = "warper_generated_total"
+	mAnnotatedTotal  = "warper_annotated_total"
+	mUpdatesTotal    = "warper_model_updates_total"
+	mEarlyStopsTotal = "warper_early_stops_total"
+	mPoolSize        = "warper_pool_size"
+	mPoolLabeled     = "warper_pool_labeled"
+	mBuffered        = "warper_feedback_buffered"
+	mPi              = "warper_pi"
+	mGamma           = "warper_gamma"
+	mDeltaM          = "warper_delta_m"
+	mDeltaJS         = "warper_delta_js"
+)
+
+// Metrics holds every serving-stack metric. It implements warper.Observer,
+// so wiring it as the adapter's Obs turns Period stage timings and summaries
+// into histograms and gauges with no warper→obs dependency.
+type Metrics struct {
+	Reg *obs.Registry
+
+	lockWait  *obs.Histogram
+	qerr      *obs.Histogram
+	periods   *obs.Counter
+	conflicts *obs.Counter
+	generated *obs.Counter
+	annotated *obs.Counter
+	updates   *obs.Counter
+	earlyStop *obs.Counter
+	poolSize  *obs.Gauge
+	labeled   *obs.Gauge
+	buffered  *obs.Gauge
+	pi        *obs.Gauge
+	gamma     *obs.Gauge
+	deltaM    *obs.Gauge
+	deltaJS   *obs.Gauge
+}
+
+// NewMetrics builds the serving metric set on a fresh registry.
+func NewMetrics() *Metrics {
+	r := obs.NewRegistry()
+	r.Help(mReqTotal, "HTTP requests by handler and status code.")
+	r.Help(mReqSeconds, "HTTP request latency in seconds, by handler.")
+	r.Help(mLockWait, "Time estimate/feedback requests wait for the serving lock.")
+	r.Help(mQError, "Observed q-error of served estimates, from execution feedback.")
+	r.Help(mStageSeconds, "Adaptation period stage durations in seconds.")
+	r.Help(mPeriodsTotal, "Completed adaptation periods.")
+	r.Help(mPeriodConflicts, "Period requests rejected because one was already running.")
+	r.Help(mGeneratedTotal, "Synthetic queries generated across all periods.")
+	r.Help(mAnnotatedTotal, "Ground-truth annotations spent across all periods.")
+	r.Help(mUpdatesTotal, "Model updates applied across all periods.")
+	r.Help(mEarlyStopsTotal, "Periods ended by the early-stop gain check.")
+	r.Help(mPoolSize, "Query pool size after the last period.")
+	r.Help(mPoolLabeled, "Labeled entries in the query pool after the last period.")
+	r.Help(mBuffered, "Feedback arrivals buffered for the next period.")
+	r.Help(mPi, "Current drift threshold pi.")
+	r.Help(mGamma, "Current adequate-label threshold gamma.")
+	r.Help(mDeltaM, "Accuracy-gap drift metric delta_m from the last period.")
+	r.Help(mDeltaJS, "Workload-distance drift metric delta_js from the last period.")
+	m := &Metrics{
+		Reg:       r,
+		lockWait:  r.Histogram(mLockWait, obs.LatencyOpts()),
+		qerr:      r.Histogram(mQError, obs.QErrorOpts()),
+		periods:   r.Counter(mPeriodsTotal),
+		conflicts: r.Counter(mPeriodConflicts),
+		generated: r.Counter(mGeneratedTotal),
+		annotated: r.Counter(mAnnotatedTotal),
+		updates:   r.Counter(mUpdatesTotal),
+		earlyStop: r.Counter(mEarlyStopsTotal),
+		poolSize:  r.Gauge(mPoolSize),
+		labeled:   r.Gauge(mPoolLabeled),
+		buffered:  r.Gauge(mBuffered),
+		pi:        r.Gauge(mPi),
+		gamma:     r.Gauge(mGamma),
+		deltaM:    r.Gauge(mDeltaM),
+		deltaJS:   r.Gauge(mDeltaJS),
+	}
+	// Pre-create one histogram per period stage so /metrics shows the full
+	// stage set from startup, not only after the first period.
+	for _, st := range warper.StageNames {
+		r.Histogram(mStageSeconds, obs.LatencyOpts(), "stage", st)
+	}
+	return m
+}
+
+// requestDone records one finished HTTP request.
+func (m *Metrics) requestDone(handler string, code int, d time.Duration) {
+	m.Reg.Counter(mReqTotal, "handler", handler, "code", strconv.Itoa(code)).Inc()
+	m.Reg.Histogram(mReqSeconds, obs.LatencyOpts(), "handler", handler).Observe(d.Seconds())
+}
+
+// PeriodStage implements warper.Observer.
+func (m *Metrics) PeriodStage(stage string, d time.Duration) {
+	m.Reg.Histogram(mStageSeconds, obs.LatencyOpts(), "stage", stage).Observe(d.Seconds())
+}
+
+// PeriodDone implements warper.Observer.
+func (m *Metrics) PeriodDone(st warper.PeriodStats) {
+	m.periods.Inc()
+	m.generated.Add(int64(st.Generated))
+	m.annotated.Add(int64(st.Annotated))
+	if st.Updated {
+		m.updates.Inc()
+	}
+	if st.EarlyStopped {
+		m.earlyStop.Inc()
+	}
+	m.poolSize.Set(float64(st.PoolSize))
+	m.labeled.Set(float64(st.Labeled))
+	m.pi.Set(st.Pi)
+	m.gamma.Set(float64(st.Gamma))
+	m.deltaM.Set(st.DeltaM)
+	m.deltaJS.Set(st.DeltaJS)
+}

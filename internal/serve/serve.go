@@ -3,47 +3,169 @@
 // feedback, and triggers adaptation periods. This is the deployment shape
 // §1 of the paper sketches — the CE model serves estimates continuously
 // while Warper periodically repairs it against drifts.
+//
+// Concurrency model: a short serving lock (mu) guards the served model and
+// the feedback buffer, while a separate period lock serializes adaptation.
+// An adaptation period clones the model, mutates the adapter's copy outside
+// the serving lock, and swaps the repaired model in under the lock at the
+// end — so estimates stay servable (and fast) while a period is in flight,
+// instead of queueing behind a multi-second model update. The measured lock
+// wait is exported so the win stays visible.
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
+	"mime"
 	"net/http"
 	"sync"
+	"time"
 
 	"warper/internal/ce"
+	"warper/internal/metrics"
+	"warper/internal/obs"
 	"warper/internal/query"
 	"warper/internal/warper"
 )
 
-// Server wires an Adapter behind an http.Handler. All handlers are safe for
-// concurrent use; adaptation runs under the same lock as estimation so the
-// model is never read mid-update.
-type Server struct {
-	mu      sync.Mutex
-	adapter *warper.Adapter
-	sch     *query.Schema
-	buffer  []warper.Arrival
-	periods int
+// Options configures optional server features.
+type Options struct {
+	// Logger receives structured request/period logs; nil discards debug
+	// logs and sends period summaries nowhere.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiles expose internals and cost CPU.
+	EnablePprof bool
 }
 
-// New builds a Server around an adapter.
+// Server wires an Adapter behind an http.Handler. All handlers are safe for
+// concurrent use.
+type Server struct {
+	// mu guards model, buffer, periods and status; it is held only for
+	// O(µs)–O(ms) sections (one estimate, a buffer append, a pointer swap).
+	mu sync.Mutex
+	// periodMu serializes adaptation; handlePeriod TryLocks it and answers
+	// 409 when a period is already running.
+	periodMu sync.Mutex
+
+	adapter *warper.Adapter
+	sch     *query.Schema
+	// model is the estimator serving reads. Between periods it aliases
+	// adapter.M; while a period mutates adapter.M it points at a clone.
+	model   ce.Estimator
+	buffer  []warper.Arrival
+	periods int
+	// status caches the adapter-derived fields of GET /status so the
+	// handler never touches adapter state a running period may be mutating.
+	status statusSnapshot
+
+	met    *Metrics
+	logger *slog.Logger
+	pprof  bool
+}
+
+// statusSnapshot holds the /status fields refreshed under mu after every
+// period.
+type statusSnapshot struct {
+	Model    string
+	PoolSize int
+	Labeled  int
+	Pi       float64
+	Gamma    int
+	Costs    string
+}
+
+// New builds a Server around an adapter with default options.
 func New(a *warper.Adapter, sch *query.Schema) *Server {
-	return &Server{adapter: a, sch: sch}
+	return NewWithOptions(a, sch, Options{})
+}
+
+// NewWithOptions builds a Server with explicit options. The server installs
+// its metric set as the adapter's Observer unless one is already attached.
+func NewWithOptions(a *warper.Adapter, sch *query.Schema, opts Options) *Server {
+	s := &Server{
+		adapter: a,
+		sch:     sch,
+		model:   a.M,
+		met:     NewMetrics(),
+		logger:  opts.Logger,
+		pprof:   opts.EnablePprof,
+	}
+	if s.logger == nil {
+		// Discard at a level above every call site rather than relying on
+		// slog.DiscardHandler (Go 1.24+); go.mod targets 1.22.
+		s.logger = slog.New(slog.NewTextHandler(io.Discard,
+			&slog.HandlerOptions{Level: slog.Level(127)}))
+	}
+	if a.Obs == nil {
+		a.Obs = s.met
+	}
+	s.refreshStatusLocked()
+	return s
+}
+
+// Metrics exposes the server's metric set (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// refreshStatusLocked re-reads adapter state into the status cache. Callers
+// must guarantee no period is concurrently mutating the adapter (holding
+// periodMu, or during construction).
+func (s *Server) refreshStatusLocked() {
+	s.status = statusSnapshot{
+		Model:    s.adapter.M.Name(),
+		PoolSize: s.adapter.Pool.Len(),
+		Labeled:  s.adapter.Pool.CountLabeled(),
+		Pi:       s.adapter.Pi(),
+		Gamma:    s.adapter.Gamma(),
+		Costs:    s.adapter.Ledger.String(),
+	}
 }
 
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /estimate", s.handleEstimate)
-	mux.HandleFunc("POST /feedback", s.handleFeedback)
-	mux.HandleFunc("POST /period", s.handlePeriod)
-	mux.HandleFunc("GET /status", s.handleStatus)
+	mux.HandleFunc("POST /estimate", s.instrument("estimate", s.handleEstimate))
+	mux.HandleFunc("POST /feedback", s.instrument("feedback", s.handleFeedback))
+	mux.HandleFunc("POST /period", s.instrument("period", s.handlePeriod))
+	mux.HandleFunc("GET /status", s.instrument("status", s.handleStatus))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	mux.Handle("GET /metrics", s.met.Reg.PrometheusHandler())
+	mux.Handle("GET /debug/vars", s.met.Reg.VarsHandler())
+	if s.pprof {
+		obs.AttachPprof(mux)
+	}
 	return mux
+}
+
+// statusWriter captures the response code for request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting, latency recording and
+// per-request debug logging.
+func (s *Server) instrument(name string, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		fn(sw, r)
+		d := time.Since(t0)
+		s.met.requestDone(name, sw.code, d)
+		s.logger.Debug("request",
+			"handler", name, "code", sw.code, "dur_ms", float64(d.Microseconds())/1000)
+	}
 }
 
 // predicateJSON is the wire form of a predicate.
@@ -81,8 +203,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Estimates on the served model are serialized under mu (model forward
+	// passes share scratch state); the lock-wait histogram shows how long
+	// requests queue here — near zero even mid-period, since periods no
+	// longer hold this lock.
+	sp := obs.StartSpan(s.met.lockWait)
 	s.mu.Lock()
-	card := s.adapter.M.Estimate(p)
+	sp.End()
+	card := s.model.Estimate(p)
 	s.mu.Unlock()
 	writeJSON(w, estimateResponse{Cardinality: card})
 }
@@ -114,38 +242,117 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		ar.GT = *req.Cardinality
 		ar.HasGT = true
 	}
+	sp := obs.StartSpan(s.met.lockWait)
 	s.mu.Lock()
+	sp.End()
+	var qerr float64
+	if ar.HasGT {
+		// Feedback carrying ground truth measures the served model's live
+		// q-error — the continuous accuracy signal the paper only gets
+		// offline.
+		qerr = metrics.QError(s.model.Estimate(p), ar.GT)
+	}
 	s.buffer = append(s.buffer, ar)
 	n := len(s.buffer)
 	s.mu.Unlock()
+	if ar.HasGT {
+		s.met.qerr.Observe(qerr)
+	}
+	s.met.buffered.Set(float64(n))
 	writeJSON(w, feedbackResponse{Buffered: n})
 }
 
 type periodResponse struct {
-	Mode      string  `json:"mode"`
-	Arrivals  int     `json:"arrivals"`
-	Generated int     `json:"generated"`
-	Annotated int     `json:"annotated"`
-	Updated   bool    `json:"updated"`
-	DeltaM    float64 `json:"delta_m"`
-	DeltaJS   float64 `json:"delta_js"`
+	Mode         string  `json:"mode"`
+	Arrivals     int     `json:"arrivals"`
+	Generated    int     `json:"generated"`
+	Picked       int     `json:"picked"`
+	Annotated    int     `json:"annotated"`
+	Updated      bool    `json:"updated"`
+	EarlyStopped bool    `json:"early_stopped"`
+	DeltaM       float64 `json:"delta_m"`
+	DeltaJS      float64 `json:"delta_js"`
+	BusyMillis   float64 `json:"busy_ms"`
 }
 
-func (s *Server) handlePeriod(w http.ResponseWriter, _ *http.Request) {
+// validatePeriodBody enforces the /period request contract: an empty body,
+// or a JSON object with a JSON content type.
+func validatePeriodBody(r *http.Request) (int, error) {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || mt != "application/json" {
+			return http.StatusUnsupportedMediaType,
+				fmt.Errorf("content-type %q, want application/json", ct)
+		}
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return http.StatusBadRequest, fmt.Errorf("read body: %v", err)
+	}
+	if len(bytes.TrimSpace(body)) > 0 && !json.Valid(body) {
+		return http.StatusBadRequest, fmt.Errorf("body is not valid JSON")
+	}
+	return 0, nil
+}
+
+func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
+	if code, err := validatePeriodBody(r); err != nil {
+		httpError(w, code, "%v", err)
+		return
+	}
+	// One period at a time: answer 409 instead of silently queueing a
+	// second multi-second adaptation behind the first.
+	if !s.periodMu.TryLock() {
+		s.met.conflicts.Inc()
+		httpError(w, http.StatusConflict, "adaptation period already running")
+		return
+	}
+	defer s.periodMu.Unlock()
+
+	// Serve estimates from a clone while Period mutates the adapter's
+	// model outside the serving lock.
+	clone := s.adapter.M.Clone()
 	s.mu.Lock()
 	arrivals := s.buffer
 	s.buffer = nil
-	rep := s.adapter.Period(arrivals)
-	s.periods++
+	s.model = clone
 	s.mu.Unlock()
+	nArrivals := len(arrivals)
+	s.met.buffered.Set(0)
+
+	rep := s.adapter.Period(arrivals)
+
+	s.mu.Lock()
+	s.model = s.adapter.M // swap the repaired model in
+	s.periods++
+	s.refreshStatusLocked()
+	s.mu.Unlock()
+
+	s.logger.Info("period",
+		"mode", rep.Detection.Mode.String(),
+		"arrivals", nArrivals,
+		"generated", rep.Generated,
+		"picked", rep.Picked,
+		"annotated", rep.Annotated,
+		"updated", rep.Updated,
+		"early_stopped", rep.EarlyStopped,
+		"delta_m", rep.Detection.DeltaM,
+		"delta_js", rep.Detection.DeltaJS,
+		"pi", s.adapter.Pi(),
+		"gamma", s.adapter.Gamma(),
+		"busy_ms", float64(rep.Busy.Microseconds())/1000)
+
 	writeJSON(w, periodResponse{
-		Mode:      rep.Detection.Mode.String(),
-		Arrivals:  len(arrivals),
-		Generated: rep.Generated,
-		Annotated: rep.Annotated,
-		Updated:   rep.Updated,
-		DeltaM:    rep.Detection.DeltaM,
-		DeltaJS:   rep.Detection.DeltaJS,
+		Mode:         rep.Detection.Mode.String(),
+		Arrivals:     nArrivals,
+		Generated:    rep.Generated,
+		Picked:       rep.Picked,
+		Annotated:    rep.Annotated,
+		Updated:      rep.Updated,
+		EarlyStopped: rep.EarlyStopped,
+		DeltaM:       rep.Detection.DeltaM,
+		DeltaJS:      rep.Detection.DeltaJS,
+		BusyMillis:   float64(rep.Busy.Microseconds()) / 1000,
 	})
 }
 
@@ -163,14 +370,14 @@ type statusResponse struct {
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	resp := statusResponse{
-		Model:    s.adapter.M.Name(),
-		PoolSize: s.adapter.Pool.Len(),
-		Labeled:  s.adapter.Pool.CountLabeled(),
+		Model:    s.status.Model,
+		PoolSize: s.status.PoolSize,
+		Labeled:  s.status.Labeled,
 		Buffered: len(s.buffer),
 		Periods:  s.periods,
-		Pi:       s.adapter.Pi(),
-		Gamma:    s.adapter.Gamma(),
-		Costs:    s.adapter.Ledger.String(),
+		Pi:       s.status.Pi,
+		Gamma:    s.status.Gamma,
+		Costs:    s.status.Costs,
 	}
 	s.mu.Unlock()
 	writeJSON(w, resp)
@@ -187,5 +394,9 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	http.Error(w, fmt.Sprintf(format, args...), code)
 }
 
-// Estimator returns the served model, for tests.
-func (s *Server) Estimator() ce.Estimator { return s.adapter.M }
+// Estimator returns the currently served model, for tests.
+func (s *Server) Estimator() ce.Estimator {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.model
+}

@@ -25,6 +25,10 @@ type Adapter struct {
 	// ablation swaps in Gaussian-noise augmentation). Nil uses the GAN
 	// generator 𝔾.
 	GenFunc func(p *pool.Pool, n int) []query.Predicate
+	// Obs, when non-nil, receives per-stage timings and a summary for every
+	// Period invocation. Set it before serving; Period calls it
+	// synchronously.
+	Obs Observer
 
 	sch   *query.Schema
 	ann   *annotator.Annotator
@@ -136,6 +140,10 @@ type Report struct {
 // queries that arrived in the current adaptation period.
 func (a *Adapter) Period(arrivals []Arrival) Report {
 	w := simclock.StartWatch()
+	// stages collects per-stage wall-clock, indexed like StageNames.
+	var stages [len(StageNames)]time.Duration
+	stageW := simclock.StartWatch()
+
 	tbl := a.ann.Table()
 	recent := lastN(a.Pool.LabeledBySource(pool.SrcNew), 90)
 	det := a.det.detect(arrivals, recent, a.M, a.ann, tbl.ChangedFraction())
@@ -156,6 +164,8 @@ func (a *Adapter) Period(arrivals []Arrival) Report {
 		}
 		rep.Busy = w.Stop()
 		a.Ledger.Charge("detect", rep.Busy)
+		stages[0] = stageW.Stop()
+		a.emitPeriod(&rep, len(arrivals), &stages)
 		return rep
 	}
 
@@ -172,6 +182,9 @@ func (a *Adapter) Period(arrivals []Arrival) Report {
 		}
 		tbl.ResetChangeTracking()
 	}
+
+	stages[0] = stageW.Stop()
+	stageW = simclock.StartWatch()
 
 	// Lines 3–8: update the learned components; generate when in c2.
 	if det.Mode.Has(C2) {
@@ -204,18 +217,23 @@ func (a *Adapter) Period(arrivals []Arrival) Report {
 	// Refresh embeddings so the picker sees current z.
 	a.comps.EmbedAll(a.Pool)
 	a.comps.ClassifyAll(a.Pool.BySource(pool.SrcGen))
+	stages[1] = stageW.Stop()
 
 	// Line 9: pick queries and annotate them.
 	pw := simclock.StartWatch()
 	picked := a.pick(det.Mode)
 	rep.Picked = len(picked)
-	a.Ledger.Charge("pick", pw.Stop())
+	stages[2] = pw.Stop()
+	a.Ledger.Charge("pick", stages[2])
 
 	anW := simclock.StartWatch()
 	rep.Annotated = a.annotate(picked)
-	a.Ledger.Charge("annotate", anW.Stop())
+	stages[3] = anW.Stop()
+	a.Ledger.Charge("annotate", stages[3])
 
-	// Line 10: update 𝕄 from the pool.
+	// Line 10: update 𝕄 from the pool. The update stage also covers the
+	// early-stop evaluation and pool maintenance below.
+	stageW = simclock.StartWatch()
 	mw := simclock.StartWatch()
 	a.updateModel(picked)
 	rep.Updated = true
@@ -267,7 +285,9 @@ func (a *Adapter) Period(arrivals []Arrival) Report {
 		}
 		a.det.pendingC1 = staleLeft && !rep.EarlyStopped
 	}
+	stages[4] = stageW.Stop()
 	rep.Busy = w.Stop()
+	a.emitPeriod(&rep, len(arrivals), &stages)
 	return rep
 }
 

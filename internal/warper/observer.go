@@ -1,0 +1,79 @@
+package warper
+
+import "time"
+
+// Stage names reported by Adapter.Period, in emission order. Every period
+// reports every stage exactly once — stages skipped by the drift mode (e.g.
+// generate during a quiet period) report a zero duration — so downstream
+// per-stage histograms stay aligned with the period count.
+const (
+	StageDetect   = "detect"
+	StageGenerate = "generate"
+	StagePick     = "pick"
+	StageAnnotate = "annotate"
+	StageUpdate   = "update"
+)
+
+// StageNames lists the period stages in emission order.
+var StageNames = [...]string{StageDetect, StageGenerate, StagePick, StageAnnotate, StageUpdate}
+
+// PeriodStats summarizes one completed Period invocation for observers:
+// the Report fields plus the adapter state an operator wants on a dashboard
+// (thresholds, pool occupancy).
+type PeriodStats struct {
+	Mode         Mode
+	Arrivals     int
+	Generated    int
+	Picked       int
+	Annotated    int
+	Updated      bool
+	EarlyStopped bool
+	DeltaM       float64
+	DeltaJS      float64
+	Pi           float64
+	Gamma        int
+	PoolSize     int
+	Labeled      int
+	Busy         time.Duration
+}
+
+// Observer receives adaptation telemetry from an Adapter. Implementations
+// must be safe for use from whichever goroutine runs Period; calls are
+// synchronous, so observers should be cheap (atomic metric updates, channel
+// sends) and never block. The interface lives here — not in an
+// observability package — so internal/warper stays dependency-free and any
+// metrics backend can plug in.
+type Observer interface {
+	// PeriodStage reports the wall-clock duration of one named stage. It is
+	// called exactly once per stage per Period, in StageNames order.
+	PeriodStage(stage string, d time.Duration)
+	// PeriodDone reports the period summary after all stages.
+	PeriodDone(stats PeriodStats)
+}
+
+// emitPeriod sends the per-stage durations and the summary to the observer,
+// if any. stages is indexed like StageNames.
+func (a *Adapter) emitPeriod(rep *Report, arrivals int, stages *[len(StageNames)]time.Duration) {
+	if a.Obs == nil {
+		return
+	}
+	for i, name := range StageNames {
+		a.Obs.PeriodStage(name, stages[i])
+	}
+	a.Obs.PeriodDone(PeriodStats{
+		Mode:         rep.Detection.Mode,
+		Arrivals:     arrivals,
+		Generated:    rep.Generated,
+		Picked:       rep.Picked,
+		Annotated:    rep.Annotated,
+		Updated:      rep.Updated,
+		EarlyStopped: rep.EarlyStopped,
+		DeltaM:       rep.Detection.DeltaM,
+		DeltaJS:      rep.Detection.DeltaJS,
+		Pi:           a.det.pi,
+		Gamma:        a.det.gamma,
+		PoolSize:     a.Pool.Len(),
+		Labeled:      a.Pool.CountLabeled(),
+		Busy:         rep.Busy,
+	})
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Tier-1 verification flow: build, vet, full test suite, then the race
+# detector over the concurrency-sensitive packages (HTTP serving + metrics
+# registry). Mirrors `make check` for environments without make.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./internal/serve/... ./internal/obs/..."
+go test -race ./internal/serve/... ./internal/obs/...
+
+echo "OK"
