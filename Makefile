@@ -1,10 +1,11 @@
 # Build/test entry points. `make check` is the full tier-1 flow the CI
-# driver runs; `make race` exercises the concurrency-sensitive packages
-# (HTTP serving, metrics registry) under the race detector.
+# driver runs; `make race` sweeps the whole module under the race detector
+# (-short skips training-heavy tests so the pass stays fast); `make lint`
+# runs warperlint, the stdlib-only analyzer suite in internal/lint.
 
 GO ?= go
 
-.PHONY: build test race vet check
+.PHONY: build test race vet lint check
 
 build:
 	$(GO) build ./...
@@ -12,12 +13,18 @@ build:
 test:
 	$(GO) test ./...
 
-# The serving lock split and the atomic metrics registry are the two places
-# new races would appear; keep them permanently under -race.
+# Module-wide race pass. Tests that spend their time in model training
+# guard themselves with testing.Short(), so -short keeps this about the
+# concurrency, not the math.
 race:
-	$(GO) test -race ./internal/serve/... ./internal/obs/...
+	$(GO) test -race -short ./...
 
 vet:
 	$(GO) vet ./...
 
-check: build vet test race
+# warperlint enforces determinism, panic-safety, lock hygiene and error
+# handling (see internal/lint). Exits non-zero on any diagnostic.
+lint:
+	$(GO) run ./cmd/warperlint ./...
+
+check: build vet lint test race

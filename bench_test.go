@@ -67,7 +67,9 @@ func BenchmarkAnnotatorCount(b *testing.B) {
 	preds := workload.Generate(g, 64, rng)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ann.Count(preds[i%len(preds)])
+		if _, err := ann.Count(preds[i%len(preds)]); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -92,7 +94,9 @@ func BenchmarkLMEstimate(b *testing.B) {
 	g := workload.New("w1", tbl, sch, workload.Options{})
 	train := ann.AnnotateAll(workload.Generate(g, 300, rng))
 	lm := ce.NewLM(ce.LMMLP, sch, 1)
-	lm.Train(train)
+	if err := lm.Train(train); err != nil {
+		b.Fatal(err)
+	}
 	preds := workload.Generate(g, 64, rng)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -108,11 +112,15 @@ func BenchmarkLMFineTune(b *testing.B) {
 	g := workload.New("w1", tbl, sch, workload.Options{})
 	train := ann.AnnotateAll(workload.Generate(g, 300, rng))
 	lm := ce.NewLM(ce.LMMLP, sch, 1)
-	lm.Train(train)
+	if err := lm.Train(train); err != nil {
+		b.Fatal(err)
+	}
 	batch := ann.AnnotateAll(workload.Generate(g, 32, rng))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		lm.Update(batch)
+		if err := lm.Update(batch); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -142,21 +150,32 @@ func BenchmarkWarperPeriod(b *testing.B) {
 	gN := workload.New("w4", tbl, sch, opts)
 	train := ann.AnnotateAll(workload.Generate(gT, 250, rng))
 	lm := ce.NewLM(ce.LMMLP, sch, 1)
-	lm.Train(train)
+	if err := lm.Train(train); err != nil {
+		b.Fatal(err)
+	}
 	cfg := warper.DefaultConfig()
 	cfg.Hidden = 64
 	cfg.Depth = 2
 	cfg.NIters = 30
 	cfg.Gamma = 200
 	cfg.PickSize = 100
-	ad := warper.New(cfg, lm, sch, ann, train)
+	ad, err := warper.New(cfg, lm, sch, ann, train)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		arrivals := make([]warper.Arrival, 10)
 		for j := range arrivals {
 			p := gN.Gen(rng)
-			arrivals[j] = warper.Arrival{Pred: p, GT: ann.Count(p), HasGT: true}
+			gt, err := ann.Count(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			arrivals[j] = warper.Arrival{Pred: p, GT: gt, HasGT: true}
 		}
-		ad.Period(arrivals)
+		if _, err := ad.Period(arrivals); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

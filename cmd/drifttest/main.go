@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"math/rand"
 
 	"warper/internal/annotator"
@@ -50,9 +51,13 @@ func main() {
 	testTrain := ann.AnnotateAll(workload.Generate(gT, *nTest, rng))
 
 	m := ce.NewLM(ce.LMMLP, sch, *seed+1)
-	m.Train(train)
+	if err := m.Train(train); err != nil {
+		log.Fatal(err)
+	}
 	oracle := ce.NewLM(ce.LMMLP, sch, *seed+2)
-	oracle.Train(stream)
+	if err := oracle.Train(stream); err != nil {
+		log.Fatal(err)
+	}
 
 	inDist := ce.EvalGMQ(m, testTrain)
 	alpha := ce.EvalGMQ(m, testNew)

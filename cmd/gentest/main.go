@@ -4,6 +4,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"sort"
 
 	"warper/internal/adapt"
@@ -20,10 +21,15 @@ func main() {
 	cfg.Gamma = sc.StreamSize
 	cfg.GenFraction = 1.0
 	m := env.Model.Clone()
-	ad := warper.New(cfg, m, env.Sch, env.Ann, env.Train)
+	ad, err := warper.New(cfg, m, env.Sch, env.Ann, env.Train)
+	if err != nil {
+		log.Fatal(err)
+	}
 	periods := adapt.SplitPeriods(adapt.ArrivalsOf(env.Stream, true), sc.PeriodSize)
 	for _, p := range periods {
-		ad.Period(p)
+		if _, err := ad.Period(p); err != nil {
+			log.Fatal(err)
+		}
 	}
 	var genCards, newCards []float64
 	for _, e := range ad.Pool.Entries {

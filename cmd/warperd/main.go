@@ -71,7 +71,9 @@ func main() {
 			os.Exit(1)
 		}
 		tbl, err = dataset.FromCSV("csv", f, dataset.CSVOptions{HasHeader: true})
-		f.Close()
+		if cerr := f.Close(); cerr != nil {
+			logger.Warn("close csv", "path", *csvPath, "err", cerr)
+		}
 		if err != nil {
 			logger.Error("parse csv", "path", *csvPath, "err", err)
 			os.Exit(1)
@@ -109,12 +111,19 @@ func main() {
 	}
 	g := workload.Parse(*trainWkld, tbl, sch, workload.Options{MaxConstrained: 2})
 	train := ann.AnnotateAll(workload.Generate(g, *trainSize, rng))
-	m.Train(train)
+	if err := m.Train(train); err != nil {
+		logger.Error("train failed", "err", err)
+		os.Exit(1)
+	}
 	logger.Info("model trained",
 		"model", m.Name(), "examples", len(train), "workload", g.Name(),
 		"gmq_in_dist", ce.EvalGMQ(m, train))
 
-	adapter := warper.New(warper.DefaultConfig(), m, sch, ann, train)
+	adapter, err := warper.New(warper.DefaultConfig(), m, sch, ann, train)
+	if err != nil {
+		logger.Error("build adapter failed", "err", err)
+		os.Exit(1)
+	}
 	srv := serve.NewWithOptions(adapter, sch, serve.Options{
 		Logger:      logger,
 		EnablePprof: *pprofOn,

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 
 	"warper/internal/annotator"
@@ -30,13 +31,13 @@ func main() {
 
 	train := ann.AnnotateAll(workload.Generate(w1, 600, rng))
 	model := ce.NewLM(ce.LMMLP, sch, 1)
-	model.Train(train)
+	must(model.Train(train))
 
 	cfg := warper.DefaultConfig()
 	cfg.Hidden = 64
 	cfg.Depth = 2
 	cfg.Gamma = 200
-	adapter := warper.New(cfg, model, sch, ann, train)
+	adapter := must1(warper.New(cfg, model, sch, ann, train))
 
 	// A drift schedule in the shape of Figure 2(c): stable, a short-lived
 	// workload drift, back to stable, then a combined data+workload drift.
@@ -60,9 +61,9 @@ func main() {
 		arrivals := make([]warper.Arrival, 15)
 		for i := range arrivals {
 			pr := phase.Gen.Gen(rng)
-			arrivals[i] = warper.Arrival{Pred: pr, GT: ann.Count(pr), HasGT: true}
+			arrivals[i] = warper.Arrival{Pred: pr, GT: must1(ann.Count(pr)), HasGT: true}
 		}
-		rep := adapter.Period(arrivals)
+		rep := must1(adapter.Period(arrivals))
 
 		test := ann.AnnotateAll(workload.Generate(phase.Gen, 80, rng))
 		fmt.Printf("%6d | %-8s | %-13s | %9d | %9d | %.2f\n",
@@ -71,4 +72,17 @@ func main() {
 	}
 	fmt.Printf("\nfinal π=%.2f γ=%d — Warper relaxed or tightened its own thresholds as drifts came and went\n",
 		adapter.Pi(), adapter.Gamma())
+}
+
+// must aborts the example on an unexpected error.
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// must1 unwraps a (value, error) pair, aborting on error.
+func must1[T any](v T, err error) T {
+	must(err)
+	return v
 }

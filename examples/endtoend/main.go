@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 
 	"warper/internal/annotator"
@@ -32,7 +33,7 @@ func main() {
 	// 1. How bad can a misplanned query get? Worst-case plan flips.
 	wideL := query.NewFullRange(schL)
 	wideO := query.NewFullRange(schO)
-	trueL, trueO := annL.Count(wideL), annO.Count(wideO)
+	trueL, trueO := must1(annL.Count(wideL)), must1(annO.Count(wideO))
 	fmt.Println("\nworst-case plan flips (same query, wrong estimates):")
 	for _, s := range []engine.Scenario{engine.S1BufferSpill, engine.S2JoinType, engine.S3BitmapSide} {
 		good, bad := eng.LatencyGap(s, wideL, wideO, trueL/1000, trueO/1000, trueL, trueO)
@@ -49,16 +50,16 @@ func main() {
 	trainL := annL.AnnotateAll(workload.Generate(gL, 500, rng))
 	trainO := annO.AnnotateAll(workload.Generate(gO, 500, rng))
 	mL := ce.NewLM(ce.LMMLP, schL, 1)
-	mL.Train(trainL)
+	must(mL.Train(trainL))
 	mO := ce.NewLM(ce.LMMLP, schO, 2)
-	mO.Train(trainO)
+	must(mO.Train(trainO))
 
 	report := func(label string, gl, gob workload.Generator) {
 		var actual, ideal float64
 		const n = 30
 		for i := 0; i < n; i++ {
 			pl, po := gl.Gen(rng), gob.Gen(rng)
-			tl, to := annL.Count(pl), annO.Count(po)
+			tl, to := must1(annL.Count(pl)), must1(annO.Count(po))
 			good, bad := eng.LatencyGap(engine.S2JoinType, pl, po,
 				mL.Estimate(pl), mO.Estimate(po), tl, to)
 			actual += float64(bad)
@@ -75,7 +76,20 @@ func main() {
 
 	for round := 0; round < 3; round++ {
 		newQ := annL.AnnotateAll(workload.Generate(gL2, 100, rng))
-		mL.Update(newQ)
+		must(mL.Update(newQ))
 	}
 	report("after adapting on 300 queries", gL2, gO)
+}
+
+// must aborts the example on an unexpected error.
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// must1 unwraps a (value, error) pair, aborting on error.
+func must1[T any](v T, err error) T {
+	must(err)
+	return v
 }

@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 
 	"warper/internal/annotator"
@@ -26,30 +27,43 @@ func main() {
 	// 2. Train MSCN on join queries whose predicates follow the "sample"
 	// style (w4-like: bounds from min/max of sampled rows).
 	trainW := &imdb.JoinWorkload{DB: db, PredStyle: "sample"}
-	train := ja.AnnotateAll(trainW.Generate(500, rng))
+	train := must1(ja.AnnotateAll(trainW.Generate(500, rng)))
 	model := ce.NewMSCN(db.Catalog, 1)
-	model.TrainJoin(train)
+	must(model.TrainJoin(train))
 
-	testTrain := ja.AnnotateAll(trainW.Generate(100, rng))
-	fmt.Printf("in-distribution GMQ: %.2f\n", ce.EvalJoinGMQ(model, testTrain))
+	testTrain := must1(ja.AnnotateAll(trainW.Generate(100, rng)))
+	fmt.Printf("in-distribution GMQ: %.2f\n", must1(ce.EvalJoinGMQ(model, testTrain)))
 
 	// 3. The predicate workload drifts to uniform bounds (w1-like).
 	newW := &imdb.JoinWorkload{DB: db, PredStyle: "uniform"}
-	testNew := ja.AnnotateAll(newW.Generate(100, rng))
-	fmt.Printf("post-drift GMQ:      %.2f\n", ce.EvalJoinGMQ(model, testNew))
+	testNew := must1(ja.AnnotateAll(newW.Generate(100, rng)))
+	fmt.Printf("post-drift GMQ:      %.2f\n", must1(ce.EvalJoinGMQ(model, testNew)))
 
 	// 4. Updating with batches of new join queries recovers accuracy.
 	for batch := 1; batch <= 4; batch++ {
-		arrivals := ja.AnnotateAll(newW.Generate(100, rng))
-		model.UpdateJoin(arrivals)
+		arrivals := must1(ja.AnnotateAll(newW.Generate(100, rng)))
+		must(model.UpdateJoin(arrivals))
 		fmt.Printf("after %d×100 new join queries: GMQ %.2f\n",
-			batch, ce.EvalJoinGMQ(model, testNew))
+			batch, must1(ce.EvalJoinGMQ(model, testNew)))
 	}
 
 	// 5. A peek at individual estimates.
 	fmt.Println("\nsample estimates (estimate vs true):")
 	for _, lq := range testNew[:5] {
 		fmt.Printf("  %d-table join: %8.0f vs %8.0f\n",
-			len(lq.Query.Tables), model.EstimateJoin(lq.Query), lq.Card)
+			len(lq.Query.Tables), must1(model.EstimateJoin(lq.Query)), lq.Card)
 	}
+}
+
+// must aborts the example on an unexpected error.
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// must1 unwraps a (value, error) pair, aborting on error.
+func must1[T any](v T, err error) T {
+	must(err)
+	return v
 }

@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 
 	"warper/internal/adapt"
@@ -34,7 +35,7 @@ func main() {
 	histGen := workload.New("w1", tbl, sch, opts)
 	train := ann.AnnotateAll(workload.Generate(histGen, 600, rng))
 	model := ce.NewLM(ce.LMMLP, sch, 1)
-	model.Train(train)
+	must(model.Train(train))
 	fmt.Printf("trained %s on %d labeled queries\n", model.Name(), len(train))
 
 	// 3. The workload drifts: new queries follow w4 (min/max of sampled
@@ -52,13 +53,13 @@ func main() {
 	cfg.Depth = 2
 	cfg.Gamma = 300 // arrivals per period stay far below γ → c2 drift
 	warperModel := model.Clone()
-	adapter := warper.New(cfg, warperModel, sch, ann, train)
+	adapter := must1(warper.New(cfg, warperModel, sch, ann, train))
 	ftModel := model.Clone()
 
 	periods := adapt.SplitPeriods(adapt.ArrivalsOf(stream, true), 10)
 	for i, p := range periods {
-		rep := adapter.Period(p)
-		ftModel.Update(labeled(p))
+		rep := must1(adapter.Period(p))
+		must(ftModel.Update(labeled(p)))
 		if i == 0 {
 			fmt.Printf("\nfirst period: Warper detected drift mode %q, generated %d synthetic queries\n",
 				rep.Detection.Mode, rep.Generated)
@@ -79,4 +80,17 @@ func labeled(arr []warper.Arrival) []query.Labeled {
 		}
 	}
 	return out
+}
+
+// must aborts the example on an unexpected error.
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// must1 unwraps a (value, error) pair, aborting on error.
+func must1[T any](v T, err error) T {
+	must(err)
+	return v
 }

@@ -20,8 +20,10 @@ import (
 // its CE model as adapted as it can manage.
 type Method interface {
 	Name() string
-	// Step processes one adaptation period's arrivals.
-	Step(arrivals []warper.Arrival)
+	// Step processes one adaptation period's arrivals. A failed step (an
+	// annotation or model-update failure) leaves the method's model in its
+	// pre-step state where possible and is reported as an error.
+	Step(arrivals []warper.Arrival) error
 	// Model returns the live CE model.
 	Model() ce.Estimator
 	// AnnotationsSpent reports the cumulative ground-truth computations the
@@ -58,17 +60,16 @@ func (f *FT) Name() string {
 }
 
 // Step implements Method.
-func (f *FT) Step(arrivals []warper.Arrival) {
+func (f *FT) Step(arrivals []warper.Arrival) error {
 	labeled := labeledOf(arrivals)
 	if len(labeled) == 0 {
-		return
+		return nil
 	}
 	f.history = append(f.history, labeled...)
 	if f.m.Policy() == ce.Retrain {
-		f.m.Update(f.history)
-		return
+		return f.m.Update(f.history)
 	}
-	f.m.Update(labeled)
+	return f.m.Update(labeled)
 }
 
 // Model implements Method.
@@ -99,10 +100,10 @@ func (x *MIX) Name() string { return "MIX" }
 
 // Step implements Method: each period updates on the new labeled arrivals
 // plus an equal-sized random draw from the original training workload.
-func (x *MIX) Step(arrivals []warper.Arrival) {
+func (x *MIX) Step(arrivals []warper.Arrival) error {
 	labeled := labeledOf(arrivals)
 	if len(labeled) == 0 {
-		return
+		return nil
 	}
 	x.seen = append(x.seen, labeled...)
 	mixed := append([]query.Labeled(nil), labeled...)
@@ -111,10 +112,9 @@ func (x *MIX) Step(arrivals []warper.Arrival) {
 	}
 	if x.m.Policy() == ce.Retrain {
 		all := append(append([]query.Labeled(nil), x.train...), x.seen...)
-		x.m.Update(all)
-		return
+		return x.m.Update(all)
 	}
-	x.m.Update(mixed)
+	return x.m.Update(mixed)
 }
 
 // Model implements Method.
@@ -163,7 +163,7 @@ func (a *AUG) Noisy(p query.Predicate) query.Predicate {
 }
 
 // Step implements Method.
-func (a *AUG) Step(arrivals []warper.Arrival) {
+func (a *AUG) Step(arrivals []warper.Arrival) error {
 	labeled := labeledOf(arrivals)
 	nGen := int(a.GenFraction * float64(len(arrivals)))
 	var synth []query.Predicate
@@ -177,14 +177,13 @@ func (a *AUG) Step(arrivals []warper.Arrival) {
 		labeled = append(labeled, annotated...)
 	}
 	if len(labeled) == 0 {
-		return
+		return nil
 	}
 	a.history = append(a.history, labeled...)
 	if a.m.Policy() == ce.Retrain {
-		a.m.Update(a.history)
-		return
+		return a.m.Update(a.history)
 	}
-	a.m.Update(labeled)
+	return a.m.Update(labeled)
 }
 
 // Model implements Method.
@@ -221,18 +220,22 @@ func NewHEM(m ce.Estimator, sch *query.Schema, ann *annotator.Annotator, train [
 func (h *HEM) Name() string { return "HEM" }
 
 // Step implements Method.
-func (h *HEM) Step(arrivals []warper.Arrival) {
+func (h *HEM) Step(arrivals []warper.Arrival) error {
 	var labeled []query.Labeled
 	for _, ar := range arrivals {
 		if ar.HasGT {
 			labeled = append(labeled, query.Labeled{Pred: ar.Pred, Card: ar.GT})
 		} else {
-			labeled = append(labeled, query.Labeled{Pred: ar.Pred, Card: h.ann.Count(ar.Pred)})
+			card, err := h.ann.Count(ar.Pred)
+			if err != nil {
+				return err
+			}
+			labeled = append(labeled, query.Labeled{Pred: ar.Pred, Card: card})
 			h.spent++
 		}
 	}
 	if len(labeled) == 0 {
-		return
+		return nil
 	}
 	// Weighted replication by q-error: every query appears once, the
 	// hardest examples up to three more times.
@@ -259,16 +262,19 @@ func (h *HEM) Step(arrivals []warper.Arrival) {
 				noisy.Highs[i] += h.rng.NormFloat64() * 0.1 * span(i)
 			}
 			noisy = noisy.Normalize(h.sch)
-			update = append(update, query.Labeled{Pred: noisy, Card: h.ann.Count(noisy)})
+			card, err := h.ann.Count(noisy)
+			if err != nil {
+				return err
+			}
+			update = append(update, query.Labeled{Pred: noisy, Card: card})
 			h.spent++
 		}
 	}
 	h.history = append(h.history, update...)
 	if h.m.Policy() == ce.Retrain {
-		h.m.Update(h.history)
-		return
+		return h.m.Update(h.history)
 	}
-	h.m.Update(update)
+	return h.m.Update(update)
 }
 
 // Model implements Method.
@@ -291,7 +297,10 @@ func NewWarper(a *warper.Adapter) *WarperMethod { return &WarperMethod{Adapter: 
 func (w *WarperMethod) Name() string { return "Warper" }
 
 // Step implements Method.
-func (w *WarperMethod) Step(arrivals []warper.Arrival) { w.Adapter.Period(arrivals) }
+func (w *WarperMethod) Step(arrivals []warper.Arrival) error {
+	_, err := w.Adapter.Period(arrivals)
+	return err
+}
 
 // Model implements Method.
 func (w *WarperMethod) Model() ce.Estimator { return w.Adapter.M }

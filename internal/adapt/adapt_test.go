@@ -7,6 +7,7 @@ import (
 	"warper/internal/annotator"
 	"warper/internal/ce"
 	"warper/internal/dataset"
+	"warper/internal/metrics"
 	"warper/internal/obs"
 	"warper/internal/query"
 	"warper/internal/warper"
@@ -24,6 +25,9 @@ type env struct {
 
 func newEnv(t *testing.T) *env {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("training-heavy; skipped under -short (race pass)")
+	}
 	rng := rand.New(rand.NewSource(77))
 	tbl := dataset.PRSA(3000, rng)
 	sch := query.SchemaOf(tbl)
@@ -40,7 +44,9 @@ func newEnv(t *testing.T) *env {
 
 func (e *env) trainedLM(seed int64) *ce.LM {
 	lm := ce.NewLM(ce.LMMLP, e.sch, seed)
-	lm.Train(e.train)
+	if err := lm.Train(e.train); err != nil {
+		panic("test fixture train failed: " + err.Error())
+	}
 	return lm
 }
 
@@ -51,7 +57,7 @@ func TestFTImprovesOnNewWorkload(t *testing.T) {
 		t.Errorf("Name = %q", ft.Name())
 	}
 	r := &Runner{Test: e.test}
-	curve := r.Run(ft, SplitPeriods(ArrivalsOf(e.newQ, true), 60))
+	curve := runOK(t, r, ft, SplitPeriods(ArrivalsOf(e.newQ, true), 60))
 	if curve.Final() >= curve.Initial() {
 		t.Errorf("FT curve did not improve: %v -> %v", curve.Initial(), curve.Final())
 	}
@@ -66,7 +72,7 @@ func TestRunnerFeedsQErrorHistogram(t *testing.T) {
 	h := obs.NewHistogram(obs.QErrorOpts())
 	r := &Runner{Test: e.test, QErrHist: h}
 	periods := SplitPeriods(ArrivalsOf(e.newQ[:120], true), 60)
-	curve := r.Run(ft, periods)
+	curve := runOK(t, r, ft, periods)
 	// One evaluation per curve point, one observation per test query.
 	want := int64(curve.Len() * len(e.test))
 	if got := h.Count(); got != want {
@@ -81,7 +87,9 @@ func TestRunnerFeedsQErrorHistogram(t *testing.T) {
 func TestRTNameForRetrainModels(t *testing.T) {
 	e := newEnv(t)
 	gbt := ce.NewLM(ce.LMGBT, e.sch, 2)
-	gbt.Train(e.train)
+	if err := gbt.Train(e.train); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
 	if got := NewFT(gbt, e.train).Name(); got != "RT" {
 		t.Errorf("Name = %q, want RT", got)
 	}
@@ -92,7 +100,9 @@ func TestFTSkipsUnlabeledPeriods(t *testing.T) {
 	lm := e.trainedLM(3)
 	before := ce.EvalGMQ(lm, e.test)
 	ft := NewFT(lm, e.train)
-	ft.Step(ArrivalsOf(e.newQ[:50], false)) // no labels → no update
+	if err := ft.Step(ArrivalsOf(e.newQ[:50], false)); err != nil { // no labels → no update
+		t.Fatalf("Step: %v", err)
+	}
 	if after := ce.EvalGMQ(lm, e.test); after != before {
 		t.Error("FT updated the model without labels")
 	}
@@ -102,7 +112,7 @@ func TestMIXUsesTrainingQueries(t *testing.T) {
 	e := newEnv(t)
 	mix := NewMIX(e.trainedLM(4), e.train, 9)
 	r := &Runner{Test: e.test}
-	curve := r.Run(mix, SplitPeriods(ArrivalsOf(e.newQ, true), 60))
+	curve := runOK(t, r, mix, SplitPeriods(ArrivalsOf(e.newQ, true), 60))
 	if curve.Final() >= curve.Initial() {
 		t.Errorf("MIX did not improve: %v -> %v", curve.Initial(), curve.Final())
 	}
@@ -115,7 +125,7 @@ func TestAUGSpendsAnnotationsAndImproves(t *testing.T) {
 	e := newEnv(t)
 	aug := NewAUG(e.trainedLM(5), e.sch, e.ann, e.train, 10)
 	r := &Runner{Test: e.test}
-	curve := r.Run(aug, SplitPeriods(ArrivalsOf(e.newQ, true), 60))
+	curve := runOK(t, r, aug, SplitPeriods(ArrivalsOf(e.newQ, true), 60))
 	// This model seed starts with a small drift gap; require only that AUG
 	// does not materially degrade the model while it spends annotations.
 	if curve.Final() > curve.Initial()*1.1 {
@@ -150,12 +160,14 @@ func TestAUGNoisyStaysValid(t *testing.T) {
 func TestHEMAnnotatesUnlabeledAndReplicatesHard(t *testing.T) {
 	e := newEnv(t)
 	hem := NewHEM(e.trainedLM(7), e.sch, e.ann, e.train, 12)
-	hem.Step(ArrivalsOf(e.newQ[:40], false)) // unlabeled → must annotate
+	if err := hem.Step(ArrivalsOf(e.newQ[:40], false)); err != nil { // unlabeled → must annotate
+		t.Fatalf("Step: %v", err)
+	}
 	if hem.AnnotationsSpent() < 40 {
 		t.Errorf("HEM spent %d annotations, want >= 40", hem.AnnotationsSpent())
 	}
 	r := &Runner{Test: e.test}
-	curve := r.Run(hem, SplitPeriods(ArrivalsOf(e.newQ[40:], true), 60))
+	curve := runOK(t, r, hem, SplitPeriods(ArrivalsOf(e.newQ[40:], true), 60))
 	if curve.Final() >= curve.Initial() {
 		t.Errorf("HEM did not improve: %v -> %v", curve.Initial(), curve.Final())
 	}
@@ -170,13 +182,16 @@ func TestWarperMethodIntegration(t *testing.T) {
 	cfg.NIters = 50
 	cfg.Gamma = 150
 	cfg.PickSize = 150
-	ad := warper.New(cfg, lm, e.sch, e.ann, e.train)
+	ad, err := warper.New(cfg, lm, e.sch, e.ann, e.train)
+	if err != nil {
+		t.Fatalf("warper.New: %v", err)
+	}
 	wm := NewWarper(ad)
 	if wm.Name() != "Warper" {
 		t.Errorf("Name = %q", wm.Name())
 	}
 	r := &Runner{Test: e.test}
-	curve := r.Run(wm, SplitPeriods(ArrivalsOf(e.newQ, true), 60))
+	curve := runOK(t, r, wm, SplitPeriods(ArrivalsOf(e.newQ, true), 60))
 	if curve.Final() >= curve.Initial() {
 		t.Errorf("Warper did not improve: %v -> %v", curve.Initial(), curve.Final())
 	}
@@ -208,4 +223,14 @@ func TestArrivalsOf(t *testing.T) {
 			t.Error("labels leaked")
 		}
 	}
+}
+
+// runOK unwraps Runner.Run for methods that cannot fail on the fixture.
+func runOK(t *testing.T, r *Runner, m Method, periods [][]warper.Arrival) *metrics.Curve {
+	t.Helper()
+	c, err := r.Run(m, periods)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return c
 }

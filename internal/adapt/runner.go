@@ -22,17 +22,20 @@ type Runner struct {
 }
 
 // Run executes every period and returns the curve. The test set is never
-// shown to the method.
-func (r *Runner) Run(m Method, periods [][]warper.Arrival) *metrics.Curve {
+// shown to the method. A failed step aborts the run with the curve recorded
+// so far.
+func (r *Runner) Run(m Method, periods [][]warper.Arrival) (*metrics.Curve, error) {
 	curve := &metrics.Curve{}
 	curve.Append(0, r.eval(m.Model()))
 	consumed := 0
 	for _, p := range periods {
-		m.Step(p)
+		if err := m.Step(p); err != nil {
+			return curve, err
+		}
 		consumed += len(p)
 		curve.Append(float64(consumed), r.eval(m.Model()))
 	}
-	return curve
+	return curve, nil
 }
 
 // eval measures the model's GMQ on the test set, feeding per-query q-errors

@@ -29,12 +29,15 @@ func New(t *dataset.Table) *Annotator { return &Annotator{tbl: t} }
 // Table returns the underlying table (live, not a copy).
 func (a *Annotator) Table() *dataset.Table { return a.tbl }
 
-// Count returns the exact number of rows matching the predicate.
-func (a *Annotator) Count(p query.Predicate) float64 {
+// Count returns the exact number of rows matching the predicate. A
+// predicate whose dimensionality does not match the table is reported as an
+// error: annotation runs on the adaptation path of a long-lived server, so a
+// malformed predicate must not kill the process.
+func (a *Annotator) Count(p query.Predicate) (float64, error) {
 	start := time.Now()
 	n := a.tbl.NumRows()
 	if p.Dim() != a.tbl.NumCols() {
-		panic(fmt.Sprintf("annotator: predicate dim %d vs table cols %d", p.Dim(), a.tbl.NumCols()))
+		return 0, fmt.Errorf("annotator: predicate dim %d vs table cols %d", p.Dim(), a.tbl.NumCols())
 	}
 	cols := a.tbl.Cols
 	count := 0
@@ -51,7 +54,7 @@ rows:
 	a.Queries++
 	a.RowsScanned += int64(n)
 	a.Elapsed += time.Since(start)
-	return float64(count)
+	return float64(count), nil
 }
 
 // AnnotateAll labels every predicate, scanning the table once per batch row

@@ -22,23 +22,23 @@ func TestCountExact(t *testing.T) {
 	s := query.SchemaOf(tbl)
 
 	full := query.NewFullRange(s)
-	if got := a.Count(full); got != 5 {
+	if got := countOK(t, a, full); got != 5 {
 		t.Errorf("full count = %v, want 5", got)
 	}
 	p := query.NewFullRange(s)
 	p.SetRange(0, 2, 4)
-	if got := a.Count(p); got != 3 {
+	if got := countOK(t, a, p); got != 3 {
 		t.Errorf("count [2,4] = %v, want 3", got)
 	}
 	p2 := query.NewFullRange(s)
 	p2.SetRange(0, 2, 4)
 	p2.SetRange(1, 35, 100)
-	if got := a.Count(p2); got != 1 {
+	if got := countOK(t, a, p2); got != 1 {
 		t.Errorf("conjunctive count = %v, want 1", got)
 	}
 	empty := query.NewFullRange(s)
 	empty.SetRange(0, 1.1, 1.9)
-	if got := a.Count(empty); got != 0 {
+	if got := countOK(t, a, empty); got != 0 {
 		t.Errorf("empty count = %v, want 0", got)
 	}
 }
@@ -49,7 +49,7 @@ func TestCountInclusiveBounds(t *testing.T) {
 	s := query.SchemaOf(tbl)
 	p := query.NewFullRange(s)
 	p.SetEquals(0, 3)
-	if got := a.Count(p); got != 1 {
+	if got := countOK(t, a, p); got != 1 {
 		t.Errorf("equality count = %v, want 1", got)
 	}
 }
@@ -65,7 +65,7 @@ func TestAnnotateAllAgreesWithCount(t *testing.T) {
 	batch := a.AnnotateAll(preds)
 	b := New(tbl)
 	for i, lp := range batch {
-		if got := b.Count(preds[i]); got != lp.Card {
+		if got := countOK(t, b, preds[i]); got != lp.Card {
 			t.Fatalf("pred %d: batch=%v single=%v", i, lp.Card, got)
 		}
 	}
@@ -75,8 +75,8 @@ func TestCostMeters(t *testing.T) {
 	tbl := smallTable()
 	a := New(tbl)
 	s := query.SchemaOf(tbl)
-	a.Count(query.NewFullRange(s))
-	a.Count(query.NewFullRange(s))
+	countOK(t, a, query.NewFullRange(s))
+	countOK(t, a, query.NewFullRange(s))
 	if a.Queries != 2 {
 		t.Errorf("Queries = %d", a.Queries)
 	}
@@ -92,14 +92,11 @@ func TestCostMeters(t *testing.T) {
 	}
 }
 
-func TestCountDimMismatchPanics(t *testing.T) {
+func TestCountDimMismatchError(t *testing.T) {
 	a := New(smallTable())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	a.Count(query.Predicate{Lows: []float64{0}, Highs: []float64{1}})
+	if _, err := a.Count(query.Predicate{Lows: []float64{0}, Highs: []float64{1}}); err == nil {
+		t.Fatal("expected error for dimension mismatch")
+	}
 }
 
 func joinFixture() (*dataset.Table, *dataset.Table) {
@@ -120,7 +117,7 @@ func TestJoinCountNoPredicates(t *testing.T) {
 	ja := NewJoin(orders, lineitem)
 	q := query.NewJoinQuery("lineitem", "orders").AddJoin("lineitem", "okey", "orders", "okey")
 	// Every lineitem row matches exactly one order: 6 results.
-	if got := ja.Count(q); got != 6 {
+	if got := joinCountOK(t, ja, q); got != 6 {
 		t.Errorf("join count = %v, want 6", got)
 	}
 }
@@ -136,14 +133,14 @@ func TestJoinCountWithPredicates(t *testing.T) {
 	po.SetRange(1, 250, 500) // orders 3 and 4
 	q.SetPred("orders", po)
 	// Lineitems for order 3: rows with okey=3 → 3 rows; order 4 has none.
-	if got := ja.Count(q); got != 3 {
+	if got := joinCountOK(t, ja, q); got != 3 {
 		t.Errorf("join count = %v, want 3", got)
 	}
 
 	pl := query.NewFullRange(sl)
 	pl.SetRange(1, 9, 100) // qty in {9, 10}: two rows, both okey=3
 	q.SetPred("lineitem", pl)
-	if got := ja.Count(q); got != 2 {
+	if got := joinCountOK(t, ja, q); got != 2 {
 		t.Errorf("join count = %v, want 2", got)
 	}
 }
@@ -162,44 +159,61 @@ func TestJoinCountThreeWay(t *testing.T) {
 		AddJoin("lineitem", "okey", "orders", "okey").
 		AddJoin("orders", "ckey", "cust", "ckey")
 	// All 6 lineitems join through to a customer.
-	if got := ja.Count(q); got != 6 {
+	if got := joinCountOK(t, ja, q); got != 6 {
 		t.Errorf("3-way join count = %v, want 6", got)
 	}
 }
 
-func TestJoinDisconnectedPanics(t *testing.T) {
+func TestJoinDisconnectedError(t *testing.T) {
 	orders, lineitem := joinFixture()
 	ja := NewJoin(orders, lineitem)
 	q := query.NewJoinQuery("lineitem", "orders") // no join conditions
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for disconnected join")
-		}
-	}()
-	ja.Count(q)
+	if _, err := ja.Count(q); err == nil {
+		t.Fatal("expected error for disconnected join")
+	}
 }
 
-func TestJoinUnknownTablePanics(t *testing.T) {
+func TestJoinUnknownTableError(t *testing.T) {
 	orders, _ := joinFixture()
 	ja := NewJoin(orders)
 	q := query.NewJoinQuery("nope")
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for unknown table")
-		}
-	}()
-	ja.Count(q)
+	if _, err := ja.Count(q); err == nil {
+		t.Fatal("expected error for unknown table")
+	}
 }
 
 func TestJoinAnnotateAll(t *testing.T) {
 	orders, lineitem := joinFixture()
 	ja := NewJoin(orders, lineitem)
 	q := query.NewJoinQuery("lineitem", "orders").AddJoin("lineitem", "okey", "orders", "okey")
-	out := ja.AnnotateAll([]*query.JoinQuery{q, q})
+	out, err := ja.AnnotateAll([]*query.JoinQuery{q, q})
+	if err != nil {
+		t.Fatalf("AnnotateAll: %v", err)
+	}
 	if len(out) != 2 || out[0].Card != 6 || out[1].Card != 6 {
 		t.Errorf("AnnotateAll = %+v", out)
 	}
 	if ja.Queries != 2 {
 		t.Errorf("Queries = %d", ja.Queries)
 	}
+}
+
+// countOK unwraps Count for well-formed test predicates.
+func countOK(t *testing.T, a *Annotator, p query.Predicate) float64 {
+	t.Helper()
+	c, err := a.Count(p)
+	if err != nil {
+		t.Fatalf("Count: %v", err)
+	}
+	return c
+}
+
+// joinCountOK unwraps JoinAnnotator.Count for well-formed test queries.
+func joinCountOK(t *testing.T, ja *JoinAnnotator, q *query.JoinQuery) float64 {
+	t.Helper()
+	c, err := ja.Count(q)
+	if err != nil {
+		t.Fatalf("Count: %v", err)
+	}
+	return c
 }

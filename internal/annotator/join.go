@@ -35,15 +35,17 @@ func (ja *JoinAnnotator) Table(name string) *dataset.Table { return ja.tables[na
 // The plan is left-deep in the order of q.Tables: filtered rows of the first
 // table seed the working set; each later table is hash-joined in on the join
 // conditions that connect it to tables already joined. Every table in
-// q.Tables must be connected by the time it is reached.
-func (ja *JoinAnnotator) Count(q *query.JoinQuery) float64 {
+// q.Tables must be connected by the time it is reached; malformed queries
+// (unknown table, dimension mismatch, disconnected join) are reported as
+// errors rather than panics.
+func (ja *JoinAnnotator) Count(q *query.JoinQuery) (float64, error) {
 	start := time.Now()
 	defer func() {
 		ja.Queries++
 		ja.Elapsed += time.Since(start)
 	}()
 	if len(q.Tables) == 0 {
-		return 0
+		return 0, nil
 	}
 	// Working set: multiset of join-relevant column values per joined table.
 	// We track, for each intermediate result row, the values of every column
@@ -58,14 +60,14 @@ func (ja *JoinAnnotator) Count(q *query.JoinQuery) float64 {
 		addNeed(neededCols, jc.RightTable, jc.RightCol)
 	}
 
-	filtered := func(name string) ([]rowRef, *dataset.Table) {
+	filtered := func(name string) ([]rowRef, error) {
 		t := ja.tables[name]
 		if t == nil {
-			panic(fmt.Sprintf("annotator: unknown table %q", name))
+			return nil, fmt.Errorf("annotator: unknown table %q", name)
 		}
 		pred, hasPred := q.Preds[name]
 		if hasPred && pred.Dim() != t.NumCols() {
-			panic(fmt.Sprintf("annotator: predicate dim %d vs table %q cols %d", pred.Dim(), name, t.NumCols()))
+			return nil, fmt.Errorf("annotator: predicate dim %d vs table %q cols %d", pred.Dim(), name, t.NumCols())
 		}
 		var out []rowRef
 		row := make([]float64, t.NumCols())
@@ -80,11 +82,14 @@ func (ja *JoinAnnotator) Count(q *query.JoinQuery) float64 {
 			}
 			out = append(out, ref)
 		}
-		return out, t
+		return out, nil
 	}
 
 	joined := map[string]bool{q.Tables[0]: true}
-	current, _ := filtered(q.Tables[0])
+	current, err := filtered(q.Tables[0])
+	if err != nil {
+		return 0, err
+	}
 
 	for _, name := range q.Tables[1:] {
 		// Find the join conditions connecting `name` to the joined set.
@@ -96,9 +101,12 @@ func (ja *JoinAnnotator) Count(q *query.JoinQuery) float64 {
 			}
 		}
 		if len(conds) == 0 {
-			panic(fmt.Sprintf("annotator: table %q not connected to the join so far", name))
+			return 0, fmt.Errorf("annotator: table %q not connected to the join so far", name)
 		}
-		newRows, _ := filtered(name)
+		newRows, err := filtered(name)
+		if err != nil {
+			return 0, err
+		}
 		// Hash the new table's rows by the composite key of its join cols.
 		type key string
 		buildKey := func(ref rowRef, fromNew bool) key {
@@ -136,16 +144,21 @@ func (ja *JoinAnnotator) Count(q *query.JoinQuery) float64 {
 		current = next
 		joined[name] = true
 	}
-	return float64(len(current))
+	return float64(len(current)), nil
 }
 
-// AnnotateAll labels a batch of join queries.
-func (ja *JoinAnnotator) AnnotateAll(qs []*query.JoinQuery) []query.LabeledJoin {
+// AnnotateAll labels a batch of join queries. The first malformed query
+// aborts the batch.
+func (ja *JoinAnnotator) AnnotateAll(qs []*query.JoinQuery) ([]query.LabeledJoin, error) {
 	out := make([]query.LabeledJoin, len(qs))
 	for i, q := range qs {
-		out[i] = query.LabeledJoin{Query: q, Card: ja.Count(q)}
+		card, err := ja.Count(q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = query.LabeledJoin{Query: q, Card: card}
 	}
-	return out
+	return out, nil
 }
 
 func addNeed(m map[string]map[string]bool, table, col string) {

@@ -1,6 +1,7 @@
 package annotator
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -22,9 +23,9 @@ type Sampled struct {
 }
 
 // NewSampled draws a uniform row sample of the given rate (0 < rate <= 1).
-func NewSampled(t *dataset.Table, rate float64, rng *rand.Rand) *Sampled {
+func NewSampled(t *dataset.Table, rate float64, rng *rand.Rand) (*Sampled, error) {
 	if rate <= 0 || rate > 1 {
-		panic("annotator: sample rate must be in (0, 1]")
+		return nil, fmt.Errorf("annotator: sample rate %v outside (0, 1]", rate)
 	}
 	n := t.NumRows()
 	k := int(float64(n) * rate)
@@ -33,7 +34,7 @@ func NewSampled(t *dataset.Table, rate float64, rng *rand.Rand) *Sampled {
 	}
 	perm := rng.Perm(n)
 	rows := append([]int(nil), perm[:k]...)
-	return &Sampled{tbl: t, rows: rows, scale: float64(n) / float64(k)}
+	return &Sampled{tbl: t, rows: rows, scale: float64(n) / float64(k)}, nil
 }
 
 // SampleSize returns the number of sampled rows.

@@ -15,14 +15,14 @@ func TestSampledApproximatesExactCounts(t *testing.T) {
 	tbl := dataset.PRSA(8000, rng)
 	sch := query.SchemaOf(tbl)
 	exact := New(tbl)
-	approx := NewSampled(tbl, 0.2, rng)
+	approx := newSampledOK(t, tbl, 0.2, rng)
 	g := workload.New("w3", tbl, sch, workload.Options{MaxConstrained: 1})
 
 	var relErrSum float64
 	n := 0
 	for i := 0; i < 40; i++ {
 		p := g.Gen(rng)
-		truth := exact.Count(p)
+		truth := countOK(t, exact, p)
 		if truth < 100 {
 			continue // relative error meaningless on tiny counts
 		}
@@ -43,13 +43,13 @@ func TestSampledScalesFullSample(t *testing.T) {
 	tbl := dataset.PRSA(500, rng)
 	sch := query.SchemaOf(tbl)
 	exact := New(tbl)
-	approx := NewSampled(tbl, 1.0, rng)
+	approx := newSampledOK(t, tbl, 1.0, rng)
 	if approx.SampleSize() != 500 {
 		t.Fatalf("SampleSize = %d", approx.SampleSize())
 	}
 	p := query.NewFullRange(sch)
 	p.SetRange(1, 0, 80)
-	if got, want := approx.Count(p), exact.Count(p); got != want {
+	if got, want := approx.Count(p), countOK(t, exact, p); got != want {
 		t.Errorf("full-rate sample must be exact: %v vs %v", got, want)
 	}
 }
@@ -58,7 +58,7 @@ func TestSampledIsCheaperPerQuery(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	tbl := dataset.PRSA(8000, rng)
 	sch := query.SchemaOf(tbl)
-	approx := NewSampled(tbl, 0.05, rng)
+	approx := newSampledOK(t, tbl, 0.05, rng)
 	if approx.SampleSize() != 400 {
 		t.Errorf("SampleSize = %d, want 400", approx.SampleSize())
 	}
@@ -72,7 +72,7 @@ func TestSampledAnnotateAll(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	tbl := dataset.PRSA(1000, rng)
 	sch := query.SchemaOf(tbl)
-	approx := NewSampled(tbl, 0.5, rng)
+	approx := newSampledOK(t, tbl, 0.5, rng)
 	g := workload.New("w1", tbl, sch, workload.Options{})
 	out := approx.AnnotateAll(workload.Generate(g, 10, rng))
 	if len(out) != 10 || approx.Queries != 10 {
@@ -80,17 +80,22 @@ func TestSampledAnnotateAll(t *testing.T) {
 	}
 }
 
-func TestSampledBadRatePanics(t *testing.T) {
+func TestSampledBadRateError(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	tbl := dataset.PRSA(100, rng)
 	for _, rate := range []float64{0, -0.1, 1.5} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("rate %v should panic", rate)
-				}
-			}()
-			NewSampled(tbl, rate, rng)
-		}()
+		if _, err := NewSampled(tbl, rate, rng); err == nil {
+			t.Errorf("rate %v should be rejected", rate)
+		}
 	}
+}
+
+// newSampledOK unwraps NewSampled for valid rates.
+func newSampledOK(t *testing.T, tbl *dataset.Table, rate float64, rng *rand.Rand) *Sampled {
+	t.Helper()
+	s, err := NewSampled(tbl, rate, rng)
+	if err != nil {
+		t.Fatalf("NewSampled: %v", err)
+	}
+	return s
 }

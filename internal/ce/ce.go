@@ -36,14 +36,21 @@ func (p UpdatePolicy) String() string {
 
 // Estimator is the black-box CE model 𝕄: any function that emits a
 // cardinality for a predicate and can update itself with labeled predicates.
+//
+// Train and Update return an error instead of panicking when a backend
+// cannot produce a model (e.g. a kernel solve fails): a failed repair must
+// leave the caller free to keep serving the previous model (§6.4
+// robustness). An estimator whose Update returned an error may be in a
+// partially updated state; callers should discard it in favor of a clone
+// taken before the update.
 type Estimator interface {
 	// Train builds the model from scratch on the given corpus.
-	Train(examples []query.Labeled)
+	Train(examples []query.Labeled) error
 	// Update incorporates labeled examples: a few fine-tuning epochs for
 	// iterative models, a full re-train for the rest. Callers with a
 	// Retrain-policy model must pass the entire corpus they want the new
 	// model built from.
-	Update(examples []query.Labeled)
+	Update(examples []query.Labeled) error
 	// Estimate returns the predicted cardinality for a predicate.
 	Estimate(p query.Predicate) float64
 	// Policy reports whether Update fine-tunes or re-trains.
@@ -54,10 +61,12 @@ type Estimator interface {
 }
 
 // JoinEstimator extends Estimator to key–foreign-key join queries (MSCN).
+// EstimateJoin reports an error for queries outside the model's catalog
+// (unknown table, unregistered join) rather than panicking.
 type JoinEstimator interface {
-	TrainJoin(examples []query.LabeledJoin)
-	UpdateJoin(examples []query.LabeledJoin)
-	EstimateJoin(q *query.JoinQuery) float64
+	TrainJoin(examples []query.LabeledJoin) error
+	UpdateJoin(examples []query.LabeledJoin) error
+	EstimateJoin(q *query.JoinQuery) (float64, error)
 }
 
 // EvalGMQ evaluates an estimator on a labeled test set and returns the GMQ.
@@ -71,15 +80,20 @@ func EvalGMQ(e Estimator, test []query.Labeled) float64 {
 	return metrics.GMQ(ests, acts)
 }
 
-// EvalJoinGMQ evaluates a join estimator on labeled join queries.
-func EvalJoinGMQ(e JoinEstimator, test []query.LabeledJoin) float64 {
+// EvalJoinGMQ evaluates a join estimator on labeled join queries. Queries
+// the model cannot featurize make it return an error.
+func EvalJoinGMQ(e JoinEstimator, test []query.LabeledJoin) (float64, error) {
 	ests := make([]float64, len(test))
 	acts := make([]float64, len(test))
 	for i, lq := range test {
-		ests[i] = e.EstimateJoin(lq.Query)
+		est, err := e.EstimateJoin(lq.Query)
+		if err != nil {
+			return 0, err
+		}
+		ests[i] = est
 		acts[i] = lq.Card
 	}
-	return metrics.GMQ(ests, acts)
+	return metrics.GMQ(ests, acts), nil
 }
 
 // Cardinality targets are regressed in log space: wide dynamic range plus

@@ -37,9 +37,12 @@ func TestCardTargetRoundTrip(t *testing.T) {
 }
 
 func TestLMMLPLearnsWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy; skipped under -short (race pass)")
+	}
 	_, sch, train, test := fixture(t, 800, 150)
 	lm := NewLM(LMMLP, sch, 1)
-	lm.Train(train)
+	trainOK(t, lm, train)
 	gmq := EvalGMQ(lm, test)
 	if gmq > 4.0 {
 		t.Errorf("LM-mlp in-distribution GMQ = %v, want < 4", gmq)
@@ -50,9 +53,12 @@ func TestLMMLPLearnsWorkload(t *testing.T) {
 }
 
 func TestLMGBTLearnsWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy; skipped under -short (race pass)")
+	}
 	_, sch, train, test := fixture(t, 600, 150)
 	lm := NewLM(LMGBT, sch, 2)
-	lm.Train(train)
+	trainOK(t, lm, train)
 	if gmq := EvalGMQ(lm, test); gmq > 5.0 {
 		t.Errorf("LM-gbt GMQ = %v, want < 5", gmq)
 	}
@@ -62,10 +68,13 @@ func TestLMGBTLearnsWorkload(t *testing.T) {
 }
 
 func TestLMKernelVariantsLearnWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy; skipped under -short (race pass)")
+	}
 	_, sch, train, test := fixture(t, 600, 150)
 	for _, v := range []LMVariant{LMPly, LMRBF} {
 		lm := NewLM(v, sch, 3)
-		lm.Train(train)
+		trainOK(t, lm, train)
 		if gmq := EvalGMQ(lm, test); gmq > 8.0 {
 			t.Errorf("%s GMQ = %v, want < 8", v, gmq)
 		}
@@ -76,6 +85,9 @@ func TestLMKernelVariantsLearnWorkload(t *testing.T) {
 }
 
 func TestLMFineTuneImprovesOnDriftedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy; skipped under -short (race pass)")
+	}
 	rng := rand.New(rand.NewSource(7))
 	tbl := dataset.PRSA(4000, rng)
 	sch := query.SchemaOf(tbl)
@@ -87,10 +99,10 @@ func TestLMFineTuneImprovesOnDriftedWorkload(t *testing.T) {
 	testQ := ann.AnnotateAll(workload.Generate(gNew, 150, rng))
 
 	lm := NewLM(LMMLP, sch, 4)
-	lm.Train(train)
+	trainOK(t, lm, train)
 	before := EvalGMQ(lm, testQ)
 	for i := 0; i < 3; i++ {
-		lm.Update(newQ)
+		updateOK(t, lm, newQ)
 	}
 	after := EvalGMQ(lm, testQ)
 	if after >= before {
@@ -101,10 +113,10 @@ func TestLMFineTuneImprovesOnDriftedWorkload(t *testing.T) {
 func TestLMCloneIsIndependent(t *testing.T) {
 	_, sch, train, test := fixture(t, 300, 50)
 	lm := NewLM(LMMLP, sch, 5)
-	lm.Train(train)
+	trainOK(t, lm, train)
 	clone := lm.Clone()
 	before := EvalGMQ(clone, test)
-	lm.Update(train[:100])
+	updateOK(t, lm, train[:100])
 	after := EvalGMQ(clone, test)
 	if before != after {
 		t.Error("clone shares weights with original")
@@ -122,9 +134,12 @@ func TestUnknownVariantPanics(t *testing.T) {
 }
 
 func TestMSCNSingleTableLearns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy; skipped under -short (race pass)")
+	}
 	_, sch, train, test := fixture(t, 600, 150)
 	m := NewMSCN(NewCatalog(sch), 6)
-	m.Train(train)
+	trainOK(t, m, train)
 	if gmq := EvalGMQ(m, test); gmq > 5.0 {
 		t.Errorf("MSCN single-table GMQ = %v, want < 5", gmq)
 	}
@@ -179,44 +194,57 @@ func joinFixture(t *testing.T) (*annotator.JoinAnnotator, *Catalog, []query.Labe
 			q.SetPred("orders", po.Normalize(so))
 			qs = append(qs, q)
 		}
-		return ja.AnnotateAll(qs)
+		out, err := ja.AnnotateAll(qs)
+		if err != nil {
+			t.Fatalf("AnnotateAll: %v", err)
+		}
+		return out
 	}
 	return ja, cat, gen(500), gen(100)
 }
 
 func TestMSCNJoinLearns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy; skipped under -short (race pass)")
+	}
 	_, cat, train, test := joinFixture(t)
 	m := NewMSCN(cat, 7)
-	m.TrainJoin(train)
-	if gmq := EvalJoinGMQ(m, test); gmq > 6.0 {
+	if err := m.TrainJoin(train); err != nil {
+		t.Fatalf("TrainJoin: %v", err)
+	}
+	if gmq := joinGMQOK(t, m, test); gmq > 6.0 {
 		t.Errorf("MSCN join GMQ = %v, want < 6", gmq)
 	}
 }
 
 func TestMSCNUpdateImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy; skipped under -short (race pass)")
+	}
 	_, cat, train, test := joinFixture(t)
 	m := NewMSCN(cat, 8)
-	m.TrainJoin(train[:50]) // deliberately undertrained
-	before := EvalJoinGMQ(m, test)
-	for i := 0; i < 5; i++ {
-		m.UpdateJoin(train)
+	if err := m.TrainJoin(train[:50]); err != nil { // deliberately undertrained
+		t.Fatalf("TrainJoin: %v", err)
 	}
-	after := EvalJoinGMQ(m, test)
+	before := joinGMQOK(t, m, test)
+	for i := 0; i < 5; i++ {
+		if err := m.UpdateJoin(train); err != nil {
+			t.Fatalf("UpdateJoin: %v", err)
+		}
+	}
+	after := joinGMQOK(t, m, test)
 	if after >= before {
 		t.Errorf("UpdateJoin did not improve: before=%v after=%v", before, after)
 	}
 }
 
-func TestMSCNUnknownTablePanics(t *testing.T) {
+func TestMSCNUnknownTableError(t *testing.T) {
 	_, sch, _, _ := fixture(t, 1, 1)
 	m := NewMSCN(NewCatalog(sch), 9)
 	q := query.NewJoinQuery("ghost")
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	m.EstimateJoin(q)
+	if _, err := m.EstimateJoin(q); err == nil {
+		t.Fatal("expected error for unknown table")
+	}
 }
 
 func TestMSCNSingleTableAPIRequiresOneTable(t *testing.T) {
@@ -251,9 +279,34 @@ func key(p query.Predicate) string {
 	return s
 }
 
-func (p perfect) Train([]query.Labeled)              {}
-func (p perfect) Update([]query.Labeled)             {}
+func (p perfect) Train([]query.Labeled) error        { return nil }
+func (p perfect) Update([]query.Labeled) error       { return nil }
 func (p perfect) Estimate(q query.Predicate) float64 { return p.m[key(q)] }
 func (p perfect) Policy() UpdatePolicy               { return FineTune }
 func (p perfect) Clone() Estimator                   { return p }
 func (p perfect) Name() string                       { return "perfect" }
+
+// trainOK/updateOK unwrap Train/Update in tests, where fits succeed by
+// construction.
+func trainOK(t *testing.T, m Estimator, ex []query.Labeled) {
+	t.Helper()
+	if err := m.Train(ex); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+}
+
+func updateOK(t *testing.T, m Estimator, ex []query.Labeled) {
+	t.Helper()
+	if err := m.Update(ex); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+}
+
+func joinGMQOK(t *testing.T, m JoinEstimator, test []query.LabeledJoin) float64 {
+	t.Helper()
+	gmq, err := EvalJoinGMQ(m, test)
+	if err != nil {
+		t.Fatalf("EvalJoinGMQ: %v", err)
+	}
+	return gmq
+}

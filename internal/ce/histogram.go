@@ -131,11 +131,11 @@ func (h *HistogramEstimator) Estimate(p query.Predicate) float64 {
 
 // Train implements Estimator: histograms ignore the workload; building
 // happens from the data.
-func (h *HistogramEstimator) Train([]query.Labeled) { h.rebuild() }
+func (h *HistogramEstimator) Train([]query.Labeled) error { h.rebuild(); return nil }
 
 // Update implements Estimator: rebuild from the current table (the only
 // adaptation a data-driven model supports).
-func (h *HistogramEstimator) Update([]query.Labeled) { h.rebuild() }
+func (h *HistogramEstimator) Update([]query.Labeled) error { h.rebuild(); return nil }
 
 // Policy implements Estimator.
 func (h *HistogramEstimator) Policy() UpdatePolicy { return Retrain }

@@ -1,6 +1,7 @@
 package ce
 
 import (
+	"fmt"
 	"math/rand"
 
 	"warper/internal/gbt"
@@ -21,12 +22,14 @@ type LM struct {
 	rng     *rand.Rand
 }
 
-// lmBackend is the pluggable regressor behind LM.
+// lmBackend is the pluggable regressor behind LM. fit and finetune report
+// failures (a kernel solve that does not converge) as errors so the caller
+// can keep its previous model instead of dying mid-adaptation.
 type lmBackend interface {
-	fit(X [][]float64, y []float64, rng *rand.Rand)
+	fit(X [][]float64, y []float64, rng *rand.Rand) error
 	// finetune runs a few incremental epochs; it returns false when the
 	// backend only supports re-training.
-	finetune(X [][]float64, y []float64, rng *rand.Rand) bool
+	finetune(X [][]float64, y []float64, rng *rand.Rand) (bool, error)
 	predict(x []float64) float64
 	clone() lmBackend
 }
@@ -61,24 +64,31 @@ func NewLM(variant LMVariant, s *query.Schema, seed int64) *LM {
 		lm.backend = &krrBackend{cfg: kernel.DefaultRBFConfig()}
 		lm.policy = Retrain
 	default:
-		panic("ce: unknown LM variant " + string(variant))
+		// Constructor-time configuration validation: unreachable from the
+		// serving path, which only ever sees successfully built models.
+		panic("ce: unknown LM variant " + string(variant)) //lint:allow panicfree startup config validation
 	}
 	return lm
 }
 
 // Train implements Estimator.
-func (lm *LM) Train(examples []query.Labeled) {
+func (lm *LM) Train(examples []query.Labeled) error {
 	X, y := lm.featurizeAll(examples)
-	lm.backend.fit(X, y, lm.rng)
+	return lm.backend.fit(X, y, lm.rng)
 }
 
 // Update implements Estimator: fine-tune when supported, otherwise re-train
 // on the given examples.
-func (lm *LM) Update(examples []query.Labeled) {
+func (lm *LM) Update(examples []query.Labeled) error {
 	X, y := lm.featurizeAll(examples)
-	if !lm.backend.finetune(X, y, lm.rng) {
-		lm.backend.fit(X, y, lm.rng)
+	ok, err := lm.backend.finetune(X, y, lm.rng)
+	if err != nil {
+		return err
 	}
+	if !ok {
+		return lm.backend.fit(X, y, lm.rng)
+	}
+	return nil
 }
 
 // Estimate implements Estimator.
@@ -132,15 +142,16 @@ func newMLPBackend(in int, rng *rand.Rand) *mlpBackend {
 	return &mlpBackend{net: nn.MLP(in, mlpHidden, mlpDepth, 1, rng), in: in}
 }
 
-func (b *mlpBackend) fit(X [][]float64, y []float64, rng *rand.Rand) {
+func (b *mlpBackend) fit(X [][]float64, y []float64, rng *rand.Rand) error {
 	// Re-train from scratch: fresh weights, full epoch budget.
 	b.net = nn.MLP(b.in, mlpHidden, mlpDepth, 1, rng)
 	b.run(X, y, mlpTrainEpochs, rng)
+	return nil
 }
 
-func (b *mlpBackend) finetune(X [][]float64, y []float64, rng *rand.Rand) bool {
+func (b *mlpBackend) finetune(X [][]float64, y []float64, rng *rand.Rand) (bool, error) {
 	b.run(X, y, mlpFinetuneEpochs, rng)
-	return true
+	return true, nil
 }
 
 func (b *mlpBackend) run(X [][]float64, y []float64, epochs int, rng *rand.Rand) {
@@ -165,11 +176,14 @@ type gbtBackend struct {
 	model *gbt.Regressor
 }
 
-func (b *gbtBackend) fit(X [][]float64, y []float64, _ *rand.Rand) {
+func (b *gbtBackend) fit(X [][]float64, y []float64, _ *rand.Rand) error {
 	b.model = gbt.Fit(X, y, b.cfg)
+	return nil
 }
 
-func (b *gbtBackend) finetune([][]float64, []float64, *rand.Rand) bool { return false }
+func (b *gbtBackend) finetune([][]float64, []float64, *rand.Rand) (bool, error) {
+	return false, nil
+}
 
 func (b *gbtBackend) predict(x []float64) float64 {
 	if b.model == nil {
@@ -191,7 +205,7 @@ type krrBackend struct {
 	model *kernel.Regressor
 }
 
-func (b *krrBackend) fit(X [][]float64, y []float64, rng *rand.Rand) {
+func (b *krrBackend) fit(X [][]float64, y []float64, rng *rand.Rand) error {
 	m, err := kernel.Fit(X, y, b.cfg, rng)
 	if err != nil {
 		// Gram matrix not PD at this regularization; retry stiffer rather
@@ -200,13 +214,19 @@ func (b *krrBackend) fit(X [][]float64, y []float64, rng *rand.Rand) {
 		cfg.Lambda *= 100
 		m, err = kernel.Fit(X, y, cfg, rng)
 		if err != nil {
-			panic("ce: kernel fit failed: " + err.Error())
+			// Both solves failed: keep the previous model (if any) and let
+			// the caller decide — on the serving path a failed repair must
+			// not kill the estimator process.
+			return fmt.Errorf("ce: kernel fit failed: %w", err)
 		}
 	}
 	b.model = m
+	return nil
 }
 
-func (b *krrBackend) finetune([][]float64, []float64, *rand.Rand) bool { return false }
+func (b *krrBackend) finetune([][]float64, []float64, *rand.Rand) (bool, error) {
+	return false, nil
+}
 
 func (b *krrBackend) predict(x []float64) float64 {
 	if b.model == nil {

@@ -1,6 +1,7 @@
 package ce
 
 import (
+	"fmt"
 	"math/rand"
 
 	"warper/internal/nn"
@@ -108,13 +109,15 @@ func (m *MSCN) initNets() {
 	m.outNet = nn.MLP(outIn, mscnHidden, 1, 1, m.rng)
 }
 
-// featurize builds the set elements for a join query.
-func (m *MSCN) featurize(q *query.JoinQuery) (tables, joins [][]float64) {
+// featurize builds the set elements for a join query. Queries outside the
+// catalog (unknown table, unregistered join) are reported as errors: they
+// reach this point from live traffic, so they must not kill the process.
+func (m *MSCN) featurize(q *query.JoinQuery) (tables, joins [][]float64, err error) {
 	c := m.Catalog
 	for _, name := range q.Tables {
 		ti := c.tableIndex(name)
 		if ti < 0 {
-			panic("ce: mscn query references unknown table " + name)
+			return nil, nil, fmt.Errorf("ce: mscn query references unknown table %q", name)
 		}
 		s := c.Schemas[name]
 		f := make([]float64, c.tableFeatDim())
@@ -133,13 +136,14 @@ func (m *MSCN) featurize(q *query.JoinQuery) (tables, joins [][]float64) {
 	for _, jc := range q.Joins {
 		ji := c.joinIndex(jc)
 		if ji < 0 {
-			panic("ce: mscn query uses unregistered join")
+			return nil, nil, fmt.Errorf("ce: mscn query uses unregistered join %s.%s=%s.%s",
+				jc.LeftTable, jc.LeftCol, jc.RightTable, jc.RightCol)
 		}
 		f := make([]float64, len(c.Joins))
 		f[ji] = 1
 		joins = append(joins, f)
 	}
-	return tables, joins
+	return tables, joins, nil
 }
 
 type mscnCache struct {
@@ -150,8 +154,11 @@ type mscnCache struct {
 
 // forward computes the model output for a query, returning the intermediate
 // inputs needed by backward.
-func (m *MSCN) forward(q *query.JoinQuery) (float64, *mscnCache) {
-	tables, joins := m.featurize(q)
+func (m *MSCN) forward(q *query.JoinQuery) (float64, *mscnCache, error) {
+	tables, joins, err := m.featurize(q)
+	if err != nil {
+		return 0, nil, err
+	}
 	pooledT := make([]float64, mscnHidden)
 	for _, f := range tables {
 		out := m.tableNet.Forward(f)
@@ -181,7 +188,7 @@ func (m *MSCN) forward(q *query.JoinQuery) (float64, *mscnCache) {
 		outIn = append(append(make([]float64, 0, 2*mscnHidden), pooledT...), pooledJ...)
 	}
 	pred := m.outNet.Forward(outIn)[0]
-	return pred, &mscnCache{tables: tables, joins: joins, outIn: outIn}
+	return pred, &mscnCache{tables: tables, joins: joins, outIn: outIn}, nil
 }
 
 // backward accumulates gradients for one example given dLoss/dPred.
@@ -227,10 +234,12 @@ func (m *MSCN) zeroGrad() {
 	}
 }
 
-// trainEpochs runs minibatch MSE training in log space.
-func (m *MSCN) trainEpochs(examples []query.LabeledJoin, epochs int) {
+// trainEpochs runs minibatch MSE training in log space. A query outside the
+// catalog aborts the epoch loop with an error (the nets keep whatever state
+// the completed batches left behind; callers keep serving a pre-update clone).
+func (m *MSCN) trainEpochs(examples []query.LabeledJoin, epochs int) error {
 	if len(examples) == 0 {
-		return
+		return nil
 	}
 	opt := nn.NewAdam(mscnRate)
 	idx := make([]int, len(examples))
@@ -247,7 +256,10 @@ func (m *MSCN) trainEpochs(examples []query.LabeledJoin, epochs int) {
 			m.zeroGrad()
 			for _, j := range idx[start:end] {
 				ex := examples[j]
-				pred, cache := m.forward(ex.Query)
+				pred, cache, err := m.forward(ex.Query)
+				if err != nil {
+					return err
+				}
 				target := cardToTarget(ex.Card)
 				m.backward(pred-target, cache) // d(½(p−t)²)/dp
 			}
@@ -261,29 +273,36 @@ func (m *MSCN) trainEpochs(examples []query.LabeledJoin, epochs int) {
 		}
 		opt.EndEpoch()
 	}
+	return nil
 }
 
 // TrainJoin implements JoinEstimator: fresh weights, full epoch budget.
-func (m *MSCN) TrainJoin(examples []query.LabeledJoin) {
+func (m *MSCN) TrainJoin(examples []query.LabeledJoin) error {
 	m.initNets()
-	m.trainEpochs(examples, mscnTrainEpochs)
+	return m.trainEpochs(examples, mscnTrainEpochs)
 }
 
 // UpdateJoin implements JoinEstimator: a few fine-tuning epochs.
-func (m *MSCN) UpdateJoin(examples []query.LabeledJoin) {
-	m.trainEpochs(examples, mscnFinetuneEpochs)
+func (m *MSCN) UpdateJoin(examples []query.LabeledJoin) error {
+	return m.trainEpochs(examples, mscnFinetuneEpochs)
 }
 
 // EstimateJoin implements JoinEstimator.
-func (m *MSCN) EstimateJoin(q *query.JoinQuery) float64 {
-	pred, _ := m.forward(q)
-	return targetToCard(pred)
+func (m *MSCN) EstimateJoin(q *query.JoinQuery) (float64, error) {
+	pred, _, err := m.forward(q)
+	if err != nil {
+		return 0, err
+	}
+	return targetToCard(pred), nil
 }
 
 // singleTableQuery wraps a predicate on the catalog's only table.
 func (m *MSCN) singleTableQuery(p query.Predicate) *query.JoinQuery {
 	if len(m.Catalog.Order) != 1 {
-		panic("ce: single-table MSCN API requires a one-table catalog")
+		// API-misuse guard at the Estimator/JoinEstimator boundary: a
+		// multi-table MSCN is never wired behind the single-table serving
+		// path, so this cannot fire on live traffic.
+		panic("ce: single-table MSCN API requires a one-table catalog") //lint:allow panicfree single-table API misuse guard
 	}
 	name := m.Catalog.Order[0]
 	q := query.NewJoinQuery(name)
@@ -300,14 +319,21 @@ func (m *MSCN) toJoinExamples(examples []query.Labeled) []query.LabeledJoin {
 }
 
 // Train implements Estimator for the single-table configuration.
-func (m *MSCN) Train(examples []query.Labeled) { m.TrainJoin(m.toJoinExamples(examples)) }
+func (m *MSCN) Train(examples []query.Labeled) error {
+	return m.TrainJoin(m.toJoinExamples(examples))
+}
 
 // Update implements Estimator for the single-table configuration.
-func (m *MSCN) Update(examples []query.Labeled) { m.UpdateJoin(m.toJoinExamples(examples)) }
+func (m *MSCN) Update(examples []query.Labeled) error {
+	return m.UpdateJoin(m.toJoinExamples(examples))
+}
 
 // Estimate implements Estimator for the single-table configuration.
 func (m *MSCN) Estimate(p query.Predicate) float64 {
-	return m.EstimateJoin(m.singleTableQuery(p))
+	// singleTableQuery always produces an in-catalog query, so EstimateJoin
+	// cannot fail here.
+	est, _ := m.EstimateJoin(m.singleTableQuery(p))
+	return est
 }
 
 // Policy implements Estimator: MSCN fine-tunes (§4.1).

@@ -140,38 +140,51 @@ type Canaries struct {
 }
 
 // NewCanaries draws n probe predicates from the given workload and records
-// their current cardinalities.
-func NewCanaries(n int, gen workload.Generator, ann *annotator.Annotator, rng *rand.Rand) *Canaries {
+// their current cardinalities. Annotation failures (a generator producing
+// predicates outside the table's schema) surface as an error.
+func NewCanaries(n int, gen workload.Generator, ann *annotator.Annotator, rng *rand.Rand) (*Canaries, error) {
 	c := &Canaries{}
 	for i := 0; i < n; i++ {
 		p := gen.Gen(rng)
+		card, err := ann.Count(p)
+		if err != nil {
+			return nil, err
+		}
 		c.preds = append(c.preds, p)
-		c.cards = append(c.cards, ann.Count(p))
+		c.cards = append(c.cards, card)
 	}
-	return c
+	return c, nil
 }
 
 // MaxRelChange re-evaluates every canary and returns the largest relative
 // cardinality change.
-func (c *Canaries) MaxRelChange(ann *annotator.Annotator) float64 {
+func (c *Canaries) MaxRelChange(ann *annotator.Annotator) (float64, error) {
 	var worst float64
 	for i, p := range c.preds {
-		now := ann.Count(p)
+		now, err := ann.Count(p)
+		if err != nil {
+			return 0, err
+		}
 		base := math.Max(c.cards[i], 1)
 		rel := math.Abs(now-c.cards[i]) / base
 		if rel > worst {
 			worst = rel
 		}
 	}
-	return worst
+	return worst, nil
 }
 
 // Rebase re-records current cardinalities (after the model has adapted to a
 // data drift).
-func (c *Canaries) Rebase(ann *annotator.Annotator) {
+func (c *Canaries) Rebase(ann *annotator.Annotator) error {
 	for i, p := range c.preds {
-		c.cards[i] = ann.Count(p)
+		card, err := ann.Count(p)
+		if err != nil {
+			return err
+		}
+		c.cards[i] = card
 	}
+	return nil
 }
 
 // Len returns the number of canary predicates.
@@ -187,17 +200,24 @@ type DataTelemetry struct {
 }
 
 // Detect reports whether the table has drifted since the last reset/rebase.
-func (d *DataTelemetry) Detect(changedFraction float64, ann *annotator.Annotator) bool {
+func (d *DataTelemetry) Detect(changedFraction float64, ann *annotator.Annotator) (bool, error) {
 	rowThr := d.ChangedRowThreshold
 	if rowThr <= 0 {
 		rowThr = 0.05
 	}
 	if changedFraction >= rowThr {
-		return true
+		return true, nil
 	}
 	canThr := d.CanaryThreshold
 	if canThr <= 0 {
 		canThr = 0.10
 	}
-	return d.Canaries != nil && d.Canaries.MaxRelChange(ann) >= canThr
+	if d.Canaries == nil {
+		return false, nil
+	}
+	rel, err := d.Canaries.MaxRelChange(ann)
+	if err != nil {
+		return false, err
+	}
+	return rel >= canThr, nil
 }

@@ -71,19 +71,24 @@ func TestCanariesDetectDataDrift(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	ann := annotator.New(tbl)
 	g := workload.New("w3", tbl, sch, workload.Options{})
-	can := NewCanaries(10, g, ann, rng)
+	can, err := NewCanaries(10, g, ann, rng)
+	if err != nil {
+		t.Fatalf("NewCanaries: %v", err)
+	}
 	if can.Len() != 10 {
 		t.Fatalf("Len = %d", can.Len())
 	}
-	if got := can.MaxRelChange(ann); got != 0 {
+	if got := maxRelOK(t, can, ann); got != 0 {
 		t.Errorf("unchanged table rel change = %v, want 0", got)
 	}
 	dataset.SortTruncateHalf(tbl, 1)
-	if got := can.MaxRelChange(ann); got < 0.1 {
+	if got := maxRelOK(t, can, ann); got < 0.1 {
 		t.Errorf("rel change after truncation = %v, want >= 0.1", got)
 	}
-	can.Rebase(ann)
-	if got := can.MaxRelChange(ann); got != 0 {
+	if err := can.Rebase(ann); err != nil {
+		t.Fatalf("Rebase: %v", err)
+	}
+	if got := maxRelOK(t, can, ann); got != 0 {
 		t.Errorf("after rebase = %v, want 0", got)
 	}
 }
@@ -92,10 +97,10 @@ func TestDataTelemetryChangedRows(t *testing.T) {
 	tbl, _ := driftsFixture(t)
 	ann := annotator.New(tbl)
 	d := &DataTelemetry{}
-	if d.Detect(0.01, ann) {
+	if detectOK(t, d, 0.01, ann) {
 		t.Error("1% changed rows should not trigger with 5% threshold")
 	}
-	if !d.Detect(0.2, ann) {
+	if !detectOK(t, d, 0.2, ann) {
 		t.Error("20% changed rows should trigger")
 	}
 }
@@ -105,12 +110,36 @@ func TestDataTelemetryCanaryPath(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	ann := annotator.New(tbl)
 	g := workload.New("w3", tbl, sch, workload.Options{})
-	d := &DataTelemetry{Canaries: NewCanaries(8, g, ann, rng)}
-	if d.Detect(0, ann) {
+	can, err := NewCanaries(8, g, ann, rng)
+	if err != nil {
+		t.Fatalf("NewCanaries: %v", err)
+	}
+	d := &DataTelemetry{Canaries: can}
+	if detectOK(t, d, 0, ann) {
 		t.Error("no drift yet")
 	}
 	dataset.UpdateDrift(tbl, 1.0, 2.0, rng)
-	if !d.Detect(0, ann) {
+	if !detectOK(t, d, 0, ann) {
 		t.Error("canaries missed a full-table update")
 	}
+}
+
+// maxRelOK/detectOK unwrap canary probes over schemas that match by
+// construction.
+func maxRelOK(t *testing.T, c *Canaries, ann *annotator.Annotator) float64 {
+	t.Helper()
+	v, err := c.MaxRelChange(ann)
+	if err != nil {
+		t.Fatalf("MaxRelChange: %v", err)
+	}
+	return v
+}
+
+func detectOK(t *testing.T, d *DataTelemetry, changedFrac float64, ann *annotator.Annotator) bool {
+	t.Helper()
+	hit, err := d.Detect(changedFrac, ann)
+	if err != nil {
+		t.Fatalf("Detect: %v", err)
+	}
+	return hit
 }

@@ -42,7 +42,15 @@ func (f *fixture) trueCards(t *testing.T, pl, po query.Predicate) (float64, floa
 	t.Helper()
 	al := annotator.New(f.eng.DB.Lineitem)
 	ao := annotator.New(f.eng.DB.Orders)
-	return al.Count(pl), ao.Count(po)
+	cl, err := al.Count(pl)
+	if err != nil {
+		t.Fatalf("Count: %v", err)
+	}
+	co, err := ao.Count(po)
+	if err != nil {
+		t.Fatalf("Count: %v", err)
+	}
+	return cl, co
 }
 
 func TestS1UnderestimateCausesMidSpill(t *testing.T) {

@@ -67,7 +67,7 @@ func RunC2(dsName, trainSpec, newSpec, model string, methodNames []string, sc Sc
 				res.QErrors[m.Name()] = obs.NewHistogram(obs.QErrorOpts())
 			}
 			runner.QErrHist = res.QErrors[m.Name()]
-			curve := runner.Run(m, periods)
+			curve := mustCurve(runner.Run(m, periods))
 			a := aggs[m.Name()]
 			if a == nil {
 				a = &agg{points: make([][]float64, curve.Len()), xs: curve.Queries}

@@ -35,7 +35,7 @@ func measureCosts(ds string, sc Scale, seed int64) costProfile {
 	// separately arriving queries uses single-query scans.
 	env.Ann.ResetMeters()
 	for _, p := range probe[:10] {
-		env.Ann.Count(p)
+		mustCount(env.Ann, p)
 	}
 	prof.AnnotatePerQuery = env.Ann.MeanCostPerQuery()
 
@@ -44,7 +44,7 @@ func measureCosts(ds string, sc Scale, seed int64) costProfile {
 	probeN := minI(len(env.Stream), 80)
 	periods := adapt.SplitPeriods(adapt.ArrivalsOf(env.Stream[:probeN], true), probeN/2)
 	for _, p := range periods {
-		ad.Period(p)
+		mustPeriod(ad, p)
 	}
 	prof.WarperBuild = ad.Ledger.Get("pretrain") + ad.Ledger.Get("gan") + ad.Ledger.Get("ae") +
 		ad.Ledger.Get("gen") + ad.Ledger.Get("pick")

@@ -53,7 +53,7 @@ func runC1(ds string, sc Scale, seed int64) []string {
 
 		// Oracle for δ_m: trained exclusively on post-drift labels.
 		oracle := NewModel("lm-mlp", env.Sch, runSeed+3)
-		oracle.Train(env.Ann.AnnotateAll(workload.Generate(env.TrainGen, sc.StreamSize, rng)))
+		mustTrain(oracle, env.Ann.AnnotateAll(workload.Generate(env.TrainGen, sc.StreamSize, rng)))
 		dmSum += metrics.DeltaM(ce.EvalGMQ(env.Model, test), ce.EvalGMQ(oracle, test))
 		// δ_js is 0 by construction: the workload did not change.
 
@@ -72,12 +72,12 @@ func runC1(ds string, sc Scale, seed int64) []string {
 			for i := 0; i < budget && used < len(perm); i++ {
 				lq := env.Train[perm[used]]
 				used++
-				batch = append(batch, query.Labeled{Pred: lq.Pred, Card: env.Ann.Count(lq.Pred)})
+				batch = append(batch, query.Labeled{Pred: lq.Pred, Card: mustCount(env.Ann, lq.Pred)})
 			}
 			if len(batch) == 0 {
 				break
 			}
-			ftModel.Update(batch)
+			mustUpdate(ftModel, batch)
 			ftCurve.Append(float64(used), ce.EvalGMQ(ftModel, test))
 		}
 
@@ -88,7 +88,7 @@ func runC1(ds string, sc Scale, seed int64) []string {
 		cfg.Gamma = sc.gamma()
 		cfg.AnnotateBudget = budget
 		wModel := env.Model.Clone()
-		ad := warper.New(cfg, wModel, env.Sch, env.Ann, env.Train)
+		ad := mustAdapter(warper.New(cfg, wModel, env.Sch, env.Ann, env.Train))
 		wCurve := &metrics.Curve{}
 		wCurve.Append(0, ce.EvalGMQ(wModel, test))
 		spent := 0
@@ -96,9 +96,9 @@ func runC1(ds string, sc Scale, seed int64) []string {
 			arrivals := make([]warper.Arrival, budget/2)
 			for i := range arrivals {
 				pr := env.TrainGen.Gen(rng)
-				arrivals[i] = warper.Arrival{Pred: pr, GT: env.Ann.Count(pr), HasGT: true}
+				arrivals[i] = warper.Arrival{Pred: pr, GT: mustCount(env.Ann, pr), HasGT: true}
 			}
-			rep := ad.Period(arrivals)
+			rep := mustPeriod(ad, arrivals)
 			spent += rep.Annotated
 			wCurve.Append(float64(spent), ce.EvalGMQ(wModel, test))
 		}
@@ -136,10 +136,10 @@ func runC3(ds string, sc Scale, seed int64) []string {
 			idx := rng.Perm(len(period))
 			for i := 0; i < budget && i < len(idx); i++ {
 				pr := period[idx[i]].Pred
-				batch = append(batch, query.Labeled{Pred: pr, Card: env.Ann.Count(pr)})
+				batch = append(batch, query.Labeled{Pred: pr, Card: mustCount(env.Ann, pr)})
 				spent++
 			}
-			ftModel.Update(batch)
+			mustUpdate(ftModel, batch)
 			ftCurve.Append(float64(spent), ce.EvalGMQ(ftModel, env.Test))
 		}
 
@@ -150,12 +150,12 @@ func runC3(ds string, sc Scale, seed int64) []string {
 		cfg.AnnotateBudget = budget
 		cfg.GenFraction = 0.001 // c3: picker only, no generation
 		wModel := env.Model.Clone()
-		ad := warper.New(cfg, wModel, env.Sch, env.Ann, env.Train)
+		ad := mustAdapter(warper.New(cfg, wModel, env.Sch, env.Ann, env.Train))
 		wCurve := &metrics.Curve{}
 		wCurve.Append(0, ce.EvalGMQ(wModel, env.Test))
 		wSpent := 0
 		for _, period := range periods {
-			rep := ad.Period(period)
+			rep := mustPeriod(ad, period)
 			wSpent += rep.Annotated
 			wCurve.Append(float64(wSpent), ce.EvalGMQ(wModel, env.Test))
 		}

@@ -54,8 +54,8 @@ func (e *e2eEnv) labeledPairs(specL, specO string, n int) (ls, os []query.Labele
 	for i := 0; i < n; i++ {
 		pl := gl.Gen(e.rng)
 		po := gob.Gen(e.rng)
-		ls = append(ls, query.Labeled{Pred: pl, Card: e.annL.Count(pl)})
-		os = append(os, query.Labeled{Pred: po, Card: e.annO.Count(po)})
+		ls = append(ls, query.Labeled{Pred: pl, Card: mustCount(e.annL, pl)})
+		os = append(os, query.Labeled{Pred: po, Card: mustCount(e.annO, po)})
 	}
 	return ls, os
 }
@@ -123,8 +123,8 @@ type e2eFT struct{ mL, mO ce.Estimator }
 
 func (f *e2eFT) name() string { return "FT" }
 func (f *e2eFT) step(arrL, arrO []warper.Arrival) {
-	f.mL.Update(labeledArr(arrL))
-	f.mO.Update(labeledArr(arrO))
+	mustUpdate(f.mL, labeledArr(arrL))
+	mustUpdate(f.mO, labeledArr(arrO))
 }
 func (f *e2eFT) models() (ce.Estimator, ce.Estimator) { return f.mL, f.mO }
 
@@ -142,8 +142,8 @@ type e2eWarper struct {
 
 func (w *e2eWarper) name() string { return "Warper" }
 func (w *e2eWarper) step(arrL, arrO []warper.Arrival) {
-	w.adL.Period(arrL)
-	w.adO.Period(arrO)
+	mustPeriod(w.adL, arrL)
+	mustPeriod(w.adO, arrO)
 }
 func (w *e2eWarper) models() (ce.Estimator, ce.Estimator) { return w.adL.M, w.adO.M }
 
@@ -207,9 +207,9 @@ func Fig9(sc Scale, seed int64) []*Table {
 		trainL, trainO := e.labeledPairs("w1", "w1", sc.TrainSize)
 		mkModels := func(s int64) (ce.Estimator, ce.Estimator) {
 			mL := ce.NewLM(ce.LMMLP, e.schL, s)
-			mL.Train(trainL)
+			mustTrain(mL, trainL)
 			mO := ce.NewLM(ce.LMMLP, e.schO, s+1)
-			mO.Train(trainO)
+			mustTrain(mO, trainO)
 			return mL, mO
 		}
 		wcfg := sc.Warper
@@ -220,8 +220,8 @@ func Fig9(sc Scale, seed int64) []*Table {
 		methods := []e2eMethod{
 			&e2eFT{mL: mLF, mO: mOF},
 			&e2eWarper{
-				adL: warper.New(wcfg, mLW, e.schL, e.annL, trainL),
-				adO: warper.New(wcfg, mOW, e.schO, e.annO, trainO),
+				adL: mustAdapter(warper.New(wcfg, mLW, e.schL, e.annL, trainL)),
+				adO: mustAdapter(warper.New(wcfg, mOW, e.schO, e.annO, trainO)),
 			},
 		}
 		if d.dataDrift != nil {
@@ -300,9 +300,9 @@ func Fig1(sc Scale, seed int64) []*Table {
 	)
 	mkModels := func(s int64) (ce.Estimator, ce.Estimator) {
 		mL := ce.NewLM(ce.LMMLP, e.schL, s)
-		mL.Train(trainL)
+		mustTrain(mL, trainL)
 		mO := ce.NewLM(ce.LMMLP, e.schO, s+1)
-		mO.Train(trainO)
+		mustTrain(mO, trainO)
 		return mL, mO
 	}
 	wcfg := sc.Warper
@@ -313,8 +313,8 @@ func Fig1(sc Scale, seed int64) []*Table {
 	methods := []e2eMethod{
 		&e2eNoAdapt{mL: mLN, mO: mON},
 		&e2eWarper{
-			adL: warper.New(wcfg, mLW, e.schL, e.annL, trainL),
-			adO: warper.New(wcfg, mOW, e.schO, e.annO, trainO),
+			adL: mustAdapter(warper.New(wcfg, mLW, e.schL, e.annL, trainL)),
+			adO: mustAdapter(warper.New(wcfg, mOW, e.schO, e.annO, trainO)),
 		},
 	}
 	t := &Table{

@@ -58,12 +58,12 @@ func NewEnv(dsName, trainSpec, newSpec, model string, sc Scale, seed int64) *Env
 	e.Test = ann.AnnotateAll(workload.Generate(e.NewGen, sc.TestSize, rng))
 
 	e.Model = NewModel(model, sch, seed+1)
-	e.Model.Train(e.Train)
+	mustTrain(e.Model, e.Train)
 
 	// Drift metrics: δ_m (blind accuracy gap vs a model trained exclusively
 	// on the new workload) and δ_js (intrinsic distribution distance).
 	oracle := NewModel(model, sch, seed+2)
-	oracle.Train(e.Stream)
+	mustTrain(oracle, e.Stream)
 	e.DeltaM = metrics.DeltaM(ce.EvalGMQ(e.Model, e.Test), ce.EvalGMQ(oracle, e.Test))
 	var trainPreds, newPreds []query.Predicate
 	for _, lq := range e.Train {
@@ -125,7 +125,7 @@ func (e *Env) NewWarperAdapter(sc Scale, seed int64) (*warper.Adapter, ce.Estima
 	cfg.Seed = seed
 	cfg.Gamma = sc.gamma()
 	m := e.Model.Clone()
-	return warper.New(cfg, m, e.Sch, e.Ann, e.Train), m
+	return mustAdapter(warper.New(cfg, m, e.Sch, e.Ann, e.Train)), m
 }
 
 // Methods builds the named adaptation methods over clones of the env model.

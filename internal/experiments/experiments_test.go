@@ -54,6 +54,9 @@ func TestTableRendering(t *testing.T) {
 }
 
 func TestRunC2ProducesConsistentCurves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy; skipped under -short (race pass)")
+	}
 	sc := smokeScale()
 	res := RunC2("prsa", "w1", "w4", "lm-mlp", []string{"FT", "Warper"}, sc, 5)
 	if len(res.Curves) != 2 {
@@ -77,6 +80,9 @@ func TestRunC2ProducesConsistentCurves(t *testing.T) {
 }
 
 func TestEnvDriftMetricsPopulated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy; skipped under -short (race pass)")
+	}
 	env := NewEnv("poker", "w12", "w345", "lm-mlp", smokeScale(), 3)
 	if env.DeltaJS <= 0 {
 		t.Errorf("δ_js = %v, want > 0 for drifted workloads", env.DeltaJS)
@@ -105,6 +111,9 @@ func TestEnvUnknownInputsPanic(t *testing.T) {
 // Smoke tests: every registered experiment runs end to end at tiny scale and
 // emits non-empty tables.
 func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy; skipped under -short (race pass)")
+	}
 	if testing.Short() {
 		t.Skip("long smoke test")
 	}

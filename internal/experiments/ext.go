@@ -36,7 +36,7 @@ func ExtHistogram(sc Scale, seed int64) []*Table {
 
 	train := ann.AnnotateAll(workload.Generate(gTrain, sc.TrainSize, rng))
 	lm := ce.NewLM(ce.LMMLP, sch, seed+1)
-	lm.Train(train)
+	mustTrain(lm, train)
 	hist := ce.NewHistogramEstimator(tbl, 64)
 
 	evalOn := func(g workload.Generator) (float64, float64) {
@@ -56,10 +56,10 @@ func ExtHistogram(sc Scale, seed int64) []*Table {
 	lmDd, hDd := evalOn(gTrain)
 	t.Rows = append(t.Rows, []string{"data drift, no adaptation", f2(lmDd), f2(hDd)})
 
-	hist.Update(nil) // rebuild from the mutated table — free for histograms
+	mustUpdate(hist, nil) // rebuild from the mutated table — free for histograms
 	_, hReb := evalOn(gTrain)
 	relabeled := ann.AnnotateAll(workload.Generate(gTrain, sc.StreamSize, rng))
-	lm.Update(relabeled) // the LM needs fresh labels to recover
+	mustUpdate(lm, relabeled) // the LM needs fresh labels to recover
 	lmReb, _ := evalOn(gTrain)
 	t.Rows = append(t.Rows, []string{"data drift, after adaptation", f2(lmReb), f2(hReb)})
 

@@ -35,25 +35,25 @@ func Table7d(sc Scale, seed int64) []*Table {
 
 		trainW := &imdb.JoinWorkload{DB: db, PredStyle: "sample"} // w4-like
 		newW := &imdb.JoinWorkload{DB: db, PredStyle: "uniform"}  // w1-like
-		train := ja.AnnotateAll(trainW.Generate(sc.TrainSize, rng))
-		stream := ja.AnnotateAll(newW.Generate(sc.StreamSize, rng))
-		test := ja.AnnotateAll(newW.Generate(sc.TestSize, rng))
+		train := mustJoinAnnotateAll(ja, trainW.Generate(sc.TrainSize, rng))
+		stream := mustJoinAnnotateAll(ja, newW.Generate(sc.StreamSize, rng))
+		test := mustJoinAnnotateAll(ja, newW.Generate(sc.TestSize, rng))
 
 		m := ce.NewMSCN(db.Catalog, runSeed+1)
-		m.TrainJoin(train)
+		mustTrainJoin(m, train)
 
 		oracle := ce.NewMSCN(db.Catalog, runSeed+2)
-		oracle.TrainJoin(stream)
-		dmSum += metrics.DeltaM(ce.EvalJoinGMQ(m, test), ce.EvalJoinGMQ(oracle, test))
+		mustTrainJoin(oracle, stream)
+		dmSum += metrics.DeltaM(mustJoinGMQ(m, test), mustJoinGMQ(oracle, test))
 
 		// FT: fine-tune with each period's labeled arrivals.
 		ft := m.Clone().(*ce.MSCN)
 		ftCurve := &metrics.Curve{}
-		ftCurve.Append(0, ce.EvalJoinGMQ(ft, test))
+		ftCurve.Append(0, mustJoinGMQ(ft, test))
 		for start := 0; start < len(stream); start += sc.PeriodSize {
 			end := minI(start+sc.PeriodSize, len(stream))
-			ft.UpdateJoin(stream[:end]) // all labeled arrivals so far
-			ftCurve.Append(float64(end), ce.EvalJoinGMQ(ft, test))
+			mustUpdateJoin(ft, stream[:end]) // all labeled arrivals so far
+			ftCurve.Append(float64(end), mustJoinGMQ(ft, test))
 		}
 
 		// Warper-for-joins: synthesize additional join queries by pairing
@@ -62,7 +62,7 @@ func Table7d(sc Scale, seed int64) []*Table {
 		// arrivals + synthetic.
 		wm := m.Clone().(*ce.MSCN)
 		wCurve := &metrics.Curve{}
-		wCurve.Append(0, ce.EvalJoinGMQ(wm, test))
+		wCurve.Append(0, mustJoinGMQ(wm, test))
 		var synthPool []query.LabeledJoin
 		for start := 0; start < len(stream); start += sc.PeriodSize {
 			end := minI(start+sc.PeriodSize, len(stream))
@@ -81,10 +81,10 @@ func Table7d(sc Scale, seed int64) []*Table {
 				}
 				synth = append(synth, tmpl)
 			}
-			synthPool = append(synthPool, ja.AnnotateAll(synth)...)
+			synthPool = append(synthPool, mustJoinAnnotateAll(ja, synth)...)
 			update := append(append([]query.LabeledJoin(nil), stream[:end]...), synthPool...)
-			wm.UpdateJoin(update)
-			wCurve.Append(float64(end), ce.EvalJoinGMQ(wm, test))
+			mustUpdateJoin(wm, update)
+			wCurve.Append(float64(end), mustJoinGMQ(wm, test))
 		}
 		ftAgg = ftAgg.add(ftCurve)
 		wAgg = wAgg.add(wCurve)

@@ -90,7 +90,7 @@ func Fig7(sc Scale, seed int64) []*Table {
 	ad, _ := env.NewWarperAdapter(sc, seed+17)
 	periods := adapt.SplitPeriods(adapt.ArrivalsOf(env.Stream, true), sc.PeriodSize)
 	for _, p := range periods {
-		ad.Period(p)
+		mustPeriod(ad, p)
 	}
 	groups := map[string][]query.Predicate{}
 	for _, e := range ad.Pool.Entries {

@@ -49,7 +49,10 @@ func TestJoinWorkloadQueriesAnnotatable(t *testing.T) {
 		qs := jw.Generate(30, rng)
 		nonZero := 0
 		for _, q := range qs {
-			card := ja.Count(q)
+			card, err := ja.Count(q)
+			if err != nil {
+				t.Fatalf("Count: %v", err)
+			}
 			if card < 0 {
 				t.Fatal("negative cardinality")
 			}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrcheckLite catches silently dropped error returns: a call used as a
+// bare statement whose results include an error. This is how the original
+// panic-to-error refactor stays honest — converting a panic to a returned
+// error is worthless if a caller then discards it. Explicit discards
+// (`_ = f()`), deferred calls, and tests are out of scope, as is the
+// fmt.Print family (stdout writes in reports and examples).
+var ErrcheckLite = &Analyzer{
+	Name: "errcheck-lite",
+	Doc:  "error returns must be handled or explicitly discarded",
+	Run:  runErrcheckLite,
+}
+
+// errcheckExempt lists full function names whose error results may be
+// dropped: best-effort stdout/stderr printing.
+var errcheckExempt = map[string]bool{
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+}
+
+// infallibleWriters are receiver types documented to always return a nil
+// error (strings.Builder, bytes.Buffer), so dropping it carries no risk.
+var infallibleWriters = map[string]bool{
+	"*strings.Builder": true, "strings.Builder": true,
+	"*bytes.Buffer": true, "bytes.Buffer": true,
+}
+
+func runErrcheckLite(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call) {
+				return true
+			}
+			if name := calleeName(pass, call); name != "" && errcheckExempt[name] {
+				return true
+			}
+			if infallibleReceiver(pass, call) || consoleFprint(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "result of %s includes an error that is silently dropped", calleeLabel(pass, call))
+			return true
+		})
+	}
+}
+
+// infallibleReceiver reports whether the call is a method on a writer that
+// never fails (strings.Builder, bytes.Buffer) — including fmt.Fprint*
+// calls whose destination is such a writer.
+func infallibleReceiver(pass *Pass, call *ast.CallExpr) bool {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+				return infallibleWriters[recv.Type().String()]
+			}
+		}
+	}
+	return false
+}
+
+// consoleFprint reports whether the call is fmt.Fprint* writing to
+// os.Stdout/os.Stderr or to an infallible in-memory writer: console
+// output in CLIs is best-effort by convention, mirroring the fmt.Print
+// exemption.
+func consoleFprint(pass *Pass, call *ast.CallExpr) bool {
+	name := calleeName(pass, call)
+	if name != "fmt.Fprint" && name != "fmt.Fprintf" && name != "fmt.Fprintln" {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	dst := call.Args[0]
+	if tv, ok := pass.Info.Types[dst]; ok && infallibleWriters[tv.Type.String()] {
+		return true
+	}
+	sel, ok := dst.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os" &&
+		(obj.Name() == "Stdout" || obj.Name() == "Stderr")
+}
+
+// returnsError reports whether the call's result type is or contains error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if isErrorType(tv.Type) {
+		return true
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}
+
+// calleeName returns pkg.Func for package-level callees, "" otherwise.
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+		return ""
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+// calleeLabel renders the call target for the diagnostic message.
+func calleeLabel(pass *Pass, call *ast.CallExpr) string {
+	return types.ExprString(call.Fun)
+}

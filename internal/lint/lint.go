@@ -1,0 +1,182 @@
+// Package lint is a dependency-free static-analysis framework for the
+// warper module, built only on the standard library's go/parser and
+// go/types. It exists because the invariants that make the paper's results
+// reproducible — seed-determinism of every training path, a serving stack
+// that degrades instead of dying, no slow work under the serving lock —
+// are not expressible as go vet checks, yet regress silently under
+// ordinary refactoring.
+//
+// The framework loads every package in the module (tests excluded),
+// type-checks it with the source importer, and runs project-specific
+// analyzers that report file:line diagnostics. A diagnostic can be
+// suppressed at the offending line with a directive comment:
+//
+//	//lint:allow <rule> [reason...]
+//
+// placed either on the same line as the violation or on the line directly
+// above it. Each directive suppresses diagnostics of that rule on its own
+// line and the line below only, so one allow cannot blanket a file.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one project invariant over a single type-checked
+// package.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and //lint:allow.
+	Name string
+	// Doc is a one-line description shown by warperlint -rules.
+	Doc string
+	// Packages restricts the analyzer to packages whose import path's
+	// last segment is in the list. Empty means every package.
+	Packages []string
+	// Run inspects the package and reports diagnostics via the pass.
+	Run func(*Pass)
+}
+
+// applies reports whether the analyzer runs on the given import path.
+func (a *Analyzer) applies(pkgPath string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	seg := pkgPath
+	if i := strings.LastIndex(pkgPath, "/"); i >= 0 {
+		seg = pkgPath[i+1:]
+	}
+	for _, p := range a.Packages {
+		if p == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Rule:    p.Analyzer.Name,
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one rule violation at one source position.
+type Diagnostic struct {
+	Rule    string
+	Pos     token.Position
+	Message string
+}
+
+// String formats the diagnostic as file:line:col: message (rule).
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	rule string
+	file string
+	line int
+}
+
+// directivePrefix introduces a suppression comment.
+const directivePrefix = "//lint:allow"
+
+// collectAllows extracts every //lint:allow directive in the files.
+func collectAllows(fset *token.FileSet, files []*ast.File) []allowDirective {
+	var out []allowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, allowDirective{rule: fields[0], file: pos.Filename, line: pos.Line})
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether d is covered by a directive: same rule, same
+// file, and the directive sits on the diagnostic's line or the line above.
+func suppressed(d Diagnostic, allows []allowDirective) bool {
+	for _, a := range allows {
+		if a.rule == d.Rule && a.file == d.Pos.Filename &&
+			(a.line == d.Pos.Line || a.line == d.Pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers runs every applicable analyzer over each loaded package and
+// returns the surviving (non-suppressed) diagnostics sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows := collectAllows(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			if !a.applies(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if !suppressed(d, allows) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Pos.Column < out[j].Pos.Column
+	})
+	return out
+}
+
+// All returns every analyzer warperlint ships, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Nondeterminism,
+		PanicFree,
+		LockHygiene,
+		ErrcheckLite,
+	}
+}

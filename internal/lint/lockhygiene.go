@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockHygiene keeps the serving lock short. PR 1 measured lock-wait as the
+// dominant head-of-line latency source and moved adaptation off the
+// estimate lock via clone/swap; this rule pins that property: inside
+// internal/serve, no model training/updating, no annotation, and no I/O
+// may run while a sync.Mutex or sync.RWMutex is held via a blocking
+// Lock/RLock. TryLock-guarded regions are exempt — handlePeriod
+// intentionally holds its non-blocking period latch across a full repair.
+var LockHygiene = &Analyzer{
+	Name:     "lockhygiene",
+	Doc:      "no model updates, annotation, or I/O while holding a sync lock in internal/serve",
+	Packages: []string{"serve"},
+	Run:      runLockHygiene,
+}
+
+// slowMethods are module methods that train, retrain, or scan tables —
+// work that must never run under the serving lock.
+var slowMethods = map[string]bool{
+	"Train": true, "Update": true, "TrainJoin": true, "UpdateJoin": true,
+	"Period": true, "AnnotateAll": true,
+}
+
+// ioPackages whose calls count as I/O under a lock.
+var ioPackages = map[string]bool{
+	"os": true, "io": true, "net": true, "net/http": true, "bufio": true,
+}
+
+func runLockHygiene(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkLockedRegions(pass, body.List)
+			}
+			return true
+		})
+	}
+}
+
+// checkLockedRegions scans one statement list. A blocking Lock/RLock on a
+// sync mutex opens a locked region that runs to the matching
+// Unlock/RUnlock on the same receiver in this list, or to the end of the
+// list when the unlock is deferred (or missing). Nested blocks are scanned
+// recursively with their own regions.
+func checkLockedRegions(pass *Pass, stmts []ast.Stmt) {
+	for i, st := range stmts {
+		if blk, ok := st.(*ast.BlockStmt); ok {
+			checkLockedRegions(pass, blk.List)
+			continue
+		}
+		recv, kind := mutexCall(pass, st)
+		if kind != "Lock" && kind != "RLock" {
+			continue
+		}
+		end := len(stmts)
+		for j := i + 1; j < len(stmts); j++ {
+			r, k := mutexCall(pass, stmts[j])
+			if r == recv && (k == "Unlock" || k == "RUnlock") {
+				end = j
+				break
+			}
+		}
+		for _, locked := range stmts[i+1 : end] {
+			reportSlowCalls(pass, locked)
+		}
+	}
+}
+
+// mutexCall reports the receiver text and method name when st is a plain
+// call to a sync.Mutex/RWMutex method (Lock, RLock, Unlock, RUnlock, …).
+// Deferred unlocks are deliberately not treated as region ends.
+func mutexCall(pass *Pass, st ast.Stmt) (recv, method string) {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return "", ""
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	return types.ExprString(sel.X), fn.Name()
+}
+
+// reportSlowCalls flags slow-method and I/O calls anywhere inside the
+// statement, including nested closures (a closure built under the lock is
+// overwhelmingly invoked under it in this codebase).
+func reportSlowCalls(pass *Pass, st ast.Stmt) {
+	ast.Inspect(st, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Recv() == nil {
+			if ioPackages[fn.Pkg().Path()] {
+				pass.Reportf(call.Pos(), "%s.%s under a held sync lock: do I/O outside the serving lock", fn.Pkg().Name(), fn.Name())
+			}
+			return true
+		}
+		if !slowMethods[fn.Name()] && !(fn.Name() == "Count" && strings.HasSuffix(fn.Pkg().Path(), "/annotator")) {
+			return true
+		}
+		// Only module types: a same-named method on a stdlib type is fine.
+		if fn.Pkg().Path() != pass.Pkg.Path() && !strings.Contains(fn.Pkg().Path(), "/") {
+			return true
+		}
+		pass.Reportf(call.Pos(), "%s.%s under a held sync lock: clone and swap instead of updating in place", types.ExprString(sel.X), fn.Name())
+		return true
+	})
+}

@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicFree guards the §6.4 robustness claim: a failed repair (kernel
+// solve, dimension mismatch, malformed query) must surface as an error the
+// adapter and HTTP layer can absorb, never as a panic that kills warperd.
+// The rule covers every package reachable from internal/serve's request
+// path; offline harnesses (experiments, examples, cmd) may still panic.
+var PanicFree = &Analyzer{
+	Name:     "panicfree",
+	Doc:      "serving-path packages must return errors instead of panicking",
+	Packages: []string{"serve", "warper", "ce", "annotator"},
+	Run:      runPanicFree,
+}
+
+func runPanicFree(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true // shadowed identifier, not the builtin
+			}
+			pass.Reportf(call.Pos(), "panic on the serving path in package %s: return an error so a failed repair keeps the previous model serving", pass.Pkg.Name())
+			return true
+		})
+	}
+}

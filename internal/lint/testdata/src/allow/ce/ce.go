@@ -1,0 +1,18 @@
+// Package ce is a lint fixture for //lint:allow: two identical violations,
+// one suppressed, so exactly one diagnostic must survive.
+package ce
+
+// Checked panics with a directive on the line above: suppressed.
+func Checked(ok bool) {
+	if !ok {
+		//lint:allow panicfree startup-only validation
+		panic("validated at startup")
+	}
+}
+
+// Unchecked panics without a directive: reported.
+func Unchecked(ok bool) {
+	if !ok {
+		panic("no directive") // want "panic on the serving path"
+	}
+}

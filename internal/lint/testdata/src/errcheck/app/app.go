@@ -1,0 +1,36 @@
+// Package app is a lint fixture for errcheck-lite, which runs on every
+// package.
+package app
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error               { return errors.New("boom") }
+func fallible2() (int, error)       { return 0, errors.New("boom") }
+func infallible() int               { return 1 }
+
+// Bad drops errors silently.
+func Bad() {
+	fallible()  // want "result of fallible includes an error"
+	fallible2() // want "result of fallible2 includes an error"
+}
+
+// Good handles, discards explicitly, defers, or calls exempt printers.
+func Good(f *os.File) error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	_ = fallible()
+	defer f.Close()
+	infallible()
+	fmt.Println("status")
+	fmt.Fprintln(os.Stderr, "status")
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Fprintf(&b, "%d", 1)
+	return nil
+}

@@ -1,0 +1,51 @@
+// Package serve is a lint fixture: its import-path segment places it in
+// the lockhygiene analyzer's scope.
+package serve
+
+import (
+	"os"
+	"sync"
+)
+
+type model struct{}
+
+func (m *model) Update(_ []float64) error { return nil }
+func (m *model) Estimate() float64        { return 1 }
+
+type server struct {
+	mu       sync.Mutex
+	periodMu sync.Mutex
+	model    *model
+}
+
+// badUpdateUnderLock trains the model while holding the serving lock.
+func (s *server) badUpdateUnderLock(xs []float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.model.Update(xs) // want "under a held sync lock"
+}
+
+// badIOUnderLock reads a file while holding the lock.
+func (s *server) badIOUnderLock() {
+	s.mu.Lock()
+	_, _ = os.ReadFile("/etc/hostname") // want "os.ReadFile under a held sync lock"
+	s.mu.Unlock()
+}
+
+// goodShortLock releases the lock before the slow call.
+func (s *server) goodShortLock(xs []float64) error {
+	s.mu.Lock()
+	m := s.model
+	s.mu.Unlock()
+	return m.Update(xs)
+}
+
+// goodTryLock mirrors handlePeriod: a non-blocking latch may span a full
+// repair, so TryLock regions are exempt.
+func (s *server) goodTryLock(xs []float64) error {
+	if !s.periodMu.TryLock() {
+		return nil
+	}
+	defer s.periodMu.Unlock()
+	return s.model.Update(xs)
+}

@@ -1,0 +1,22 @@
+// Package nn is a lint fixture: its import-path segment places it in the
+// nondeterminism analyzer's scope.
+package nn
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad draws from the global source and reads the wall clock.
+func Bad() float64 {
+	t := time.Now()     // want "time.Now in algorithm package"
+	v := rand.Float64() // want "global math/rand.Float64"
+	rand.Seed(42)       // want "global math/rand.Seed"
+	return v + float64(t.Unix()%2) + float64(rand.Intn(3)) // want "global math/rand.Intn"
+}
+
+// Good uses only an injected, seeded source.
+func Good(rng *rand.Rand) float64 {
+	fresh := rand.New(rand.NewSource(7)) // constructors are fine
+	return rng.Float64() + fresh.Float64()
+}

@@ -1,0 +1,27 @@
+// Package ce is a lint fixture: its import-path segment places it in the
+// panicfree analyzer's scope.
+package ce
+
+import "errors"
+
+// Fit panics on failure — exactly what the rule forbids on the serving
+// path.
+func Fit(ok bool) {
+	if !ok {
+		panic("kernel fit failed") // want "panic on the serving path"
+	}
+}
+
+// FitErr returns the error instead; no diagnostic.
+func FitErr(ok bool) error {
+	if !ok {
+		return errors.New("kernel fit failed")
+	}
+	return nil
+}
+
+// shadowed proves a local function named panic is not the builtin.
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

@@ -18,6 +18,8 @@ const (
 	mStageSeconds    = "warper_period_stage_seconds"
 	mPeriodsTotal    = "warper_periods_total"
 	mPeriodConflicts = "warper_period_conflicts_total"
+	mPeriodFailures  = "warper_period_failures_total"
+	mPanicsTotal     = "serve_panics_total"
 	mGeneratedTotal  = "warper_generated_total"
 	mAnnotatedTotal  = "warper_annotated_total"
 	mUpdatesTotal    = "warper_model_updates_total"
@@ -41,6 +43,8 @@ type Metrics struct {
 	qerr      *obs.Histogram
 	periods   *obs.Counter
 	conflicts *obs.Counter
+	failures  *obs.Counter
+	panics    *obs.Counter
 	generated *obs.Counter
 	annotated *obs.Counter
 	updates   *obs.Counter
@@ -64,6 +68,8 @@ func NewMetrics() *Metrics {
 	r.Help(mStageSeconds, "Adaptation period stage durations in seconds.")
 	r.Help(mPeriodsTotal, "Completed adaptation periods.")
 	r.Help(mPeriodConflicts, "Period requests rejected because one was already running.")
+	r.Help(mPeriodFailures, "Adaptation periods that failed; the pre-period model kept serving.")
+	r.Help(mPanicsTotal, "Handler panics converted to 500s by the recover middleware.")
 	r.Help(mGeneratedTotal, "Synthetic queries generated across all periods.")
 	r.Help(mAnnotatedTotal, "Ground-truth annotations spent across all periods.")
 	r.Help(mUpdatesTotal, "Model updates applied across all periods.")
@@ -81,6 +87,8 @@ func NewMetrics() *Metrics {
 		qerr:      r.Histogram(mQError, obs.QErrorOpts()),
 		periods:   r.Counter(mPeriodsTotal),
 		conflicts: r.Counter(mPeriodConflicts),
+		failures:  r.Counter(mPeriodFailures),
+		panics:    r.Counter(mPanicsTotal),
 		generated: r.Counter(mGeneratedTotal),
 		annotated: r.Counter(mAnnotatedTotal),
 		updates:   r.Counter(mUpdatesTotal),

@@ -23,7 +23,7 @@ func TestMetricsExposition(t *testing.T) {
 	postJSON(t, ts.URL+"/estimate", predicateJSON{Lows: p.Lows, Highs: p.Highs}, nil)
 	for i := 0; i < 25; i++ {
 		q := gNew.Gen(rng)
-		card := ann.Count(q)
+		card := countOK(t, ann, q)
 		postJSON(t, ts.URL+"/feedback", feedbackRequest{
 			predicateJSON: predicateJSON{Lows: q.Lows, Highs: q.Highs},
 			Cardinality:   &card,
@@ -191,7 +191,7 @@ func TestEstimatesServableDuringPeriod(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for i := 0; i < 30; i++ {
 		p := gNew.Gen(rng)
-		card := ann.Count(p)
+		card := countOK(t, ann, p)
 		postJSON(t, ts.URL+"/feedback", feedbackRequest{
 			predicateJSON: predicateJSON{Lows: p.Lows, Highs: p.Highs},
 			Cardinality:   &card,
@@ -250,7 +250,7 @@ func TestConcurrentHammer(t *testing.T) {
 				case 0:
 					postJSON(t, ts.URL+"/estimate", predicateJSON{Lows: p.Lows, Highs: p.Highs}, nil)
 				case 1:
-					card := ann.Count(p)
+					card := countOK(t, ann, p)
 					postJSON(t, ts.URL+"/feedback", feedbackRequest{
 						predicateJSON: predicateJSON{Lows: p.Lows, Highs: p.Highs},
 						Cardinality:   &card,

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"warper/internal/annotator"
+	"warper/internal/ce"
+	"warper/internal/dataset"
+	"warper/internal/query"
+	"warper/internal/warper"
+	"warper/internal/workload"
+)
+
+// panicModel wraps a trained estimator and panics on Estimate while armed.
+// It stands in for a third-party model behind the ce.Estimator interface
+// that does not follow the no-panic contract.
+type panicModel struct {
+	*ce.LM
+	armed *atomic.Bool
+}
+
+func (p *panicModel) Estimate(q query.Predicate) float64 {
+	if p.armed.Load() {
+		panic("model exploded")
+	}
+	return p.LM.Estimate(q)
+}
+
+func (p *panicModel) Clone() ce.Estimator {
+	return &panicModel{LM: p.LM.Clone().(*ce.LM), armed: p.armed}
+}
+
+// failUpdateModel simulates a kernel-fit failure: Update first mutates the
+// underlying weights (a half-applied repair) and then reports failure, so
+// a server that forgets to reinstate the pre-period clone would serve the
+// corrupted model.
+type failUpdateModel struct {
+	*ce.LM
+}
+
+func (f *failUpdateModel) Update(examples []query.Labeled) error {
+	if err := f.LM.Update(examples); err != nil {
+		return err
+	}
+	return errors.New("ce: kernel fit failed: simulated singular system")
+}
+
+func (f *failUpdateModel) Clone() ce.Estimator {
+	return &failUpdateModel{LM: f.LM.Clone().(*ce.LM)}
+}
+
+// robustnessEnv builds a server around the given model wrapper.
+func robustnessEnv(t *testing.T, wrap func(*ce.LM) ce.Estimator) (*Server, *httptest.Server, *annotator.Annotator, workload.Generator) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(91))
+	tbl := dataset.PRSA(2000, rng)
+	sch := query.SchemaOf(tbl)
+	ann := annotator.New(tbl)
+	opts := workload.Options{MaxConstrained: 2}
+	gTrain := workload.New("w1", tbl, sch, opts)
+	train := ann.AnnotateAll(workload.Generate(gTrain, 300, rng))
+	lm := ce.NewLM(ce.LMMLP, sch, 1)
+	if err := lm.Train(train); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+
+	cfg := warper.DefaultConfig()
+	cfg.Hidden = 32
+	cfg.Depth = 2
+	cfg.NIters = 20
+	cfg.Gamma = 100
+	cfg.PickSize = 60
+	ad, err := warper.New(cfg, wrap(lm), sch, ann, train)
+	if err != nil {
+		t.Fatalf("warper.New: %v", err)
+	}
+	srv := New(ad, sch)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, ann, workload.New("w4", tbl, sch, opts)
+}
+
+// metricsBody fetches /metrics as text.
+func metricsBody(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestPanickingModelKeepsServing is the satellite regression test for the
+// recover middleware: a model panic costs one 500 and one
+// serve_panics_total increment — the process and the handler mux survive.
+func TestPanickingModelKeepsServing(t *testing.T) {
+	armed := &atomic.Bool{}
+	_, ts, _, gNew := robustnessEnv(t, func(lm *ce.LM) ce.Estimator {
+		return &panicModel{LM: lm, armed: armed}
+	})
+	rng := rand.New(rand.NewSource(7))
+	p := gNew.Gen(rng)
+
+	// Sanity: serving works before the panic.
+	r := postJSON(t, ts.URL+"/estimate", predicateJSON{Lows: p.Lows, Highs: p.Highs}, nil)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("pre-panic estimate = %d", r.StatusCode)
+	}
+
+	armed.Store(true)
+	r = postJSON(t, ts.URL+"/estimate", predicateJSON{Lows: p.Lows, Highs: p.Highs}, nil)
+	if r.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking estimate = %d, want 500", r.StatusCode)
+	}
+
+	// The panic must not have killed the server or orphaned the serving
+	// lock: the next requests complete normally.
+	armed.Store(false)
+	var est estimateResponse
+	r = postJSON(t, ts.URL+"/estimate", predicateJSON{Lows: p.Lows, Highs: p.Highs}, &est)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic estimate = %d, want 200", r.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after panic = %d", resp.StatusCode)
+	}
+	if body := metricsBody(t, ts.URL); !strings.Contains(body, "serve_panics_total 1") {
+		t.Error("serve_panics_total was not incremented to 1")
+	}
+}
+
+// TestFailedPeriodKeepsPrePeriodModelServing is the acceptance-criteria
+// test: a simulated kernel-fit failure during /period yields an error
+// response while /estimate keeps serving the pre-period model — no process
+// death, no half-updated weights.
+func TestFailedPeriodKeepsPrePeriodModelServing(t *testing.T) {
+	srv, ts, ann, gNew := robustnessEnv(t, func(lm *ce.LM) ce.Estimator {
+		return &failUpdateModel{LM: lm}
+	})
+	rng := rand.New(rand.NewSource(13))
+
+	// Feed drifted, labeled arrivals so the period detects drift and
+	// reaches the (failing) model update.
+	for i := 0; i < 30; i++ {
+		p := gNew.Gen(rng)
+		card := countOK(t, ann, p)
+		postJSON(t, ts.URL+"/feedback", feedbackRequest{
+			predicateJSON: predicateJSON{Lows: p.Lows, Highs: p.Highs},
+			Cardinality:   &card,
+		}, nil)
+	}
+
+	probe := gNew.Gen(rng)
+	var before estimateResponse
+	if r := postJSON(t, ts.URL+"/estimate", predicateJSON{Lows: probe.Lows, Highs: probe.Highs}, &before); r.StatusCode != http.StatusOK {
+		t.Fatalf("pre-period estimate = %d", r.StatusCode)
+	}
+
+	r := postJSON(t, ts.URL+"/period", struct{}{}, nil)
+	if r.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failing period = %d, want 500", r.StatusCode)
+	}
+
+	// The pre-period model must be serving: same estimate as before, even
+	// though the failing Update mutated the adapter's copy first.
+	var after estimateResponse
+	if r := postJSON(t, ts.URL+"/estimate", predicateJSON{Lows: probe.Lows, Highs: probe.Highs}, &after); r.StatusCode != http.StatusOK {
+		t.Fatalf("post-failure estimate = %d, want 200", r.StatusCode)
+	}
+	if math.Abs(after.Cardinality-before.Cardinality) > 1e-9 {
+		t.Errorf("estimate changed across failed period: %v -> %v (half-updated model serving?)",
+			before.Cardinality, after.Cardinality)
+	}
+	// The served model and the adapter's model were both reset to the
+	// pre-period clone.
+	srv.mu.Lock()
+	same := srv.model == srv.adapter.M
+	srv.mu.Unlock()
+	if !same {
+		t.Error("served model and adapter model diverged after failed period")
+	}
+	if body := metricsBody(t, ts.URL); !strings.Contains(body, "warper_period_failures_total 1") {
+		t.Error("warper_period_failures_total was not incremented to 1")
+	}
+	// The period latch must have been released: a retry reaches the model
+	// again (and fails again) rather than 409ing forever.
+	if r := postJSON(t, ts.URL+"/period", struct{}{}, nil); r.StatusCode == http.StatusConflict {
+		t.Error("period latch leaked: retry answered 409")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"log/slog"
 	"mime"
 	"net/http"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -133,7 +134,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /status", s.instrument("status", s.handleStatus))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
+		_, _ = fmt.Fprintln(w, "ok") // health probes ignore the body anyway
 	})
 	mux.Handle("GET /metrics", s.met.Reg.PrometheusHandler())
 	mux.Handle("GET /debug/vars", s.met.Reg.VarsHandler())
@@ -143,28 +144,55 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// statusWriter captures the response code for request metrics.
+// statusWriter captures the response code for request metrics and whether a
+// response has started (the recover middleware can only substitute a 500
+// before the first byte is written).
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request counting, latency recording and
-// per-request debug logging.
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with panic recovery, request counting, latency
+// recording and per-request debug logging.
+//
+// The recover layer is the last line of the panic-safety defense: the
+// serving-path packages return errors instead of panicking (enforced by
+// warperlint's panicfree rule), but a residual panic — say from a
+// third-party model plugged in behind ce.Estimator — must cost one 500, not
+// the whole warperd process. Panics are counted on serve_panics_total and
+// logged with their stack.
 func (s *Server) instrument(name string, fn http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.panics.Inc()
+				s.logger.Error("handler panic",
+					"handler", name, "panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
+				sw.code = http.StatusInternalServerError
+				if !sw.wrote {
+					http.Error(sw.ResponseWriter, "internal error", http.StatusInternalServerError)
+				}
+			}
+			d := time.Since(t0)
+			s.met.requestDone(name, sw.code, d)
+			s.logger.Debug("request",
+				"handler", name, "code", sw.code, "dur_ms", float64(d.Microseconds())/1000)
+		}()
 		fn(sw, r)
-		d := time.Since(t0)
-		s.met.requestDone(name, sw.code, d)
-		s.logger.Debug("request",
-			"handler", name, "code", sw.code, "dur_ms", float64(d.Microseconds())/1000)
 	}
 }
 
@@ -206,12 +234,16 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// Estimates on the served model are serialized under mu (model forward
 	// passes share scratch state); the lock-wait histogram shows how long
 	// requests queue here — near zero even mid-period, since periods no
-	// longer hold this lock.
-	sp := obs.StartSpan(s.met.lockWait)
-	s.mu.Lock()
-	sp.End()
-	card := s.model.Estimate(p)
-	s.mu.Unlock()
+	// longer hold this lock. The unlock is deferred so a panicking model
+	// cannot leave the serving lock held (the recover middleware turns the
+	// panic into a 500; the next request must still be able to lock).
+	card := func() float64 {
+		sp := obs.StartSpan(s.met.lockWait)
+		s.mu.Lock()
+		sp.End()
+		defer s.mu.Unlock()
+		return s.model.Estimate(p)
+	}()
 	writeJSON(w, estimateResponse{Cardinality: card})
 }
 
@@ -242,19 +274,22 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		ar.GT = *req.Cardinality
 		ar.HasGT = true
 	}
-	sp := obs.StartSpan(s.met.lockWait)
-	s.mu.Lock()
-	sp.End()
 	var qerr float64
-	if ar.HasGT {
-		// Feedback carrying ground truth measures the served model's live
-		// q-error — the continuous accuracy signal the paper only gets
-		// offline.
-		qerr = metrics.QError(s.model.Estimate(p), ar.GT)
-	}
-	s.buffer = append(s.buffer, ar)
-	n := len(s.buffer)
-	s.mu.Unlock()
+	var n int
+	func() {
+		sp := obs.StartSpan(s.met.lockWait)
+		s.mu.Lock()
+		sp.End()
+		defer s.mu.Unlock()
+		if ar.HasGT {
+			// Feedback carrying ground truth measures the served model's live
+			// q-error — the continuous accuracy signal the paper only gets
+			// offline.
+			qerr = metrics.QError(s.model.Estimate(p), ar.GT)
+		}
+		s.buffer = append(s.buffer, ar)
+		n = len(s.buffer)
+	}()
 	if ar.HasGT {
 		s.met.qerr.Observe(qerr)
 	}
@@ -310,9 +345,13 @@ func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
 	defer s.periodMu.Unlock()
 
 	// Serve estimates from a clone while Period mutates the adapter's
-	// model outside the serving lock.
-	clone := s.adapter.M.Clone()
+	// model outside the serving lock. The clone itself is taken under mu:
+	// between periods s.model aliases adapter.M, and estimates write the
+	// model's forward-pass scratch state, so an unlocked Clone would race
+	// with a concurrent /estimate. Cloning is a bounded memory copy, not a
+	// model update, so the serving lock is held only briefly.
 	s.mu.Lock()
+	clone := s.adapter.M.Clone()
 	arrivals := s.buffer
 	s.buffer = nil
 	s.model = clone
@@ -320,7 +359,23 @@ func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
 	nArrivals := len(arrivals)
 	s.met.buffered.Set(0)
 
-	rep := s.adapter.Period(arrivals)
+	rep, perr := s.adapter.Period(arrivals)
+	if perr != nil {
+		// Failed repair (§6.4 robustness): discard the possibly
+		// half-updated model and reinstate the pre-period clone — it is
+		// already serving, so /estimate never sees the failure. The buffered
+		// arrivals were consumed; execution feedback keeps accumulating for
+		// the next attempt.
+		s.mu.Lock()
+		s.adapter.M = clone
+		s.refreshStatusLocked()
+		s.mu.Unlock()
+		s.met.failures.Inc()
+		s.logger.Error("period failed",
+			"err", perr, "arrivals", nArrivals, "mode", rep.Detection.Mode.String())
+		httpError(w, http.StatusInternalServerError, "adaptation period failed: %v", perr)
+		return
+	}
 
 	s.mu.Lock()
 	s.model = s.adapter.M // swap the repaired model in

@@ -27,7 +27,9 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server, *query.Schema, *ann
 	gTrain := workload.New("w1", tbl, sch, opts)
 	train := ann.AnnotateAll(workload.Generate(gTrain, 300, rng))
 	lm := ce.NewLM(ce.LMMLP, sch, 1)
-	lm.Train(train)
+	if err := lm.Train(train); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
 
 	cfg := warper.DefaultConfig()
 	cfg.Hidden = 32
@@ -35,7 +37,10 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server, *query.Schema, *ann
 	cfg.NIters = 20
 	cfg.Gamma = 100
 	cfg.PickSize = 60
-	ad := warper.New(cfg, lm, sch, ann, train)
+	ad, err := warper.New(cfg, lm, sch, ann, train)
+	if err != nil {
+		t.Fatalf("warper.New: %v", err)
+	}
 	srv := New(ad, sch)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
@@ -114,7 +119,7 @@ func TestFeedbackPeriodStatusFlow(t *testing.T) {
 	// Post 30 labeled feedback items from the drifted workload.
 	for i := 0; i < 30; i++ {
 		p := gNew.Gen(rng)
-		card := ann.Count(p)
+		card := countOK(t, ann, p)
 		var fb feedbackResponse
 		r := postJSON(t, ts.URL+"/feedback", feedbackRequest{
 			predicateJSON: predicateJSON{Lows: p.Lows, Highs: p.Highs},
@@ -177,4 +182,14 @@ func TestMethodNotAllowed(t *testing.T) {
 		t.Error("GET /estimate should not be OK")
 	}
 	_ = fmt.Sprint() // keep fmt import for potential debugging
+}
+
+// countOK unwraps annotator.Count for generator-produced predicates.
+func countOK(t *testing.T, ann *annotator.Annotator, p query.Predicate) float64 {
+	t.Helper()
+	c, err := ann.Count(p)
+	if err != nil {
+		t.Fatalf("Count: %v", err)
+	}
+	return c
 }

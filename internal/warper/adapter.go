@@ -51,13 +51,15 @@ const (
 	maxPiGrowth    = 8.0
 )
 
-// New builds an Adapter around a previously trained CE model.
+// New builds an Adapter around a previously trained CE model. It fails only
+// when the construction-time canary annotation fails (a training workload
+// inconsistent with the live table's schema).
 //
 //   - m is the black-box CE model 𝕄, already trained on trainSet.
 //   - ann is the annotator 𝔸 over the live table.
 //   - trainSet is 𝕀train, used to seed the pool, pre-train the autoencoder
 //     offline (§3.5) and anchor the δ_js reference workload.
-func New(cfg Config, m ce.Estimator, sch *query.Schema, ann *annotator.Annotator, trainSet []query.Labeled) *Adapter {
+func New(cfg Config, m ce.Estimator, sch *query.Schema, ann *annotator.Annotator, trainSet []query.Labeled) (*Adapter, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	a := &Adapter{
@@ -91,7 +93,11 @@ func New(cfg Config, m ce.Estimator, sch *query.Schema, ann *annotator.Annotator
 	}
 	canaries := &drift.Canaries{}
 	if canaryCount > 0 {
-		canaries = drift.NewCanaries(canaryCount, staticGen(trainPreds), ann, rng)
+		var err error
+		canaries, err = drift.NewCanaries(canaryCount, staticGen(trainPreds), ann, rng)
+		if err != nil {
+			return nil, err
+		}
 	}
 	a.det = &detector{
 		cfg:        cfg,
@@ -102,7 +108,7 @@ func New(cfg Config, m ce.Estimator, sch *query.Schema, ann *annotator.Annotator
 		pi:         cfg.Pi,
 		gamma:      cfg.Gamma,
 	}
-	return a
+	return a, nil
 }
 
 // staticGen adapts a fixed predicate list to the workload.Generator shape
@@ -138,7 +144,12 @@ type Report struct {
 
 // Period runs one Warper invocation (Figure 3 + Algorithm 1) over the
 // queries that arrived in the current adaptation period.
-func (a *Adapter) Period(arrivals []Arrival) Report {
+//
+// A non-nil error means the repair failed partway (an annotator failure or a
+// model update that could not produce a model). The adapter's model may then
+// be partially updated: callers that serve traffic should discard a.M in
+// favor of a pre-period clone so the previous model keeps serving.
+func (a *Adapter) Period(arrivals []Arrival) (Report, error) {
 	w := simclock.StartWatch()
 	// stages collects per-stage wall-clock, indexed like StageNames.
 	var stages [len(StageNames)]time.Duration
@@ -146,8 +157,12 @@ func (a *Adapter) Period(arrivals []Arrival) Report {
 
 	tbl := a.ann.Table()
 	recent := lastN(a.Pool.LabeledBySource(pool.SrcNew), 90)
-	det := a.det.detect(arrivals, recent, a.M, a.ann, tbl.ChangedFraction())
+	det, err := a.det.detect(arrivals, recent, a.M, a.ann, tbl.ChangedFraction())
 	rep := Report{Detection: det}
+	if err != nil {
+		rep.Busy = w.Stop()
+		return rep, err
+	}
 
 	// Line 1: inject arrivals into the pool regardless of mode.
 	var newEntries []*pool.Entry
@@ -166,7 +181,7 @@ func (a *Adapter) Period(arrivals []Arrival) Report {
 		a.Ledger.Charge("detect", rep.Busy)
 		stages[0] = stageW.Stop()
 		a.emitPeriod(&rep, len(arrivals), &stages)
-		return rep
+		return rep, nil
 	}
 
 	if det.FreshC1 {
@@ -227,17 +242,27 @@ func (a *Adapter) Period(arrivals []Arrival) Report {
 	a.Ledger.Charge("pick", stages[2])
 
 	anW := simclock.StartWatch()
-	rep.Annotated = a.annotate(picked)
+	rep.Annotated, err = a.annotate(picked)
 	stages[3] = anW.Stop()
 	a.Ledger.Charge("annotate", stages[3])
+	if err != nil {
+		rep.Busy = w.Stop()
+		return rep, err
+	}
 
 	// Line 10: update 𝕄 from the pool. The update stage also covers the
-	// early-stop evaluation and pool maintenance below.
+	// early-stop evaluation and pool maintenance below. A failed update
+	// aborts the period: the caller keeps its pre-period model, and the
+	// pool/detector state stays consistent for the next attempt.
 	stageW = simclock.StartWatch()
 	mw := simclock.StartWatch()
-	a.updateModel(picked)
-	rep.Updated = true
+	err = a.updateModel(picked)
 	a.Ledger.Charge("model", mw.Stop())
+	if err != nil {
+		rep.Busy = w.Stop()
+		return rep, err
+	}
+	rep.Updated = true
 
 	// Early stop (§3.4): when the model stops improving on its best
 	// observed error for several consecutive periods, raise π so det_drft
@@ -273,7 +298,10 @@ func (a *Adapter) Period(arrivals []Arrival) Report {
 
 	a.Pool.TrimGenerated(a.Cfg.MaxPoolGen)
 	if det.Mode.Has(C1) {
-		a.det.telemetry.Canaries.Rebase(a.ann)
+		if err := a.det.telemetry.Canaries.Rebase(a.ann); err != nil {
+			rep.Busy = w.Stop()
+			return rep, err
+		}
 		// Keep c1 pending while stale labels remain (unless the early stop
 		// decided further adaptation is not worth it).
 		staleLeft := false
@@ -288,7 +316,7 @@ func (a *Adapter) Period(arrivals []Arrival) Report {
 	stages[4] = stageW.Stop()
 	rep.Busy = w.Stop()
 	a.emitPeriod(&rep, len(arrivals), &stages)
-	return rep
+	return rep, nil
 }
 
 // pick runs ℙ according to the drift mode (Table 2).
@@ -330,7 +358,9 @@ func (a *Adapter) entriesWithAnyGT() []*pool.Entry {
 
 // annotate computes ground truth for picked entries that lack a fresh label,
 // honoring the annotation budget. It returns the number of annotator calls.
-func (a *Adapter) annotate(picked []*pool.Entry) int {
+// An annotation failure aborts the pass; entries labeled before the failure
+// keep their fresh labels.
+func (a *Adapter) annotate(picked []*pool.Entry) (int, error) {
 	budget := a.Cfg.AnnotateBudget
 	count := 0
 	for _, e := range picked {
@@ -340,22 +370,28 @@ func (a *Adapter) annotate(picked []*pool.Entry) int {
 		if budget > 0 && count >= budget {
 			break
 		}
-		e.GT = a.ann.Count(e.Pred)
+		card, err := a.ann.Count(e.Pred)
+		if err != nil {
+			return count, err
+		}
+		e.GT = card
 		e.Stale = false
 		count++
 	}
-	return count
+	return count, nil
 }
 
 // updateModel runs line 10 of Algorithm 1: fine-tuning models get the
 // labeled picked/new queries; re-training models get the full labeled pool.
-func (a *Adapter) updateModel(picked []*pool.Entry) {
+// A backend that cannot produce a model (e.g. a failed kernel solve)
+// surfaces as an error.
+func (a *Adapter) updateModel(picked []*pool.Entry) error {
 	if a.M.Policy() == ce.Retrain {
 		all := a.Pool.Labeled()
 		if len(all) > 0 {
-			a.M.Update(all)
+			return a.M.Update(all)
 		}
-		return
+		return nil
 	}
 	// Fine-tune on the labeled picked set (which re-samples the useful
 	// generated queries by current discriminator confidence) plus every
@@ -377,8 +413,9 @@ func (a *Adapter) updateModel(picked []*pool.Entry) {
 		add(e)
 	}
 	if len(examples) > 0 {
-		a.M.Update(examples)
+		return a.M.Update(examples)
 	}
+	return nil
 }
 
 // Gamma exposes the current (online-tuned) γ.

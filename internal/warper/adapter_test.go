@@ -20,10 +20,18 @@ type adapterEnv struct {
 
 func newAdapterEnv(t *testing.T, cfg Config, nTrain int) *adapterEnv {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("training-heavy; skipped under -short (race pass)")
+	}
 	env := newTestEnv(t, nTrain, 600)
 	lm := ce.NewLM(ce.LMMLP, env.sch, 31)
-	lm.Train(env.train)
-	ad := New(cfg, lm, env.sch, env.ann, env.train)
+	if err := lm.Train(env.train); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	ad, err := New(cfg, lm, env.sch, env.ann, env.train)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	return &adapterEnv{testEnv: env, lm: lm, ad: ad}
 }
 
@@ -55,7 +63,7 @@ func TestNoDriftMeansNoAction(t *testing.T) {
 	rng := rand.New(rand.NewSource(51))
 	g := workload.New("w1", e.tbl, e.sch, workload.Options{MaxConstrained: 2})
 	same := e.ann.AnnotateAll(workload.Generate(g, 160, rng))
-	rep := e.ad.Period(arrivalsOf(same, true))
+	rep := periodOK(t, e.ad, arrivalsOf(same, true))
 	if rep.Detection.Mode != ModeNone {
 		t.Errorf("mode = %v, want none (δm=%.2f δjs=%.2f)", rep.Detection.Mode,
 			rep.Detection.DeltaM, rep.Detection.DeltaJS)
@@ -74,7 +82,7 @@ func TestC2WorkloadDriftDetectedAndMitigated(t *testing.T) {
 	var gmqAfter float64
 	for step := 0; step < 4; step++ {
 		batch := arrivalsOf(e.newQ[step*40:(step+1)*40], true)
-		rep := e.ad.Period(batch)
+		rep := periodOK(t, e.ad, batch)
 		if step == 0 {
 			if !rep.Detection.Mode.Has(C2) {
 				t.Fatalf("mode = %v, want c2 (δm=%.2f δjs=%.2f nt=%d)", rep.Detection.Mode,
@@ -95,7 +103,7 @@ func TestC3LabelStarvedDrift(t *testing.T) {
 	e := newAdapterEnv(t, adapterCfg(), 500)
 	// Plenty of arrivals (>= γ) but no labels → c3.
 	batch := arrivalsOf(e.newQ[:200], false)
-	rep := e.ad.Period(batch)
+	rep := periodOK(t, e.ad, batch)
 	if !rep.Detection.Mode.Has(C3) {
 		t.Fatalf("mode = %v, want c3 (δjs=%.2f)", rep.Detection.Mode, rep.Detection.DeltaJS)
 	}
@@ -112,7 +120,7 @@ func TestC4AdequateLabeledQueries(t *testing.T) {
 	cfg := adapterCfg()
 	cfg.Gamma = 50 // small γ so 200 labeled arrivals are "adequate"
 	e := newAdapterEnv(t, cfg, 500)
-	rep := e.ad.Period(arrivalsOf(e.newQ[:200], true))
+	rep := periodOK(t, e.ad, arrivalsOf(e.newQ[:200], true))
 	if !rep.Detection.Mode.Has(C4) {
 		t.Fatalf("mode = %v, want c4", rep.Detection.Mode)
 	}
@@ -139,7 +147,7 @@ func TestC1DataDrift(t *testing.T) {
 	for i, p := range sameWkld {
 		arr[i] = Arrival{Pred: p} // no labels; detection leans on telemetry
 	}
-	rep := e.ad.Period(arr)
+	rep := periodOK(t, e.ad, arr)
 	if !rep.Detection.Mode.Has(C1) {
 		t.Fatalf("mode = %v, want c1", rep.Detection.Mode)
 	}
@@ -173,7 +181,7 @@ func TestEarlyStopRaisesPi(t *testing.T) {
 	// (quiet no-drift periods in between do not count) before raising π.
 	raised := false
 	for i := 0; i < 10 && !raised; i++ {
-		e.ad.Period(arrivalsOf(e.newQ[i*60:(i+1)*60], true))
+		periodOK(t, e.ad, arrivalsOf(e.newQ[i*60:(i+1)*60], true))
 		raised = e.ad.Pi() > pi0
 	}
 	if !raised {
@@ -187,8 +195,8 @@ func TestGammaTunedUpOnSlowC4(t *testing.T) {
 	cfg.GainEps = 1e9
 	e := newAdapterEnv(t, cfg, 500)
 	g0 := e.ad.Gamma()
-	e.ad.Period(arrivalsOf(e.newQ[:120], true))
-	e.ad.Period(arrivalsOf(e.newQ[120:240], true))
+	periodOK(t, e.ad, arrivalsOf(e.newQ[:120], true))
+	periodOK(t, e.ad, arrivalsOf(e.newQ[120:240], true))
 	if e.ad.Gamma() <= g0 {
 		t.Errorf("γ not tuned up: %v -> %v", g0, e.ad.Gamma())
 	}
@@ -202,7 +210,7 @@ func TestLedgerAccumulatesCosts(t *testing.T) {
 	// Feed periods until a drift is handled (detection can stay quiet on an
 	// individual noisy period).
 	for i := 0; i < 6 && e.ad.Ledger.Get("model") == 0; i++ {
-		e.ad.Period(arrivalsOf(e.newQ[i*50:(i+1)*50], true))
+		periodOK(t, e.ad, arrivalsOf(e.newQ[i*50:(i+1)*50], true))
 	}
 	if e.ad.Ledger.Get("model") == 0 {
 		t.Error("model update cost not charged")
@@ -213,7 +221,7 @@ func TestAnnotateBudgetHonored(t *testing.T) {
 	cfg := adapterCfg()
 	cfg.AnnotateBudget = 7
 	e := newAdapterEnv(t, cfg, 400)
-	rep := e.ad.Period(arrivalsOf(e.newQ[:150], false)) // c3: all need labels
+	rep := periodOK(t, e.ad, arrivalsOf(e.newQ[:150], false)) // c3: all need labels
 	if rep.Annotated > 7 {
 		t.Errorf("annotated %d, budget 7", rep.Annotated)
 	}
@@ -229,4 +237,14 @@ func TestReportStringsAndModeBits(t *testing.T) {
 	if !C1.Has(C1) || C1.Has(C2) {
 		t.Error("Has is wrong")
 	}
+}
+
+// periodOK unwraps Adapter.Period on fixtures whose repairs cannot fail.
+func periodOK(t *testing.T, ad *Adapter, arrivals []Arrival) Report {
+	t.Helper()
+	rep, err := ad.Period(arrivals)
+	if err != nil {
+		t.Fatalf("Period: %v", err)
+	}
+	return rep
 }

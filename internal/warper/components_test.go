@@ -58,6 +58,9 @@ func smallCfg() Config {
 }
 
 func TestAutoEncoderLossDecreases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy; skipped under -short (race pass)")
+	}
 	env := newTestEnv(t, 200, 0)
 	p := env.seededPool(0)
 	cfg := smallCfg()
@@ -117,6 +120,9 @@ func TestGenerateFromEmptyNewWorkload(t *testing.T) {
 }
 
 func TestGANGeneratedResemblesNewWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy; skipped under -short (race pass)")
+	}
 	// After GAN training, generated queries should be closer (in δ_js) to
 	// the new workload than the training workload is.
 	env := newTestEnv(t, 300, 120)
@@ -143,6 +149,9 @@ func TestGANGeneratedResemblesNewWorkload(t *testing.T) {
 }
 
 func TestDiscriminatorLearnsSourceClasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy; skipped under -short (race pass)")
+	}
 	env := newTestEnv(t, 300, 120)
 	p := env.seededPool(120)
 	cfg := smallCfg()

@@ -98,8 +98,9 @@ type Detection struct {
 // detect classifies the ongoing drift from this period's arrivals. recent
 // holds earlier labeled arrivals still representative of the new workload;
 // they widen the δ_m evaluation window so a 10-query period does not decide
-// drift presence alone.
-func (d *detector) detect(arrivals []Arrival, recent []query.Labeled, m ce.Estimator, ann *annotator.Annotator, changedFraction float64) Detection {
+// drift presence alone. An annotator failure while probing the canaries
+// surfaces as an error.
+func (d *detector) detect(arrivals []Arrival, recent []query.Labeled, m ce.Estimator, ann *annotator.Annotator, changedFraction float64) (Detection, error) {
 	det := Detection{NT: len(arrivals)}
 	// δ_m: evaluation error of 𝕄 on arrivals that carry execution feedback,
 	// padded with the recent-arrival window.
@@ -154,7 +155,14 @@ func (d *detector) detect(arrivals []Arrival, recent []query.Labeled, m ce.Estim
 	// Data drift from telemetry (changed rows and/or canaries), or a
 	// pending data drift whose stale labels are still being re-annotated
 	// across periods.
-	freshC1 := d.telemetry != nil && d.telemetry.Detect(changedFraction, ann)
+	freshC1 := false
+	if d.telemetry != nil {
+		var err error
+		freshC1, err = d.telemetry.Detect(changedFraction, ann)
+		if err != nil {
+			return det, err
+		}
+	}
 	det.FreshC1 = freshC1
 	dataDrift := freshC1 || d.pendingC1
 	// Workload drift: the model's error gap exceeds π, or the intrinsic
@@ -183,7 +191,7 @@ func (d *detector) detect(arrivals []Arrival, recent []query.Labeled, m ce.Estim
 			det.Mode |= C4
 		}
 	}
-	return det
+	return det, nil
 }
 
 func gmqOf(ests, acts []float64) float64 { return metrics.GMQ(ests, acts) }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"warper/internal/annotator"
 	"warper/internal/ce"
 	"warper/internal/drift"
 	"warper/internal/query"
@@ -35,7 +36,7 @@ func detFixture(t *testing.T, gamma int) (*testEnv, *detector) {
 
 func TestDetectNoArrivalsNoDrift(t *testing.T) {
 	env, d := detFixture(t, 100)
-	det := d.detect(nil, nil, env.trainedModel(t), env.ann, 0)
+	det := detectOK(t, d, nil, nil, env.trainedModel(t), env.ann, 0)
 	if det.Mode != ModeNone {
 		t.Errorf("mode = %v, want none", det.Mode)
 	}
@@ -56,8 +57,8 @@ func (env *testEnv) trainedModel(t *testing.T) *mockModel {
 
 type mockModel struct{ v float64 }
 
-func (m *mockModel) Train([]query.Labeled)            {}
-func (m *mockModel) Update([]query.Labeled)           {}
+func (m *mockModel) Train([]query.Labeled) error      { return nil }
+func (m *mockModel) Update([]query.Labeled) error     { return nil }
 func (m *mockModel) Estimate(query.Predicate) float64 { return m.v }
 func (m *mockModel) Policy() ce.UpdatePolicy          { return ce.FineTune }
 func (m *mockModel) Clone() ce.Estimator              { return &mockModel{v: m.v} }
@@ -70,9 +71,9 @@ func TestDetectC2OnScarceDriftedArrivals(t *testing.T) {
 	var arrivals []Arrival
 	for i := 0; i < 60; i++ {
 		p := gNew.Gen(rng)
-		arrivals = append(arrivals, Arrival{Pred: p, GT: env.ann.Count(p), HasGT: true})
+		arrivals = append(arrivals, Arrival{Pred: p, GT: countOK(t, env.ann, p), HasGT: true})
 	}
-	det := d.detect(arrivals, nil, env.trainedModel(t), env.ann, 0)
+	det := detectOK(t, d, arrivals, nil, env.trainedModel(t), env.ann, 0)
 	if !det.Mode.Has(C2) {
 		t.Errorf("mode = %v (δm=%.2f δjs=%.2f), want c2", det.Mode, det.DeltaM, det.DeltaJS)
 	}
@@ -88,9 +89,9 @@ func TestDetectC4WhenAdequate(t *testing.T) {
 	var arrivals []Arrival
 	for i := 0; i < 60; i++ {
 		p := gNew.Gen(rng)
-		arrivals = append(arrivals, Arrival{Pred: p, GT: env.ann.Count(p), HasGT: true})
+		arrivals = append(arrivals, Arrival{Pred: p, GT: countOK(t, env.ann, p), HasGT: true})
 	}
-	det := d.detect(arrivals, nil, env.trainedModel(t), env.ann, 0)
+	det := detectOK(t, d, arrivals, nil, env.trainedModel(t), env.ann, 0)
 	if !det.Mode.Has(C4) || det.Mode.Has(C2) {
 		t.Errorf("mode = %v, want c4 only", det.Mode)
 	}
@@ -104,7 +105,7 @@ func TestDetectC3WhenLabelsMissing(t *testing.T) {
 	for i := 0; i < 60; i++ {
 		arrivals = append(arrivals, Arrival{Pred: gNew.Gen(rng)})
 	}
-	det := d.detect(arrivals, nil, env.trainedModel(t), env.ann, 0)
+	det := detectOK(t, d, arrivals, nil, env.trainedModel(t), env.ann, 0)
 	if !det.Mode.Has(C3) {
 		t.Errorf("mode = %v, want c3", det.Mode)
 	}
@@ -122,9 +123,9 @@ func TestDetectDataDriftSuppressesDeltaMWorkloadFlag(t *testing.T) {
 	var arrivals []Arrival
 	for i := 0; i < 40; i++ {
 		p := gTrain.Gen(rng)
-		arrivals = append(arrivals, Arrival{Pred: p, GT: env.ann.Count(p), HasGT: true})
+		arrivals = append(arrivals, Arrival{Pred: p, GT: countOK(t, env.ann, p), HasGT: true})
 	}
-	det := d.detect(arrivals, nil, env.trainedModel(t), env.ann, 0.5 /* changed rows */)
+	det := detectOK(t, d, arrivals, nil, env.trainedModel(t), env.ann, 0.5 /* changed rows */)
 	if !det.Mode.Has(C1) || !det.FreshC1 {
 		t.Fatalf("mode = %v, want fresh c1", det.Mode)
 	}
@@ -136,11 +137,31 @@ func TestDetectDataDriftSuppressesDeltaMWorkloadFlag(t *testing.T) {
 func TestDetectPendingC1Persists(t *testing.T) {
 	env, d := detFixture(t, 500)
 	d.pendingC1 = true
-	det := d.detect(nil, nil, env.trainedModel(t), env.ann, 0)
+	det := detectOK(t, d, nil, nil, env.trainedModel(t), env.ann, 0)
 	if !det.Mode.Has(C1) {
 		t.Errorf("mode = %v, want pending c1", det.Mode)
 	}
 	if det.FreshC1 {
 		t.Error("pending continuation must not be marked fresh")
 	}
+}
+
+// countOK unwraps annotator.Count for fixture predicates.
+func countOK(t *testing.T, ann *annotator.Annotator, p query.Predicate) float64 {
+	t.Helper()
+	c, err := ann.Count(p)
+	if err != nil {
+		t.Fatalf("Count: %v", err)
+	}
+	return c
+}
+
+// detectOK unwraps detector.detect on healthy fixtures.
+func detectOK(t *testing.T, d *detector, arrivals []Arrival, recent []query.Labeled, m ce.Estimator, ann *annotator.Annotator, changed float64) Detection {
+	t.Helper()
+	det, err := d.detect(arrivals, recent, m, ann, changed)
+	if err != nil {
+		t.Fatalf("detect: %v", err)
+	}
+	return det
 }

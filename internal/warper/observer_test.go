@@ -45,10 +45,10 @@ func TestObserverFiresEveryStageOncePerPeriod(t *testing.T) {
 	e.ad.Obs = rec
 
 	// Period 1: drifted arrivals (c2 path — full pipeline runs).
-	rep1 := e.ad.Period(arrivalsOf(e.newQ[:40], true))
+	rep1 := periodOK(t, e.ad, arrivalsOf(e.newQ[:40], true))
 	// Period 2: same-workload arrivals (quiet path — stages still fire).
 	g := e.train[:60]
-	rep2 := e.ad.Period(arrivalsOf(g, true))
+	rep2 := periodOK(t, e.ad, arrivalsOf(g, true))
 
 	if len(rec.done) != 2 {
 		t.Fatalf("PeriodDone fired %d times, want 2", len(rec.done))
@@ -102,5 +102,5 @@ func TestNilObserverIsSafe(t *testing.T) {
 		t.Fatal("observer should default to nil")
 	}
 	// Must not panic with no observer attached.
-	e.ad.Period(arrivalsOf(e.newQ[:20], true))
+	periodOK(t, e.ad, arrivalsOf(e.newQ[:20], true))
 }

@@ -12,8 +12,8 @@ import (
 // constEstimator always predicts the same cardinality.
 type constEstimator struct{ v float64 }
 
-func (c constEstimator) Train([]query.Labeled)            {}
-func (c constEstimator) Update([]query.Labeled)           {}
+func (c constEstimator) Train([]query.Labeled) error      { return nil }
+func (c constEstimator) Update([]query.Labeled) error     { return nil }
 func (c constEstimator) Estimate(query.Predicate) float64 { return c.v }
 func (c constEstimator) Policy() ce.UpdatePolicy          { return ce.FineTune }
 func (c constEstimator) Clone() ce.Estimator              { return c }

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
-# Tier-1 verification flow: build, vet, full test suite, then the race
-# detector over the concurrency-sensitive packages (HTTP serving + metrics
-# registry). Mirrors `make check` for environments without make.
+# Tier-1 verification flow: build, vet, warperlint, full test suite, then a
+# module-wide race pass (training-heavy tests skip themselves under -short).
+# Mirrors `make check` for environments without make.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -11,10 +11,13 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
+echo "== go run ./cmd/warperlint ./..."
+go run ./cmd/warperlint ./...
+
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/serve/... ./internal/obs/..."
-go test -race ./internal/serve/... ./internal/obs/...
+echo "== go test -race -short ./..."
+go test -race -short ./...
 
 echo "OK"
