@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint check
+.PHONY: build test race vet lint chaos check
 
 build:
 	$(GO) build ./...
@@ -27,4 +27,10 @@ vet:
 lint:
 	$(GO) run ./cmd/warperlint ./...
 
-check: build vet lint test race
+# Fault-injected soak: the WARPER_CHAOS gate enables the opt-in chaos tests
+# (heavy injected errors/hangs under concurrent traffic) on top of the
+# always-on fault-tolerance tests, under the race detector.
+chaos:
+	WARPER_CHAOS=1 $(GO) test -race -count=1 -run 'Chaos|Faulty|Degraded' ./internal/serve ./internal/resilience ./internal/warper
+
+check: build vet lint test race chaos

@@ -4,6 +4,7 @@
 package warperbench
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -13,6 +14,7 @@ import (
 	"warper/internal/experiments"
 	"warper/internal/nn"
 	"warper/internal/query"
+	"warper/internal/resilience"
 	"warper/internal/warper"
 	"warper/internal/workload"
 )
@@ -67,7 +69,7 @@ func BenchmarkAnnotatorCount(b *testing.B) {
 	preds := workload.Generate(g, 64, rng)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ann.Count(preds[i%len(preds)]); err != nil {
+		if _, err := ann.Count(context.Background(), preds[i%len(preds)]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -82,8 +84,36 @@ func BenchmarkAnnotatorBatch(b *testing.B) {
 	preds := workload.Generate(g, 100, rng)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ann.AnnotateAll(preds)
+		if _, err := ann.AnnotateAll(context.Background(), preds); err != nil {
+			b.Fatal(err)
+		}
 	}
+}
+
+// BenchmarkAnnotateResilienceOverhead measures what the retry/breaker
+// wrapper costs on the fault-free fast path: the same annotation batch
+// through the raw annotator and through resilience.Wrap. The delta is the
+// per-call price of the breaker check, the attempt context, and the cost
+// ledger charge — it should stay far below one table scan.
+func BenchmarkAnnotateResilienceOverhead(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	tbl := dataset.PRSA(6000, rng)
+	sch := query.SchemaOf(tbl)
+	ann := annotator.New(tbl)
+	g := workload.New("w3", tbl, sch, workload.Options{})
+	preds := workload.Generate(g, 100, rng)
+
+	bench := func(src annotator.Source) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := src.AnnotateAll(context.Background(), preds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("raw", bench(ann))
+	b.Run("resilient", bench(resilience.Wrap(ann, resilience.Policy{Seed: 4}, resilience.Events{})))
 }
 
 func BenchmarkLMEstimate(b *testing.B) {
@@ -92,7 +122,7 @@ func BenchmarkLMEstimate(b *testing.B) {
 	sch := query.SchemaOf(tbl)
 	ann := annotator.New(tbl)
 	g := workload.New("w1", tbl, sch, workload.Options{})
-	train := ann.AnnotateAll(workload.Generate(g, 300, rng))
+	train := benchAnnotateAll(b, ann, workload.Generate(g, 300, rng))
 	lm := ce.NewLM(ce.LMMLP, sch, 1)
 	if err := lm.Train(train); err != nil {
 		b.Fatal(err)
@@ -110,12 +140,12 @@ func BenchmarkLMFineTune(b *testing.B) {
 	sch := query.SchemaOf(tbl)
 	ann := annotator.New(tbl)
 	g := workload.New("w1", tbl, sch, workload.Options{})
-	train := ann.AnnotateAll(workload.Generate(g, 300, rng))
+	train := benchAnnotateAll(b, ann, workload.Generate(g, 300, rng))
 	lm := ce.NewLM(ce.LMMLP, sch, 1)
 	if err := lm.Train(train); err != nil {
 		b.Fatal(err)
 	}
-	batch := ann.AnnotateAll(workload.Generate(g, 32, rng))
+	batch := benchAnnotateAll(b, ann, workload.Generate(g, 32, rng))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := lm.Update(batch); err != nil {
@@ -148,7 +178,7 @@ func BenchmarkWarperPeriod(b *testing.B) {
 	opts := workload.Options{MaxConstrained: 2}
 	gT := workload.New("w1", tbl, sch, opts)
 	gN := workload.New("w4", tbl, sch, opts)
-	train := ann.AnnotateAll(workload.Generate(gT, 250, rng))
+	train := benchAnnotateAll(b, ann, workload.Generate(gT, 250, rng))
 	lm := ce.NewLM(ce.LMMLP, sch, 1)
 	if err := lm.Train(train); err != nil {
 		b.Fatal(err)
@@ -168,7 +198,7 @@ func BenchmarkWarperPeriod(b *testing.B) {
 		arrivals := make([]warper.Arrival, 10)
 		for j := range arrivals {
 			p := gN.Gen(rng)
-			gt, err := ann.Count(p)
+			gt, err := ann.Count(context.Background(), p)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -178,4 +208,15 @@ func BenchmarkWarperPeriod(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchAnnotateAll labels a workload for benchmark setup, failing the
+// benchmark on the (setup-only) error path.
+func benchAnnotateAll(b *testing.B, ann *annotator.Annotator, ps []query.Predicate) []query.Labeled {
+	b.Helper()
+	out, err := ann.AnnotateAll(context.Background(), ps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -45,10 +46,11 @@ func main() {
 	gT := workload.Parse(*trainW, tbl, sch, opts)
 	gN := workload.Parse(*newW, tbl, sch, opts)
 
-	train := ann.AnnotateAll(workload.Generate(gT, *nTrain, rng))
-	stream := ann.AnnotateAll(workload.Generate(gN, *nTrain, rng))
-	testNew := ann.AnnotateAll(workload.Generate(gN, *nTest, rng))
-	testTrain := ann.AnnotateAll(workload.Generate(gT, *nTest, rng))
+	ctx := context.Background()
+	train := must1(ann.AnnotateAll(ctx, workload.Generate(gT, *nTrain, rng)))
+	stream := must1(ann.AnnotateAll(ctx, workload.Generate(gN, *nTrain, rng)))
+	testNew := must1(ann.AnnotateAll(ctx, workload.Generate(gN, *nTest, rng)))
+	testTrain := must1(ann.AnnotateAll(ctx, workload.Generate(gT, *nTest, rng)))
 
 	m := ce.NewLM(ce.LMMLP, sch, *seed+1)
 	if err := m.Train(train); err != nil {
@@ -66,4 +68,11 @@ func main() {
 		*ds, *trainW, *newW, *rows, *nTrain, *maxCols)
 	fmt.Printf("  in-dist GMQ=%.2f  post-drift α=%.2f  oracle β=%.2f  δm=%.2f\n",
 		inDist, alpha, beta, alpha-beta)
+}
+
+func must1[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
 }

@@ -20,19 +20,23 @@
 //	warperd -addr :8080 -dataset prsa                 # synthetic table
 //	warperd -addr :8080 -csv mydata.csv -model lm-mlp # your own CSV
 //	warperd -addr :8080 -pprof -log-level debug       # full observability
+//	warperd -faults 0.2 -fault-hang 0.05 -annotate-timeout 500ms  # chaos mode
 package main
 
 import (
+	"context"
 	"flag"
 	"log/slog"
 	"math/rand"
 	"net/http"
 	"os"
+	"time"
 
 	"warper/internal/annotator"
 	"warper/internal/ce"
 	"warper/internal/dataset"
 	"warper/internal/query"
+	"warper/internal/resilience"
 	"warper/internal/serve"
 	"warper/internal/warper"
 	"warper/internal/workload"
@@ -50,6 +54,17 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		pprofOn   = flag.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints")
+
+		// Fault tolerance. The resilience wrapper always guards period-time
+		// annotation; the -faults* flags additionally inject deterministic
+		// faults underneath it — the chaos-testing mode used to demo the
+		// degradation ladder end to end.
+		faultErr      = flag.Float64("faults", 0, "injected annotation error rate in [0,1] (testing)")
+		faultHang     = flag.Float64("fault-hang", 0, "injected annotation hang rate in [0,1] (testing)")
+		faultLatency  = flag.Duration("fault-latency", 0, "injected annotation latency (testing)")
+		annTimeout    = flag.Duration("annotate-timeout", 2*time.Second, "per-attempt annotation deadline")
+		annRetries    = flag.Int("annotate-retries", 3, "annotation attempts per call, including the first")
+		periodTimeout = flag.Duration("period-timeout", 0, "deadline for one POST /period adaptation (0 = none)")
 	)
 	flag.Parse()
 
@@ -110,7 +125,11 @@ func main() {
 		os.Exit(1)
 	}
 	g := workload.Parse(*trainWkld, tbl, sch, workload.Options{MaxConstrained: 2})
-	train := ann.AnnotateAll(workload.Generate(g, *trainSize, rng))
+	train, err := ann.AnnotateAll(context.Background(), workload.Generate(g, *trainSize, rng))
+	if err != nil {
+		logger.Error("train workload annotation failed", "err", err)
+		os.Exit(1)
+	}
 	if err := m.Train(train); err != nil {
 		logger.Error("train failed", "err", err)
 		os.Exit(1)
@@ -125,9 +144,32 @@ func main() {
 		os.Exit(1)
 	}
 	srv := serve.NewWithOptions(adapter, sch, serve.Options{
-		Logger:      logger,
-		EnablePprof: *pprofOn,
+		Logger:        logger,
+		EnablePprof:   *pprofOn,
+		PeriodTimeout: *periodTimeout,
 	})
+
+	// Route period-time annotation through the resilience stack: optional
+	// deterministic fault injection (-faults*) under retry/backoff, per-
+	// attempt timeouts and a circuit breaker, reporting into the server's
+	// /metrics registry and charging retries to the adapter's cost ledger.
+	var src annotator.Source = ann
+	if *faultErr > 0 || *faultHang > 0 || *faultLatency > 0 {
+		src = resilience.NewFaulty(src, resilience.FaultPlan{
+			ErrRate:  *faultErr,
+			HangRate: *faultHang,
+			Latency:  *faultLatency,
+			Seed:     *seed,
+		})
+		logger.Warn("fault injection enabled",
+			"err_rate", *faultErr, "hang_rate", *faultHang, "latency", *faultLatency)
+	}
+	adapter.SetSource(resilience.Wrap(src, resilience.Policy{
+		MaxAttempts:    *annRetries,
+		AttemptTimeout: *annTimeout,
+		Seed:           *seed,
+	}, srv.Metrics().ResilienceEvents()).WithCostLedger(adapter.Ledger))
+
 	logger.Info("serving", "addr", *addr, "pprof", *pprofOn)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		logger.Error("listen", "err", err)

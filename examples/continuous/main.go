@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -29,7 +30,7 @@ func main() {
 	w1 := workload.New("w1", tbl, sch, opts)
 	w4 := workload.New("w4", tbl, sch, opts)
 
-	train := ann.AnnotateAll(workload.Generate(w1, 600, rng))
+	train := must1(ann.AnnotateAll(context.Background(), workload.Generate(w1, 600, rng)))
 	model := ce.NewLM(ce.LMMLP, sch, 1)
 	must(model.Train(train))
 
@@ -61,11 +62,11 @@ func main() {
 		arrivals := make([]warper.Arrival, 15)
 		for i := range arrivals {
 			pr := phase.Gen.Gen(rng)
-			arrivals[i] = warper.Arrival{Pred: pr, GT: must1(ann.Count(pr)), HasGT: true}
+			arrivals[i] = warper.Arrival{Pred: pr, GT: must1(ann.Count(context.Background(), pr)), HasGT: true}
 		}
 		rep := must1(adapter.Period(arrivals))
 
-		test := ann.AnnotateAll(workload.Generate(phase.Gen, 80, rng))
+		test := must1(ann.AnnotateAll(context.Background(), workload.Generate(phase.Gen, 80, rng)))
 		fmt.Printf("%6d | %-8s | %-13s | %9d | %9d | %.2f\n",
 			p+1, phase.Gen.Name(), rep.Detection.Mode, rep.Generated, rep.Annotated,
 			ce.EvalGMQ(model, test))

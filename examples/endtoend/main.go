@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -33,7 +34,7 @@ func main() {
 	// 1. How bad can a misplanned query get? Worst-case plan flips.
 	wideL := query.NewFullRange(schL)
 	wideO := query.NewFullRange(schO)
-	trueL, trueO := must1(annL.Count(wideL)), must1(annO.Count(wideO))
+	trueL, trueO := must1(annL.Count(context.Background(), wideL)), must1(annO.Count(context.Background(), wideO))
 	fmt.Println("\nworst-case plan flips (same query, wrong estimates):")
 	for _, s := range []engine.Scenario{engine.S1BufferSpill, engine.S2JoinType, engine.S3BitmapSide} {
 		good, bad := eng.LatencyGap(s, wideL, wideO, trueL/1000, trueO/1000, trueL, trueO)
@@ -47,8 +48,8 @@ func main() {
 	opts := workload.Options{MinConstrained: 1, MaxConstrained: 2}
 	gL := workload.New("w1", db.Lineitem, schL, opts)
 	gO := workload.New("w1", db.Orders, schO, opts)
-	trainL := annL.AnnotateAll(workload.Generate(gL, 500, rng))
-	trainO := annO.AnnotateAll(workload.Generate(gO, 500, rng))
+	trainL := must1(annL.AnnotateAll(context.Background(), workload.Generate(gL, 500, rng)))
+	trainO := must1(annO.AnnotateAll(context.Background(), workload.Generate(gO, 500, rng)))
 	mL := ce.NewLM(ce.LMMLP, schL, 1)
 	must(mL.Train(trainL))
 	mO := ce.NewLM(ce.LMMLP, schO, 2)
@@ -59,7 +60,7 @@ func main() {
 		const n = 30
 		for i := 0; i < n; i++ {
 			pl, po := gl.Gen(rng), gob.Gen(rng)
-			tl, to := must1(annL.Count(pl)), must1(annO.Count(po))
+			tl, to := must1(annL.Count(context.Background(), pl)), must1(annO.Count(context.Background(), po))
 			good, bad := eng.LatencyGap(engine.S2JoinType, pl, po,
 				mL.Estimate(pl), mO.Estimate(po), tl, to)
 			actual += float64(bad)
@@ -75,7 +76,7 @@ func main() {
 	report("after drift to w2", gL2, gO)
 
 	for round := 0; round < 3; round++ {
-		newQ := annL.AnnotateAll(workload.Generate(gL2, 100, rng))
+		newQ := must1(annL.AnnotateAll(context.Background(), workload.Generate(gL2, 100, rng)))
 		must(mL.Update(newQ))
 	}
 	report("after adapting on 300 queries", gL2, gO)

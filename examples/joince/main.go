@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -27,21 +28,21 @@ func main() {
 	// 2. Train MSCN on join queries whose predicates follow the "sample"
 	// style (w4-like: bounds from min/max of sampled rows).
 	trainW := &imdb.JoinWorkload{DB: db, PredStyle: "sample"}
-	train := must1(ja.AnnotateAll(trainW.Generate(500, rng)))
+	train := must1(ja.AnnotateAll(context.Background(), trainW.Generate(500, rng)))
 	model := ce.NewMSCN(db.Catalog, 1)
 	must(model.TrainJoin(train))
 
-	testTrain := must1(ja.AnnotateAll(trainW.Generate(100, rng)))
+	testTrain := must1(ja.AnnotateAll(context.Background(), trainW.Generate(100, rng)))
 	fmt.Printf("in-distribution GMQ: %.2f\n", must1(ce.EvalJoinGMQ(model, testTrain)))
 
 	// 3. The predicate workload drifts to uniform bounds (w1-like).
 	newW := &imdb.JoinWorkload{DB: db, PredStyle: "uniform"}
-	testNew := must1(ja.AnnotateAll(newW.Generate(100, rng)))
+	testNew := must1(ja.AnnotateAll(context.Background(), newW.Generate(100, rng)))
 	fmt.Printf("post-drift GMQ:      %.2f\n", must1(ce.EvalJoinGMQ(model, testNew)))
 
 	// 4. Updating with batches of new join queries recovers accuracy.
 	for batch := 1; batch <= 4; batch++ {
-		arrivals := must1(ja.AnnotateAll(newW.Generate(100, rng)))
+		arrivals := must1(ja.AnnotateAll(context.Background(), newW.Generate(100, rng)))
 		must(model.UpdateJoin(arrivals))
 		fmt.Printf("after %d×100 new join queries: GMQ %.2f\n",
 			batch, must1(ce.EvalJoinGMQ(model, testNew)))

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -33,7 +34,7 @@ func main() {
 	// range predicates).
 	opts := workload.Options{MinConstrained: 1, MaxConstrained: 2}
 	histGen := workload.New("w1", tbl, sch, opts)
-	train := ann.AnnotateAll(workload.Generate(histGen, 600, rng))
+	train := must1(ann.AnnotateAll(context.Background(), workload.Generate(histGen, 600, rng)))
 	model := ce.NewLM(ce.LMMLP, sch, 1)
 	must(model.Train(train))
 	fmt.Printf("trained %s on %d labeled queries\n", model.Name(), len(train))
@@ -41,8 +42,8 @@ func main() {
 	// 3. The workload drifts: new queries follow w4 (min/max of sampled
 	// rows — a very different distribution).
 	newGen := workload.New("w4", tbl, sch, opts)
-	stream := ann.AnnotateAll(workload.Generate(newGen, 200, rng))
-	test := ann.AnnotateAll(workload.Generate(newGen, 150, rng))
+	stream := must1(ann.AnnotateAll(context.Background(), workload.Generate(newGen, 200, rng)))
+	test := must1(ann.AnnotateAll(context.Background(), workload.Generate(newGen, 150, rng)))
 	fmt.Printf("\npost-drift GMQ (lower is better, 1.0 is perfect):\n")
 	fmt.Printf("  before any adaptation: %.2f\n", ce.EvalGMQ(model, test))
 

@@ -7,6 +7,7 @@
 package adapt
 
 import (
+	"context"
 	"math/rand"
 
 	"warper/internal/annotator"
@@ -172,7 +173,10 @@ func (a *AUG) Step(arrivals []warper.Arrival) error {
 		synth = append(synth, a.Noisy(src.Pred))
 	}
 	if len(synth) > 0 {
-		annotated := a.ann.AnnotateAll(synth)
+		annotated, err := a.ann.AnnotateAll(context.Background(), synth)
+		if err != nil {
+			return err
+		}
 		a.spent += len(synth)
 		labeled = append(labeled, annotated...)
 	}
@@ -226,7 +230,7 @@ func (h *HEM) Step(arrivals []warper.Arrival) error {
 		if ar.HasGT {
 			labeled = append(labeled, query.Labeled{Pred: ar.Pred, Card: ar.GT})
 		} else {
-			card, err := h.ann.Count(ar.Pred)
+			card, err := h.ann.Count(context.Background(), ar.Pred)
 			if err != nil {
 				return err
 			}
@@ -262,7 +266,7 @@ func (h *HEM) Step(arrivals []warper.Arrival) error {
 				noisy.Highs[i] += h.rng.NormFloat64() * 0.1 * span(i)
 			}
 			noisy = noisy.Normalize(h.sch)
-			card, err := h.ann.Count(noisy)
+			card, err := h.ann.Count(context.Background(), noisy)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package adapt
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -36,9 +37,9 @@ func newEnv(t *testing.T) *env {
 	gNew := workload.New("w4", tbl, sch, workload.Options{MaxConstrained: 2})
 	return &env{
 		tbl: tbl, sch: sch, ann: ann,
-		train: ann.AnnotateAll(workload.Generate(gTrain, 500, rng)),
-		newQ:  ann.AnnotateAll(workload.Generate(gNew, 300, rng)),
-		test:  ann.AnnotateAll(workload.Generate(gNew, 120, rng)),
+		train: annAll(t, ann, workload.Generate(gTrain, 500, rng)),
+		newQ:  annAll(t, ann, workload.Generate(gNew, 300, rng)),
+		test:  annAll(t, ann, workload.Generate(gNew, 120, rng)),
 	}
 }
 
@@ -233,4 +234,13 @@ func runOK(t *testing.T, r *Runner, m Method, periods [][]warper.Arrival) *metri
 		t.Fatalf("Run: %v", err)
 	}
 	return c
+}
+
+func annAll(t *testing.T, ann *annotator.Annotator, ps []query.Predicate) []query.Labeled {
+	t.Helper()
+	out, err := ann.AnnotateAll(context.Background(), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
 }

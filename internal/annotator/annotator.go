@@ -3,10 +3,17 @@
 // it scans the in-memory columnar tables directly. It also meters its own
 // cost (scanned rows and wall time) because annotation is the dominant term
 // c_gt of Warper's cost model (§4.3).
+//
+// Annotation is the only adaptation step that touches an external system in
+// production, so every entry point takes a context and returns an error: a
+// cancelled request or a failed count must degrade the period, not abort the
+// process (see the Source interface and internal/resilience).
 package annotator
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"warper/internal/dataset"
@@ -17,7 +24,11 @@ import (
 type Annotator struct {
 	tbl *dataset.Table
 
-	// Cost meters.
+	// mu guards the cost meters below. Count runs concurrently on the
+	// serving path (parallel annotation, /estimate traffic during a
+	// period), so meter updates must be synchronized; reading the fields
+	// directly is safe only once all concurrent callers have quiesced.
+	mu          sync.Mutex
 	Queries     int
 	RowsScanned int64
 	Elapsed     time.Duration
@@ -32,8 +43,9 @@ func (a *Annotator) Table() *dataset.Table { return a.tbl }
 // Count returns the exact number of rows matching the predicate. A
 // predicate whose dimensionality does not match the table is reported as an
 // error: annotation runs on the adaptation path of a long-lived server, so a
-// malformed predicate must not kill the process.
-func (a *Annotator) Count(p query.Predicate) (float64, error) {
+// malformed predicate must not kill the process. Cancelling ctx stops the
+// scan within ctxCheckRows rows.
+func (a *Annotator) Count(ctx context.Context, p query.Predicate) (float64, error) {
 	start := time.Now()
 	n := a.tbl.NumRows()
 	if p.Dim() != a.tbl.NumCols() {
@@ -43,6 +55,9 @@ func (a *Annotator) Count(p query.Predicate) (float64, error) {
 	count := 0
 rows:
 	for r := 0; r < n; r++ {
+		if r%ctxCheckRows == 0 && ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
 		for c := range cols {
 			v := cols[c].Vals[r]
 			if v < p.Lows[c] || v > p.Highs[c] {
@@ -51,23 +66,31 @@ rows:
 		}
 		count++
 	}
-	a.Queries++
-	a.RowsScanned += int64(n)
-	a.Elapsed += time.Since(start)
+	a.addCost(1, int64(n), time.Since(start))
 	return float64(count), nil
 }
 
 // AnnotateAll labels every predicate, scanning the table once per batch row
 // pass (all predicates are evaluated in a single sweep, mirroring the
 // "batching predicates into a single evaluation tree" optimization the paper
-// mentions in §2).
-func (a *Annotator) AnnotateAll(ps []query.Predicate) []query.Labeled {
+// mentions in §2). A dimension mismatch anywhere in the batch, or a
+// cancelled context, fails the whole batch.
+func (a *Annotator) AnnotateAll(ctx context.Context, ps []query.Predicate) ([]query.Labeled, error) {
 	start := time.Now()
 	n := a.tbl.NumRows()
+	for i := range ps {
+		if ps[i].Dim() != a.tbl.NumCols() {
+			return nil, fmt.Errorf("annotator: predicate %d dim %d vs table cols %d",
+				i, ps[i].Dim(), a.tbl.NumCols())
+		}
+	}
 	counts := make([]int, len(ps))
 	cols := a.tbl.Cols
 	row := make([]float64, len(cols))
 	for r := 0; r < n; r++ {
+		if r%ctxCheckRows == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		for c := range cols {
 			row[c] = cols[c].Vals[r]
 		}
@@ -81,16 +104,25 @@ func (a *Annotator) AnnotateAll(ps []query.Predicate) []query.Labeled {
 	for i, p := range ps {
 		out[i] = query.Labeled{Pred: p, Card: float64(counts[i])}
 	}
-	a.Queries += len(ps)
-	a.RowsScanned += int64(n) // one shared scan
-	a.Elapsed += time.Since(start)
-	return out
+	a.addCost(len(ps), int64(n), time.Since(start)) // one shared scan
+	return out, nil
+}
+
+// addCost charges a finished annotation to the meters.
+func (a *Annotator) addCost(queries int, rows int64, d time.Duration) {
+	a.mu.Lock()
+	a.Queries += queries
+	a.RowsScanned += rows
+	a.Elapsed += d
+	a.mu.Unlock()
 }
 
 // MeanCostPerQuery returns the measured mean annotation latency, which the
 // experiment harness charges to the virtual clock. Returns 0 before any
 // query ran.
 func (a *Annotator) MeanCostPerQuery() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if a.Queries == 0 {
 		return 0
 	}
@@ -99,25 +131,36 @@ func (a *Annotator) MeanCostPerQuery() time.Duration {
 
 // ResetMeters zeroes the cost meters.
 func (a *Annotator) ResetMeters() {
+	a.mu.Lock()
 	a.Queries = 0
 	a.RowsScanned = 0
 	a.Elapsed = 0
+	a.mu.Unlock()
 }
 
 // CountDisjunction returns the exact number of rows matching at least one
-// disjunct (rows are counted once even when several disjuncts match).
-func (a *Annotator) CountDisjunction(d query.Disjunction) float64 {
+// disjunct (rows are counted once even when several disjuncts match). A
+// disjunct whose dimensionality does not match the table is an error, like
+// Count's.
+func (a *Annotator) CountDisjunction(ctx context.Context, d query.Disjunction) (float64, error) {
 	start := time.Now()
+	for i, p := range d {
+		if p.Dim() != a.tbl.NumCols() {
+			return 0, fmt.Errorf("annotator: disjunct %d dim %d vs table cols %d",
+				i, p.Dim(), a.tbl.NumCols())
+		}
+	}
 	n := a.tbl.NumRows()
 	row := make([]float64, a.tbl.NumCols())
 	count := 0
 	for r := 0; r < n; r++ {
+		if r%ctxCheckRows == 0 && ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
 		if d.Matches(a.tbl.Row(r, row)) {
 			count++
 		}
 	}
-	a.Queries++
-	a.RowsScanned += int64(n)
-	a.Elapsed += time.Since(start)
-	return float64(count)
+	a.addCost(1, int64(n), time.Since(start))
+	return float64(count), nil
 }

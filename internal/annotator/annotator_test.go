@@ -1,6 +1,7 @@
 package annotator
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -62,7 +63,10 @@ func TestAnnotateAllAgreesWithCount(t *testing.T) {
 	preds := workload.Generate(g, 30, rng)
 
 	a := New(tbl)
-	batch := a.AnnotateAll(preds)
+	batch, err := a.AnnotateAll(context.Background(), preds)
+	if err != nil {
+		t.Fatalf("AnnotateAll: %v", err)
+	}
 	b := New(tbl)
 	for i, lp := range batch {
 		if got := countOK(t, b, preds[i]); got != lp.Card {
@@ -94,7 +98,7 @@ func TestCostMeters(t *testing.T) {
 
 func TestCountDimMismatchError(t *testing.T) {
 	a := New(smallTable())
-	if _, err := a.Count(query.Predicate{Lows: []float64{0}, Highs: []float64{1}}); err == nil {
+	if _, err := a.Count(context.Background(), query.Predicate{Lows: []float64{0}, Highs: []float64{1}}); err == nil {
 		t.Fatal("expected error for dimension mismatch")
 	}
 }
@@ -168,7 +172,7 @@ func TestJoinDisconnectedError(t *testing.T) {
 	orders, lineitem := joinFixture()
 	ja := NewJoin(orders, lineitem)
 	q := query.NewJoinQuery("lineitem", "orders") // no join conditions
-	if _, err := ja.Count(q); err == nil {
+	if _, err := ja.Count(context.Background(), q); err == nil {
 		t.Fatal("expected error for disconnected join")
 	}
 }
@@ -177,7 +181,7 @@ func TestJoinUnknownTableError(t *testing.T) {
 	orders, _ := joinFixture()
 	ja := NewJoin(orders)
 	q := query.NewJoinQuery("nope")
-	if _, err := ja.Count(q); err == nil {
+	if _, err := ja.Count(context.Background(), q); err == nil {
 		t.Fatal("expected error for unknown table")
 	}
 }
@@ -186,7 +190,7 @@ func TestJoinAnnotateAll(t *testing.T) {
 	orders, lineitem := joinFixture()
 	ja := NewJoin(orders, lineitem)
 	q := query.NewJoinQuery("lineitem", "orders").AddJoin("lineitem", "okey", "orders", "okey")
-	out, err := ja.AnnotateAll([]*query.JoinQuery{q, q})
+	out, err := ja.AnnotateAll(context.Background(), []*query.JoinQuery{q, q})
 	if err != nil {
 		t.Fatalf("AnnotateAll: %v", err)
 	}
@@ -201,7 +205,7 @@ func TestJoinAnnotateAll(t *testing.T) {
 // countOK unwraps Count for well-formed test predicates.
 func countOK(t *testing.T, a *Annotator, p query.Predicate) float64 {
 	t.Helper()
-	c, err := a.Count(p)
+	c, err := a.Count(context.Background(), p)
 	if err != nil {
 		t.Fatalf("Count: %v", err)
 	}
@@ -211,7 +215,7 @@ func countOK(t *testing.T, a *Annotator, p query.Predicate) float64 {
 // joinCountOK unwraps JoinAnnotator.Count for well-formed test queries.
 func joinCountOK(t *testing.T, ja *JoinAnnotator, q *query.JoinQuery) float64 {
 	t.Helper()
-	c, err := ja.Count(q)
+	c, err := ja.Count(context.Background(), q)
 	if err != nil {
 		t.Fatalf("Count: %v", err)
 	}

@@ -1,7 +1,9 @@
 package annotator
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"warper/internal/dataset"
@@ -14,6 +16,8 @@ import (
 type JoinAnnotator struct {
 	tables map[string]*dataset.Table
 
+	// mu guards the cost meters against concurrent Count calls.
+	mu      sync.Mutex
 	Queries int
 	Elapsed time.Duration
 }
@@ -37,12 +41,15 @@ func (ja *JoinAnnotator) Table(name string) *dataset.Table { return ja.tables[na
 // conditions that connect it to tables already joined. Every table in
 // q.Tables must be connected by the time it is reached; malformed queries
 // (unknown table, dimension mismatch, disconnected join) are reported as
-// errors rather than panics.
-func (ja *JoinAnnotator) Count(q *query.JoinQuery) (float64, error) {
+// errors rather than panics. Cancelling ctx stops the join between row
+// batches.
+func (ja *JoinAnnotator) Count(ctx context.Context, q *query.JoinQuery) (float64, error) {
 	start := time.Now()
 	defer func() {
+		ja.mu.Lock()
 		ja.Queries++
 		ja.Elapsed += time.Since(start)
+		ja.mu.Unlock()
 	}()
 	if len(q.Tables) == 0 {
 		return 0, nil
@@ -72,6 +79,9 @@ func (ja *JoinAnnotator) Count(q *query.JoinQuery) (float64, error) {
 		var out []rowRef
 		row := make([]float64, t.NumCols())
 		for r := 0; r < t.NumRows(); r++ {
+			if r%ctxCheckRows == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			t.Row(r, row)
 			if hasPred && !pred.Matches(row) {
 				continue
@@ -127,6 +137,9 @@ func (ja *JoinAnnotator) Count(q *query.JoinQuery) (float64, error) {
 			k := buildKey(ref, true)
 			hash[k] = append(hash[k], ref)
 		}
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		var next []rowRef
 		for _, ref := range current {
 			k := buildKey(ref, false)
@@ -147,12 +160,12 @@ func (ja *JoinAnnotator) Count(q *query.JoinQuery) (float64, error) {
 	return float64(len(current)), nil
 }
 
-// AnnotateAll labels a batch of join queries. The first malformed query
-// aborts the batch.
-func (ja *JoinAnnotator) AnnotateAll(qs []*query.JoinQuery) ([]query.LabeledJoin, error) {
+// AnnotateAll labels a batch of join queries. The first malformed query or
+// a cancelled context aborts the batch.
+func (ja *JoinAnnotator) AnnotateAll(ctx context.Context, qs []*query.JoinQuery) ([]query.LabeledJoin, error) {
 	out := make([]query.LabeledJoin, len(qs))
 	for i, q := range qs {
-		card, err := ja.Count(q)
+		card, err := ja.Count(ctx, q)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package annotator
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -13,7 +15,11 @@ import (
 // describes a multi-threaded variant of Algorithm 1; annotation is its
 // dominant parallelizable cost, and this helper lets deployments with spare
 // cores fan it out. workers <= 0 uses GOMAXPROCS.
-func ParallelAnnotate(t *dataset.Table, preds []query.Predicate, workers int) []query.Labeled {
+//
+// Cancelling ctx stops the fan-out early: the feeder hands out no further
+// predicates, in-flight scans bail within ctxCheckRows rows, and the call
+// returns ctx.Err() with no partial results.
+func ParallelAnnotate(ctx context.Context, t *dataset.Table, preds []query.Predicate, workers int) ([]query.Labeled, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -22,7 +28,13 @@ func ParallelAnnotate(t *dataset.Table, preds []query.Predicate, workers int) []
 	}
 	out := make([]query.Labeled, len(preds))
 	if len(preds) == 0 {
-		return out
+		return out, nil
+	}
+	for i := range preds {
+		if preds[i].Dim() != t.NumCols() {
+			return nil, fmt.Errorf("annotator: predicate %d dim %d vs table cols %d",
+				i, preds[i].Dim(), t.NumCols())
+		}
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -33,10 +45,16 @@ func ParallelAnnotate(t *dataset.Table, preds []query.Predicate, workers int) []
 			n := t.NumRows()
 			cols := t.Cols
 			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain the channel without scanning
+				}
 				p := preds[i]
 				count := 0
 			rows:
 				for r := 0; r < n; r++ {
+					if r%ctxCheckRows == 0 && ctx.Err() != nil {
+						break
+					}
 					for c := range cols {
 						v := cols[c].Vals[r]
 						if v < p.Lows[c] || v > p.Highs[c] {
@@ -49,10 +67,45 @@ func ParallelAnnotate(t *dataset.Table, preds []query.Predicate, workers int) []
 			}
 		}()
 	}
+feed:
 	for i := range preds {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Parallel adapts ParallelAnnotate to the Source interface, so the fan-out
+// path plugs into the same resilience wrappers as the serial annotators.
+type Parallel struct {
+	Tbl *dataset.Table
+	// Workers bounds the goroutine pool; <= 0 uses GOMAXPROCS.
+	Workers int
+}
+
+// NewParallel returns a parallel Source over the table.
+func NewParallel(t *dataset.Table, workers int) *Parallel {
+	return &Parallel{Tbl: t, Workers: workers}
+}
+
+// Count implements Source with a single-worker scan.
+func (p *Parallel) Count(ctx context.Context, pred query.Predicate) (float64, error) {
+	out, err := ParallelAnnotate(ctx, p.Tbl, []query.Predicate{pred}, 1)
+	if err != nil {
+		return 0, err
+	}
+	return out[0].Card, nil
+}
+
+// AnnotateAll implements Source.
+func (p *Parallel) AnnotateAll(ctx context.Context, preds []query.Predicate) ([]query.Labeled, error) {
+	return ParallelAnnotate(ctx, p.Tbl, preds, p.Workers)
 }

@@ -1,6 +1,7 @@
 package annotator
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -16,9 +17,15 @@ func TestParallelAnnotateMatchesSerial(t *testing.T) {
 	g := workload.New("w3", tbl, sch, workload.Options{})
 	preds := workload.Generate(g, 40, rng)
 
-	serial := New(tbl).AnnotateAll(preds)
+	serial, err := New(tbl).AnnotateAll(context.Background(), preds)
+	if err != nil {
+		t.Fatalf("AnnotateAll: %v", err)
+	}
 	for _, workers := range []int{0, 1, 4} {
-		par := ParallelAnnotate(tbl, preds, workers)
+		par, err := ParallelAnnotate(context.Background(), tbl, preds, workers)
+		if err != nil {
+			t.Fatalf("ParallelAnnotate: %v", err)
+		}
 		for i := range serial {
 			if par[i].Card != serial[i].Card {
 				t.Fatalf("workers=%d pred %d: %v vs %v", workers, i, par[i].Card, serial[i].Card)
@@ -30,7 +37,11 @@ func TestParallelAnnotateMatchesSerial(t *testing.T) {
 func TestParallelAnnotateEmpty(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	tbl := dataset.PRSA(100, rng)
-	if out := ParallelAnnotate(tbl, nil, 4); len(out) != 0 {
+	out, err := ParallelAnnotate(context.Background(), tbl, nil, 4)
+	if err != nil {
+		t.Fatalf("ParallelAnnotate: %v", err)
+	}
+	if len(out) != 0 {
 		t.Errorf("empty input produced %d results", len(out))
 	}
 }

@@ -1,8 +1,10 @@
 package annotator
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"warper/internal/dataset"
@@ -13,11 +15,17 @@ import (
 // and scales up — the sampling-based labeling alternative §2 discusses
 // ("some prior works suggest using samples; ... sampling-induced errors can
 // affect model quality"). It trades annotation cost for label noise; the
-// BenchmarkSampledAnnotator ablation quantifies the trade.
+// BenchmarkSampledAnnotator ablation quantifies the trade. On the serving
+// path it doubles as the degradation fallback: when the exact source is
+// down, noisy labels beat no labels (see warper.Adapter).
 type Sampled struct {
-	tbl     *dataset.Table
-	rows    []int   // sampled row indices
-	scale   float64 // NumRows / len(rows)
+	tbl   *dataset.Table
+	rows  []int   // sampled row indices
+	scale float64 // NumRows / len(rows)
+
+	// mu guards the cost meters; Count can run concurrently when Sampled
+	// serves as the degradation fallback.
+	mu      sync.Mutex
 	Queries int
 	Elapsed time.Duration
 }
@@ -41,25 +49,37 @@ func NewSampled(t *dataset.Table, rate float64, rng *rand.Rand) (*Sampled, error
 func (s *Sampled) SampleSize() int { return len(s.rows) }
 
 // Count returns the scaled-up approximate cardinality.
-func (s *Sampled) Count(p query.Predicate) float64 {
+func (s *Sampled) Count(ctx context.Context, p query.Predicate) (float64, error) {
 	start := time.Now()
+	if p.Dim() != s.tbl.NumCols() {
+		return 0, fmt.Errorf("annotator: predicate dim %d vs table cols %d", p.Dim(), s.tbl.NumCols())
+	}
 	row := make([]float64, s.tbl.NumCols())
 	hits := 0
-	for _, r := range s.rows {
+	for i, r := range s.rows {
+		if i%ctxCheckRows == 0 && ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
 		if p.Matches(s.tbl.Row(r, row)) {
 			hits++
 		}
 	}
+	s.mu.Lock()
 	s.Queries++
 	s.Elapsed += time.Since(start)
-	return float64(hits) * s.scale
+	s.mu.Unlock()
+	return float64(hits) * s.scale, nil
 }
 
 // AnnotateAll labels every predicate approximately.
-func (s *Sampled) AnnotateAll(ps []query.Predicate) []query.Labeled {
+func (s *Sampled) AnnotateAll(ctx context.Context, ps []query.Predicate) ([]query.Labeled, error) {
 	out := make([]query.Labeled, len(ps))
 	for i, p := range ps {
-		out[i] = query.Labeled{Pred: p, Card: s.Count(p)}
+		card, err := s.Count(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = query.Labeled{Pred: p, Card: card}
 	}
-	return out
+	return out, nil
 }

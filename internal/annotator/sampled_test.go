@@ -1,6 +1,7 @@
 package annotator
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -26,7 +27,10 @@ func TestSampledApproximatesExactCounts(t *testing.T) {
 		if truth < 100 {
 			continue // relative error meaningless on tiny counts
 		}
-		est := approx.Count(p)
+		est, err := approx.Count(context.Background(), p)
+		if err != nil {
+			t.Fatalf("Count: %v", err)
+		}
 		relErrSum += math.Abs(est-truth) / truth
 		n++
 	}
@@ -49,7 +53,11 @@ func TestSampledScalesFullSample(t *testing.T) {
 	}
 	p := query.NewFullRange(sch)
 	p.SetRange(1, 0, 80)
-	if got, want := approx.Count(p), countOK(t, exact, p); got != want {
+	got, err := approx.Count(context.Background(), p)
+	if err != nil {
+		t.Fatalf("Count: %v", err)
+	}
+	if want := countOK(t, exact, p); got != want {
 		t.Errorf("full-rate sample must be exact: %v vs %v", got, want)
 	}
 }
@@ -63,7 +71,11 @@ func TestSampledIsCheaperPerQuery(t *testing.T) {
 		t.Errorf("SampleSize = %d, want 400", approx.SampleSize())
 	}
 	full := query.NewFullRange(sch)
-	if got := approx.Count(full); got != 8000 {
+	got, err := approx.Count(context.Background(), full)
+	if err != nil {
+		t.Fatalf("Count: %v", err)
+	}
+	if got != 8000 {
 		t.Errorf("scaled full count = %v, want 8000", got)
 	}
 }
@@ -74,7 +86,10 @@ func TestSampledAnnotateAll(t *testing.T) {
 	sch := query.SchemaOf(tbl)
 	approx := newSampledOK(t, tbl, 0.5, rng)
 	g := workload.New("w1", tbl, sch, workload.Options{})
-	out := approx.AnnotateAll(workload.Generate(g, 10, rng))
+	out, err := approx.AnnotateAll(context.Background(), workload.Generate(g, 10, rng))
+	if err != nil {
+		t.Fatalf("AnnotateAll: %v", err)
+	}
 	if len(out) != 10 || approx.Queries != 10 {
 		t.Errorf("AnnotateAll bookkeeping wrong: %d results, %d queries", len(out), approx.Queries)
 	}

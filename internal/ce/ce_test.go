@@ -1,6 +1,7 @@
 package ce
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -19,8 +20,8 @@ func fixture(t *testing.T, nTrain, nTest int) (*dataset.Table, *query.Schema, []
 	sch := query.SchemaOf(tbl)
 	g := workload.New("w1", tbl, sch, workload.Options{MaxConstrained: 2})
 	ann := annotator.New(tbl)
-	train := ann.AnnotateAll(workload.Generate(g, nTrain, rng))
-	test := ann.AnnotateAll(workload.Generate(g, nTest, rng))
+	train := annAll(t, ann, workload.Generate(g, nTrain, rng))
+	test := annAll(t, ann, workload.Generate(g, nTest, rng))
 	return tbl, sch, train, test
 }
 
@@ -94,9 +95,9 @@ func TestLMFineTuneImprovesOnDriftedWorkload(t *testing.T) {
 	ann := annotator.New(tbl)
 	gTrain := workload.New("w1", tbl, sch, workload.Options{MaxConstrained: 2})
 	gNew := workload.New("w3", tbl, sch, workload.Options{MaxConstrained: 2})
-	train := ann.AnnotateAll(workload.Generate(gTrain, 800, rng))
-	newQ := ann.AnnotateAll(workload.Generate(gNew, 400, rng))
-	testQ := ann.AnnotateAll(workload.Generate(gNew, 150, rng))
+	train := annAll(t, ann, workload.Generate(gTrain, 800, rng))
+	newQ := annAll(t, ann, workload.Generate(gNew, 400, rng))
+	testQ := annAll(t, ann, workload.Generate(gNew, 150, rng))
 
 	lm := NewLM(LMMLP, sch, 4)
 	trainOK(t, lm, train)
@@ -194,7 +195,7 @@ func joinFixture(t *testing.T) (*annotator.JoinAnnotator, *Catalog, []query.Labe
 			q.SetPred("orders", po.Normalize(so))
 			qs = append(qs, q)
 		}
-		out, err := ja.AnnotateAll(qs)
+		out, err := ja.AnnotateAll(context.Background(), qs)
 		if err != nil {
 			t.Fatalf("AnnotateAll: %v", err)
 		}
@@ -309,4 +310,13 @@ func joinGMQOK(t *testing.T, m JoinEstimator, test []query.LabeledJoin) float64 
 		t.Fatalf("EvalJoinGMQ: %v", err)
 	}
 	return gmq
+}
+
+func annAll(t *testing.T, ann *annotator.Annotator, ps []query.Predicate) []query.Labeled {
+	t.Helper()
+	out, err := ann.AnnotateAll(context.Background(), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
 }

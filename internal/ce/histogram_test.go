@@ -1,6 +1,7 @@
 package ce
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -122,7 +123,7 @@ func TestHistogramEqualityPredicates(t *testing.T) {
 // annCountOK unwraps annotator.Count for well-formed predicates.
 func annCountOK(t *testing.T, ann *annotator.Annotator, p query.Predicate) float64 {
 	t.Helper()
-	c, err := ann.Count(p)
+	c, err := ann.Count(context.Background(), p)
 	if err != nil {
 		t.Fatalf("Count: %v", err)
 	}

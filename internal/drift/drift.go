@@ -6,14 +6,23 @@
 package drift
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
-	"warper/internal/annotator"
 	"warper/internal/mathx"
 	"warper/internal/query"
 	"warper/internal/workload"
 )
+
+// Counter is the slice of the annotation Source the drift telemetry needs:
+// a single ground-truth count. Accepting the narrow interface (rather than
+// *annotator.Annotator) lets the adapter route canary probes through the
+// same resilience wrapper as regular annotation, so a flaky source degrades
+// telemetry instead of crashing detection.
+type Counter interface {
+	Count(ctx context.Context, p query.Predicate) (float64, error)
+}
 
 // JSConfig controls the δ_js computation. The paper uses k=10 PCA dimensions
 // and m=3 bins per dimension.
@@ -142,11 +151,11 @@ type Canaries struct {
 // NewCanaries draws n probe predicates from the given workload and records
 // their current cardinalities. Annotation failures (a generator producing
 // predicates outside the table's schema) surface as an error.
-func NewCanaries(n int, gen workload.Generator, ann *annotator.Annotator, rng *rand.Rand) (*Canaries, error) {
+func NewCanaries(ctx context.Context, n int, gen workload.Generator, cnt Counter, rng *rand.Rand) (*Canaries, error) {
 	c := &Canaries{}
 	for i := 0; i < n; i++ {
 		p := gen.Gen(rng)
-		card, err := ann.Count(p)
+		card, err := cnt.Count(ctx, p)
 		if err != nil {
 			return nil, err
 		}
@@ -158,10 +167,10 @@ func NewCanaries(n int, gen workload.Generator, ann *annotator.Annotator, rng *r
 
 // MaxRelChange re-evaluates every canary and returns the largest relative
 // cardinality change.
-func (c *Canaries) MaxRelChange(ann *annotator.Annotator) (float64, error) {
+func (c *Canaries) MaxRelChange(ctx context.Context, cnt Counter) (float64, error) {
 	var worst float64
 	for i, p := range c.preds {
-		now, err := ann.Count(p)
+		now, err := cnt.Count(ctx, p)
 		if err != nil {
 			return 0, err
 		}
@@ -176,9 +185,9 @@ func (c *Canaries) MaxRelChange(ann *annotator.Annotator) (float64, error) {
 
 // Rebase re-records current cardinalities (after the model has adapted to a
 // data drift).
-func (c *Canaries) Rebase(ann *annotator.Annotator) error {
+func (c *Canaries) Rebase(ctx context.Context, cnt Counter) error {
 	for i, p := range c.preds {
-		card, err := ann.Count(p)
+		card, err := cnt.Count(ctx, p)
 		if err != nil {
 			return err
 		}
@@ -200,7 +209,7 @@ type DataTelemetry struct {
 }
 
 // Detect reports whether the table has drifted since the last reset/rebase.
-func (d *DataTelemetry) Detect(changedFraction float64, ann *annotator.Annotator) (bool, error) {
+func (d *DataTelemetry) Detect(ctx context.Context, changedFraction float64, cnt Counter) (bool, error) {
 	rowThr := d.ChangedRowThreshold
 	if rowThr <= 0 {
 		rowThr = 0.05
@@ -215,7 +224,7 @@ func (d *DataTelemetry) Detect(changedFraction float64, ann *annotator.Annotator
 	if d.Canaries == nil {
 		return false, nil
 	}
-	rel, err := d.Canaries.MaxRelChange(ann)
+	rel, err := d.Canaries.MaxRelChange(ctx, cnt)
 	if err != nil {
 		return false, err
 	}

@@ -1,6 +1,7 @@
 package drift
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -71,7 +72,7 @@ func TestCanariesDetectDataDrift(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	ann := annotator.New(tbl)
 	g := workload.New("w3", tbl, sch, workload.Options{})
-	can, err := NewCanaries(10, g, ann, rng)
+	can, err := NewCanaries(context.Background(), 10, g, ann, rng)
 	if err != nil {
 		t.Fatalf("NewCanaries: %v", err)
 	}
@@ -85,7 +86,7 @@ func TestCanariesDetectDataDrift(t *testing.T) {
 	if got := maxRelOK(t, can, ann); got < 0.1 {
 		t.Errorf("rel change after truncation = %v, want >= 0.1", got)
 	}
-	if err := can.Rebase(ann); err != nil {
+	if err := can.Rebase(context.Background(), ann); err != nil {
 		t.Fatalf("Rebase: %v", err)
 	}
 	if got := maxRelOK(t, can, ann); got != 0 {
@@ -110,7 +111,7 @@ func TestDataTelemetryCanaryPath(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	ann := annotator.New(tbl)
 	g := workload.New("w3", tbl, sch, workload.Options{})
-	can, err := NewCanaries(8, g, ann, rng)
+	can, err := NewCanaries(context.Background(), 8, g, ann, rng)
 	if err != nil {
 		t.Fatalf("NewCanaries: %v", err)
 	}
@@ -128,7 +129,7 @@ func TestDataTelemetryCanaryPath(t *testing.T) {
 // construction.
 func maxRelOK(t *testing.T, c *Canaries, ann *annotator.Annotator) float64 {
 	t.Helper()
-	v, err := c.MaxRelChange(ann)
+	v, err := c.MaxRelChange(context.Background(), ann)
 	if err != nil {
 		t.Fatalf("MaxRelChange: %v", err)
 	}
@@ -137,7 +138,7 @@ func maxRelOK(t *testing.T, c *Canaries, ann *annotator.Annotator) float64 {
 
 func detectOK(t *testing.T, d *DataTelemetry, changedFrac float64, ann *annotator.Annotator) bool {
 	t.Helper()
-	hit, err := d.Detect(changedFrac, ann)
+	hit, err := d.Detect(context.Background(), changedFrac, ann)
 	if err != nil {
 		t.Fatalf("Detect: %v", err)
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -42,11 +43,11 @@ func (f *fixture) trueCards(t *testing.T, pl, po query.Predicate) (float64, floa
 	t.Helper()
 	al := annotator.New(f.eng.DB.Lineitem)
 	ao := annotator.New(f.eng.DB.Orders)
-	cl, err := al.Count(pl)
+	cl, err := al.Count(context.Background(), pl)
 	if err != nil {
 		t.Fatalf("Count: %v", err)
 	}
-	co, err := ao.Count(po)
+	co, err := ao.Count(context.Background(), po)
 	if err != nil {
 		t.Fatalf("Count: %v", err)
 	}

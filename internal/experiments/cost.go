@@ -30,7 +30,7 @@ func measureCosts(ds string, sc Scale, seed int64) costProfile {
 	// Annotation: time a fresh batch.
 	env.Ann.ResetMeters()
 	probe := workload.Generate(env.NewGen, 50, rng)
-	env.Ann.AnnotateAll(probe)
+	mustAnnotateAll(env.Ann, probe)
 	// AnnotateAll shares one scan across the batch; per-query cost for
 	// separately arriving queries uses single-query scans.
 	env.Ann.ResetMeters()

@@ -49,11 +49,11 @@ func runC1(ds string, sc Scale, seed int64) []string {
 		dataset.SortTruncateHalf(env.Tbl, 0)
 		// The test set carries post-drift ground truth for the unchanged
 		// workload.
-		test := env.Ann.AnnotateAll(workload.Generate(env.TrainGen, sc.TestSize, rng))
+		test := mustAnnotateAll(env.Ann, workload.Generate(env.TrainGen, sc.TestSize, rng))
 
 		// Oracle for δ_m: trained exclusively on post-drift labels.
 		oracle := NewModel("lm-mlp", env.Sch, runSeed+3)
-		mustTrain(oracle, env.Ann.AnnotateAll(workload.Generate(env.TrainGen, sc.StreamSize, rng)))
+		mustTrain(oracle, mustAnnotateAll(env.Ann, workload.Generate(env.TrainGen, sc.StreamSize, rng)))
 		dmSum += metrics.DeltaM(ce.EvalGMQ(env.Model, test), ce.EvalGMQ(oracle, test))
 		// δ_js is 0 by construction: the workload did not change.
 

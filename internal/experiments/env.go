@@ -53,9 +53,9 @@ func NewEnv(dsName, trainSpec, newSpec, model string, sc Scale, seed int64) *Env
 	e.TrainGen = workload.Parse(trainSpec, tbl, sch, wkldOpts)
 	e.NewGen = workload.Parse(newSpec, tbl, sch, wkldOpts)
 
-	e.Train = ann.AnnotateAll(workload.Generate(e.TrainGen, sc.TrainSize, rng))
-	e.Stream = ann.AnnotateAll(workload.Generate(e.NewGen, sc.StreamSize, rng))
-	e.Test = ann.AnnotateAll(workload.Generate(e.NewGen, sc.TestSize, rng))
+	e.Train = mustAnnotateAll(ann, workload.Generate(e.TrainGen, sc.TrainSize, rng))
+	e.Stream = mustAnnotateAll(ann, workload.Generate(e.NewGen, sc.StreamSize, rng))
+	e.Test = mustAnnotateAll(ann, workload.Generate(e.NewGen, sc.TestSize, rng))
 
 	e.Model = NewModel(model, sch, seed+1)
 	mustTrain(e.Model, e.Train)

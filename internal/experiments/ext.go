@@ -34,13 +34,13 @@ func ExtHistogram(sc Scale, seed int64) []*Table {
 	gTrain := workload.Parse("w12", tbl, sch, opts)
 	gNew := workload.Parse("w345", tbl, sch, opts)
 
-	train := ann.AnnotateAll(workload.Generate(gTrain, sc.TrainSize, rng))
+	train := mustAnnotateAll(ann, workload.Generate(gTrain, sc.TrainSize, rng))
 	lm := ce.NewLM(ce.LMMLP, sch, seed+1)
 	mustTrain(lm, train)
 	hist := ce.NewHistogramEstimator(tbl, 64)
 
 	evalOn := func(g workload.Generator) (float64, float64) {
-		test := ann.AnnotateAll(workload.Generate(g, sc.TestSize, rng))
+		test := mustAnnotateAll(ann, workload.Generate(g, sc.TestSize, rng))
 		return ce.EvalGMQ(lm, test), ce.EvalGMQ(hist, test)
 	}
 
@@ -58,7 +58,7 @@ func ExtHistogram(sc Scale, seed int64) []*Table {
 
 	mustUpdate(hist, nil) // rebuild from the mutated table — free for histograms
 	_, hReb := evalOn(gTrain)
-	relabeled := ann.AnnotateAll(workload.Generate(gTrain, sc.StreamSize, rng))
+	relabeled := mustAnnotateAll(ann, workload.Generate(gTrain, sc.StreamSize, rng))
 	mustUpdate(lm, relabeled) // the LM needs fresh labels to recover
 	lmReb, _ := evalOn(gTrain)
 	t.Rows = append(t.Rows, []string{"data drift, after adaptation", f2(lmReb), f2(hReb)})

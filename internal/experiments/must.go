@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"warper/internal/annotator"
 	"warper/internal/ce"
 	"warper/internal/metrics"
@@ -18,7 +19,7 @@ import (
 
 // mustCount annotates one predicate, panicking on schema mismatch.
 func mustCount(ann *annotator.Annotator, p query.Predicate) float64 {
-	card, err := ann.Count(p)
+	card, err := ann.Count(context.Background(), p)
 	if err != nil {
 		panic("experiments: annotate failed: " + err.Error())
 	}
@@ -56,10 +57,19 @@ func mustPeriod(a *warper.Adapter, arrivals []warper.Arrival) warper.Report {
 	return rep
 }
 
+// mustAnnotateAll labels a batch of predicates, panicking on mismatch.
+func mustAnnotateAll(ann *annotator.Annotator, ps []query.Predicate) []query.Labeled {
+	out, err := ann.AnnotateAll(context.Background(), ps)
+	if err != nil {
+		panic("experiments: annotate failed: " + err.Error())
+	}
+	return out
+}
+
 // mustJoinAnnotateAll labels a batch of join queries, panicking on
 // malformed queries.
 func mustJoinAnnotateAll(ja *annotator.JoinAnnotator, qs []*query.JoinQuery) []query.LabeledJoin {
-	out, err := ja.AnnotateAll(qs)
+	out, err := ja.AnnotateAll(context.Background(), qs)
 	if err != nil {
 		panic("experiments: join annotate failed: " + err.Error())
 	}

@@ -1,6 +1,7 @@
 package imdb
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -49,7 +50,7 @@ func TestJoinWorkloadQueriesAnnotatable(t *testing.T) {
 		qs := jw.Generate(30, rng)
 		nonZero := 0
 		for _, q := range qs {
-			card, err := ja.Count(q)
+			card, err := ja.Count(context.Background(), q)
 			if err != nil {
 				t.Fatalf("Count: %v", err)
 			}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPropagate guards the fault-tolerance contract of the annotation
+// pipeline: inside internal/resilience and internal/annotator every
+// blocking operation must honor the caller's context.Context, because the
+// degradation ladder (per-attempt timeouts, the per-period annotation
+// deadline, /period request cancellation) only works if cancellation
+// actually reaches the scan loops and backoff waits. The rule flags, in any
+// function with a context.Context in scope (own parameter or one captured
+// by a closure):
+//
+//   - time.Sleep — an uninterruptible wait; block in a select with
+//     ctx.Done() and a time.Timer instead, and
+//   - calls whose first parameter is a context.Context but that are handed
+//     a fresh context.Background()/context.TODO(), severing the caller's
+//     deadline and cancellation.
+var CtxPropagate = &Analyzer{
+	Name:     "ctxpropagate",
+	Doc:      "resilience/annotator code must pass its in-scope context to blocking calls",
+	Packages: []string{"resilience", "annotator"},
+	Run:      runCtxPropagate,
+}
+
+func runCtxPropagate(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ft, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ft, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil || !hasCtxParam(pass, ft) {
+				// Keep descending: a nested func literal may declare its
+				// own context parameter.
+				return true
+			}
+			// The whole body — including closures, which capture ctx — is
+			// in scope. Stop the outer walk so nothing is reported twice.
+			checkCtxBody(pass, body)
+			return false
+		})
+	}
+}
+
+// hasCtxParam reports whether the function type declares a context.Context
+// parameter.
+func hasCtxParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isCtxType(pass.Info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkCtxBody reports context-ignoring blocking calls anywhere in a body
+// that has a context.Context in scope.
+func checkCtxBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+				pass.Reportf(call.Pos(), "time.Sleep with a context.Context in scope in package %s: wait in a select with ctx.Done() and a time.Timer instead", pass.Pkg.Name())
+				return true
+			}
+		}
+		// A callee that accepts a context as its first parameter but is
+		// handed a fresh root context ignores the one in scope.
+		sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+		if !ok || sig.Params().Len() == 0 || len(call.Args) == 0 {
+			return true
+		}
+		if !isCtxType(sig.Params().At(0).Type()) {
+			return true
+		}
+		if name := freshCtxCall(pass, call.Args[0]); name != "" {
+			pass.Reportf(call.Args[0].Pos(), "context.%s passed to %s with a context.Context in scope: propagate the caller's ctx so deadlines and cancellation reach the call", name, ctxCalleeName(call))
+		}
+		return true
+	})
+}
+
+// freshCtxCall returns "Background" or "TODO" when the expression is a
+// direct context.Background()/context.TODO() call, else "".
+func freshCtxCall(pass *Pass, e ast.Expr) string {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name()
+	}
+	return ""
+}
+
+// ctxCalleeName renders the called expression for the diagnostic.
+func ctxCalleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return types.ExprString(fun)
+	default:
+		return "call"
+	}
+}

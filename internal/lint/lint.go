@@ -178,5 +178,6 @@ func All() []*Analyzer {
 		PanicFree,
 		LockHygiene,
 		ErrcheckLite,
+		CtxPropagate,
 	}
 }

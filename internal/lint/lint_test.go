@@ -124,6 +124,13 @@ func TestLockHygieneFixture(t *testing.T) {
 	}
 }
 
+func TestCtxPropagateFixture(t *testing.T) {
+	diags := checkFixture(t, CtxPropagate, "ctxpropagate/resilience")
+	if len(diags) != 4 {
+		t.Errorf("got %d diagnostics, want 4 (derived contexts, selects, and ctx-free funcs are exempt)", len(diags))
+	}
+}
+
 func TestErrcheckLiteFixture(t *testing.T) {
 	diags := checkFixture(t, ErrcheckLite, "errcheck/app")
 	if len(diags) != 2 {

@@ -13,7 +13,7 @@ import (
 var Nondeterminism = &Analyzer{
 	Name:     "nondeterminism",
 	Doc:      "algorithm packages must not use time.Now or the global math/rand source",
-	Packages: []string{"nn", "gbt", "kernel", "ce", "warper", "drift", "pool"},
+	Packages: []string{"nn", "gbt", "kernel", "ce", "warper", "drift", "pool", "resilience"},
 	Run:      runNondeterminism,
 }
 

@@ -13,7 +13,7 @@ import (
 var PanicFree = &Analyzer{
 	Name:     "panicfree",
 	Doc:      "serving-path packages must return errors instead of panicking",
-	Packages: []string{"serve", "warper", "ce", "annotator"},
+	Packages: []string{"serve", "warper", "ce", "annotator", "resilience"},
 	Run:      runPanicFree,
 }
 

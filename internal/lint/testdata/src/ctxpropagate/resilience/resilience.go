@@ -1,0 +1,66 @@
+// Package resilience is a lint fixture: its import-path segment places it
+// in the ctxpropagate analyzer's scope.
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+func slow(ctx context.Context, n int) error { return ctx.Err() }
+
+// badSleep waits uninterruptibly despite holding a cancellable context.
+func badSleep(ctx context.Context) error {
+	time.Sleep(time.Millisecond) // want "time.Sleep with a context.Context in scope"
+	return ctx.Err()
+}
+
+// badBackground severs the caller's deadline by minting a fresh root.
+func badBackground(ctx context.Context) error {
+	return slow(context.Background(), 1) // want "context.Background passed to slow"
+}
+
+// badTODOInClosure shows closures capture the enclosing ctx, keeping it in
+// scope inside the literal.
+func badTODOInClosure(ctx context.Context) error {
+	f := func() error {
+		return slow(context.TODO(), 2) // want "context.TODO passed to slow"
+	}
+	_ = ctx
+	return f()
+}
+
+// badSleepInLitParam: a literal with its own ctx parameter is in scope even
+// when the enclosing function is not.
+var badSleepInLitParam = func(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want "time.Sleep with a context.Context in scope"
+	_ = ctx
+}
+
+// goodPropagate threads the caller's context through.
+func goodPropagate(ctx context.Context) error { return slow(ctx, 3) }
+
+// goodDerived narrows the caller's context rather than replacing it.
+func goodDerived(ctx context.Context) error {
+	sub, cancel := context.WithTimeout(ctx, time.Millisecond)
+	defer cancel()
+	return slow(sub, 4)
+}
+
+// goodTimer blocks in a select so cancellation is honored.
+func goodTimer(ctx context.Context) error {
+	t := time.NewTimer(time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// goodNoCtx has no context in scope; blocking here is the caller's problem.
+func goodNoCtx() { time.Sleep(time.Millisecond) }
+
+// goodRoot has no context in scope, so starting a fresh root is legitimate.
+func goodRoot() error { return slow(context.Background(), 5) }

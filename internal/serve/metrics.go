@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"warper/internal/obs"
+	"warper/internal/resilience"
 	"warper/internal/warper"
 )
 
@@ -31,6 +32,15 @@ const (
 	mGamma           = "warper_gamma"
 	mDeltaM          = "warper_delta_m"
 	mDeltaJS         = "warper_delta_js"
+
+	// Resilience metrics (fault-tolerant annotation pipeline).
+	mAnnRetries    = "warper_annotate_retries_total"
+	mAnnTimeouts   = "warper_annotate_timeouts_total"
+	mAnnFailed     = "warper_annotate_failed_total"
+	mAnnFallback   = "warper_annotate_fallback_total"
+	mBreakerState  = "warper_breaker_state"
+	mPeriodPartial = "warper_period_partial_total"
+	mTelemetryDeg  = "warper_telemetry_degraded_total"
 )
 
 // Metrics holds every serving-stack metric. It implements warper.Observer,
@@ -56,6 +66,14 @@ type Metrics struct {
 	gamma     *obs.Gauge
 	deltaM    *obs.Gauge
 	deltaJS   *obs.Gauge
+
+	annRetries    *obs.Counter
+	annTimeouts   *obs.Counter
+	annFailed     *obs.Counter
+	annFallback   *obs.Counter
+	breakerState  *obs.Gauge
+	periodPartial *obs.Counter
+	telemetryDeg  *obs.Counter
 }
 
 // NewMetrics builds the serving metric set on a fresh registry.
@@ -81,6 +99,13 @@ func NewMetrics() *Metrics {
 	r.Help(mGamma, "Current adequate-label threshold gamma.")
 	r.Help(mDeltaM, "Accuracy-gap drift metric delta_m from the last period.")
 	r.Help(mDeltaJS, "Workload-distance drift metric delta_js from the last period.")
+	r.Help(mAnnRetries, "Annotation attempts retried by the resilience wrapper.")
+	r.Help(mAnnTimeouts, "Annotation attempts killed by the per-attempt deadline.")
+	r.Help(mAnnFailed, "Annotation calls that failed for good within a period (after retries).")
+	r.Help(mAnnFallback, "Periods whose labels came partly from the sampled fallback annotator.")
+	r.Help(mBreakerState, "Annotation circuit-breaker state: 0 closed, 1 open, 2 half-open.")
+	r.Help(mPeriodPartial, "Periods that proceeded with a partial annotation batch.")
+	r.Help(mTelemetryDeg, "Periods whose canary telemetry or rebase was skipped after source failures.")
 	m := &Metrics{
 		Reg:       r,
 		lockWait:  r.Histogram(mLockWait, obs.LatencyOpts()),
@@ -100,6 +125,14 @@ func NewMetrics() *Metrics {
 		gamma:     r.Gauge(mGamma),
 		deltaM:    r.Gauge(mDeltaM),
 		deltaJS:   r.Gauge(mDeltaJS),
+
+		annRetries:    r.Counter(mAnnRetries),
+		annTimeouts:   r.Counter(mAnnTimeouts),
+		annFailed:     r.Counter(mAnnFailed),
+		annFallback:   r.Counter(mAnnFallback),
+		breakerState:  r.Gauge(mBreakerState),
+		periodPartial: r.Counter(mPeriodPartial),
+		telemetryDeg:  r.Counter(mTelemetryDeg),
 	}
 	// Pre-create one histogram per period stage so /metrics shows the full
 	// stage set from startup, not only after the first period.
@@ -137,4 +170,30 @@ func (m *Metrics) PeriodDone(st warper.PeriodStats) {
 	m.gamma.Set(float64(st.Gamma))
 	m.deltaM.Set(st.DeltaM)
 	m.deltaJS.Set(st.DeltaJS)
+	if st.Partial {
+		m.periodPartial.Inc()
+	}
+	m.annFailed.Add(int64(st.AnnotateFailed))
+	if st.UsedFallback {
+		m.annFallback.Inc()
+	}
+	if st.TelemetryDegraded {
+		m.telemetryDeg.Inc()
+	}
+}
+
+// ResilienceEvents returns an Events seam that turns resilience wrapper
+// callbacks into the warper_annotate_* and warper_breaker_state metrics.
+// Wire it into resilience.Wrap when installing a resilient source on the
+// served adapter.
+func (m *Metrics) ResilienceEvents() resilience.Events {
+	return resilience.Events{
+		Retry:   func(int, error) { m.annRetries.Inc() },
+		Timeout: func(int) { m.annTimeouts.Inc() },
+		BreakerState: func(s resilience.State) {
+			// Export the breaker state with a stable encoding: 0 closed,
+			// 1 open, 2 half-open (the resilience.State values).
+			m.breakerState.Set(float64(s))
+		},
+	}
 }

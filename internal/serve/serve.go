@@ -15,7 +15,9 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -40,6 +42,12 @@ type Options struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
 	// default: profiles expose internals and cost CPU.
 	EnablePprof bool
+	// PeriodTimeout bounds one POST /period invocation: the adaptation
+	// runs under a context with this deadline (layered on the request's
+	// own context, which already dies when the client disconnects). On
+	// expiry the period aborts and the pre-period model keeps serving.
+	// 0 = no extra deadline.
+	PeriodTimeout time.Duration
 }
 
 // Server wires an Adapter behind an http.Handler. All handlers are safe for
@@ -63,9 +71,10 @@ type Server struct {
 	// handler never touches adapter state a running period may be mutating.
 	status statusSnapshot
 
-	met    *Metrics
-	logger *slog.Logger
-	pprof  bool
+	met           *Metrics
+	logger        *slog.Logger
+	pprof         bool
+	periodTimeout time.Duration
 }
 
 // statusSnapshot holds the /status fields refreshed under mu after every
@@ -88,12 +97,13 @@ func New(a *warper.Adapter, sch *query.Schema) *Server {
 // its metric set as the adapter's Observer unless one is already attached.
 func NewWithOptions(a *warper.Adapter, sch *query.Schema, opts Options) *Server {
 	s := &Server{
-		adapter: a,
-		sch:     sch,
-		model:   a.M,
-		met:     NewMetrics(),
-		logger:  opts.Logger,
-		pprof:   opts.EnablePprof,
+		adapter:       a,
+		sch:           sch,
+		model:         a.M,
+		met:           NewMetrics(),
+		logger:        opts.Logger,
+		pprof:         opts.EnablePprof,
+		periodTimeout: opts.PeriodTimeout,
 	}
 	if s.logger == nil {
 		// Discard at a level above every call site rather than relying on
@@ -308,6 +318,11 @@ type periodResponse struct {
 	DeltaM       float64 `json:"delta_m"`
 	DeltaJS      float64 `json:"delta_js"`
 	BusyMillis   float64 `json:"busy_ms"`
+	// Degradation outcomes of the fault-tolerant annotation pipeline.
+	Partial           bool `json:"partial,omitempty"`
+	AnnotateFailed    int  `json:"annotate_failed,omitempty"`
+	UsedFallback      bool `json:"used_fallback,omitempty"`
+	TelemetryDegraded bool `json:"telemetry_degraded,omitempty"`
 }
 
 // validatePeriodBody enforces the /period request contract: an empty body,
@@ -359,7 +374,16 @@ func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
 	nArrivals := len(arrivals)
 	s.met.buffered.Set(0)
 
-	rep, perr := s.adapter.Period(arrivals)
+	// Propagate the request context so a disconnected client or the
+	// configured period deadline aborts the adaptation instead of leaving
+	// it running unobserved; the rollback below reinstates the clone.
+	ctx := r.Context()
+	if s.periodTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.periodTimeout)
+		defer cancel()
+	}
+	rep, perr := s.adapter.PeriodCtx(ctx, arrivals)
 	if perr != nil {
 		// Failed repair (§6.4 robustness): discard the possibly
 		// half-updated model and reinstate the pre-period clone — it is
@@ -372,8 +396,13 @@ func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		s.met.failures.Inc()
 		s.logger.Error("period failed",
-			"err", perr, "arrivals", nArrivals, "mode", rep.Detection.Mode.String())
-		httpError(w, http.StatusInternalServerError, "adaptation period failed: %v", perr)
+			"err", perr, "arrivals", nArrivals, "mode", rep.Detection.Mode.String(),
+			"annotate_failed", rep.AnnotateFailed)
+		code := http.StatusInternalServerError
+		if errors.Is(perr, context.DeadlineExceeded) || errors.Is(perr, context.Canceled) {
+			code = http.StatusGatewayTimeout
+		}
+		httpError(w, code, "adaptation period failed: %v", perr)
 		return
 	}
 
@@ -395,7 +424,11 @@ func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
 		"delta_js", rep.Detection.DeltaJS,
 		"pi", s.adapter.Pi(),
 		"gamma", s.adapter.Gamma(),
-		"busy_ms", float64(rep.Busy.Microseconds())/1000)
+		"busy_ms", float64(rep.Busy.Microseconds())/1000,
+		"partial", rep.Partial,
+		"annotate_failed", rep.AnnotateFailed,
+		"used_fallback", rep.UsedFallback,
+		"telemetry_degraded", rep.TelemetryDegraded)
 
 	writeJSON(w, periodResponse{
 		Mode:         rep.Detection.Mode.String(),
@@ -408,6 +441,11 @@ func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
 		DeltaM:       rep.Detection.DeltaM,
 		DeltaJS:      rep.Detection.DeltaJS,
 		BusyMillis:   float64(rep.Busy.Microseconds()) / 1000,
+
+		Partial:           rep.Partial,
+		AnnotateFailed:    rep.AnnotateFailed,
+		UsedFallback:      rep.UsedFallback,
+		TelemetryDegraded: rep.TelemetryDegraded,
 	})
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -25,7 +26,7 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server, *query.Schema, *ann
 	ann := annotator.New(tbl)
 	opts := workload.Options{MaxConstrained: 2}
 	gTrain := workload.New("w1", tbl, sch, opts)
-	train := ann.AnnotateAll(workload.Generate(gTrain, 300, rng))
+	train := annAll(t, ann, workload.Generate(gTrain, 300, rng))
 	lm := ce.NewLM(ce.LMMLP, sch, 1)
 	if err := lm.Train(train); err != nil {
 		t.Fatalf("Train: %v", err)
@@ -187,9 +188,18 @@ func TestMethodNotAllowed(t *testing.T) {
 // countOK unwraps annotator.Count for generator-produced predicates.
 func countOK(t *testing.T, ann *annotator.Annotator, p query.Predicate) float64 {
 	t.Helper()
-	c, err := ann.Count(p)
+	c, err := ann.Count(context.Background(), p)
 	if err != nil {
 		t.Fatalf("Count: %v", err)
 	}
 	return c
+}
+
+func annAll(t *testing.T, ann *annotator.Annotator, ps []query.Predicate) []query.Labeled {
+	t.Helper()
+	out, err := ann.AnnotateAll(context.Background(), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
 }

@@ -1,6 +1,8 @@
 package warper
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -36,6 +38,15 @@ type Adapter struct {
 	det   *detector
 	rng   *rand.Rand
 
+	// src is the active ground-truth source: a.ann by default, or whatever
+	// SetSource installed (typically a resilience.Resilient wrapper, under
+	// test a resilience.Faulty). All period-time annotation — picked
+	// entries, canary probes, rebase — goes through it.
+	src annotator.Source
+	// fallback is the lazily built sampled annotator used when src loses
+	// more than MinLabelFraction of a batch.
+	fallback annotator.Source
+
 	// bestEvalGMQ tracks the best post-update error seen, for the
 	// early-stop gain check (§3.4); stall counts consecutive periods with
 	// no improvement over that best.
@@ -70,6 +81,7 @@ func New(cfg Config, m ce.Estimator, sch *query.Schema, ann *annotator.Annotator
 		Picker: &Picker{Strategy: StrategyWarper, Buckets: cfg.ErrorBuckets, KNN: cfg.KNN},
 		sch:    sch,
 		ann:    ann,
+		src:    ann,
 		rng:    rng,
 	}
 	a.comps = newComponents(cfg, sch, ann.Table().NumRows(), rng)
@@ -94,7 +106,7 @@ func New(cfg Config, m ce.Estimator, sch *query.Schema, ann *annotator.Annotator
 	canaries := &drift.Canaries{}
 	if canaryCount > 0 {
 		var err error
-		canaries, err = drift.NewCanaries(canaryCount, staticGen(trainPreds), ann, rng)
+		canaries, err = drift.NewCanaries(context.Background(), canaryCount, staticGen(trainPreds), ann, rng)
 		if err != nil {
 			return nil, err
 		}
@@ -140,25 +152,52 @@ type Report struct {
 	GANLoss ganLoss
 	// Busy is the compute charged to the virtual clock this period.
 	Busy time.Duration
+
+	// Partial is true when the ground-truth source lost part of the
+	// annotation batch but the period proceeded with the labels it got
+	// (≥ Config.MinLabelFraction of the request).
+	Partial bool
+	// AnnotateFailed counts annotation calls that failed this period
+	// (after the source's own retries, if it wraps any).
+	AnnotateFailed int
+	// UsedFallback is true when the sampled fallback annotator supplied
+	// labels because exact annotation fell below MinLabelFraction.
+	UsedFallback bool
+	// TelemetryDegraded is true when canary telemetry or its rebase failed
+	// and was skipped; detection ran on the remaining signals.
+	TelemetryDegraded bool
 }
 
 // Period runs one Warper invocation (Figure 3 + Algorithm 1) over the
+// queries that arrived in the current adaptation period, without a deadline.
+// Serving callers use PeriodCtx so a request deadline bounds the period.
+func (a *Adapter) Period(arrivals []Arrival) (Report, error) {
+	return a.PeriodCtx(context.Background(), arrivals)
+}
+
+// PeriodCtx runs one Warper invocation (Figure 3 + Algorithm 1) over the
 // queries that arrived in the current adaptation period.
 //
-// A non-nil error means the repair failed partway (an annotator failure or a
-// model update that could not produce a model). The adapter's model may then
-// be partially updated: callers that serve traffic should discard a.M in
-// favor of a pre-period clone so the previous model keeps serving.
-func (a *Adapter) Period(arrivals []Arrival) (Report, error) {
+// Annotation faults degrade before they abort: failed calls are skipped
+// while at least Config.MinLabelFraction of the requested labels arrive;
+// below that the sampled fallback fills in; only when even the fallback
+// cannot reach the floor — or ctx is cancelled — does the period return an
+// error. A non-nil error means the repair failed partway and the adapter's
+// model may be partially updated: callers that serve traffic should discard
+// a.M in favor of a pre-period clone so the previous model keeps serving.
+func (a *Adapter) PeriodCtx(ctx context.Context, arrivals []Arrival) (Report, error) {
 	w := simclock.StartWatch()
 	// stages collects per-stage wall-clock, indexed like StageNames.
 	var stages [len(StageNames)]time.Duration
 	stageW := simclock.StartWatch()
 
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
 	tbl := a.ann.Table()
 	recent := lastN(a.Pool.LabeledBySource(pool.SrcNew), 90)
-	det, err := a.det.detect(arrivals, recent, a.M, a.ann, tbl.ChangedFraction())
-	rep := Report{Detection: det}
+	det, err := a.det.detect(ctx, arrivals, recent, a.M, a.src, tbl.ChangedFraction())
+	rep := Report{Detection: det, TelemetryDegraded: det.TelemetryDegraded}
 	if err != nil {
 		rep.Busy = w.Stop()
 		return rep, err
@@ -242,7 +281,7 @@ func (a *Adapter) Period(arrivals []Arrival) (Report, error) {
 	a.Ledger.Charge("pick", stages[2])
 
 	anW := simclock.StartWatch()
-	rep.Annotated, err = a.annotate(picked)
+	rep.Annotated, err = a.annotate(ctx, picked, &rep)
 	stages[3] = anW.Stop()
 	a.Ledger.Charge("annotate", stages[3])
 	if err != nil {
@@ -298,9 +337,16 @@ func (a *Adapter) Period(arrivals []Arrival) (Report, error) {
 
 	a.Pool.TrimGenerated(a.Cfg.MaxPoolGen)
 	if det.Mode.Has(C1) {
-		if err := a.det.telemetry.Canaries.Rebase(a.ann); err != nil {
-			rep.Busy = w.Stop()
-			return rep, err
+		// Rebase is best-effort: a flaky source must not abort a period
+		// whose model update already succeeded. A skipped rebase leaves
+		// the canary baselines stale, so the c1 signal may re-fire next
+		// period and the rebase retries then.
+		if err := a.det.telemetry.Canaries.Rebase(ctx, a.src); err != nil {
+			if ctx.Err() != nil {
+				rep.Busy = w.Stop()
+				return rep, ctx.Err()
+			}
+			rep.TelemetryDegraded = true
 		}
 		// Keep c1 pending while stale labels remain (unless the early stop
 		// decided further adaptation is not worth it).
@@ -357,29 +403,134 @@ func (a *Adapter) entriesWithAnyGT() []*pool.Entry {
 }
 
 // annotate computes ground truth for picked entries that lack a fresh label,
-// honoring the annotation budget. It returns the number of annotator calls.
-// An annotation failure aborts the pass; entries labeled before the failure
-// keep their fresh labels.
-func (a *Adapter) annotate(picked []*pool.Entry) (int, error) {
+// honoring the annotation budget and deadline. It returns the number of
+// labels obtained and records degradation in rep.
+//
+// The ladder: failed exact calls are skipped; when at least
+// MinLabelFraction of the requested labels arrive, the period proceeds
+// partial. Below the floor, the sampled fallback annotator labels the
+// remainder (noisy labels beat no labels, §2); its labels are committed only
+// if they lift the fraction over the floor, so an abort never leaves
+// approximate cardinalities in the pool. Cancellation of the parent ctx
+// aborts immediately — that is the caller giving up, not the source failing.
+func (a *Adapter) annotate(ctx context.Context, picked []*pool.Entry, rep *Report) (int, error) {
 	budget := a.Cfg.AnnotateBudget
-	count := 0
+	var todo []*pool.Entry
 	for _, e := range picked {
 		if e.HasGT() {
 			continue
 		}
-		if budget > 0 && count >= budget {
+		if budget > 0 && len(todo) >= budget {
 			break
 		}
-		card, err := a.ann.Count(e.Pred)
+		todo = append(todo, e)
+	}
+	if len(todo) == 0 {
+		return 0, nil
+	}
+
+	actx := ctx
+	cancel := func() {}
+	if a.Cfg.AnnotateDeadline > 0 {
+		actx, cancel = context.WithTimeout(ctx, a.Cfg.AnnotateDeadline)
+	}
+	defer cancel()
+
+	count := 0
+	for _, e := range todo {
+		if ctx.Err() != nil {
+			return count, ctx.Err()
+		}
+		if actx.Err() != nil {
+			break // annotation deadline expired: degrade with what we have
+		}
+		card, err := a.src.Count(actx, e.Pred)
 		if err != nil {
-			return count, err
+			if ctx.Err() != nil {
+				return count, ctx.Err()
+			}
+			rep.AnnotateFailed++
+			continue
 		}
 		e.GT = card
 		e.Stale = false
 		count++
 	}
-	return count, nil
+	if count == len(todo) {
+		return count, nil
+	}
+	if frac := float64(count) / float64(len(todo)); frac >= a.Cfg.MinLabelFraction {
+		rep.Partial = true
+		return count, nil
+	}
+
+	// Exact annotation fell below the floor: try the sampled fallback for
+	// the still-missing labels, staging them so a failed rescue leaves no
+	// noisy labels behind.
+	type staged struct {
+		e    *pool.Entry
+		card float64
+	}
+	var rescue []staged
+	if fb, err := a.fallbackSource(); err == nil {
+		for _, e := range todo {
+			if e.HasGT() {
+				continue
+			}
+			if ctx.Err() != nil {
+				return count, ctx.Err()
+			}
+			card, ferr := fb.Count(ctx, e.Pred)
+			if ferr != nil {
+				if ctx.Err() != nil {
+					return count, ctx.Err()
+				}
+				continue
+			}
+			rescue = append(rescue, staged{e, card})
+		}
+	}
+	if frac := float64(count+len(rescue)) / float64(len(todo)); frac >= a.Cfg.MinLabelFraction {
+		for _, s := range rescue {
+			s.e.GT = s.card
+			s.e.Stale = false
+		}
+		count += len(rescue)
+		rep.Partial = true
+		rep.UsedFallback = true
+		return count, nil
+	}
+	return count, fmt.Errorf("warper: annotation got %d/%d labels, below the %.0f%% floor: aborting period",
+		count, len(todo), a.Cfg.MinLabelFraction*100)
 }
+
+// fallbackSource lazily builds the sampled fallback annotator over the live
+// table. It is seeded from the adapter's RNG, so the sampled rows — and
+// with them the fallback labels — are a deterministic function of Config.
+func (a *Adapter) fallbackSource() (annotator.Source, error) {
+	if a.fallback == nil {
+		s, err := annotator.NewSampled(a.ann.Table(), a.Cfg.FallbackSampleRate, a.rng)
+		if err != nil {
+			return nil, err
+		}
+		a.fallback = s
+	}
+	return a.fallback, nil
+}
+
+// SetSource installs the active ground-truth source — typically the exact
+// annotator behind a resilience.Resilient wrapper. A nil src restores the
+// raw exact annotator.
+func (a *Adapter) SetSource(src annotator.Source) {
+	if src == nil {
+		a.src = a.ann
+		return
+	}
+	a.src = src
+}
+
+// Source returns the active ground-truth source.
+func (a *Adapter) Source() annotator.Source { return a.src }
 
 // updateModel runs line 10 of Algorithm 1: fine-tuning models get the
 // labeled picked/new queries; re-training models get the full labeled pool.

@@ -62,7 +62,7 @@ func TestNoDriftMeansNoAction(t *testing.T) {
 	// Arrivals from the SAME workload as training: no drift expected.
 	rng := rand.New(rand.NewSource(51))
 	g := workload.New("w1", e.tbl, e.sch, workload.Options{MaxConstrained: 2})
-	same := e.ann.AnnotateAll(workload.Generate(g, 160, rng))
+	same := annAllT(t, e.ann, workload.Generate(g, 160, rng))
 	rep := periodOK(t, e.ad, arrivalsOf(same, true))
 	if rep.Detection.Mode != ModeNone {
 		t.Errorf("mode = %v, want none (δm=%.2f δjs=%.2f)", rep.Detection.Mode,

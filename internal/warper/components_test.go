@@ -1,6 +1,7 @@
 package warper
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -32,8 +33,8 @@ func newTestEnv(t *testing.T, nTrain, nNew int) *testEnv {
 	gNew := workload.New("w4", tbl, sch, workload.Options{MaxConstrained: 2})
 	return &testEnv{
 		tbl: tbl, sch: sch, ann: ann,
-		train: ann.AnnotateAll(workload.Generate(gTrain, nTrain, rng)),
-		newQ:  ann.AnnotateAll(workload.Generate(gNew, nNew, rng)),
+		train: annAllT(t, ann, workload.Generate(gTrain, nTrain, rng)),
+		newQ:  annAllT(t, ann, workload.Generate(gNew, nNew, rng)),
 		rng:   rng,
 	}
 }
@@ -210,4 +211,13 @@ func TestEncoderUsesGTWhenAvailable(t *testing.T) {
 	if same {
 		t.Error("embedding ignores the ground-truth input")
 	}
+}
+
+func annAllT(t *testing.T, ann *annotator.Annotator, ps []query.Predicate) []query.Labeled {
+	t.Helper()
+	out, err := ann.AnnotateAll(context.Background(), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
 }

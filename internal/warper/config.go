@@ -6,6 +6,8 @@
 // and γ-tuning robustness mechanisms of §3.4.
 package warper
 
+import "time"
+
 // Config holds every tunable of the Warper system. Zero values are replaced
 // with the paper's defaults by withDefaults.
 type Config struct {
@@ -56,6 +58,21 @@ type Config struct {
 	// Canaries is the number of canary predicates for data-drift telemetry.
 	Canaries int
 
+	// MinLabelFraction is the smallest fraction of requested annotations a
+	// period may proceed with when the ground-truth source partially fails.
+	// Below it the adapter retries the missing labels through the sampled
+	// fallback; if even that leaves the fraction short, the period aborts
+	// cleanly so the caller keeps its pre-period model. Default 0.5.
+	MinLabelFraction float64
+	// AnnotateDeadline bounds one period's annotation pass in wall-clock
+	// time; labels not obtained in time are treated like failed calls
+	// (partial-label degradation). 0 = no deadline.
+	AnnotateDeadline time.Duration
+	// FallbackSampleRate is the row-sample rate of the approximate
+	// annotator used when exact annotation loses more than
+	// MinLabelFraction of a batch. Default 0.1.
+	FallbackSampleRate float64
+
 	// Seed drives all of Warper's internal randomness.
 	Seed int64
 }
@@ -81,7 +98,11 @@ func DefaultConfig() Config {
 		Gamma:          400,
 		MaxPoolGen:     4000,
 		Canaries:       10,
-		Seed:           1,
+
+		MinLabelFraction:   0.5,
+		FallbackSampleRate: 0.1,
+
+		Seed: 1,
 	}
 }
 
@@ -137,6 +158,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Canaries <= 0 {
 		c.Canaries = d.Canaries
+	}
+	if c.MinLabelFraction <= 0 || c.MinLabelFraction > 1 {
+		c.MinLabelFraction = d.MinLabelFraction
+	}
+	if c.FallbackSampleRate <= 0 || c.FallbackSampleRate > 1 {
+		c.FallbackSampleRate = d.FallbackSampleRate
 	}
 	return c
 }

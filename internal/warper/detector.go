@@ -1,9 +1,9 @@
 package warper
 
 import (
+	"context"
 	"strings"
 
-	"warper/internal/annotator"
 	"warper/internal/ce"
 	"warper/internal/drift"
 	"warper/internal/metrics"
@@ -93,14 +93,18 @@ type Detection struct {
 	// period (as opposed to a pending continuation); only a fresh c1
 	// invalidates the pool's labels.
 	FreshC1 bool
+	// TelemetryDegraded is true when the canary probes failed and data-drift
+	// detection fell back to the changed-row signal alone.
+	TelemetryDegraded bool
 }
 
 // detect classifies the ongoing drift from this period's arrivals. recent
 // holds earlier labeled arrivals still representative of the new workload;
 // they widen the δ_m evaluation window so a 10-query period does not decide
-// drift presence alone. An annotator failure while probing the canaries
-// surfaces as an error.
-func (d *detector) detect(arrivals []Arrival, recent []query.Labeled, m ce.Estimator, ann *annotator.Annotator, changedFraction float64) (Detection, error) {
+// drift presence alone. Canary-probe failures degrade (detection proceeds on
+// the δ_m/δ_js/changed-row signals, with Detection.TelemetryDegraded set);
+// only a cancelled ctx aborts.
+func (d *detector) detect(ctx context.Context, arrivals []Arrival, recent []query.Labeled, m ce.Estimator, cnt drift.Counter, changedFraction float64) (Detection, error) {
 	det := Detection{NT: len(arrivals)}
 	// δ_m: evaluation error of 𝕄 on arrivals that carry execution feedback,
 	// padded with the recent-arrival window.
@@ -158,9 +162,17 @@ func (d *detector) detect(arrivals []Arrival, recent []query.Labeled, m ce.Estim
 	freshC1 := false
 	if d.telemetry != nil {
 		var err error
-		freshC1, err = d.telemetry.Detect(changedFraction, ann)
+		freshC1, err = d.telemetry.Detect(ctx, changedFraction, cnt)
 		if err != nil {
-			return det, err
+			if ctx.Err() != nil {
+				return det, ctx.Err()
+			}
+			// Best effort: a flaky source must not silence the whole
+			// detector — the changed-row fraction already fired inside
+			// Detect if it crossed its threshold, and δ_m/δ_js below
+			// need no annotation.
+			det.TelemetryDegraded = true
+			freshC1 = false
 		}
 	}
 	det.FreshC1 = freshC1

@@ -1,6 +1,7 @@
 package warper
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -149,7 +150,7 @@ func TestDetectPendingC1Persists(t *testing.T) {
 // countOK unwraps annotator.Count for fixture predicates.
 func countOK(t *testing.T, ann *annotator.Annotator, p query.Predicate) float64 {
 	t.Helper()
-	c, err := ann.Count(p)
+	c, err := ann.Count(context.Background(), p)
 	if err != nil {
 		t.Fatalf("Count: %v", err)
 	}
@@ -159,7 +160,7 @@ func countOK(t *testing.T, ann *annotator.Annotator, p query.Predicate) float64 
 // detectOK unwraps detector.detect on healthy fixtures.
 func detectOK(t *testing.T, d *detector, arrivals []Arrival, recent []query.Labeled, m ce.Estimator, ann *annotator.Annotator, changed float64) Detection {
 	t.Helper()
-	det, err := d.detect(arrivals, recent, m, ann, changed)
+	det, err := d.detect(context.Background(), arrivals, recent, m, ann, changed)
 	if err != nil {
 		t.Fatalf("detect: %v", err)
 	}

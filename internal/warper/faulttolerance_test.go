@@ -1,0 +1,103 @@
+package warper
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"warper/internal/ce"
+	"warper/internal/resilience"
+)
+
+// TestPartialPeriodStillImprovesGMQ is the golden degradation test: with the
+// exact source dropping ~30% of annotation calls — enough to force partial
+// periods, not enough to hit the MinLabelFraction floor — adaptation on a
+// drifted workload must still improve GMQ, because the labels that did
+// arrive are exact.
+func TestPartialPeriodStillImprovesGMQ(t *testing.T) {
+	e := newAdapterEnv(t, adapterCfg(), 500)
+	e.ad.SetSource(resilience.NewFaulty(e.ann, resilience.FaultPlan{ErrRate: 0.3, Seed: 77}))
+	testSet := e.newQ[400:]
+	before := ce.EvalGMQ(e.lm, testSet)
+
+	sawPartial := false
+	failed := 0
+	for step := 0; step < 4; step++ {
+		rep := periodOK(t, e.ad, arrivalsOf(e.newQ[step*40:(step+1)*40], true))
+		sawPartial = sawPartial || rep.Partial
+		failed += rep.AnnotateFailed
+	}
+	if !sawPartial {
+		t.Error("no period went partial under a 30% annotation error rate")
+	}
+	if failed == 0 {
+		t.Error("no annotation call failed under a 30% error rate")
+	}
+	if after := ce.EvalGMQ(e.lm, testSet); after >= before {
+		t.Errorf("partial periods did not improve GMQ: before=%v after=%v", before, after)
+	}
+}
+
+// TestFallbackRescuesBelowFloor pins the second rung of the degradation
+// ladder: when exact annotation falls under MinLabelFraction, the sampled
+// fallback fills in and the period completes with UsedFallback set instead
+// of aborting.
+func TestFallbackRescuesBelowFloor(t *testing.T) {
+	cfg := adapterCfg()
+	cfg.MinLabelFraction = 0.9
+	e := newAdapterEnv(t, cfg, 500)
+	// Half the exact calls fail: far below the 90% floor, so every
+	// annotating period needs the fallback.
+	e.ad.SetSource(resilience.NewFaulty(e.ann, resilience.FaultPlan{ErrRate: 0.5, Seed: 78}))
+
+	sawFallback := false
+	for step := 0; step < 3 && !sawFallback; step++ {
+		rep := periodOK(t, e.ad, arrivalsOf(e.newQ[step*40:(step+1)*40], true))
+		if rep.Annotated > 0 {
+			sawFallback = rep.UsedFallback
+			if sawFallback && !rep.Partial {
+				t.Error("UsedFallback without Partial: fallback labels are partial by definition")
+			}
+		}
+	}
+	if !sawFallback {
+		t.Error("sampled fallback never engaged under a 50% error rate with a 90% floor")
+	}
+}
+
+// TestAnnotateDeadlineDegrades pins the per-period annotation budget: with
+// injected latency far exceeding Config.AnnotateDeadline, exact annotation
+// can label only a prefix of the batch before the deadline expires, and the
+// fallback — which runs under the parent context, not the expired deadline —
+// completes the period rather than letting it abort.
+func TestAnnotateDeadlineDegrades(t *testing.T) {
+	cfg := adapterCfg()
+	cfg.AnnotateDeadline = 30 * time.Millisecond
+	// c2 periods at this scale pick only a handful of queries, so pin the
+	// floor high enough that the one or two labels landing before the
+	// deadline cannot satisfy it on their own.
+	cfg.MinLabelFraction = 0.9
+	e := newAdapterEnv(t, cfg, 500)
+	e.ad.SetSource(resilience.NewFaulty(e.ann, resilience.FaultPlan{Latency: 20 * time.Millisecond, Seed: 79}))
+
+	sawFallback := false
+	for step := 0; step < 3 && !sawFallback; step++ {
+		rep := periodOK(t, e.ad, arrivalsOf(e.newQ[step*40:(step+1)*40], true))
+		sawFallback = rep.UsedFallback
+	}
+	if !sawFallback {
+		t.Error("deadline-starved annotation never degraded to the fallback")
+	}
+}
+
+// TestCancelledPeriodAborts pins the abort rung: parent-context
+// cancellation is the caller giving up, so the period returns the ctx error
+// instead of degrading.
+func TestCancelledPeriodAborts(t *testing.T) {
+	e := newAdapterEnv(t, adapterCfg(), 500)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ad.PeriodCtx(ctx, arrivalsOf(e.newQ[:40], true)); err == nil {
+		t.Fatal("PeriodCtx with a cancelled context returned nil error")
+	}
+}

@@ -35,6 +35,15 @@ type PeriodStats struct {
 	PoolSize     int
 	Labeled      int
 	Busy         time.Duration
+
+	// Degradation outcomes (see Report): a period that lost part of its
+	// annotation batch but proceeded, the number of failed annotation
+	// calls, whether the sampled fallback supplied labels, and whether
+	// canary telemetry was skipped.
+	Partial           bool
+	AnnotateFailed    int
+	UsedFallback      bool
+	TelemetryDegraded bool
 }
 
 // Observer receives adaptation telemetry from an Adapter. Implementations
@@ -75,5 +84,10 @@ func (a *Adapter) emitPeriod(rep *Report, arrivals int, stages *[len(StageNames)
 		PoolSize:     a.Pool.Len(),
 		Labeled:      a.Pool.CountLabeled(),
 		Busy:         rep.Busy,
+
+		Partial:           rep.Partial,
+		AnnotateFailed:    rep.AnnotateFailed,
+		UsedFallback:      rep.UsedFallback,
+		TelemetryDegraded: rep.TelemetryDegraded,
 	})
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Tier-1 verification flow: build, vet, warperlint, full test suite, then a
-# module-wide race pass (training-heavy tests skip themselves under -short).
-# Mirrors `make check` for environments without make.
+# Tier-1 verification flow: build, vet, warperlint, full test suite, a
+# module-wide race pass (training-heavy tests skip themselves under -short),
+# and the fault-injected chaos soak. Mirrors `make check` for environments
+# without make.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -19,5 +20,9 @@ go test ./...
 
 echo "== go test -race -short ./..."
 go test -race -short ./...
+
+echo "== chaos (WARPER_CHAOS=1 fault-injected soak)"
+WARPER_CHAOS=1 go test -race -count=1 -run 'Chaos|Faulty|Degraded' \
+	./internal/serve ./internal/resilience ./internal/warper
 
 echo "OK"
