@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint chaos check
+.PHONY: build test race vet lint chaos check bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -32,5 +32,14 @@ lint:
 # always-on fault-tolerance tests, under the race detector.
 chaos:
 	WARPER_CHAOS=1 $(GO) test -race -count=1 -run 'Chaos|Faulty|Degraded' ./internal/serve ./internal/resilience ./internal/warper
+
+# Tier-2 micro-benchmarks for the compute core (nn/gbt/kernel + one full
+# adaptation period), recorded to BENCH_PR4.json. bench-smoke is the
+# single-iteration CI variant: it proves the harness runs, not the numbers.
+bench:
+	./scripts/bench.sh -out BENCH_PR4.json
+
+bench-smoke:
+	./scripts/bench.sh -quick -out /tmp/bench-smoke.json
 
 check: build vet lint test race chaos

@@ -28,8 +28,18 @@ func main() {
 		quick = flag.Bool("quick", false, "use the shrunken quick scale")
 		runs  = flag.Int("runs", 0, "override repetitions per configuration")
 		seed  = flag.Int64("seed", 1, "base random seed")
+		micro = flag.Bool("micro", false, "run the compute-core micro-benchmarks and write JSON")
+		out   = flag.String("out", "BENCH_PR4.json", "output path for -micro results")
 	)
 	flag.Parse()
+
+	if *micro {
+		if err := runMicro(*out, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "micro:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, n := range experiments.Names() {

@@ -1,0 +1,308 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"warper/internal/annotator"
+	"warper/internal/ce"
+	"warper/internal/dataset"
+	"warper/internal/gbt"
+	"warper/internal/kernel"
+	"warper/internal/nn"
+	"warper/internal/query"
+	"warper/internal/warper"
+	"warper/internal/workload"
+)
+
+// The -micro mode runs the tier-2 compute-core micro-benchmarks (nn train
+// step, gbt fit, kernel solve, end-to-end adaptation period) through
+// testing.Benchmark and writes the results as JSON (BENCH_PR4.json in the
+// repo records one committed trajectory). Batched/reference pairs are
+// reported together with their speedup ratio so the acceptance numbers are
+// part of the artifact, not a claim in prose.
+
+// microResult is one benchmark entry in the JSON output.
+type microResult struct {
+	Name          string  `json:"name"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	SamplesPerSec float64 `json:"samples_per_sec,omitempty"`
+}
+
+// microRatio records a reference/optimized speedup.
+type microRatio struct {
+	Name        string  `json:"name"`
+	Numerator   string  `json:"numerator"`
+	Denominator string  `json:"denominator"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// microReport is the whole JSON document.
+type microReport struct {
+	GeneratedUnix int64         `json:"generated_unix"`
+	GoVersion     string        `json:"go_version"`
+	GOOS          string        `json:"goos"`
+	GOARCH        string        `json:"goarch"`
+	NumCPU        int           `json:"num_cpu"`
+	Quick         bool          `json:"quick"`
+	Benchmarks    []microResult `json:"benchmarks"`
+	Ratios        []microRatio  `json:"ratios"`
+}
+
+// runMicro executes the micro-benchmark suite and writes the report to out.
+func runMicro(out string, quick bool) error {
+	// testing.Benchmark honors the -test.benchtime flag; register the
+	// testing flags and pin a small iteration budget in quick (CI smoke)
+	// mode so the step stays seconds, not minutes.
+	testing.Init()
+	if quick {
+		if err := flag.Set("test.benchtime", "1x"); err != nil {
+			return err
+		}
+	}
+
+	rep := &microReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Quick:         quick,
+	}
+
+	record := func(name string, samplesPerOp int, r testing.BenchmarkResult) {
+		res := microResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if samplesPerOp > 0 && r.NsPerOp() > 0 {
+			res.SamplesPerSec = float64(samplesPerOp) / (float64(r.NsPerOp()) / 1e9)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+		fmt.Printf("%-28s %10d ns/op %8d B/op %6d allocs/op\n",
+			name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	ratio := func(name, num, den string) {
+		var nv, dv float64
+		for _, b := range rep.Benchmarks {
+			if b.Name == num {
+				nv = b.NsPerOp
+			}
+			if b.Name == den {
+				dv = b.NsPerOp
+			}
+		}
+		if nv > 0 && dv > 0 {
+			rep.Ratios = append(rep.Ratios, microRatio{Name: name, Numerator: num, Denominator: den, Speedup: nv / dv})
+			fmt.Printf("%-28s %.2fx\n", name, nv/dv)
+		}
+	}
+
+	benchNN(record, quick)
+	ratio("nn_train_step_speedup", "nn_train_step_reference", "nn_train_step_batched")
+	ratio("nn_forward_speedup", "nn_forward_reference", "nn_batch_forward")
+
+	benchGBT(record, quick)
+	ratio("gbt_fit_speedup", "gbt_fit_reference", "gbt_fit_presorted")
+
+	benchKernel(record, quick)
+	if err := benchPeriod(record, quick); err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}
+
+// benchNN measures the paper Table 3 MLP shape (3×FC-128, batch 32) on the
+// batched SIMD training path and the frozen per-sample reference.
+func benchNN(record func(string, int, testing.BenchmarkResult), quick bool) {
+	const batch, in, out = 32, 18, 16
+	newNet := func() *nn.Network { return nn.MLP(in, 128, 3, out, rand.New(rand.NewSource(7))) }
+	rng := rand.New(rand.NewSource(8))
+	xs := make([][]float64, batch)
+	ys := make([][]float64, batch)
+	for i := range xs {
+		xs[i] = randVec(rng, in)
+		ys[i] = randVec(rng, out)
+	}
+
+	net := newNet()
+	opt := nn.NewAdam(1e-3)
+	if _, err := net.TrainBatch(xs, ys, nn.MSE{}, opt); err != nil { // warm scratch
+		panic(err)
+	}
+	record("nn_train_step_batched", batch, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := net.TrainBatch(xs, ys, nn.MSE{}, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	ref := newNet()
+	refOpt := nn.NewAdam(1e-3)
+	record("nn_train_step_reference", batch, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nn.ReferenceTrainBatch(ref, xs, ys, nn.MSE{}, refOpt)
+		}
+	}))
+
+	m := nn.NewMat(batch, in)
+	m.CopyFromRows(xs)
+	record("nn_batch_forward", batch, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			net.BatchForward(m)
+		}
+	}))
+	record("nn_forward_reference", batch, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, x := range xs {
+				nn.ReferenceForward(ref, x)
+			}
+		}
+	}))
+}
+
+// benchGBT measures the presorted exact-greedy ensemble fit against the
+// frozen sort-per-node reference at the paper's LM-gbt shape.
+func benchGBT(record func(string, int, testing.BenchmarkResult), quick bool) {
+	n, d, cfg := 1000, 18, gbt.Config{Stages: 120, Rate: 0.05, MaxDepth: 4, MinLeafSize: 3}
+	if quick {
+		n, cfg.Stages = 300, 20
+	}
+	rng := rand.New(rand.NewSource(9))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = randVec(rng, d)
+		y[i] = rng.NormFloat64()
+	}
+	record("gbt_fit_presorted", n*cfg.Stages, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := gbt.Fit(X, y, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	record("gbt_fit_reference", n*cfg.Stages, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gbt.ReferenceFit(X, y, cfg)
+		}
+	}))
+}
+
+// benchKernel measures a full KRR fit (parallel Gram build + Cholesky).
+func benchKernel(record func(string, int, testing.BenchmarkResult), quick bool) {
+	n, d := 600, 18
+	if quick {
+		n = 200
+	}
+	rng := rand.New(rand.NewSource(10))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = randVec(rng, d)
+		y[i] = rng.NormFloat64()
+	}
+	cfg := kernel.DefaultRBFConfig()
+	cfg.MaxAnchors = n
+	record("kernel_fit_rbf", n, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := kernel.Fit(X, y, cfg, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+}
+
+// benchPeriod measures one end-to-end adaptation period (detect → GAN →
+// generate → pick → annotate → update) over a PRSA-like table with a
+// drifted workload, the serving /period hot path.
+func benchPeriod(record func(string, int, testing.BenchmarkResult), quick bool) error {
+	nTrain, nNew := 500, 160
+	if quick {
+		nTrain, nNew = 200, 60
+	}
+	rng := rand.New(rand.NewSource(11))
+	tbl := dataset.PRSA(3000, rng)
+	sch := query.SchemaOf(tbl)
+	ann := annotator.New(tbl)
+	ctx := context.Background()
+	gTrain := workload.New("w1", tbl, sch, workload.Options{MaxConstrained: 2})
+	gNew := workload.New("w4", tbl, sch, workload.Options{MaxConstrained: 2})
+	train, err := ann.AnnotateAll(ctx, workload.Generate(gTrain, nTrain, rng))
+	if err != nil {
+		return err
+	}
+	newQ, err := ann.AnnotateAll(ctx, workload.Generate(gNew, nNew, rng))
+	if err != nil {
+		return err
+	}
+
+	lm := ce.NewLM(ce.LMMLP, sch, 31)
+	if err := lm.Train(train); err != nil {
+		return err
+	}
+	cfg := warper.DefaultConfig()
+	cfg.Hidden = 64
+	cfg.Depth = 2
+	cfg.NIters = 50
+	cfg.Gamma = 150
+	cfg.PickSize = 150
+	cfg.Canaries = 5
+	cfg.JSThreshold = 0.02
+	ad, err := warper.New(cfg, lm, sch, ann, train)
+	if err != nil {
+		return err
+	}
+	arrivals := make([]warper.Arrival, len(newQ))
+	for i, lq := range newQ {
+		arrivals[i] = warper.Arrival{Pred: lq.Pred, GT: lq.Card, HasGT: true}
+	}
+	record("period_end_to_end", len(arrivals), testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ad.Period(arrivals); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	return nil
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}

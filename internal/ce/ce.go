@@ -69,29 +69,73 @@ type JoinEstimator interface {
 	EstimateJoin(q *query.JoinQuery) (float64, error)
 }
 
+// BatchEstimator is implemented by estimators that can answer many
+// predicates in one pass (e.g. LM-mlp's batched forward). Results must be
+// identical to calling Estimate per predicate.
+type BatchEstimator interface {
+	Estimator
+	// EstimateAll writes the estimate for ps[i] into out[i].
+	// len(out) must equal len(ps).
+	EstimateAll(ps []query.Predicate, out []float64)
+}
+
 // EvalGMQ evaluates an estimator on a labeled test set and returns the GMQ.
+// Estimators implementing BatchEstimator are evaluated with one batched
+// inference call instead of len(test) per-query forwards.
 func EvalGMQ(e Estimator, test []query.Labeled) float64 {
 	ests := make([]float64, len(test))
 	acts := make([]float64, len(test))
 	for i, lq := range test {
-		ests[i] = e.Estimate(lq.Pred)
 		acts[i] = lq.Card
+	}
+	if be, ok := e.(BatchEstimator); ok && len(test) > 0 {
+		ps := make([]query.Predicate, len(test))
+		for i, lq := range test {
+			ps[i] = lq.Pred
+		}
+		be.EstimateAll(ps, ests)
+	} else {
+		for i, lq := range test {
+			ests[i] = e.Estimate(lq.Pred)
+		}
 	}
 	return metrics.GMQ(ests, acts)
 }
 
+// BatchJoinEstimator is implemented by join estimators that can answer many
+// queries in one batched pass. Results must be identical to calling
+// EstimateJoin per query.
+type BatchJoinEstimator interface {
+	JoinEstimator
+	// EstimateJoinAll writes the estimate for qs[i] into out[i].
+	EstimateJoinAll(qs []*query.JoinQuery, out []float64) error
+}
+
 // EvalJoinGMQ evaluates a join estimator on labeled join queries. Queries
-// the model cannot featurize make it return an error.
+// the model cannot featurize make it return an error. Estimators
+// implementing BatchJoinEstimator are evaluated with one batched call.
 func EvalJoinGMQ(e JoinEstimator, test []query.LabeledJoin) (float64, error) {
 	ests := make([]float64, len(test))
 	acts := make([]float64, len(test))
 	for i, lq := range test {
-		est, err := e.EstimateJoin(lq.Query)
-		if err != nil {
+		acts[i] = lq.Card
+	}
+	if be, ok := e.(BatchJoinEstimator); ok && len(test) > 0 {
+		qs := make([]*query.JoinQuery, len(test))
+		for i, lq := range test {
+			qs[i] = lq.Query
+		}
+		if err := be.EstimateJoinAll(qs, ests); err != nil {
 			return 0, err
 		}
-		ests[i] = est
-		acts[i] = lq.Card
+	} else {
+		for i, lq := range test {
+			est, err := e.EstimateJoin(lq.Query)
+			if err != nil {
+				return 0, err
+			}
+			ests[i] = est
+		}
 	}
 	return metrics.GMQ(ests, acts), nil
 }

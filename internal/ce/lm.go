@@ -96,6 +96,30 @@ func (lm *LM) Estimate(p query.Predicate) float64 {
 	return targetToCard(lm.backend.predict(p.Featurize(lm.Schema)))
 }
 
+// EstimateAll implements BatchEstimator: the MLP backend answers the whole
+// slice with one batched forward pass through the minibatch kernels; the
+// tree and kernel backends predict row by row (their per-row cost is the
+// model walk itself, there is nothing to batch).
+func (lm *LM) EstimateAll(ps []query.Predicate, out []float64) {
+	if len(ps) != len(out) {
+		panic("ce: EstimateAll length mismatch") //lint:allow panicfree caller-side slice-length contract
+	}
+	if mlp, ok := lm.backend.(*mlpBackend); ok && len(ps) > 0 {
+		X := make([][]float64, len(ps))
+		for i := range ps {
+			X[i] = ps[i].Featurize(lm.Schema)
+		}
+		mlp.predictAll(X, out)
+		for i := range out {
+			out[i] = targetToCard(out[i])
+		}
+		return
+	}
+	for i := range ps {
+		out[i] = lm.Estimate(ps[i])
+	}
+}
+
 // Policy implements Estimator.
 func (lm *LM) Policy() UpdatePolicy { return lm.policy }
 
@@ -145,27 +169,37 @@ func newMLPBackend(in int, rng *rand.Rand) *mlpBackend {
 func (b *mlpBackend) fit(X [][]float64, y []float64, rng *rand.Rand) error {
 	// Re-train from scratch: fresh weights, full epoch budget.
 	b.net = nn.MLP(b.in, mlpHidden, mlpDepth, 1, rng)
-	b.run(X, y, mlpTrainEpochs, rng)
-	return nil
+	return b.run(X, y, mlpTrainEpochs, rng)
 }
 
 func (b *mlpBackend) finetune(X [][]float64, y []float64, rng *rand.Rand) (bool, error) {
-	b.run(X, y, mlpFinetuneEpochs, rng)
-	return true, nil
+	return true, b.run(X, y, mlpFinetuneEpochs, rng)
 }
 
-func (b *mlpBackend) run(X [][]float64, y []float64, epochs int, rng *rand.Rand) {
+func (b *mlpBackend) run(X [][]float64, y []float64, epochs int, rng *rand.Rand) error {
 	if len(X) == 0 {
-		return
+		return nil
 	}
 	ys := make([][]float64, len(y))
 	for i, v := range y {
 		ys[i] = []float64{v}
 	}
-	b.net.Fit(X, ys, nn.MSE{}, nn.NewAdam(mlpRate), epochs, mlpBatch, rng)
+	_, err := b.net.Fit(X, ys, nn.MSE{}, nn.NewAdam(mlpRate), epochs, mlpBatch, rng)
+	return err
 }
 
 func (b *mlpBackend) predict(x []float64) float64 { return b.net.Forward(x)[0] }
+
+// predictAll runs one batched forward pass over all rows of X, using the
+// network's minibatch kernels instead of len(X) per-sample Forward calls.
+func (b *mlpBackend) predictAll(X [][]float64, out []float64) {
+	m := nn.NewMat(len(X), b.in)
+	m.CopyFromRows(X)
+	y := b.net.BatchForward(m)
+	for i := range out {
+		out[i] = y.Row(i)[0]
+	}
+}
 
 func (b *mlpBackend) clone() lmBackend { return &mlpBackend{net: b.net.Clone(), in: b.in} }
 
@@ -177,7 +211,13 @@ type gbtBackend struct {
 }
 
 func (b *gbtBackend) fit(X [][]float64, y []float64, _ *rand.Rand) error {
-	b.model = gbt.Fit(X, y, b.cfg)
+	m, err := gbt.Fit(X, y, b.cfg)
+	if err != nil {
+		// Keep the previous ensemble (if any); a failed re-train must not
+		// leave the estimator without a model mid-adaptation.
+		return fmt.Errorf("ce: gbt fit failed: %w", err)
+	}
+	b.model = m
 	return nil
 }
 

@@ -146,78 +146,144 @@ func (m *MSCN) featurize(q *query.JoinQuery) (tables, joins [][]float64, err err
 	return tables, joins, nil
 }
 
-type mscnCache struct {
-	tables [][]float64
-	joins  [][]float64
-	outIn  []float64
+// mscnBatchCtx carries the flattened set elements and per-query offsets of
+// one batched pass: query r owns table-element rows [tOff[r], tOff[r+1]) and
+// join-element rows [jOff[r], jOff[r+1]) of the flattened matrices. Backward
+// needs the offsets to scatter pooled gradients back per element.
+type mscnBatchCtx struct {
+	nT, nJ     int
+	tOff, jOff []int
+	oin        nn.Mat
 }
 
-// forward computes the model output for a query, returning the intermediate
-// inputs needed by backward.
-func (m *MSCN) forward(q *query.JoinQuery) (float64, *mscnCache, error) {
-	tables, joins, err := m.featurize(q)
-	if err != nil {
-		return 0, nil, err
-	}
-	pooledT := make([]float64, mscnHidden)
-	for _, f := range tables {
-		out := m.tableNet.Forward(f)
-		for i, v := range out {
-			pooledT[i] += v
+// batchedForward runs a whole slice of queries through the model with three
+// batched passes (table branch, join branch, output MLP) instead of one
+// network call per set element. Every query's set elements are flattened
+// into shared matrices, pooled per query, and fed to the output net as one
+// minibatch. Per-row results are byte-identical to the per-query forward:
+// the batched kernels reproduce Forward exactly and the pooling loop
+// accumulates and divides in the same order.
+func (m *MSCN) batchedForward(qs []*query.JoinQuery) (nn.Mat, *mscnBatchCtx, error) {
+	b := len(qs)
+	c := m.Catalog
+	ctx := &mscnBatchCtx{tOff: make([]int, b+1), jOff: make([]int, b+1)}
+	var tRows, jRows [][]float64
+	for r, q := range qs {
+		tables, joins, err := m.featurize(q)
+		if err != nil {
+			return nn.Mat{}, nil, err
 		}
+		tRows = append(tRows, tables...)
+		jRows = append(jRows, joins...)
+		ctx.tOff[r+1] = len(tRows)
+		ctx.jOff[r+1] = len(jRows)
 	}
-	if n := float64(len(tables)); n > 0 {
-		for i := range pooledT {
-			pooledT[i] /= n
-		}
-	}
-	outIn := pooledT
+	ctx.nT, ctx.nJ = len(tRows), len(jRows)
+	width := mscnHidden
 	if m.joinNet != nil {
-		pooledJ := make([]float64, mscnHidden)
-		for _, f := range joins {
-			out := m.joinNet.Forward(f)
-			for i, v := range out {
-				pooledJ[i] += v
-			}
-		}
-		if n := float64(len(joins)); n > 0 {
-			for i := range pooledJ {
-				pooledJ[i] /= n
-			}
-		}
-		outIn = append(append(make([]float64, 0, 2*mscnHidden), pooledT...), pooledJ...)
+		width = 2 * mscnHidden
 	}
-	pred := m.outNet.Forward(outIn)[0]
-	return pred, &mscnCache{tables: tables, joins: joins, outIn: outIn}, nil
+	ctx.oin = nn.NewMat(b, width)
+	if len(tRows) > 0 {
+		tm := nn.NewMat(len(tRows), c.tableFeatDim())
+		tm.CopyFromRows(tRows)
+		poolMean(m.tableNet.BatchForward(tm), ctx.tOff, ctx.oin, 0)
+	}
+	if m.joinNet != nil && len(jRows) > 0 {
+		jm := nn.NewMat(len(jRows), len(c.Joins))
+		jm.CopyFromRows(jRows)
+		poolMean(m.joinNet.BatchForward(jm), ctx.jOff, ctx.oin, mscnHidden)
+	}
+	return m.outNet.BatchForward(ctx.oin), ctx, nil
 }
 
-// backward accumulates gradients for one example given dLoss/dPred.
-func (m *MSCN) backward(grad float64, cache *mscnCache) {
-	// outNet caches are fresh from forward (one example at a time).
-	gIn := m.outNet.Backward([]float64{grad})
-	gT := gIn[:mscnHidden]
-	if n := float64(len(cache.tables)); n > 0 {
-		for _, f := range cache.tables {
-			m.tableNet.Forward(f) // refresh per-layer caches for this element
-			scaled := make([]float64, mscnHidden)
-			for i, g := range gT {
-				scaled[i] = g / n
+// poolMean writes the average of element rows [off[r], off[r+1]) into
+// dst.Row(r)[col:col+elem.Cols] for every query r. Queries with no elements
+// keep the zero vector (matching the per-query forward).
+func poolMean(elem nn.Mat, off []int, dst nn.Mat, col int) {
+	for r := 0; r+1 < len(off); r++ {
+		lo, hi := off[r], off[r+1]
+		if hi == lo {
+			continue
+		}
+		row := dst.Row(r)[col : col+elem.Cols]
+		for e := lo; e < hi; e++ {
+			for i, v := range elem.Row(e) {
+				row[i] += v
 			}
-			m.tableNet.Backward(scaled)
+		}
+		n := float64(hi - lo)
+		for i := range row {
+			row[i] /= n
 		}
 	}
-	if m.joinNet != nil && len(cache.joins) > 0 {
-		gJ := gIn[mscnHidden:]
-		n := float64(len(cache.joins))
-		for _, f := range cache.joins {
-			m.joinNet.Forward(f)
-			scaled := make([]float64, mscnHidden)
-			for i, g := range gJ {
-				scaled[i] = g / n
+}
+
+// scatterMean distributes the pooled gradient gIn.Row(r)[col:col+H] over the
+// element rows [off[r], off[r+1]): mean pooling means each element receives
+// g/n.
+func scatterMean(gIn nn.Mat, off []int, dst nn.Mat, col int) {
+	for r := 0; r+1 < len(off); r++ {
+		lo, hi := off[r], off[r+1]
+		if hi == lo {
+			continue
+		}
+		n := float64(hi - lo)
+		src := gIn.Row(r)[col:]
+		for e := lo; e < hi; e++ {
+			row := dst.Row(e)
+			for i := range row {
+				row[i] = src[i] / n
 			}
-			m.joinNet.Backward(scaled)
 		}
 	}
+}
+
+// forward computes the model output for a single query (the point-estimate
+// path behind EstimateJoin).
+func (m *MSCN) forward(q *query.JoinQuery) (float64, error) {
+	preds, _, err := m.batchedForward([]*query.JoinQuery{q})
+	if err != nil {
+		return 0, err
+	}
+	return preds.Row(0)[0], nil
+}
+
+// trainMinibatch runs one batched gradient step: batched forwards, the MSE
+// gradient at the output, and batched backwards that scatter each query's
+// pooled gradient over its set elements. This replaces the old per-element
+// Forward/Backward loop (which had to re-run Forward per element just to
+// refresh layer caches before each Backward).
+func (m *MSCN) trainMinibatch(qs []*query.JoinQuery, targets []float64, opt nn.Optimizer) error {
+	preds, ctx, err := m.batchedForward(qs)
+	if err != nil {
+		return err
+	}
+	b := len(qs)
+	gOut := nn.NewMat(b, 1)
+	for r := 0; r < b; r++ {
+		gOut.Row(r)[0] = preds.Row(r)[0] - targets[r] // d(½(p−t)²)/dp
+	}
+	m.zeroGrad()
+	gIn := m.outNet.BatchBackward(gOut)
+	if ctx.nT > 0 {
+		gT := nn.NewMat(ctx.nT, mscnHidden)
+		scatterMean(gIn, ctx.tOff, gT, 0)
+		m.tableNet.BatchBackward(gT)
+	}
+	if m.joinNet != nil && ctx.nJ > 0 {
+		gJ := nn.NewMat(ctx.nJ, mscnHidden)
+		scatterMean(gIn, ctx.jOff, gJ, mscnHidden)
+		m.joinNet.BatchBackward(gJ)
+	}
+	scale := 1 / float64(b)
+	for _, p := range m.params() {
+		for i := range p.G {
+			p.G[i] *= scale
+		}
+	}
+	opt.Step(m.params())
+	return nil
 }
 
 func (m *MSCN) params() []*nn.Param {
@@ -246,6 +312,8 @@ func (m *MSCN) trainEpochs(examples []query.LabeledJoin, epochs int) error {
 	for i := range idx {
 		idx[i] = i
 	}
+	qs := make([]*query.JoinQuery, 0, mscnBatch)
+	targets := make([]float64, 0, mscnBatch)
 	for e := 0; e < epochs; e++ {
 		m.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		for start := 0; start < len(idx); start += mscnBatch {
@@ -253,23 +321,14 @@ func (m *MSCN) trainEpochs(examples []query.LabeledJoin, epochs int) error {
 			if end > len(idx) {
 				end = len(idx)
 			}
-			m.zeroGrad()
+			qs, targets = qs[:0], targets[:0]
 			for _, j := range idx[start:end] {
-				ex := examples[j]
-				pred, cache, err := m.forward(ex.Query)
-				if err != nil {
-					return err
-				}
-				target := cardToTarget(ex.Card)
-				m.backward(pred-target, cache) // d(½(p−t)²)/dp
+				qs = append(qs, examples[j].Query)
+				targets = append(targets, cardToTarget(examples[j].Card))
 			}
-			scale := 1 / float64(end-start)
-			for _, p := range m.params() {
-				for i := range p.G {
-					p.G[i] *= scale
-				}
+			if err := m.trainMinibatch(qs, targets, opt); err != nil {
+				return err
 			}
-			opt.Step(m.params())
 		}
 		opt.EndEpoch()
 	}
@@ -289,11 +348,31 @@ func (m *MSCN) UpdateJoin(examples []query.LabeledJoin) error {
 
 // EstimateJoin implements JoinEstimator.
 func (m *MSCN) EstimateJoin(q *query.JoinQuery) (float64, error) {
-	pred, _, err := m.forward(q)
+	pred, err := m.forward(q)
 	if err != nil {
 		return 0, err
 	}
 	return targetToCard(pred), nil
+}
+
+// EstimateJoinAll implements BatchJoinEstimator: all queries are answered
+// with three batched forward passes. Results are identical to calling
+// EstimateJoin per query.
+func (m *MSCN) EstimateJoinAll(qs []*query.JoinQuery, out []float64) error {
+	if len(qs) != len(out) {
+		return fmt.Errorf("ce: EstimateJoinAll got %d queries but %d outputs", len(qs), len(out))
+	}
+	if len(qs) == 0 {
+		return nil
+	}
+	preds, _, err := m.batchedForward(qs)
+	if err != nil {
+		return err
+	}
+	for r := range out {
+		out[r] = targetToCard(preds.Row(r)[0])
+	}
+	return nil
 }
 
 // singleTableQuery wraps a predicate on the catalog's only table.
@@ -334,6 +413,21 @@ func (m *MSCN) Estimate(p query.Predicate) float64 {
 	// cannot fail here.
 	est, _ := m.EstimateJoin(m.singleTableQuery(p))
 	return est
+}
+
+// EstimateAll implements BatchEstimator for the single-table configuration.
+func (m *MSCN) EstimateAll(ps []query.Predicate, out []float64) {
+	qs := make([]*query.JoinQuery, len(ps))
+	for i := range ps {
+		qs[i] = m.singleTableQuery(ps[i])
+	}
+	// singleTableQuery queries are always in-catalog, so the batched pass
+	// cannot fail; fall back to per-query estimates defensively anyway.
+	if err := m.EstimateJoinAll(qs, out); err != nil {
+		for i := range ps {
+			out[i] = m.Estimate(ps[i])
+		}
+	}
 }
 
 // Policy implements Estimator: MSCN fine-tunes (§4.1).

@@ -23,14 +23,16 @@ type Regressor struct {
 }
 
 // Fit trains the ensemble from scratch. Boosted trees cannot be incrementally
-// fine-tuned, so estimator code calls Fit again on every model update.
-func Fit(X [][]float64, y []float64, cfg Config) *Regressor {
-	if len(X) != len(y) {
-		panic("gbt: X and y length mismatch")
+// fine-tuned, so estimator code calls Fit again on every model update. The
+// feature matrix is transposed and presorted once; every boosting stage
+// reuses those orders, so the per-stage cost is linear scans only.
+func Fit(X [][]float64, y []float64, cfg Config) (*Regressor, error) {
+	if err := validate(X, y); err != nil {
+		return nil, err
 	}
 	r := &Regressor{cfg: cfg}
 	if len(y) == 0 {
-		return r
+		return r, nil
 	}
 	var mean float64
 	for _, v := range y {
@@ -45,17 +47,18 @@ func Fit(X [][]float64, y []float64, cfg Config) *Regressor {
 	}
 	resid := make([]float64, len(y))
 	tc := TreeConfig{MaxDepth: cfg.MaxDepth, MinLeafSize: cfg.MinLeafSize}
+	g := newGrower(X, resid, tc)
 	for m := 0; m < cfg.Stages; m++ {
 		for i := range resid {
 			resid[i] = y[i] - pred[i]
 		}
-		tree := FitTree(X, resid, tc)
+		tree := g.fitTree()
 		r.trees = append(r.trees, tree)
 		for i := range pred {
 			pred[i] += cfg.Rate * tree.Predict(X[i])
 		}
 	}
-	return r
+	return r, nil
 }
 
 // Predict returns the ensemble output for x.

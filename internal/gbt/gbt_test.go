@@ -19,7 +19,10 @@ func TestTreeFitsStepFunction(t *testing.T) {
 			y = append(y, 10)
 		}
 	}
-	tree := FitTree(X, y, TreeConfig{MaxDepth: 2, MinLeafSize: 1})
+	tree, err := FitTree(X, y, TreeConfig{MaxDepth: 2, MinLeafSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := tree.Predict([]float64{0.1}); math.Abs(got) > 1e-9 {
 		t.Errorf("predict(0.1) = %v, want 0", got)
 	}
@@ -43,7 +46,10 @@ func TestTreeSelectsInformativeFeature(t *testing.T) {
 			y = append(y, -1)
 		}
 	}
-	tree := FitTree(X, y, TreeConfig{MaxDepth: 1, MinLeafSize: 5})
+	tree, err := FitTree(X, y, TreeConfig{MaxDepth: 1, MinLeafSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tree.root.Feature != 1 {
 		t.Errorf("root split on feature %d, want 1", tree.root.Feature)
 	}
@@ -62,7 +68,10 @@ func TestTreeRespectsMaxDepth(t *testing.T) {
 		y = append(y, math.Sin(10*x))
 	}
 	for _, depth := range []int{0, 1, 2, 4} {
-		tree := FitTree(X, y, TreeConfig{MaxDepth: depth, MinLeafSize: 1})
+		tree, err := FitTree(X, y, TreeConfig{MaxDepth: depth, MinLeafSize: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if got := tree.Depth(); got > depth {
 			t.Errorf("depth = %d, limit %d", got, depth)
 		}
@@ -72,7 +81,10 @@ func TestTreeRespectsMaxDepth(t *testing.T) {
 func TestTreeMinLeafSize(t *testing.T) {
 	X := [][]float64{{0}, {1}, {2}, {3}}
 	y := []float64{0, 0, 10, 10}
-	tree := FitTree(X, y, TreeConfig{MaxDepth: 5, MinLeafSize: 3})
+	tree, err := FitTree(X, y, TreeConfig{MaxDepth: 5, MinLeafSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Only 4 samples with min leaf 3 → no split possible.
 	if tree.root.Feature != -1 {
 		t.Error("tree split despite MinLeafSize")
@@ -85,7 +97,10 @@ func TestTreeMinLeafSize(t *testing.T) {
 func TestTreeConstantTargetIsLeaf(t *testing.T) {
 	X := [][]float64{{0}, {1}, {2}, {3}}
 	y := []float64{7, 7, 7, 7}
-	tree := FitTree(X, y, TreeConfig{MaxDepth: 5, MinLeafSize: 1})
+	tree, err := FitTree(X, y, TreeConfig{MaxDepth: 5, MinLeafSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tree.NumLeaves() != 1 {
 		t.Errorf("constant target produced %d leaves", tree.NumLeaves())
 	}
@@ -109,8 +124,14 @@ func TestBoostingReducesTrainError(t *testing.T) {
 		}
 		return s / float64(len(X))
 	}
-	weak := Fit(X, y, Config{Stages: 1, Rate: 0.1, MaxDepth: 3, MinLeafSize: 2})
-	strong := Fit(X, y, Config{Stages: 200, Rate: 0.1, MaxDepth: 3, MinLeafSize: 2})
+	weak, err := Fit(X, y, Config{Stages: 1, Rate: 0.1, MaxDepth: 3, MinLeafSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := Fit(X, y, Config{Stages: 200, Rate: 0.1, MaxDepth: 3, MinLeafSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if mse(strong) >= mse(weak)/4 {
 		t.Errorf("boosting barely helped: weak=%v strong=%v", mse(weak), mse(strong))
 	}
@@ -126,7 +147,10 @@ func TestBoostingGeneralizes(t *testing.T) {
 		X = append(X, []float64{a, b})
 		y = append(y, f(a, b))
 	}
-	r := Fit(X, y, Config{Stages: 300, Rate: 0.1, MaxDepth: 3, MinLeafSize: 3})
+	r, err := Fit(X, y, Config{Stages: 300, Rate: 0.1, MaxDepth: 3, MinLeafSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var s float64
 	for i := 0; i < 100; i++ {
 		a, b := rng.Float64(), rng.Float64()
@@ -139,7 +163,10 @@ func TestBoostingGeneralizes(t *testing.T) {
 }
 
 func TestRegressorEmptyTrainingData(t *testing.T) {
-	r := Fit(nil, nil, DefaultConfig())
+	r, err := Fit(nil, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := r.Predict([]float64{1, 2}); got != 0 {
 		t.Errorf("empty regressor predicts %v, want 0", got)
 	}
@@ -148,17 +175,23 @@ func TestRegressorEmptyTrainingData(t *testing.T) {
 func TestRegressorNumTrees(t *testing.T) {
 	X := [][]float64{{0}, {1}}
 	y := []float64{0, 1}
-	r := Fit(X, y, Config{Stages: 7, Rate: 0.1, MaxDepth: 1, MinLeafSize: 1})
+	r, err := Fit(X, y, Config{Stages: 7, Rate: 0.1, MaxDepth: 1, MinLeafSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.NumTrees() != 7 {
 		t.Errorf("NumTrees = %d, want 7", r.NumTrees())
 	}
 }
 
-func TestFitMismatchedLengthsPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	Fit([][]float64{{1}}, []float64{1, 2}, DefaultConfig())
+func TestFitRejectsBadInput(t *testing.T) {
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, DefaultConfig()); err == nil {
+		t.Error("Fit accepted mismatched lengths")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {3}}, []float64{1, 2}, DefaultConfig()); err == nil {
+		t.Error("Fit accepted ragged rows")
+	}
+	if _, err := FitTree([][]float64{{1}}, []float64{1, 2}, TreeConfig{MaxDepth: 1, MinLeafSize: 1}); err == nil {
+		t.Error("FitTree accepted mismatched lengths")
+	}
 }

@@ -4,11 +4,21 @@
 // faithful reimplementation of the same algorithm). Tree ensembles cannot be
 // fine-tuned, so the estimator built on this package re-trains from scratch
 // on every update, exactly as the paper describes.
+//
+// Tree growth uses the presorted exact-greedy algorithm: feature indices are
+// sorted once (by value, ties broken by sample index so results do not depend
+// on sort stability), and node partitions keep each feature's order with a
+// stable split instead of re-sorting per node. Split scans accumulate prefix
+// sums in the same per-feature sorted order as the sort-per-node reference in
+// reference.go, so fitted trees are byte-identical to it.
 package gbt
 
 import (
+	"errors"
 	"math"
 	"sort"
+
+	"warper/internal/parallel"
 )
 
 // treeNode is one node of a regression tree. Leaves have Feature == -1.
@@ -32,107 +42,244 @@ type TreeConfig struct {
 	MinImpurement float64
 }
 
-// FitTree grows a regression tree on rows X (each a feature vector) and
-// targets y.
-func FitTree(X [][]float64, y []float64, cfg TreeConfig) *Tree {
-	if len(X) != len(y) {
-		panic("gbt: X and y length mismatch")
-	}
+// parallelScanMin is the node size below which the per-feature split scans
+// run serially; tiny nodes are not worth the dispatch overhead. The result is
+// identical either way (per-feature bests are reduced in ascending feature
+// order).
+const parallelScanMin = 256
+
+// grower holds the presorted state shared by every tree of an ensemble fit:
+// column-major feature values, per-feature sorted index arrays, and the node
+// sample list in original relative order (so leaf means and node totals
+// accumulate in the same order as the reference implementation).
+type grower struct {
+	cols [][]float64 // cols[f][i] = X[i][f]
+	y    []float64
+	cfg  TreeConfig
+
+	master [][]int // per-feature indices sorted by (value, index); never mutated
+	ord    [][]int // working copy, stably partitioned during growth
+	rows   []int   // node samples in original relative order
+	rows0  []int   // 0..n-1, copied into rows before each tree
+	tmp    []int   // partition scratch
+
+	// Per-feature split-scan results for the current node.
+	gains []float64
+	thrs  []float64
+}
+
+func newGrower(X [][]float64, y []float64, cfg TreeConfig) *grower {
 	if cfg.MinLeafSize < 1 {
 		cfg.MinLeafSize = 1
 	}
-	idx := make([]int, len(y))
-	for i := range idx {
-		idx[i] = i
+	n := len(y)
+	d := 0
+	if n > 0 {
+		d = len(X[0])
 	}
-	return &Tree{root: growNode(X, y, idx, cfg, 0)}
-}
-
-func meanOf(y []float64, idx []int) float64 {
-	if len(idx) == 0 {
-		return 0
-	}
-	var s float64
-	for _, i := range idx {
-		s += y[i]
-	}
-	return s / float64(len(idx))
-}
-
-func growNode(X [][]float64, y []float64, idx []int, cfg TreeConfig, depth int) *treeNode {
-	node := &treeNode{Feature: -1, Value: meanOf(y, idx)}
-	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeafSize {
-		return node
-	}
-	feat, thr, gain := bestSplit(X, y, idx, cfg.MinLeafSize)
-	if feat < 0 || gain <= cfg.MinImpurement {
-		return node
-	}
-	var left, right []int
-	for _, i := range idx {
-		if X[i][feat] <= thr {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
+	g := &grower{y: y, cfg: cfg}
+	g.cols = make([][]float64, d)
+	for f := 0; f < d; f++ {
+		col := make([]float64, n)
+		for i := 0; i < n; i++ {
+			col[i] = X[i][f]
 		}
+		g.cols[f] = col
 	}
-	if len(left) < cfg.MinLeafSize || len(right) < cfg.MinLeafSize {
+	g.master = make([][]int, d)
+	g.ord = make([][]int, d)
+	for f := 0; f < d; f++ {
+		m := make([]int, n)
+		for i := range m {
+			m[i] = i
+		}
+		col := g.cols[f]
+		sort.Slice(m, func(a, b int) bool {
+			va, vb := col[m[a]], col[m[b]]
+			if va != vb {
+				return va < vb
+			}
+			return m[a] < m[b]
+		})
+		g.master[f] = m
+		g.ord[f] = make([]int, n)
+	}
+	g.rows0 = make([]int, n)
+	for i := range g.rows0 {
+		g.rows0[i] = i
+	}
+	g.rows = make([]int, n)
+	g.tmp = make([]int, n)
+	g.gains = make([]float64, d)
+	g.thrs = make([]float64, d)
+	return g
+}
+
+// fitTree grows one tree over the current targets in g.y, resetting the
+// working index arrays from the presorted masters.
+func (g *grower) fitTree() *Tree {
+	for f := range g.ord {
+		copy(g.ord[f], g.master[f])
+	}
+	copy(g.rows, g.rows0)
+	return &Tree{root: g.grow(0, len(g.rows), 0)}
+}
+
+func (g *grower) grow(lo, hi, depth int) *treeNode {
+	node := &treeNode{Feature: -1, Value: g.mean(lo, hi)}
+	n := hi - lo
+	if depth >= g.cfg.MaxDepth || n < 2*g.cfg.MinLeafSize {
+		return node
+	}
+	feat, thr, gain := g.bestSplit(lo, hi)
+	if feat < 0 || gain <= g.cfg.MinImpurement {
+		return node
+	}
+	nl := g.partition(lo, hi, feat, thr)
+	if nl < g.cfg.MinLeafSize || n-nl < g.cfg.MinLeafSize {
 		return node
 	}
 	node.Feature = feat
 	node.Threshold = thr
-	node.Left = growNode(X, y, left, cfg, depth+1)
-	node.Right = growNode(X, y, right, cfg, depth+1)
+	node.Left = g.grow(lo, lo+nl, depth+1)
+	node.Right = g.grow(lo+nl, hi, depth+1)
 	return node
 }
 
-// bestSplit scans every feature with a sorted sweep and returns the split
-// that maximizes SSE reduction. It returns feature -1 when no valid split
-// exists.
-func bestSplit(X [][]float64, y []float64, idx []int, minLeaf int) (feature int, threshold, gain float64) {
-	n := len(idx)
+func (g *grower) mean(lo, hi int) float64 {
+	if hi == lo {
+		return 0
+	}
+	var s float64
+	for _, i := range g.rows[lo:hi] {
+		s += g.y[i]
+	}
+	return s / float64(hi-lo)
+}
+
+// bestSplit scans every feature's presorted index range with a prefix-sum
+// sweep. Features are scanned independently (in parallel for large nodes) and
+// reduced in ascending feature order with a strict comparison — the same
+// winner a serial ascending scan picks.
+func (g *grower) bestSplit(lo, hi int) (feature int, threshold, gain float64) {
+	n := hi - lo
+	minLeaf := g.cfg.MinLeafSize
 	if n < 2*minLeaf {
 		return -1, 0, 0
 	}
 	var totalSum, totalSq float64
-	for _, i := range idx {
-		totalSum += y[i]
-		totalSq += y[i] * y[i]
+	for _, i := range g.rows[lo:hi] {
+		totalSum += g.y[i]
+		totalSq += g.y[i] * g.y[i]
 	}
 	parentSSE := totalSq - totalSum*totalSum/float64(n)
 
-	feature = -1
-	d := len(X[idx[0]])
-	order := make([]int, n)
-	for f := 0; f < d; f++ {
-		copy(order, idx)
-		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+	d := len(g.cols)
+	scan := func(f int) {
+		ord := g.ord[f][lo:hi]
+		col := g.cols[f]
+		bestG, bestT := 0.0, 0.0
 		var leftSum, leftSq float64
 		for k := 0; k < n-1; k++ {
-			i := order[k]
-			leftSum += y[i]
-			leftSq += y[i] * y[i]
+			i := ord[k]
+			yi := g.y[i]
+			leftSum += yi
+			leftSq += yi * yi
 			nl := k + 1
 			nr := n - nl
 			if nl < minLeaf || nr < minLeaf {
 				continue
 			}
 			// Skip ties: can't split between equal feature values.
-			if X[order[k]][f] == X[order[k+1]][f] {
+			v, vNext := col[i], col[ord[k+1]]
+			if v == vNext {
 				continue
 			}
 			rightSum := totalSum - leftSum
 			rightSq := totalSq - leftSq
 			sse := (leftSq - leftSum*leftSum/float64(nl)) + (rightSq - rightSum*rightSum/float64(nr))
-			g := parentSSE - sse
-			if g > gain {
-				gain = g
-				feature = f
-				threshold = 0.5 * (X[order[k]][f] + X[order[k+1]][f])
+			gn := parentSSE - sse
+			if gn > bestG {
+				bestG = gn
+				bestT = 0.5 * (v + vNext)
 			}
+		}
+		g.gains[f] = bestG
+		g.thrs[f] = bestT
+	}
+	if n >= parallelScanMin && d > 1 {
+		parallel.For(d, scan)
+	} else {
+		for f := 0; f < d; f++ {
+			scan(f)
+		}
+	}
+	feature = -1
+	for f := 0; f < d; f++ {
+		if g.gains[f] > gain {
+			gain = g.gains[f]
+			feature = f
+			threshold = g.thrs[f]
 		}
 	}
 	return feature, threshold, gain
+}
+
+// partition stably splits rows and every feature's sorted index range on
+// col[feat] <= thr, keeping left-going entries first in their original
+// relative order. Each per-feature range therefore stays sorted by
+// (value, index), and rows stays in original relative order — the invariants
+// the split scans and leaf means rely on.
+func (g *grower) partition(lo, hi, feat int, thr float64) int {
+	col := g.cols[feat]
+	split := func(a []int) int {
+		nl := 0
+		t := g.tmp[:0]
+		for _, i := range a {
+			if col[i] <= thr {
+				a[nl] = i
+				nl++
+			} else {
+				t = append(t, i)
+			}
+		}
+		copy(a[nl:], t)
+		return nl
+	}
+	nl := split(g.rows[lo:hi])
+	for f := range g.ord {
+		split(g.ord[f][lo:hi])
+	}
+	return nl
+}
+
+// FitTree grows a regression tree on rows X (each a feature vector) and
+// targets y. It returns an error when X and y lengths differ or the feature
+// rows are ragged.
+func FitTree(X [][]float64, y []float64, cfg TreeConfig) (*Tree, error) {
+	if err := validate(X, y); err != nil {
+		return nil, err
+	}
+	if len(y) == 0 {
+		return &Tree{root: &treeNode{Feature: -1}}, nil
+	}
+	return newGrower(X, y, cfg).fitTree(), nil
+}
+
+func validate(X [][]float64, y []float64) error {
+	if len(X) != len(y) {
+		return errors.New("gbt: X and y length mismatch")
+	}
+	if len(X) == 0 {
+		return nil
+	}
+	d := len(X[0])
+	for _, row := range X {
+		if len(row) != d {
+			return errors.New("gbt: ragged feature rows")
+		}
+	}
+	return nil
 }
 
 // Predict returns the tree's output for x.

@@ -117,6 +117,13 @@ func TestPanicFreeFixture(t *testing.T) {
 	}
 }
 
+func TestPanicFreeComputeCoreFixture(t *testing.T) {
+	diags := checkFixture(t, PanicFree, "panicfree/nn")
+	if len(diags) != 1 {
+		t.Errorf("got %d diagnostics, want 1 (lint:allow'd platform stub must not count)", len(diags))
+	}
+}
+
 func TestLockHygieneFixture(t *testing.T) {
 	diags := checkFixture(t, LockHygiene, "lockhygiene/serve")
 	if len(diags) != 2 {

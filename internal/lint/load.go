@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -86,7 +87,10 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 
 // LoadDir parses and type-checks the single package in dir under the given
 // import path. Test files and testdata are excluded: the lint rules govern
-// shipped code, and tests legitimately panic and drop errors.
+// shipped code, and tests legitimately panic and drop errors. Build
+// constraints are honored for the host platform, so of a GOARCH-split pair
+// (e.g. simd_amd64.go / simd_other.go) exactly one side is loaded, same as
+// go build.
 func (l *Loader) LoadDir(path, dir string) (*Package, error) {
 	if pkg, ok := l.cache[path]; ok {
 		return pkg, nil
@@ -99,6 +103,9 @@ func (l *Loader) LoadDir(path, dir string) (*Package, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)

@@ -9,11 +9,13 @@ import (
 // solve, dimension mismatch, malformed query) must surface as an error the
 // adapter and HTTP layer can absorb, never as a panic that kills warperd.
 // The rule covers every package reachable from internal/serve's request
-// path; offline harnesses (experiments, examples, cmd) may still panic.
+// path — including the compute core (nn, gbt, kernel) the estimators train
+// and infer through; offline harnesses (experiments, examples, cmd) may
+// still panic.
 var PanicFree = &Analyzer{
 	Name:     "panicfree",
 	Doc:      "serving-path packages must return errors instead of panicking",
-	Packages: []string{"serve", "warper", "ce", "annotator", "resilience"},
+	Packages: []string{"serve", "warper", "ce", "annotator", "resilience", "nn", "gbt", "kernel"},
 	Run:      runPanicFree,
 }
 

@@ -1,0 +1,27 @@
+// Package nn is a lint fixture: its import-path segment places it in the
+// panicfree analyzer's compute-core scope (nn/gbt/kernel).
+package nn
+
+import "errors"
+
+// TrainBatch panics on a shape mismatch — forbidden now that the compute
+// core is on the serving path.
+func TrainBatch(rows int) {
+	if rows == 0 {
+		panic("nn: empty batch") // want "panic on the serving path"
+	}
+}
+
+// TrainBatchErr returns the error instead; no diagnostic.
+func TrainBatchErr(rows int) error {
+	if rows == 0 {
+		return errors.New("nn: empty batch")
+	}
+	return nil
+}
+
+// simdStub carries an allow directive: unreachable platform stubs are the
+// one sanctioned panic in the compute core.
+func simdStub() {
+	panic("nn: simd unavailable") //lint:allow panicfree unreachable: simdEnabled is false on this platform
+}

@@ -1,0 +1,740 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"warper/internal/parallel"
+)
+
+// shardRows is the fixed shard granularity for data-parallel training and
+// batched inference. The shard layout depends only on the batch size — never
+// on the worker count — and the shard reduction below runs in ascending shard
+// order, so seeded runs are byte-identical at any parallel.SetWorkers setting.
+const shardRows = 8
+
+// Batch operation modes dispatched through the scratch runner.
+const (
+	modeForward = iota
+	modeTrain
+	modeBackwardAcc
+	modeBackwardData
+)
+
+// scratch is the per-network reusable arena for batched compute: full-batch
+// activation matrices for every layer boundary, ping-pong gradient matrices,
+// and one flat gradient buffer per shard so parallel workers never share an
+// accumulator. All buffers grow monotonically and are reused, so the
+// steady-state train loop performs zero heap allocations.
+type scratch struct {
+	net *Network
+
+	params    []*Param
+	paramOffs []int // flat-buffer offset of each param
+	layerOffs []int // flat-buffer offset of each layer's first param (-1 if none)
+	total     int   // total scalar parameter count
+
+	widths  []int // layer-boundary widths for the current input width
+	actBufs []matBuf
+	acts    []Mat // acts[l] is the input to layer l; acts[len] the output
+	maxW    int
+
+	gLBuf, gABuf, gBBuf matBuf
+	gL, gA, gB          Mat // loss-grad and ping-pong backward buffers
+
+	shardGrads [][]float64 // per-shard flat parameter gradients
+	shardLoss  []float64
+	lossTmp    [][]float64 // per-shard softmax scratch
+	tiles      [][]float64 // per-shard SIMD transpose tiles (4 quarters of 4*maxW)
+
+	runner *parallel.Runner
+
+	// Per-cycle state: written by the dispatching goroutine before
+	// runner.Run, read by shard workers (the channel hand-off orders it).
+	mode    int
+	rows    int
+	nShards int
+	loss    Loss
+	ys      [][]float64
+	gOut    Mat
+}
+
+// batchable reports whether every layer is one of the built-in kinds the
+// batched kernels know how to drive.
+func (n *Network) batchable() bool {
+	for _, l := range n.Layers {
+		switch l.(type) {
+		case *Dense, *LeakyReLU, *ReLU, *Sigmoid, *Tanh:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ensureScratch sizes the arena for a rows×inCols batch, building it on first
+// use. It returns nil when the network contains a layer kind the batched
+// kernels cannot drive (callers then fall back to the per-sample path). The
+// network topology must not change once batched training has started.
+func (n *Network) ensureScratch(rows, inCols int) *scratch {
+	sc := n.sc
+	if sc == nil {
+		if !n.batchable() {
+			return nil
+		}
+		sc = &scratch{net: n}
+		sc.layerOffs = make([]int, len(n.Layers))
+		off := 0
+		for li, l := range n.Layers {
+			ps := l.Params()
+			if len(ps) == 0 {
+				sc.layerOffs[li] = -1
+				continue
+			}
+			sc.layerOffs[li] = off
+			for _, p := range ps {
+				sc.params = append(sc.params, p)
+				sc.paramOffs = append(sc.paramOffs, off)
+				off += len(p.W)
+			}
+		}
+		sc.total = off
+		sc.widths = make([]int, len(n.Layers)+1)
+		sc.actBufs = make([]matBuf, len(n.Layers)+1)
+		sc.acts = make([]Mat, len(n.Layers)+1)
+		sc.runner = parallel.NewRunner(sc.shardFn)
+		n.sc = sc
+	}
+
+	// Recompute boundary widths for this input width (cheap integer walk);
+	// mismatched Dense inputs are programmer errors, caught here once so the
+	// shard kernels can skip per-row checks.
+	w := inCols
+	sc.widths[0] = w
+	sc.maxW = w
+	for li, l := range n.Layers {
+		if d, ok := l.(*Dense); ok {
+			if w != d.In {
+				panic(fmt.Sprintf("nn: batch input width %d does not match Dense input %d at layer %d", w, d.In, li)) //lint:allow panicfree shape mismatch is a programmer error caught before training starts
+			}
+			w = d.Out
+		}
+		sc.widths[li+1] = w
+		if w > sc.maxW {
+			sc.maxW = w
+		}
+	}
+
+	sc.rows = rows
+	sc.nShards = (rows + shardRows - 1) / shardRows
+	for i := range sc.acts {
+		sc.acts[i] = sc.actBufs[i].mat(rows, sc.widths[i])
+	}
+	outW := sc.widths[len(sc.widths)-1]
+	sc.gL = sc.gLBuf.mat(rows, outW)
+	sc.gA = sc.gABuf.mat(rows, sc.maxW)
+	sc.gB = sc.gBBuf.mat(rows, sc.maxW)
+	for len(sc.shardGrads) < sc.nShards {
+		sc.shardGrads = append(sc.shardGrads, make([]float64, sc.total))
+		sc.shardLoss = append(sc.shardLoss, 0)
+		sc.lossTmp = append(sc.lossTmp, make([]float64, sc.maxW))
+		sc.tiles = append(sc.tiles, nil)
+	}
+	for s := 0; s < sc.nShards; s++ {
+		if len(sc.lossTmp[s]) < sc.maxW {
+			sc.lossTmp[s] = make([]float64, sc.maxW)
+		}
+		if len(sc.tiles[s]) < 16*sc.maxW {
+			sc.tiles[s] = make([]float64, 16*sc.maxW)
+		}
+	}
+	return sc
+}
+
+// shardFn is the persistent worker body: it processes shard s's row range
+// according to the current cycle mode. Shards touch disjoint rows and write
+// only their own gradient buffer, so they are race-free by construction.
+func (sc *scratch) shardFn(s int) {
+	r0 := s * shardRows
+	r1 := r0 + shardRows
+	if r1 > sc.rows {
+		r1 = sc.rows
+	}
+	tile := sc.tiles[s]
+	switch sc.mode {
+	case modeForward:
+		sc.forwardRange(r0, r1, tile)
+	case modeTrain:
+		sc.forwardRange(r0, r1, tile)
+		buf := sc.shardGrads[s]
+		for i := range buf {
+			buf[i] = 0
+		}
+		tmp := sc.lossTmp[s]
+		out := sc.acts[len(sc.acts)-1]
+		var sum float64
+		for r := r0; r < r1; r++ {
+			sum += lossGradInto(sc.loss, sc.gL.Row(r), tmp, out.Row(r), sc.ys[r])
+		}
+		sc.shardLoss[s] = sum
+		sc.backwardRange(sc.gL, r0, r1, buf, tile)
+	case modeBackwardAcc:
+		buf := sc.shardGrads[s]
+		for i := range buf {
+			buf[i] = 0
+		}
+		sc.backwardRange(sc.gOut, r0, r1, buf, tile)
+	case modeBackwardData:
+		sc.backwardRange(sc.gOut, r0, r1, nil, tile)
+	}
+}
+
+// forwardRange runs rows [r0, r1) through every layer, filling the activation
+// matrices. Per-sample accumulation order inside each kernel matches the
+// scalar Forward path exactly, so outputs are byte-identical to it.
+func (sc *scratch) forwardRange(r0, r1 int, tile []float64) {
+	for li, l := range sc.net.Layers {
+		in, out := sc.acts[li], sc.acts[li+1]
+		switch t := l.(type) {
+		case *Dense:
+			batchDenseForward(t, in, out, r0, r1, tile)
+		case *LeakyReLU:
+			for r := r0; r < r1; r++ {
+				x, y := in.Row(r), out.Row(r)
+				i := 0
+				if simdEnabled && len(x) >= 4 {
+					n4 := len(x) &^ 3
+					leakyForwardASM(&x[0], &y[0], n4, t.Alpha)
+					i = n4
+				}
+				for ; i < len(x); i++ {
+					if v := x[i]; v >= 0 {
+						y[i] = v
+					} else {
+						y[i] = t.Alpha * v
+					}
+				}
+			}
+		case *ReLU:
+			for r := r0; r < r1; r++ {
+				x, y := in.Row(r), out.Row(r)
+				i := 0
+				if simdEnabled && len(x) >= 4 {
+					n4 := len(x) &^ 3
+					reluForwardASM(&x[0], &y[0], n4)
+					i = n4
+				}
+				for ; i < len(x); i++ {
+					if v := x[i]; v > 0 {
+						y[i] = v
+					} else {
+						y[i] = 0
+					}
+				}
+			}
+		case *Sigmoid:
+			for r := r0; r < r1; r++ {
+				x, y := in.Row(r), out.Row(r)
+				for i, v := range x {
+					y[i] = 1 / (1 + math.Exp(-v))
+				}
+			}
+		case *Tanh:
+			for r := r0; r < r1; r++ {
+				x, y := in.Row(r), out.Row(r)
+				for i, v := range x {
+					y[i] = math.Tanh(v)
+				}
+			}
+		}
+	}
+}
+
+// backwardRange propagates the gradient rows [r0, r1) of src back through the
+// stack, writing layer-input gradients into the ping-pong buffers and, when
+// buf is non-nil, accumulating parameter gradients into it. It returns the
+// dLoss/dInput matrix (a view over one of the ping-pong buffers).
+func (sc *scratch) backwardRange(src Mat, r0, r1 int, buf, tile []float64) Mat {
+	cur := src
+	for k, li := 0, len(sc.net.Layers)-1; li >= 0; k, li = k+1, li-1 {
+		w := sc.widths[li]
+		var dst Mat
+		if k%2 == 0 {
+			dst = sc.gA.View(sc.rows, w)
+		} else {
+			dst = sc.gB.View(sc.rows, w)
+		}
+		switch t := sc.net.Layers[li].(type) {
+		case *Dense:
+			var gw, gb []float64
+			if buf != nil {
+				off := sc.layerOffs[li]
+				gw = buf[off : off+t.In*t.Out]
+				gb = buf[off+t.In*t.Out : off+t.In*t.Out+t.Out]
+			}
+			batchDenseBackward(t, sc.acts[li], cur, dst, gw, gb, r0, r1, tile)
+		case *LeakyReLU:
+			in := sc.acts[li]
+			for r := r0; r < r1; r++ {
+				x, g, gx := in.Row(r), cur.Row(r), dst.Row(r)
+				i := 0
+				if simdEnabled && len(g) >= 4 {
+					n4 := len(g) &^ 3
+					leakyBackwardASM(&x[0], &g[0], &gx[0], n4, t.Alpha)
+					i = n4
+				}
+				for ; i < len(g); i++ {
+					if x[i] >= 0 {
+						gx[i] = g[i]
+					} else {
+						gx[i] = t.Alpha * g[i]
+					}
+				}
+			}
+		case *ReLU:
+			in := sc.acts[li]
+			for r := r0; r < r1; r++ {
+				x, g, gx := in.Row(r), cur.Row(r), dst.Row(r)
+				i := 0
+				if simdEnabled && len(g) >= 4 {
+					n4 := len(g) &^ 3
+					reluBackwardASM(&x[0], &g[0], &gx[0], n4)
+					i = n4
+				}
+				for ; i < len(g); i++ {
+					if x[i] > 0 {
+						gx[i] = g[i]
+					} else {
+						gx[i] = 0
+					}
+				}
+			}
+		case *Sigmoid:
+			out := sc.acts[li+1]
+			for r := r0; r < r1; r++ {
+				y, g, gx := out.Row(r), cur.Row(r), dst.Row(r)
+				for i, gi := range g {
+					s := y[i]
+					gx[i] = gi * s * (1 - s)
+				}
+			}
+		case *Tanh:
+			out := sc.acts[li+1]
+			for r := r0; r < r1; r++ {
+				y, g, gx := out.Row(r), cur.Row(r), dst.Row(r)
+				for i, gi := range g {
+					t := y[i]
+					gx[i] = gi * (1 - t*t)
+				}
+			}
+		}
+		cur = dst
+	}
+	return cur
+}
+
+// dxMat returns the buffer holding dLoss/dInput after a full backward pass
+// (determined by the parity of the layer count).
+func (sc *scratch) dxMat() Mat {
+	if (len(sc.net.Layers)-1)%2 == 0 {
+		return sc.gA.View(sc.rows, sc.widths[0])
+	}
+	return sc.gB.View(sc.rows, sc.widths[0])
+}
+
+// reduceInto folds the per-shard gradient buffers into the parameter
+// accumulators in ascending shard order — the fixed-order reduction that
+// keeps training byte-identical at any worker count.
+func (sc *scratch) reduceInto() {
+	for s := 0; s < sc.nShards; s++ {
+		buf := sc.shardGrads[s]
+		for pi, p := range sc.params {
+			off := sc.paramOffs[pi]
+			g := p.G
+			src := buf[off : off+len(g)]
+			for i := range g {
+				g[i] += src[i]
+			}
+		}
+	}
+}
+
+// reduceScaled folds the per-shard gradients directly into p.G scaled by inv,
+// in one fused pass (ascending shard order per element, scale last — the same
+// value sequence as reduceInto followed by a scale pass, without the extra
+// zero/read/write traffic). Used by the train step, which owns p.G outright.
+func (sc *scratch) reduceScaled(inv float64) {
+	for pi, p := range sc.params {
+		off := sc.paramOffs[pi]
+		g := p.G
+		end := off + len(g)
+		s0 := sc.shardGrads[0][off:end]
+		switch sc.nShards {
+		case 1:
+			for i := range g {
+				g[i] = s0[i] * inv
+			}
+		case 2:
+			s1 := sc.shardGrads[1][off:end]
+			for i := range g {
+				t := s0[i]
+				t += s1[i]
+				g[i] = t * inv
+			}
+		case 4:
+			s1 := sc.shardGrads[1][off:end]
+			s2 := sc.shardGrads[2][off:end]
+			s3 := sc.shardGrads[3][off:end]
+			for i := range g {
+				t := s0[i]
+				t += s1[i]
+				t += s2[i]
+				t += s3[i]
+				g[i] = t * inv
+			}
+		default:
+			copy(g, s0)
+			for s := 1; s < sc.nShards; s++ {
+				src := sc.shardGrads[s][off:end]
+				for i := range g {
+					g[i] += src[i]
+				}
+			}
+			for i := range g {
+				g[i] *= inv
+			}
+		}
+	}
+}
+
+// BatchForward runs a whole batch through the network, returning an
+// x.Rows×OutSize matrix view into the scratch arena (valid until the next
+// batch operation on this network). Outputs are byte-identical to calling
+// Forward row by row. Networks containing layer kinds outside this package
+// fall back to exactly that, into a freshly allocated matrix.
+func (n *Network) BatchForward(x Mat) Mat {
+	if x.Rows == 0 {
+		return Mat{}
+	}
+	sc := n.ensureScratch(x.Rows, x.Cols)
+	if sc == nil {
+		var out Mat
+		for r := 0; r < x.Rows; r++ {
+			y := n.Forward(x.Row(r))
+			if r == 0 {
+				out = NewMat(x.Rows, len(y))
+			}
+			copy(out.Row(r), y)
+		}
+		return out
+	}
+	for r := 0; r < x.Rows; r++ {
+		copy(sc.acts[0].Row(r), x.Row(r))
+	}
+	sc.mode = modeForward
+	sc.runner.Run(sc.nShards)
+	return sc.acts[len(sc.acts)-1]
+}
+
+// BatchBackward propagates a full batch of output gradients back through the
+// network, accumulating parameter gradients (deterministic fixed-order shard
+// reduction) and returning dLoss/dInput as a scratch view. BatchForward must
+// have been called immediately before with the same row count.
+func (n *Network) BatchBackward(gradOut Mat) Mat {
+	return n.batchBackward(gradOut, modeBackwardAcc)
+}
+
+// BatchBackwardData is BatchBackward without parameter-gradient accumulation:
+// it only computes dLoss/dInput. The GAN generator step uses it to chain
+// gradients through the frozen discriminator and encoder.
+func (n *Network) BatchBackwardData(gradOut Mat) Mat {
+	return n.batchBackward(gradOut, modeBackwardData)
+}
+
+func (n *Network) batchBackward(gradOut Mat, mode int) Mat {
+	sc := n.sc
+	if sc == nil || sc.rows != gradOut.Rows || gradOut.Cols != sc.widths[len(sc.widths)-1] {
+		panic("nn: BatchBackward requires a matching BatchForward on a batchable network") //lint:allow panicfree out-of-order batch API use is a programmer error
+	}
+	sc.gOut = gradOut
+	sc.mode = mode
+	sc.runner.Run(sc.nShards)
+	sc.gOut = Mat{}
+	if mode == modeBackwardAcc {
+		sc.reduceInto()
+	}
+	return sc.dxMat()
+}
+
+// trainBatchBatched is the sharded minibatch step behind TrainBatch: copy the
+// batch into the arena, run fused forward/loss/backward per shard, reduce
+// shard gradients in fixed order, average, and step the optimizer. Steady
+// state allocates nothing.
+func (n *Network) trainBatchBatched(sc *scratch, xs, ys [][]float64, loss Loss, opt Optimizer) float64 {
+	for i := range xs {
+		copy(sc.acts[0].Row(i), xs[i])
+	}
+	sc.mode = modeTrain
+	sc.loss = loss
+	sc.ys = ys
+	sc.runner.Run(sc.nShards)
+	sc.ys = nil
+	var total float64
+	for s := 0; s < sc.nShards; s++ {
+		total += sc.shardLoss[s]
+	}
+	sc.reduceScaled(1 / float64(len(xs)))
+	opt.Step(sc.params)
+	return total / float64(len(xs))
+}
+
+// batchDenseForward computes y = W·x + b for rows [r0, r1), four samples at a
+// time so the weight row stays hot and the four independent accumulators hide
+// FMA latency. Each sample's dot product runs in ascending k order — the same
+// order as the scalar Forward — so results are byte-identical to it. On AVX2
+// hardware full 4-row blocks go through the assembly kernel (one sample per
+// vector lane, same per-lane accumulation order, still byte-identical).
+func batchDenseForward(d *Dense, in, out Mat, r0, r1 int, tile []float64) {
+	if simdEnabled && d.In >= 4 && d.Out > 0 && r1-r0 >= 4 {
+		batchDenseForwardSIMD(d, in, out, r0, r1, tile)
+		return
+	}
+	for o := 0; o < d.Out; o++ {
+		row := d.Weight.W[o*d.In : (o+1)*d.In]
+		b := d.Bias.W[o]
+		r := r0
+		for ; r+4 <= r1; r += 4 {
+			x0, x1, x2, x3 := in.Row(r), in.Row(r+1), in.Row(r+2), in.Row(r+3)
+			s0, s1, s2, s3 := b, b, b, b
+			for k, w := range row {
+				s0 += w * x0[k]
+				s1 += w * x1[k]
+				s2 += w * x2[k]
+				s3 += w * x3[k]
+			}
+			out.Row(r)[o] = s0
+			out.Row(r + 1)[o] = s1
+			out.Row(r + 2)[o] = s2
+			out.Row(r + 3)[o] = s3
+		}
+		for ; r < r1; r++ {
+			x := in.Row(r)
+			s := b
+			for k, w := range row {
+				s += w * x[k]
+			}
+			out.Row(r)[o] = s
+		}
+	}
+}
+
+// batchDenseBackward computes dX for rows [r0, r1) and, when gw/gb are
+// non-nil, accumulates dW/db into them. dX keeps each sample's accumulation
+// independent and in the scalar Backward's order (byte-identical to it); dW
+// within a shard also accumulates in per-sample order, so a single-shard
+// batch is bit-equal to the sequential reference. Across shards the reduction
+// reassociates (fixed shard order — deterministic at any worker count). On
+// AVX2 hardware full 4-row blocks go through the assembly kernels, which keep
+// the same per-element accumulation orders.
+func batchDenseBackward(d *Dense, in, gout, gin Mat, gw, gb []float64, r0, r1 int, tile []float64) {
+	if simdEnabled && d.In >= 4 && d.Out > 0 && r1-r0 >= 4 {
+		batchDenseBackwardSIMD(d, in, gout, gin, gw, gb, r0, r1, tile)
+		return
+	}
+	for r := r0; r < r1; r++ {
+		gx := gin.Row(r)
+		for i := range gx {
+			gx[i] = 0
+		}
+	}
+	if gw == nil {
+		for r := r0; r < r1; r++ {
+			g, gx := gout.Row(r), gin.Row(r)
+			for o := 0; o < d.Out; o++ {
+				gv := g[o]
+				if gv == 0 {
+					continue
+				}
+				row := d.Weight.W[o*d.In : (o+1)*d.In]
+				for k, w := range row {
+					gx[k] += gv * w
+				}
+			}
+		}
+		return
+	}
+	r := r0
+	for ; r+4 <= r1; r += 4 {
+		g0, g1, g2, g3 := gout.Row(r), gout.Row(r+1), gout.Row(r+2), gout.Row(r+3)
+		x0, x1, x2, x3 := in.Row(r), in.Row(r+1), in.Row(r+2), in.Row(r+3)
+		gx0, gx1, gx2, gx3 := gin.Row(r), gin.Row(r+1), gin.Row(r+2), gin.Row(r+3)
+		for o := 0; o < d.Out; o++ {
+			v0, v1, v2, v3 := g0[o], g1[o], g2[o], g3[o]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			// Accumulate in per-sample order (four separate rounded adds,
+			// not one block sum) so shard gradients stay bit-identical to
+			// the sequential reference accumulation.
+			tb := gb[o]
+			tb += v0
+			tb += v1
+			tb += v2
+			tb += v3
+			gb[o] = tb
+			row := d.Weight.W[o*d.In : (o+1)*d.In]
+			grow := gw[o*d.In : (o+1)*d.In]
+			for k, w := range row {
+				tg := grow[k]
+				tg += v0 * x0[k]
+				tg += v1 * x1[k]
+				tg += v2 * x2[k]
+				tg += v3 * x3[k]
+				grow[k] = tg
+				gx0[k] += v0 * w
+				gx1[k] += v1 * w
+				gx2[k] += v2 * w
+				gx3[k] += v3 * w
+			}
+		}
+	}
+	for ; r < r1; r++ {
+		g, x, gx := gout.Row(r), in.Row(r), gin.Row(r)
+		for o := 0; o < d.Out; o++ {
+			gv := g[o]
+			if gv == 0 {
+				continue
+			}
+			gb[o] += gv
+			row := d.Weight.W[o*d.In : (o+1)*d.In]
+			grow := gw[o*d.In : (o+1)*d.In]
+			for k, w := range row {
+				grow[k] += gv * x[k]
+				gx[k] += gv * w
+			}
+		}
+	}
+}
+
+// batchDenseForwardSIMD drives the AVX2 forward kernel over full 4-row
+// blocks: gather the block into a k-major tile (one sample per lane), run the
+// kernel, scatter the o-major result tile back into the activation rows. The
+// per-lane accumulation order equals the scalar kernel's, so outputs are
+// byte-identical. Remaining 1-3 rows use the scalar loop.
+func batchDenseForwardSIMD(d *Dense, in, out Mat, r0, r1 int, tile []float64) {
+	q := len(tile) / 4
+	xt, yt := tile[:q], tile[q:2*q]
+	r := r0
+	for ; r+4 <= r1; r += 4 {
+		x0, x1, x2, x3 := in.Row(r), in.Row(r+1), in.Row(r+2), in.Row(r+3)
+		for k := 0; k < d.In; k++ {
+			xt[k*4] = x0[k]
+			xt[k*4+1] = x1[k]
+			xt[k*4+2] = x2[k]
+			xt[k*4+3] = x3[k]
+		}
+		denseForwardBlockASM(&d.Weight.W[0], &d.Bias.W[0], &xt[0], &yt[0], d.In, d.Out)
+		y0, y1, y2, y3 := out.Row(r), out.Row(r+1), out.Row(r+2), out.Row(r+3)
+		for o := 0; o < d.Out; o++ {
+			y0[o] = yt[o*4]
+			y1[o] = yt[o*4+1]
+			y2[o] = yt[o*4+2]
+			y3[o] = yt[o*4+3]
+		}
+	}
+	for ; r < r1; r++ {
+		x, y := in.Row(r), out.Row(r)
+		for o := 0; o < d.Out; o++ {
+			row := d.Weight.W[o*d.In : (o+1)*d.In]
+			s := d.Bias.W[o]
+			for k, w := range row {
+				s += w * x[k]
+			}
+			y[o] = s
+		}
+	}
+}
+
+// batchDenseBackwardSIMD drives the AVX2 backward kernels over full 4-row
+// blocks. dX: gradients gathered into an o-major tile, accumulated per lane
+// in ascending o order, scattered back. dW: the k-vectorized kernel adds the
+// four samples sequentially per weight; the bias and the k tail (in % 4) stay
+// in Go with the same quad-zero skip and per-sample order as the scalar
+// kernel. Remaining 1-3 rows use the scalar loop.
+func batchDenseBackwardSIMD(d *Dense, in, gout, gin Mat, gw, gb []float64, r0, r1 int, tile []float64) {
+	q := len(tile) / 4
+	gvt, gxt := tile[2*q:3*q], tile[3*q:4*q]
+	in4 := d.In &^ 3
+	r := r0
+	for ; r+4 <= r1; r += 4 {
+		g0, g1, g2, g3 := gout.Row(r), gout.Row(r+1), gout.Row(r+2), gout.Row(r+3)
+		for o := 0; o < d.Out; o++ {
+			gvt[o*4] = g0[o]
+			gvt[o*4+1] = g1[o]
+			gvt[o*4+2] = g2[o]
+			gvt[o*4+3] = g3[o]
+		}
+		for i := 0; i < 4*d.In; i++ {
+			gxt[i] = 0
+		}
+		denseBackwardDXBlockASM(&d.Weight.W[0], &gvt[0], &gxt[0], d.In, d.Out)
+		gx0, gx1, gx2, gx3 := gin.Row(r), gin.Row(r+1), gin.Row(r+2), gin.Row(r+3)
+		for k := 0; k < d.In; k++ {
+			gx0[k] = gxt[k*4]
+			gx1[k] = gxt[k*4+1]
+			gx2[k] = gxt[k*4+2]
+			gx3[k] = gxt[k*4+3]
+		}
+		if gw == nil {
+			continue
+		}
+		x0, x1, x2, x3 := in.Row(r), in.Row(r+1), in.Row(r+2), in.Row(r+3)
+		denseBackwardDWBlockASM(&gw[0], &gvt[0], &x0[0], &x1[0], &x2[0], &x3[0], d.In, in4, d.Out)
+		for o := 0; o < d.Out; o++ {
+			v0, v1, v2, v3 := g0[o], g1[o], g2[o], g3[o]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			tb := gb[o]
+			tb += v0
+			tb += v1
+			tb += v2
+			tb += v3
+			gb[o] = tb
+			grow := gw[o*d.In : (o+1)*d.In]
+			for k := in4; k < d.In; k++ {
+				tg := grow[k]
+				tg += v0 * x0[k]
+				tg += v1 * x1[k]
+				tg += v2 * x2[k]
+				tg += v3 * x3[k]
+				grow[k] = tg
+			}
+		}
+	}
+	for ; r < r1; r++ {
+		g, x, gx := gout.Row(r), in.Row(r), gin.Row(r)
+		for i := range gx {
+			gx[i] = 0
+		}
+		for o := 0; o < d.Out; o++ {
+			gv := g[o]
+			if gv == 0 {
+				continue
+			}
+			row := d.Weight.W[o*d.In : (o+1)*d.In]
+			if gw != nil {
+				gb[o] += gv
+				grow := gw[o*d.In : (o+1)*d.In]
+				for k, w := range row {
+					grow[k] += gv * x[k]
+					gx[k] += gv * w
+				}
+			} else {
+				for k, w := range row {
+					gx[k] += gv * w
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"warper/internal/parallel"
+)
+
+func randBatch(rng *rand.Rand, rows, in, out int) (xs, ys [][]float64) {
+	for r := 0; r < rows; r++ {
+		x := make([]float64, in)
+		y := make([]float64, out)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	return xs, ys
+}
+
+func testNets() map[string]func(*rand.Rand) *Network {
+	return map[string]func(*rand.Rand) *Network{
+		"mlp-leaky": func(rng *rand.Rand) *Network { return MLP(9, 16, 2, 5, rng) },
+		"sigmoid":   func(rng *rand.Rand) *Network { return NewNetwork(NewDense(9, 12, rng), NewSigmoid(), NewDense(12, 5, rng)) },
+		"tanh-relu": func(rng *rand.Rand) *Network {
+			return NewNetwork(NewDense(9, 12, rng), NewTanh(), NewDense(12, 7, rng), NewReLU(), NewDense(7, 5, rng))
+		},
+	}
+}
+
+// TestBatchForwardMatchesSerial: BatchForward must be byte-identical to the
+// original per-sample forward pass (the batched Dense kernel keeps each
+// sample's dot product in the same accumulation order).
+func TestBatchForwardMatchesSerial(t *testing.T) {
+	for name, mk := range testNets() {
+		for _, rows := range []int{1, 3, 8, 19, 32} {
+			rng := rand.New(rand.NewSource(41))
+			n := mk(rng)
+			xs, _ := randBatch(rng, rows, 9, 5)
+			x := NewMat(rows, 9)
+			x.CopyFromRows(xs)
+			got := n.BatchForward(x)
+			for r := 0; r < rows; r++ {
+				want := ReferenceForward(n, xs[r])
+				for i := range want {
+					if got.Row(r)[i] != want[i] {
+						t.Fatalf("%s rows=%d: row %d col %d: batched %v != serial %v",
+							name, rows, r, i, got.Row(r)[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchBackwardDataMatchesSerial: input gradients from the batched
+// backward must be byte-identical to the per-sample Backward path.
+func TestBatchBackwardDataMatchesSerial(t *testing.T) {
+	for name, mk := range testNets() {
+		for _, rows := range []int{1, 5, 8, 21} {
+			rng := rand.New(rand.NewSource(43))
+			n := mk(rng)
+			ref := n.Clone()
+			xs, _ := randBatch(rng, rows, 9, 5)
+			grads := make([][]float64, rows)
+			for r := range grads {
+				grads[r] = make([]float64, 5)
+				for i := range grads[r] {
+					grads[r][i] = rng.NormFloat64()
+				}
+				if r%3 == 0 {
+					grads[r][rng.Intn(5)] = 0 // exercise the zero-skip path
+				}
+			}
+			x := NewMat(rows, 9)
+			x.CopyFromRows(xs)
+			n.BatchForward(x)
+			g := NewMat(rows, 5)
+			g.CopyFromRows(grads)
+			dx := n.BatchBackwardData(g)
+			for r := 0; r < rows; r++ {
+				ref.Forward(xs[r])
+				want := ref.Backward(grads[r])
+				for i := range want {
+					if dx.Row(r)[i] != want[i] {
+						t.Fatalf("%s rows=%d row=%d col=%d: batched dX %v != serial %v",
+							name, rows, r, i, dx.Row(r)[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTrainBatchIdenticalAtAnyWorkerCount is the determinism acceptance test:
+// the shard layout depends only on the batch size and the reduction order is
+// fixed, so full training trajectories are byte-identical no matter how many
+// workers the pool runs.
+func TestTrainBatchIdenticalAtAnyWorkerCount(t *testing.T) {
+	t.Cleanup(func() { parallel.SetWorkers(0) })
+	train := func(workers int) *Network {
+		parallel.SetWorkers(workers)
+		rng := rand.New(rand.NewSource(97))
+		n := MLP(9, 32, 3, 5, rng)
+		xs, ys := randBatch(rng, 50, 9, 5)
+		if _, err := n.Fit(xs, ys, MSE{}, NewAdam(1e-3), 5, 32, rng); err != nil {
+			t.Fatalf("Fit: %v", err)
+		}
+		return n
+	}
+	base := train(1)
+	for _, workers := range []int{2, 3, 8} {
+		got := train(workers)
+		bp, gp := base.Params(), got.Params()
+		for pi := range bp {
+			for i := range bp[pi].W {
+				if bp[pi].W[i] != gp[pi].W[i] {
+					t.Fatalf("workers=%d: param %d idx %d diverged: %v vs %v",
+						workers, pi, i, gp[pi].W[i], bp[pi].W[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTrainBatchMatchesReferenceWithinOneShard: with the whole batch in a
+// single shard there is no reassociation at all, so the batched step must be
+// byte-identical to the original per-sample implementation.
+func TestTrainBatchMatchesReferenceWithinOneShard(t *testing.T) {
+	for _, loss := range []Loss{MSE{}, L1{}} {
+		rng := rand.New(rand.NewSource(59))
+		a := MLP(9, 16, 2, 5, rng)
+		b := a.Clone()
+		xs, ys := randBatch(rng, shardRows, 9, 5)
+		for step := 0; step < 5; step++ {
+			la, err := a.TrainBatch(xs, ys, loss, NewSGD(0.05))
+			if err != nil {
+				t.Fatalf("TrainBatch: %v", err)
+			}
+			lb := ReferenceTrainBatch(b, xs, ys, loss, NewSGD(0.05))
+			if la != lb {
+				t.Fatalf("%T step %d: batched loss %v != reference %v", loss, step, la, lb)
+			}
+		}
+		ap, bp := a.Params(), b.Params()
+		for pi := range ap {
+			for i := range ap[pi].W {
+				if ap[pi].W[i] != bp[pi].W[i] {
+					t.Fatalf("%T: param %d idx %d: batched %v != reference %v",
+						loss, pi, i, ap[pi].W[i], bp[pi].W[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTrainBatchMatchesReferenceMultiShard: beyond one shard the gradient
+// reduction reassociates floating-point sums, so require tight agreement
+// rather than bit equality.
+func TestTrainBatchMatchesReferenceMultiShard(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	a := MLP(9, 16, 2, 5, rng)
+	b := a.Clone()
+	xs, ys := randBatch(rng, 37, 9, 5)
+	for step := 0; step < 20; step++ {
+		if _, err := a.TrainBatch(xs, ys, MSE{}, NewSGD(0.05)); err != nil {
+			t.Fatalf("TrainBatch: %v", err)
+		}
+		ReferenceTrainBatch(b, xs, ys, MSE{}, NewSGD(0.05))
+	}
+	ap, bp := a.Params(), b.Params()
+	for pi := range ap {
+		for i := range ap[pi].W {
+			diff := math.Abs(ap[pi].W[i] - bp[pi].W[i])
+			if diff > 1e-9*(1+math.Abs(bp[pi].W[i])) {
+				t.Fatalf("param %d idx %d: batched %v vs reference %v (diff %v)",
+					pi, i, ap[pi].W[i], bp[pi].W[i], diff)
+			}
+		}
+	}
+}
+
+// TestTrainBatchCrossEntropyMatchesReference covers the fused
+// softmax+cross-entropy path against the original allocating one.
+func TestTrainBatchCrossEntropyMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	a := MLP(9, 16, 2, 3, rng)
+	b := a.Clone()
+	xs, _ := randBatch(rng, shardRows, 9, 3)
+	ys := make([][]float64, len(xs))
+	for i := range ys {
+		ys[i] = OneHot(3, rng.Intn(3))
+	}
+	for step := 0; step < 5; step++ {
+		la, err := a.TrainBatch(xs, ys, SoftmaxCrossEntropy{}, NewSGD(0.05))
+		if err != nil {
+			t.Fatalf("TrainBatch: %v", err)
+		}
+		lb := ReferenceTrainBatch(b, xs, ys, SoftmaxCrossEntropy{}, NewSGD(0.05))
+		if la != lb {
+			t.Fatalf("step %d: batched CE loss %v != reference %v", step, la, lb)
+		}
+	}
+}
+
+// TestTrainBatchParallelRace drives the parallel trainer hard under the race
+// detector: shards share the activation matrices (disjoint rows) and the
+// parameter reduction happens after the barrier.
+func TestTrainBatchParallelRace(t *testing.T) {
+	parallel.SetWorkers(4)
+	t.Cleanup(func() { parallel.SetWorkers(0) })
+	rng := rand.New(rand.NewSource(71))
+	n := MLP(9, 32, 3, 5, rng)
+	xs, ys := randBatch(rng, 64, 9, 5)
+	opt := NewAdam(1e-3)
+	for step := 0; step < 30; step++ {
+		if _, err := n.TrainBatch(xs, ys, MSE{}, opt); err != nil {
+			t.Fatalf("TrainBatch: %v", err)
+		}
+	}
+}
+
+// TestTrainBatchZeroAllocsSteadyState is the allocs-per-op acceptance test:
+// after warm-up (arena sized, Adam moments built, pool started) a train step
+// must not allocate.
+func TestTrainBatchZeroAllocsSteadyState(t *testing.T) {
+	parallel.SetWorkers(2)
+	t.Cleanup(func() { parallel.SetWorkers(0) })
+	rng := rand.New(rand.NewSource(73))
+	n := MLP(18, 128, 3, 16, rng)
+	xs, ys := randBatch(rng, 32, 18, 16)
+	opt := NewAdam(1e-3)
+	for i := 0; i < 3; i++ {
+		if _, err := n.TrainBatch(xs, ys, MSE{}, opt); err != nil {
+			t.Fatalf("warm-up TrainBatch: %v", err)
+		}
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := n.TrainBatch(xs, ys, MSE{}, opt); err != nil {
+			t.Fatalf("TrainBatch: %v", err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state TrainBatch allocates %v per op, want 0", avg)
+	}
+}
+
+// TestTrainBatchErrors replaces the old panic tests: malformed batches now
+// return errors.
+func TestTrainBatchErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	n := MLP(4, 8, 1, 2, rng)
+	cases := []struct {
+		name   string
+		xs, ys [][]float64
+	}{
+		{"len mismatch", [][]float64{{1, 2, 3, 4}}, nil},
+		{"ragged input", [][]float64{{1, 2, 3, 4}, {1, 2}}, [][]float64{{0, 0}, {0, 0}}},
+		{"wrong input width", [][]float64{{1, 2}}, [][]float64{{0, 0}}},
+		{"wrong target width", [][]float64{{1, 2, 3, 4}}, [][]float64{{0}}},
+	}
+	for _, tc := range cases {
+		if _, err := n.TrainBatch(tc.xs, tc.ys, MSE{}, NewSGD(0.1)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	if _, err := n.Fit([][]float64{{1, 2, 3, 4}}, nil, MSE{}, NewSGD(0.1), 1, 8, rng); err == nil {
+		t.Error("Fit len mismatch: expected error")
+	}
+}
+
+// TestBatchBackwardAccumulatesLikeSerial: parameter gradients from a batched
+// backward over one shard must match per-sample accumulation bit-for-bit.
+func TestBatchBackwardAccumulatesLikeSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	n := MLP(9, 16, 2, 5, rng)
+	ref := n.Clone()
+	xs, _ := randBatch(rng, shardRows, 9, 5)
+	grads := make([][]float64, len(xs))
+	for r := range grads {
+		grads[r] = make([]float64, 5)
+		for i := range grads[r] {
+			grads[r][i] = rng.NormFloat64()
+		}
+	}
+	x := NewMat(len(xs), 9)
+	x.CopyFromRows(xs)
+	n.ZeroGrad()
+	n.BatchForward(x)
+	g := NewMat(len(xs), 5)
+	g.CopyFromRows(grads)
+	n.BatchBackward(g)
+
+	ref.ZeroGrad()
+	for r := range xs {
+		ref.Forward(xs[r])
+		ref.Backward(grads[r])
+	}
+	np, rp := n.Params(), ref.Params()
+	for pi := range np {
+		for i := range np[pi].G {
+			diff := math.Abs(np[pi].G[i] - rp[pi].G[i])
+			if diff > 1e-12*(1+math.Abs(rp[pi].G[i])) {
+				t.Fatalf("param %d idx %d: batched grad %v vs serial %v",
+					pi, i, np[pi].G[i], rp[pi].G[i])
+			}
+		}
+	}
+}

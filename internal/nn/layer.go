@@ -45,18 +45,24 @@ type Layer interface {
 }
 
 // Dense is a fully connected layer: y = W·x + b.
+//
+// Forward and Backward return buffers owned by the layer, reused across
+// calls: a result is valid until the next call on the same layer; callers
+// that retain it must copy.
 type Dense struct {
 	In, Out int
 	Weight  *Param // Out×In, row-major
 	Bias    *Param // Out
 
 	lastIn []float64
+	out    []float64
+	gx     []float64
 }
 
 // NewDense builds a Dense layer with Xavier/Glorot-uniform initialization.
 func NewDense(in, out int, rng *rand.Rand) *Dense {
 	if in <= 0 || out <= 0 {
-		panic(fmt.Sprintf("nn: invalid Dense dims %d->%d", in, out))
+		panic(fmt.Sprintf("nn: invalid Dense dims %d->%d", in, out)) //lint:allow panicfree constructor dims are compile-time constants in practice
 	}
 	d := &Dense{In: in, Out: out, Weight: newParam(in * out), Bias: newParam(out)}
 	limit := math.Sqrt(6.0 / float64(in+out))
@@ -66,13 +72,17 @@ func NewDense(in, out int, rng *rand.Rand) *Dense {
 	return d
 }
 
-// Forward computes W·x + b, caching x for the backward pass.
+// Forward computes W·x + b, caching x for the backward pass. The returned
+// slice is owned by the layer and reused on the next call.
 func (d *Dense) Forward(x []float64) []float64 {
 	if len(x) != d.In {
-		panic(fmt.Sprintf("nn: Dense expects input %d, got %d", d.In, len(x)))
+		panic(fmt.Sprintf("nn: Dense expects input %d, got %d", d.In, len(x))) //lint:allow panicfree shape mismatch is a programmer error
 	}
 	d.lastIn = x
-	y := make([]float64, d.Out)
+	if d.out == nil {
+		d.out = make([]float64, d.Out)
+	}
+	y := d.out
 	for o := 0; o < d.Out; o++ {
 		s := d.Bias.W[o]
 		row := d.Weight.W[o*d.In : (o+1)*d.In]
@@ -84,12 +94,19 @@ func (d *Dense) Forward(x []float64) []float64 {
 	return y
 }
 
-// Backward accumulates dL/dW and dL/db and returns dL/dx.
+// Backward accumulates dL/dW and dL/db and returns dL/dx (a layer-owned
+// buffer, reused on the next call).
 func (d *Dense) Backward(gradOut []float64) []float64 {
 	if len(gradOut) != d.Out {
-		panic(fmt.Sprintf("nn: Dense backward expects grad %d, got %d", d.Out, len(gradOut)))
+		panic(fmt.Sprintf("nn: Dense backward expects grad %d, got %d", d.Out, len(gradOut))) //lint:allow panicfree shape mismatch is a programmer error
 	}
-	gx := make([]float64, d.In)
+	if d.gx == nil {
+		d.gx = make([]float64, d.In)
+	}
+	gx := d.gx
+	for i := range gx {
+		gx[i] = 0
+	}
 	for o := 0; o < d.Out; o++ {
 		g := gradOut[o]
 		if g == 0 {
@@ -120,11 +137,23 @@ func (d *Dense) Clone() Layer {
 // OutSize implements Layer.
 func (d *Dense) OutSize(int) int { return d.Out }
 
+// ensureLen returns buf resized to n, reallocating only when capacity is
+// exceeded. It is the growth primitive behind the layer-owned buffers.
+func ensureLen(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // LeakyReLU applies max(x, alpha*x) elementwise. The paper's Table 3 uses
-// leaky ReLU between every pair of FC layers.
+// leaky ReLU between every pair of FC layers. Forward/Backward results are
+// layer-owned buffers, reused across calls.
 type LeakyReLU struct {
 	Alpha  float64
 	lastIn []float64
+	out    []float64
+	gx     []float64
 }
 
 // NewLeakyReLU returns a LeakyReLU with the conventional slope 0.01.
@@ -133,7 +162,8 @@ func NewLeakyReLU() *LeakyReLU { return &LeakyReLU{Alpha: 0.01} }
 // Forward implements Layer.
 func (l *LeakyReLU) Forward(x []float64) []float64 {
 	l.lastIn = x
-	y := make([]float64, len(x))
+	l.out = ensureLen(l.out, len(x))
+	y := l.out
 	for i, v := range x {
 		if v >= 0 {
 			y[i] = v
@@ -146,7 +176,8 @@ func (l *LeakyReLU) Forward(x []float64) []float64 {
 
 // Backward implements Layer.
 func (l *LeakyReLU) Backward(gradOut []float64) []float64 {
-	gx := make([]float64, len(gradOut))
+	l.gx = ensureLen(l.gx, len(gradOut))
+	gx := l.gx
 	for i, g := range gradOut {
 		if l.lastIn[i] >= 0 {
 			gx[i] = g
@@ -166,8 +197,13 @@ func (l *LeakyReLU) Clone() Layer { return &LeakyReLU{Alpha: l.Alpha} }
 // OutSize implements Layer.
 func (l *LeakyReLU) OutSize(in int) int { return in }
 
-// ReLU applies max(0, x) elementwise.
-type ReLU struct{ lastIn []float64 }
+// ReLU applies max(0, x) elementwise. Forward/Backward results are
+// layer-owned buffers, reused across calls.
+type ReLU struct {
+	lastIn []float64
+	out    []float64
+	gx     []float64
+}
 
 // NewReLU returns a ReLU activation.
 func NewReLU() *ReLU { return &ReLU{} }
@@ -175,10 +211,13 @@ func NewReLU() *ReLU { return &ReLU{} }
 // Forward implements Layer.
 func (l *ReLU) Forward(x []float64) []float64 {
 	l.lastIn = x
-	y := make([]float64, len(x))
+	l.out = ensureLen(l.out, len(x))
+	y := l.out
 	for i, v := range x {
 		if v > 0 {
 			y[i] = v
+		} else {
+			y[i] = 0
 		}
 	}
 	return y
@@ -186,10 +225,13 @@ func (l *ReLU) Forward(x []float64) []float64 {
 
 // Backward implements Layer.
 func (l *ReLU) Backward(gradOut []float64) []float64 {
-	gx := make([]float64, len(gradOut))
+	l.gx = ensureLen(l.gx, len(gradOut))
+	gx := l.gx
 	for i, g := range gradOut {
 		if l.lastIn[i] > 0 {
 			gx[i] = g
+		} else {
+			gx[i] = 0
 		}
 	}
 	return gx
@@ -205,25 +247,30 @@ func (l *ReLU) Clone() Layer { return &ReLU{} }
 func (l *ReLU) OutSize(in int) int { return in }
 
 // Sigmoid applies 1/(1+e^-x) elementwise. Used to keep generated predicate
-// featurizations inside the unit box.
-type Sigmoid struct{ lastOut []float64 }
+// featurizations inside the unit box. Forward/Backward results are
+// layer-owned buffers, reused across calls.
+type Sigmoid struct {
+	lastOut []float64
+	gx      []float64
+}
 
 // NewSigmoid returns a Sigmoid activation.
 func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 
 // Forward implements Layer.
 func (l *Sigmoid) Forward(x []float64) []float64 {
-	y := make([]float64, len(x))
+	l.lastOut = ensureLen(l.lastOut, len(x))
+	y := l.lastOut
 	for i, v := range x {
 		y[i] = 1 / (1 + math.Exp(-v))
 	}
-	l.lastOut = y
 	return y
 }
 
 // Backward implements Layer.
 func (l *Sigmoid) Backward(gradOut []float64) []float64 {
-	gx := make([]float64, len(gradOut))
+	l.gx = ensureLen(l.gx, len(gradOut))
+	gx := l.gx
 	for i, g := range gradOut {
 		s := l.lastOut[i]
 		gx[i] = g * s * (1 - s)
@@ -240,25 +287,30 @@ func (l *Sigmoid) Clone() Layer { return &Sigmoid{} }
 // OutSize implements Layer.
 func (l *Sigmoid) OutSize(in int) int { return in }
 
-// Tanh applies the hyperbolic tangent elementwise.
-type Tanh struct{ lastOut []float64 }
+// Tanh applies the hyperbolic tangent elementwise. Forward/Backward results
+// are layer-owned buffers, reused across calls.
+type Tanh struct {
+	lastOut []float64
+	gx      []float64
+}
 
 // NewTanh returns a Tanh activation.
 func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward implements Layer.
 func (l *Tanh) Forward(x []float64) []float64 {
-	y := make([]float64, len(x))
+	l.lastOut = ensureLen(l.lastOut, len(x))
+	y := l.lastOut
 	for i, v := range x {
 		y[i] = math.Tanh(v)
 	}
-	l.lastOut = y
 	return y
 }
 
 // Backward implements Layer.
 func (l *Tanh) Backward(gradOut []float64) []float64 {
-	gx := make([]float64, len(gradOut))
+	l.gx = ensureLen(l.gx, len(gradOut))
+	gx := l.gx
 	for i, g := range gradOut {
 		t := l.lastOut[i]
 		gx[i] = g * (1 - t*t)

@@ -6,8 +6,15 @@ import (
 )
 
 // Network is an ordered stack of layers trained with backprop.
+//
+// The layer stack must not be modified once training or batched inference has
+// started: the batched compute path caches the parameter list and a scratch
+// arena keyed to the topology.
 type Network struct {
 	Layers []Layer
+
+	sc     *scratch // batched-compute arena, built lazily on first batch op
+	pcache []*Param // cached Params() result for allocation-free hot paths
 }
 
 // NewNetwork builds a network from the given layers.
@@ -55,9 +62,18 @@ func (n *Network) Params() []*Param {
 	return ps
 }
 
+// params returns the cached flat parameter list, building it on first use.
+// Hot paths use it so steady-state training performs no allocations.
+func (n *Network) params() []*Param {
+	if n.pcache == nil {
+		n.pcache = n.Params()
+	}
+	return n.pcache
+}
+
 // ZeroGrad clears all accumulated gradients.
 func (n *Network) ZeroGrad() {
-	for _, p := range n.Params() {
+	for _, p := range n.params() {
 		p.ZeroGrad()
 	}
 }
@@ -100,16 +116,44 @@ func (n *Network) OutSize() int {
 	return -1
 }
 
-// TrainBatch performs one optimizer step on a minibatch: for each (x, y) pair
-// it runs forward, computes the loss gradient, backpropagates, then applies a
-// single averaged update. It returns the mean loss over the batch.
-func (n *Network) TrainBatch(xs, ys [][]float64, loss Loss, opt Optimizer) float64 {
+// TrainBatch performs one optimizer step on a minibatch and returns the mean
+// loss over the batch. The work is sharded across the parallel worker pool
+// with a fixed-order gradient reduction, so seeded training is byte-identical
+// at any worker count. Malformed batches (length or width mismatches) return
+// an error instead of panicking.
+func (n *Network) TrainBatch(xs, ys [][]float64, loss Loss, opt Optimizer) (float64, error) {
 	if len(xs) != len(ys) {
-		panic(fmt.Sprintf("nn: TrainBatch len mismatch %d vs %d", len(xs), len(ys)))
+		return 0, fmt.Errorf("nn: TrainBatch len mismatch %d vs %d", len(xs), len(ys))
 	}
 	if len(xs) == 0 {
-		return 0
+		return 0, nil
 	}
+	inW := len(xs[0])
+	for i := range xs {
+		if len(xs[i]) != inW {
+			return 0, fmt.Errorf("nn: TrainBatch ragged input: row %d has width %d, row 0 has %d", i, len(xs[i]), inW)
+		}
+	}
+	if want := n.InSize(); want >= 0 && inW != want {
+		return 0, fmt.Errorf("nn: TrainBatch input width %d, network expects %d", inW, want)
+	}
+	sc := n.ensureScratch(len(xs), inW)
+	if sc == nil {
+		// Layer kinds outside this package: per-sample fallback.
+		return n.trainBatchSerial(xs, ys, loss, opt), nil
+	}
+	outW := sc.widths[len(sc.widths)-1]
+	for i := range ys {
+		if len(ys[i]) != outW {
+			return 0, fmt.Errorf("nn: TrainBatch target row %d has width %d, network outputs %d", i, len(ys[i]), outW)
+		}
+	}
+	return n.trainBatchBatched(sc, xs, ys, loss, opt), nil
+}
+
+// trainBatchSerial is the per-sample minibatch step used when the network
+// contains layer kinds the batched kernels cannot drive.
+func (n *Network) trainBatchSerial(xs, ys [][]float64, loss Loss, opt Optimizer) float64 {
 	n.ZeroGrad()
 	var total float64
 	for i := range xs {
@@ -117,16 +161,19 @@ func (n *Network) TrainBatch(xs, ys [][]float64, loss Loss, opt Optimizer) float
 		total += loss.Loss(pred, ys[i])
 		n.Backward(loss.Grad(pred, ys[i]))
 	}
-	scaleGrads(n.Params(), 1/float64(len(xs)))
-	opt.Step(n.Params())
+	scaleGrads(n.params(), 1/float64(len(xs)))
+	opt.Step(n.params())
 	return total / float64(len(xs))
 }
 
 // Fit trains for `epochs` passes over the data with the given batch size,
 // shuffling each epoch with rng. It returns the mean loss of the final epoch.
-func (n *Network) Fit(xs, ys [][]float64, loss Loss, opt Optimizer, epochs, batch int, rng *rand.Rand) float64 {
+func (n *Network) Fit(xs, ys [][]float64, loss Loss, opt Optimizer, epochs, batch int, rng *rand.Rand) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("nn: Fit len mismatch %d vs %d", len(xs), len(ys))
+	}
 	if len(xs) == 0 {
-		return 0
+		return 0, nil
 	}
 	if batch <= 0 {
 		batch = 32
@@ -152,13 +199,17 @@ func (n *Network) Fit(xs, ys [][]float64, loss Loss, opt Optimizer, epochs, batc
 				bx = append(bx, xs[j])
 				by = append(by, ys[j])
 			}
-			epochLoss += n.TrainBatch(bx, by, loss, opt)
+			l, err := n.TrainBatch(bx, by, loss, opt)
+			if err != nil {
+				return 0, err
+			}
+			epochLoss += l
 			batches++
 		}
 		opt.EndEpoch()
 		last = epochLoss / float64(batches)
 	}
-	return last
+	return last, nil
 }
 
 func scaleGrads(ps []*Param, s float64) {

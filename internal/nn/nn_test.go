@@ -130,7 +130,11 @@ func TestXORLearnable(t *testing.T) {
 	opt := NewAdam(0.01)
 	var loss float64
 	for e := 0; e < 500; e++ {
-		loss = n.TrainBatch(xs, ys, MSE{}, opt)
+		var err error
+		loss, err = n.TrainBatch(xs, ys, MSE{}, opt)
+		if err != nil {
+			t.Fatalf("TrainBatch: %v", err)
+		}
 	}
 	if loss > 0.01 {
 		t.Fatalf("XOR did not converge, loss=%v", loss)
@@ -153,7 +157,10 @@ func TestLinearRegressionWithSGD(t *testing.T) {
 		xs = append(xs, []float64{x})
 		ys = append(ys, []float64{2*x + 1})
 	}
-	loss := n.Fit(xs, ys, MSE{}, NewSGD(0.1), 200, 16, rng)
+	loss, err := n.Fit(xs, ys, MSE{}, NewSGD(0.1), 200, 16, rng)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
 	if loss > 1e-4 {
 		t.Fatalf("linear fit loss = %v", loss)
 	}
@@ -167,12 +174,15 @@ func TestCloneIndependence(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	n := MLP(3, 4, 1, 2, rng)
 	c := n.Clone()
-	before := c.Forward([]float64{1, 2, 3})
+	// Forward returns a reused buffer, so snapshot it before training.
+	before := append([]float64(nil), c.Forward([]float64{1, 2, 3})...)
 	// Train the original; clone output must not change.
 	xs := [][]float64{{1, 2, 3}}
 	ys := [][]float64{{0, 0}}
 	for i := 0; i < 10; i++ {
-		n.TrainBatch(xs, ys, MSE{}, NewSGD(0.1))
+		if _, err := n.TrainBatch(xs, ys, MSE{}, NewSGD(0.1)); err != nil {
+			t.Fatalf("TrainBatch: %v", err)
+		}
 	}
 	after := c.Forward([]float64{1, 2, 3})
 	for i := range before {
@@ -254,7 +264,11 @@ func TestDenseRejectsBadInput(t *testing.T) {
 func TestTrainBatchEmptyIsNoop(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	n := MLP(2, 4, 1, 1, rng)
-	if got := n.TrainBatch(nil, nil, MSE{}, NewSGD(0.1)); got != 0 {
+	got, err := n.TrainBatch(nil, nil, MSE{}, NewSGD(0.1))
+	if err != nil {
+		t.Fatalf("TrainBatch: %v", err)
+	}
+	if got != 0 {
 		t.Errorf("empty batch loss = %v", got)
 	}
 }
@@ -269,7 +283,11 @@ func TestAdamConvergesOnIllConditioned(t *testing.T) {
 	opt := NewAdam(0.05)
 	var l float64
 	for i := 0; i < 3000; i++ {
-		l = n.TrainBatch(xs, ys, MSE{}, opt)
+		var err error
+		l, err = n.TrainBatch(xs, ys, MSE{}, opt)
+		if err != nil {
+			t.Fatalf("TrainBatch: %v", err)
+		}
 	}
 	if l > 1e-3 {
 		t.Errorf("Adam final loss = %v, want < 1e-3", l)

@@ -108,7 +108,17 @@ func (a *Adam) Step(params []*Param) {
 			v = make([]float64, len(p.W))
 			a.m[p], a.v[p] = m, v
 		}
-		for i := range p.W {
+		i := 0
+		if simdEnabled && len(p.W) >= 4 {
+			// The vector kernel performs the identical sequence of
+			// correctly-rounded operations per element, so results match the
+			// scalar loop bit-for-bit.
+			n4 := len(p.W) &^ 3
+			adamStepASM(&p.W[0], &p.G[0], &m[0], &v[0], n4,
+				a.Beta1, 1-a.Beta1, a.Beta2, 1-a.Beta2, c1, c2, a.Rate, a.Epsilon)
+			i = n4
+		}
+		for ; i < len(p.W); i++ {
 			g := p.G[i]
 			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
 			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g

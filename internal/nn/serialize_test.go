@@ -65,7 +65,10 @@ func TestLoadedNetworkIsTrainable(t *testing.T) {
 	var loss float64
 	opt := NewAdam(0.05)
 	for i := 0; i < 300; i++ {
-		loss = loaded.TrainBatch(xs, ys, MSE{}, opt)
+		loss, err = loaded.TrainBatch(xs, ys, MSE{}, opt)
+		if err != nil {
+			t.Fatalf("TrainBatch: %v", err)
+		}
 	}
 	if loss > 1e-3 {
 		t.Errorf("loaded network failed to train: loss %v", loss)

@@ -1,0 +1,67 @@
+//go:build amd64
+
+package nn
+
+// AVX2 kernels for the batched Dense layer. The vector lanes run ACROSS
+// samples (or across k for the weight-gradient kernel), never across a single
+// sample's reduction, so every lane performs exactly the scalar code's
+// sequence of individually-rounded multiplies and adds — results are
+// bit-identical to the pure-Go kernels (covered by TestSIMDMatchesGeneric).
+// VMULPD+VADDPD are used instead of FMA on purpose: the Go compiler does not
+// fuse multiply-add on amd64, and fusing here would change rounding.
+
+// simdAvailable reports hardware+OS support for the AVX2 kernels.
+var simdAvailable = cpuidHasAVX2()
+
+// simdEnabled gates the kernels at runtime; tests flip it to prove the
+// generic and vector paths agree bit-for-bit.
+var simdEnabled = simdAvailable
+
+// cpuidHasAVX2 checks CPUID for AVX2 and XGETBV for OS-enabled YMM state.
+func cpuidHasAVX2() bool
+
+// denseForwardBlockASM computes yt[o*4+lane] = bias[o] + Σ_k w[o*in+k] *
+// xt[k*4+lane] for o in [0, out), accumulating in ascending k order per lane.
+// xt is a k-major 4-sample tile; yt is an o-major 4-sample tile.
+//
+//go:noescape
+func denseForwardBlockASM(w, bias, xt, yt *float64, in, out int)
+
+// denseBackwardDXBlockASM accumulates gxt[k*4+lane] += Σ_o gvt[o*4+lane] *
+// w[o*in+k] in ascending o order per (k, lane). gxt must be pre-zeroed.
+//
+//go:noescape
+func denseBackwardDXBlockASM(w, gvt, gxt *float64, in, out int)
+
+// denseBackwardDWBlockASM accumulates gw[o*in+k] += Σ_j gvt[o*4+j] * xj[k]
+// in ascending sample order j for k in [0, in4) (in4 = in rounded down to a
+// multiple of 4; the caller handles the k tail). x0..x3 are the four sample
+// rows of a full block — callers only dispatch complete 4-row blocks. gw
+// rows have stride in.
+//
+//go:noescape
+func denseBackwardDWBlockASM(gw, gvt, x0, x1, x2, x3 *float64, in, in4, out int)
+
+// adamStepASM applies the Adam update to the first n&^3 elements of w/g/m/v
+// (the caller handles the tail). VDIVPD and VSQRTPD are IEEE correctly
+// rounded — identical to scalar / and math.Sqrt — so each lane is
+// bit-identical to the scalar update loop.
+//
+//go:noescape
+func adamStepASM(w, grad, m, v *float64, n int, b1, omb1, b2, omb2, c1, c2, rate, eps float64)
+
+// Elementwise activation kernels over the first n&^3 elements (callers handle
+// the tail). Each lane applies the identical correctly-rounded select/multiply
+// as the scalar branch, so outputs are bit-identical.
+//
+//go:noescape
+func leakyForwardASM(x, y *float64, n int, alpha float64)
+
+//go:noescape
+func leakyBackwardASM(x, grad, gx *float64, n int, alpha float64)
+
+//go:noescape
+func reluForwardASM(x, y *float64, n int)
+
+//go:noescape
+func reluBackwardASM(x, grad, gx *float64, n int)

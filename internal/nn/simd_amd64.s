@@ -1,0 +1,428 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuidHasAVX2() bool
+// AVX2 requires: CPUID.1:ECX.OSXSAVE[27] and AVX[28], XCR0 XMM+YMM state
+// enabled by the OS, and CPUID.7.0:EBX.AVX2[5].
+TEXT ·cpuidHasAVX2(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	ANDL $0x18000000, R8
+	CMPL R8, $0x18000000
+	JNE  novx
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  novx
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $0x20, BX
+	JZ   novx
+	MOVB $1, ret+0(FP)
+	RET
+
+novx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func denseForwardBlockASM(w, bias, xt, yt *float64, in, out int)
+//
+// Four output neurons per iteration, four samples per vector lane. Y0..Y3
+// are the accumulators for neurons o..o+3; each k step broadcasts one weight
+// per neuron and does a separate VMULPD+VADDPD so every lane reproduces the
+// scalar "s += w*x" rounding sequence in ascending k order.
+TEXT ·denseForwardBlockASM(SB), NOSPLIT, $0-48
+	MOVQ w+0(FP), SI
+	MOVQ bias+8(FP), BX
+	MOVQ xt+16(FP), DX
+	MOVQ yt+24(FP), DI
+	MOVQ in+32(FP), CX
+	MOVQ out+40(FP), R8
+	TESTQ CX, CX
+	JZ   fdone
+	MOVQ CX, R15
+	SHLQ $3, R15          // row stride in bytes
+
+fquad:
+	CMPQ R8, $4
+	JLT  ftail
+	MOVQ SI, R9
+	LEAQ (SI)(R15*1), R10
+	LEAQ (R10)(R15*1), R11
+	LEAQ (R11)(R15*1), R12
+	VBROADCASTSD 0(BX), Y0
+	VBROADCASTSD 8(BX), Y1
+	VBROADCASTSD 16(BX), Y2
+	VBROADCASTSD 24(BX), Y3
+	MOVQ DX, R13
+	MOVQ CX, R14
+
+fkloop:
+	VMOVUPD (R13), Y4
+	VBROADCASTSD (R9), Y5
+	VMULPD Y4, Y5, Y5
+	VADDPD Y5, Y0, Y0
+	VBROADCASTSD (R10), Y5
+	VMULPD Y4, Y5, Y5
+	VADDPD Y5, Y1, Y1
+	VBROADCASTSD (R11), Y5
+	VMULPD Y4, Y5, Y5
+	VADDPD Y5, Y2, Y2
+	VBROADCASTSD (R12), Y5
+	VMULPD Y4, Y5, Y5
+	VADDPD Y5, Y3, Y3
+	ADDQ $8, R9
+	ADDQ $8, R10
+	ADDQ $8, R11
+	ADDQ $8, R12
+	ADDQ $32, R13
+	DECQ R14
+	JNZ  fkloop
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, 64(DI)
+	VMOVUPD Y3, 96(DI)
+	LEAQ (SI)(R15*4), SI
+	ADDQ $32, BX
+	ADDQ $128, DI
+	SUBQ $4, R8
+	JMP  fquad
+
+ftail:
+	TESTQ R8, R8
+	JZ   fdone
+	VBROADCASTSD 0(BX), Y0
+	MOVQ SI, R9
+	MOVQ DX, R13
+	MOVQ CX, R14
+
+ftk:
+	VMOVUPD (R13), Y4
+	VBROADCASTSD (R9), Y5
+	VMULPD Y4, Y5, Y5
+	VADDPD Y5, Y0, Y0
+	ADDQ $8, R9
+	ADDQ $32, R13
+	DECQ R14
+	JNZ  ftk
+	VMOVUPD Y0, (DI)
+	ADDQ R15, SI
+	ADDQ $8, BX
+	ADDQ $32, DI
+	DECQ R8
+	JMP  ftail
+
+fdone:
+	VZEROUPPER
+	RET
+
+// func denseBackwardDXBlockASM(w, gvt, gxt *float64, in, out int)
+//
+// Two neurons per iteration, lanes across samples. For each k the two
+// contributions are added to the gxt accumulator in ascending o order,
+// matching the scalar backward's per-sample loop. Quads whose gradient bits
+// are all zero are skipped (adding them would be a no-op; the scalar path
+// skips exact zeros too).
+TEXT ·denseBackwardDXBlockASM(SB), NOSPLIT, $0-40
+	MOVQ w+0(FP), SI
+	MOVQ gvt+8(FP), BX
+	MOVQ gxt+16(FP), DI
+	MOVQ in+24(FP), CX
+	MOVQ out+32(FP), R8
+	TESTQ CX, CX
+	JZ   xdone
+	MOVQ CX, R15
+	SHLQ $3, R15
+
+xpair:
+	CMPQ R8, $2
+	JLT  xtail
+	VMOVUPD (BX), Y1
+	VMOVUPD 32(BX), Y2
+	VPOR  Y2, Y1, Y6
+	VPTEST Y6, Y6
+	JZ   xskip2
+	MOVQ SI, R9
+	LEAQ (SI)(R15*1), R10
+	MOVQ DI, R13
+	MOVQ CX, R14
+
+xkloop:
+	VMOVUPD (R13), Y0
+	VBROADCASTSD (R9), Y5
+	VMULPD Y1, Y5, Y5
+	VADDPD Y5, Y0, Y0
+	VBROADCASTSD (R10), Y5
+	VMULPD Y2, Y5, Y5
+	VADDPD Y5, Y0, Y0
+	VMOVUPD Y0, (R13)
+	ADDQ $8, R9
+	ADDQ $8, R10
+	ADDQ $32, R13
+	DECQ R14
+	JNZ  xkloop
+
+xskip2:
+	LEAQ (SI)(R15*2), SI
+	ADDQ $64, BX
+	SUBQ $2, R8
+	JMP  xpair
+
+xtail:
+	TESTQ R8, R8
+	JZ   xdone
+	VMOVUPD (BX), Y1
+	VPTEST Y1, Y1
+	JZ   xdone
+	MOVQ SI, R9
+	MOVQ DI, R13
+	MOVQ CX, R14
+
+xtk:
+	VMOVUPD (R13), Y0
+	VBROADCASTSD (R9), Y5
+	VMULPD Y1, Y5, Y5
+	VADDPD Y5, Y0, Y0
+	VMOVUPD Y0, (R13)
+	ADDQ $8, R9
+	ADDQ $32, R13
+	DECQ R14
+	JNZ  xtk
+
+xdone:
+	VZEROUPPER
+	RET
+
+// func denseBackwardDWBlockASM(gw, gvt, x0, x1, x2, x3 *float64, in, in4, out int)
+//
+// Lanes across k (four consecutive weights), samples added sequentially in
+// j order per lane — the same per-sample accumulation order as the scalar
+// kernel. in4 is in rounded down to a multiple of 4; the Go wrapper finishes
+// the k tail. gw rows are stride in.
+TEXT ·denseBackwardDWBlockASM(SB), NOSPLIT, $0-72
+	MOVQ gw+0(FP), DI
+	MOVQ gvt+8(FP), BX
+	MOVQ x0+16(FP), R9
+	MOVQ x1+24(FP), R10
+	MOVQ x2+32(FP), R11
+	MOVQ x3+40(FP), R12
+	MOVQ in+48(FP), AX
+	MOVQ in4+56(FP), CX
+	MOVQ out+64(FP), R8
+	TESTQ R8, R8
+	JZ   wdone
+
+worow:
+	VMOVUPD (BX), Y6
+	VPTEST Y6, Y6
+	JZ   wskip
+	VBROADCASTSD 0(BX), Y0
+	VBROADCASTSD 8(BX), Y1
+	VBROADCASTSD 16(BX), Y2
+	VBROADCASTSD 24(BX), Y3
+	XORQ R14, R14         // element offset into the k dimension
+
+wkloop:
+	CMPQ R14, CX
+	JGE  wskip
+	VMOVUPD (DI)(R14*8), Y7
+	VMOVUPD (R9)(R14*8), Y5
+	VMULPD Y0, Y5, Y5
+	VADDPD Y5, Y7, Y7
+	VMOVUPD (R10)(R14*8), Y5
+	VMULPD Y1, Y5, Y5
+	VADDPD Y5, Y7, Y7
+	VMOVUPD (R11)(R14*8), Y5
+	VMULPD Y2, Y5, Y5
+	VADDPD Y5, Y7, Y7
+	VMOVUPD (R12)(R14*8), Y5
+	VMULPD Y3, Y5, Y5
+	VADDPD Y5, Y7, Y7
+	VMOVUPD Y7, (DI)(R14*8)
+	ADDQ $4, R14
+	JMP  wkloop
+
+wskip:
+	ADDQ $32, BX
+	LEAQ (DI)(AX*8), DI   // next weight row (stride = in elements)
+	DECQ R8
+	JNZ  worow
+
+wdone:
+	VZEROUPPER
+	RET
+
+// func adamStepASM(w, grad, m, v *float64, n int, b1, omb1, b2, omb2, c1, c2, rate, eps float64)
+//
+// Vectorized Adam update over n/4 quads (the Go caller handles the tail).
+// Every operation is an IEEE-correctly-rounded elementwise VMULPD / VADDPD /
+// VDIVPD / VSQRTPD in the exact expression order of the scalar Step loop, so
+// each lane is bit-identical to the scalar update.
+TEXT ·adamStepASM(SB), NOSPLIT, $0-104
+	MOVQ w+0(FP), DI
+	MOVQ grad+8(FP), SI
+	MOVQ m+16(FP), R9
+	MOVQ v+24(FP), R10
+	MOVQ n+32(FP), CX
+	VBROADCASTSD b1+40(FP), Y8
+	VBROADCASTSD omb1+48(FP), Y9
+	VBROADCASTSD b2+56(FP), Y10
+	VBROADCASTSD omb2+64(FP), Y11
+	VBROADCASTSD c1+72(FP), Y12
+	VBROADCASTSD c2+80(FP), Y13
+	VBROADCASTSD rate+88(FP), Y14
+	VBROADCASTSD eps+96(FP), Y15
+	SHRQ $2, CX
+	JZ   adone
+
+aloop:
+	VMOVUPD (SI), Y4          // g
+	VMOVUPD (R9), Y5          // m
+	VMULPD Y8, Y5, Y5         // b1*m
+	VMULPD Y9, Y4, Y0         // (1-b1)*g
+	VADDPD Y0, Y5, Y5         // m'
+	VMOVUPD Y5, (R9)
+	VMOVUPD (R10), Y6         // v
+	VMULPD Y10, Y6, Y6        // b2*v
+	VMULPD Y11, Y4, Y0        // (1-b2)*g
+	VMULPD Y4, Y0, Y0         // ((1-b2)*g)*g
+	VADDPD Y0, Y6, Y6         // v'
+	VMOVUPD Y6, (R10)
+	VDIVPD Y12, Y5, Y5        // mHat = m'/c1
+	VDIVPD Y13, Y6, Y6        // vHat = v'/c2
+	VSQRTPD Y6, Y6            // sqrt(vHat)
+	VADDPD Y15, Y6, Y6        // + eps
+	VMULPD Y14, Y5, Y5        // rate*mHat
+	VDIVPD Y6, Y5, Y5         // / den
+	VMOVUPD (DI), Y7
+	VSUBPD Y5, Y7, Y7         // w -= update
+	VMOVUPD Y7, (DI)
+	ADDQ $32, SI
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  aloop
+
+adone:
+	VZEROUPPER
+	RET
+
+// func leakyForwardASM(x, y *float64, n int, alpha float64)
+//
+// y[i] = x[i] >= 0 ? x[i] : alpha*x[i] for i in [0, n&^3). Elementwise and
+// branch-free: a GE_OQ compare mask selects between x and the correctly
+// rounded alpha*x, matching the scalar branch exactly (NaN takes the
+// alpha*x arm in both).
+TEXT ·leakyForwardASM(SB), NOSPLIT, $0-32
+	MOVQ x+0(FP), SI
+	MOVQ y+8(FP), DI
+	MOVQ n+16(FP), CX
+	VBROADCASTSD alpha+24(FP), Y3
+	VXORPD Y2, Y2, Y2
+	SHRQ $2, CX
+	JZ   lfdone
+
+lfloop:
+	VMOVUPD (SI), Y0
+	VMULPD Y3, Y0, Y1         // alpha*x
+	VCMPPD $0x1D, Y2, Y0, Y4  // mask = x >= 0
+	VBLENDVPD Y4, Y0, Y1, Y0  // mask ? x : alpha*x
+	VMOVUPD Y0, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  lfloop
+
+lfdone:
+	VZEROUPPER
+	RET
+
+// func leakyBackwardASM(x, grad, gx *float64, n int, alpha float64)
+//
+// gx[i] = x[i] >= 0 ? grad[i] : alpha*grad[i] for i in [0, n&^3).
+TEXT ·leakyBackwardASM(SB), NOSPLIT, $0-40
+	MOVQ x+0(FP), SI
+	MOVQ grad+8(FP), BX
+	MOVQ gx+16(FP), DI
+	MOVQ n+24(FP), CX
+	VBROADCASTSD alpha+32(FP), Y3
+	VXORPD Y2, Y2, Y2
+	SHRQ $2, CX
+	JZ   lbdone
+
+lbloop:
+	VMOVUPD (SI), Y0
+	VMOVUPD (BX), Y5
+	VMULPD Y3, Y5, Y1         // alpha*g
+	VCMPPD $0x1D, Y2, Y0, Y4  // mask = x >= 0
+	VBLENDVPD Y4, Y5, Y1, Y0  // mask ? g : alpha*g
+	VMOVUPD Y0, (DI)
+	ADDQ $32, SI
+	ADDQ $32, BX
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  lbloop
+
+lbdone:
+	VZEROUPPER
+	RET
+
+// func reluForwardASM(x, y *float64, n int)
+//
+// y[i] = x[i] > 0 ? x[i] : 0 for i in [0, n&^3). The GT_OQ mask ANDs the
+// input, producing +0 in the else arm like the scalar branch.
+TEXT ·reluForwardASM(SB), NOSPLIT, $0-24
+	MOVQ x+0(FP), SI
+	MOVQ y+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPD Y2, Y2, Y2
+	SHRQ $2, CX
+	JZ   rfdone
+
+rfloop:
+	VMOVUPD (SI), Y0
+	VCMPPD $0x1E, Y2, Y0, Y4  // mask = x > 0
+	VANDPD Y4, Y0, Y0
+	VMOVUPD Y0, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  rfloop
+
+rfdone:
+	VZEROUPPER
+	RET
+
+// func reluBackwardASM(x, grad, gx *float64, n int)
+//
+// gx[i] = x[i] > 0 ? grad[i] : 0 for i in [0, n&^3).
+TEXT ·reluBackwardASM(SB), NOSPLIT, $0-32
+	MOVQ x+0(FP), SI
+	MOVQ grad+8(FP), BX
+	MOVQ gx+16(FP), DI
+	MOVQ n+24(FP), CX
+	VXORPD Y2, Y2, Y2
+	SHRQ $2, CX
+	JZ   rbdone
+
+rbloop:
+	VMOVUPD (SI), Y0
+	VMOVUPD (BX), Y5
+	VCMPPD $0x1E, Y2, Y0, Y4  // mask = x > 0
+	VANDPD Y4, Y5, Y0
+	VMOVUPD Y0, (DI)
+	ADDQ $32, SI
+	ADDQ $32, BX
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  rbloop
+
+rbdone:
+	VZEROUPPER
+	RET

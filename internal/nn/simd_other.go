@@ -1,0 +1,28 @@
+//go:build !amd64
+
+package nn
+
+// Non-amd64 builds use the pure-Go batched kernels, which the SIMD paths are
+// bit-identical to by construction.
+
+var simdAvailable = false
+var simdEnabled = false
+
+func denseForwardBlockASM(w, bias, xt, yt *float64, in, out int)      { panic("nn: no simd") } //lint:allow panicfree unreachable: simdEnabled is false on this platform
+func denseBackwardDXBlockASM(w, gvt, gxt *float64, in, out int)       { panic("nn: no simd") } //lint:allow panicfree unreachable: simdEnabled is false on this platform
+func denseBackwardDWBlockASM(gw, gvt, x0, x1, x2, x3 *float64, in, in4, out int) {
+	panic("nn: no simd") //lint:allow panicfree unreachable: simdEnabled is false on this platform
+}
+
+func adamStepASM(w, grad, m, v *float64, n int, b1, omb1, b2, omb2, c1, c2, rate, eps float64) {
+	panic("nn: no simd") //lint:allow panicfree unreachable: simdEnabled is false on this platform
+}
+
+func leakyForwardASM(x, y *float64, n int, alpha float64) { panic("nn: no simd") } //lint:allow panicfree unreachable: simdEnabled is false on this platform
+func leakyBackwardASM(x, grad, gx *float64, n int, alpha float64) {
+	panic("nn: no simd") //lint:allow panicfree unreachable: simdEnabled is false on this platform
+}
+func reluForwardASM(x, y *float64, n int)      { panic("nn: no simd") } //lint:allow panicfree unreachable: simdEnabled is false on this platform
+func reluBackwardASM(x, grad, gx *float64, n int) {
+	panic("nn: no simd") //lint:allow panicfree unreachable: simdEnabled is false on this platform
+}

@@ -1,0 +1,198 @@
+// Package parallel is the compute-core scheduling layer shared by the
+// numeric packages (nn, gbt, kernel). It provides a persistent worker pool
+// with allocation-free dispatch, so steady-state training loops can fan
+// work out across CPUs without churning the garbage collector, plus a
+// process-wide worker-count override used by the determinism tests to pin
+// the pool to an arbitrary width.
+//
+// Determinism contract: the pool schedules work items in an arbitrary
+// order, so callers must make every item independent — disjoint output
+// ranges, per-item scratch — and perform any floating-point reduction
+// themselves in a fixed item order after Wait returns. Under that contract
+// results are byte-identical at any worker count, which is what the chaos
+// tests and the nondeterminism lint rule rely on.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// task is one unit of work flowing through the pool. Tasks travel by value
+// through a buffered channel, so dispatch allocates nothing.
+type task struct {
+	fn func(int)
+	i  int
+	wg *sync.WaitGroup
+}
+
+var (
+	// workerOverride, when > 0, caps the number of items run concurrently.
+	// 1 forces fully inline serial execution.
+	workerOverride atomic.Int64
+
+	poolOnce  sync.Once
+	poolTasks chan task
+)
+
+// Workers reports the effective worker count: the override when set,
+// otherwise GOMAXPROCS.
+func Workers() int {
+	if w := workerOverride.Load(); w > 0 {
+		return int(w)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the worker count; n <= 0 restores the GOMAXPROCS
+// default. It exists for tests and benchmarks that pin the trainer to a
+// specific width; results are identical at any setting by construction.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerOverride.Store(int64(n))
+}
+
+// startPool lazily starts the process-wide worker goroutines. The pool is
+// sized to the machine (not the override): the override only gates whether
+// callers dispatch to it at all, so shrinking it never requires stopping
+// goroutines.
+func startPool() {
+	poolOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		if n < 1 {
+			n = 1
+		}
+		poolTasks = make(chan task, 4*n+16)
+		for i := 0; i < n; i++ {
+			go func() {
+				for t := range poolTasks {
+					t.fn(t.i)
+					if t.wg != nil {
+						t.wg.Done()
+					}
+				}
+			}()
+		}
+	})
+}
+
+// Runner repeatedly fans a fixed worker function out over item ranges with
+// zero allocations per cycle: the drain closure is built once, helpers are
+// enqueued by value, and completion is tracked per item. It is built once
+// per scratch arena and reused for every training step.
+//
+// A Runner must not have two Run calls in flight at once, and fn must treat
+// items as independent (disjoint outputs; caller reduces in fixed order).
+type Runner struct {
+	fn      func(int)
+	n       atomic.Int64
+	next    atomic.Int64
+	helpers sync.WaitGroup
+	drain   func(int)
+}
+
+// NewRunner builds a Runner around fn. The per-cycle item count is passed
+// to Run; fn(i) is invoked for i in [0, n).
+func NewRunner(fn func(int)) *Runner {
+	r := &Runner{fn: fn}
+	r.drain = func(int) {
+		for {
+			i := r.next.Add(1)
+			if i >= r.n.Load() {
+				return
+			}
+			r.fn(int(i))
+		}
+	}
+	return r
+}
+
+// Run executes fn(i) for i in [0, n), inline when the pool is pinned to one
+// worker (or n == 1), otherwise across the pool with the calling goroutine
+// participating. Helper dispatch never blocks, so Run cannot deadlock even
+// on a saturated pool — the caller then drains every item itself. Run waits
+// for its helpers before returning, so no helper ever observes a later
+// cycle's counters.
+func (r *Runner) Run(n int) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 || Workers() == 1 {
+		for i := 0; i < n; i++ {
+			r.fn(i)
+		}
+		return
+	}
+	startPool()
+	r.n.Store(int64(n))
+	r.next.Store(-1)
+	helpers := Workers() - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	for w := 0; w < helpers; w++ {
+		r.helpers.Add(1)
+		select {
+		case poolTasks <- task{fn: r.drain, wg: &r.helpers}:
+		default:
+			r.helpers.Done()
+		}
+	}
+	r.drain(0)
+	r.helpers.Wait()
+}
+
+// For runs fn(i) for i in [0, n) across the pool and waits for completion.
+// It is the convenience entry point for coarse-grained loops (per-feature
+// split scans, Gram-matrix rows); it allocates a closure per call, so hot
+// loops that must stay allocation-free should hold a Group and a persistent
+// closure instead.
+//
+// The calling goroutine participates in draining the work items, and helper
+// dispatch never blocks, so For cannot deadlock even when every pool worker
+// is busy (including the nested case of a For inside a pool task — the
+// caller just runs every item itself).
+func For(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 || Workers() == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	startPool()
+	var items sync.WaitGroup
+	items.Add(n)
+	var next atomic.Int64
+	next.Store(-1)
+	drain := func(int) {
+		for {
+			i := int(next.Add(1))
+			if i >= n {
+				return
+			}
+			fn(i)
+			items.Done()
+		}
+	}
+	helpers := Workers() - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	for w := 0; w < helpers; w++ {
+		// Best-effort enqueue: a full queue means the pool is saturated and
+		// the caller will drain the items itself. A helper that runs after
+		// the items are gone exits immediately.
+		select {
+		case poolTasks <- task{fn: drain}:
+		default:
+		}
+	}
+	drain(0)
+	items.Wait()
+}

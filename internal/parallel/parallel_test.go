@@ -1,0 +1,77 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		SetWorkers(workers)
+		t.Cleanup(func() { SetWorkers(0) })
+		for _, n := range []int{0, 1, 3, 64, 1000} {
+			counts := make([]int32, n)
+			For(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: item %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestNestedForDoesNotDeadlock(t *testing.T) {
+	SetWorkers(4)
+	t.Cleanup(func() { SetWorkers(0) })
+	var total atomic.Int64
+	For(8, func(i int) {
+		For(8, func(j int) { total.Add(1) })
+	})
+	if got := total.Load(); got != 64 {
+		t.Fatalf("nested For ran %d inner items, want 64", got)
+	}
+}
+
+func TestRunnerCoversEveryItemAcrossCycles(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		SetWorkers(workers)
+		t.Cleanup(func() { SetWorkers(0) })
+		var counts []int32
+		r := NewRunner(func(i int) { atomic.AddInt32(&counts[i], 1) })
+		// Growing and shrinking cycle sizes exercise the cross-cycle
+		// counter-reset path.
+		for _, n := range []int{4, 16, 2, 9, 16} {
+			counts = make([]int32, n)
+			r.Run(n)
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: item %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestRunnerZeroAllocsSteadyState(t *testing.T) {
+	SetWorkers(2)
+	t.Cleanup(func() { SetWorkers(0) })
+	var sink atomic.Int64
+	r := NewRunner(func(i int) { sink.Add(int64(i)) })
+	r.Run(8) // warm the pool
+	avg := testing.AllocsPerRun(100, func() { r.Run(8) })
+	if avg != 0 {
+		t.Errorf("Runner.Run allocates %v per cycle, want 0", avg)
+	}
+}
+
+func TestSetWorkersClampsAndRestores(t *testing.T) {
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Errorf("Workers() = %d, want 3", Workers())
+	}
+	SetWorkers(-5)
+	if Workers() < 1 {
+		t.Errorf("Workers() = %d after reset, want >= 1", Workers())
+	}
+}

@@ -32,6 +32,8 @@ const (
 	mGamma           = "warper_gamma"
 	mDeltaM          = "warper_delta_m"
 	mDeltaJS         = "warper_delta_js"
+	mTrainSamples    = "warper_train_samples_total"
+	mTrainThroughput = "warper_train_samples_per_second"
 
 	// Resilience metrics (fault-tolerant annotation pipeline).
 	mAnnRetries    = "warper_annotate_retries_total"
@@ -66,6 +68,8 @@ type Metrics struct {
 	gamma     *obs.Gauge
 	deltaM    *obs.Gauge
 	deltaJS   *obs.Gauge
+	trained   *obs.Counter
+	trainTput *obs.Gauge
 
 	annRetries    *obs.Counter
 	annTimeouts   *obs.Counter
@@ -99,6 +103,8 @@ func NewMetrics() *Metrics {
 	r.Help(mGamma, "Current adequate-label threshold gamma.")
 	r.Help(mDeltaM, "Accuracy-gap drift metric delta_m from the last period.")
 	r.Help(mDeltaJS, "Workload-distance drift metric delta_js from the last period.")
+	r.Help(mTrainSamples, "Minibatch rows consumed by component training across all periods.")
+	r.Help(mTrainThroughput, "Component training throughput of the last period, in samples per second of busy time.")
 	r.Help(mAnnRetries, "Annotation attempts retried by the resilience wrapper.")
 	r.Help(mAnnTimeouts, "Annotation attempts killed by the per-attempt deadline.")
 	r.Help(mAnnFailed, "Annotation calls that failed for good within a period (after retries).")
@@ -125,6 +131,8 @@ func NewMetrics() *Metrics {
 		gamma:     r.Gauge(mGamma),
 		deltaM:    r.Gauge(mDeltaM),
 		deltaJS:   r.Gauge(mDeltaJS),
+		trained:   r.Counter(mTrainSamples),
+		trainTput: r.Gauge(mTrainThroughput),
 
 		annRetries:    r.Counter(mAnnRetries),
 		annTimeouts:   r.Counter(mAnnTimeouts),
@@ -170,6 +178,10 @@ func (m *Metrics) PeriodDone(st warper.PeriodStats) {
 	m.gamma.Set(float64(st.Gamma))
 	m.deltaM.Set(st.DeltaM)
 	m.deltaJS.Set(st.DeltaJS)
+	m.trained.Add(int64(st.TrainedSamples))
+	if s := st.Busy.Seconds(); s > 0 && st.TrainedSamples > 0 {
+		m.trainTput.Set(float64(st.TrainedSamples) / s)
+	}
 	if st.Partial {
 		m.periodPartial.Inc()
 	}

@@ -202,15 +202,24 @@ func TestEstimatesServableDuringPeriod(t *testing.T) {
 		r := postJSON(t, ts.URL+"/period", struct{}{}, nil)
 		periodDone <- r.StatusCode
 	}()
-	// Wait until the period actually holds the period lock.
+	// Wait until the period actually holds the period lock — or has already
+	// finished (batched component training can complete a period faster
+	// than this poll loop observes the lock).
 	deadline := time.Now().Add(5 * time.Second)
 	for srv.periodMu.TryLock() {
 		srv.periodMu.Unlock()
+		select {
+		case code := <-periodDone:
+			periodDone <- code // re-buffer for the final status check
+			goto estimates
+		default:
+		}
 		if time.Now().After(deadline) {
 			t.Fatal("period never started")
 		}
 		time.Sleep(time.Millisecond)
 	}
+estimates:
 	// Estimates must complete while the period is in flight.
 	served := 0
 	client := &http.Client{Timeout: 5 * time.Second}

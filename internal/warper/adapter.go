@@ -150,6 +150,10 @@ type Report struct {
 	EarlyStopped bool
 	// GANLoss carries the last GAN losses when update_MultiTask ran.
 	GANLoss ganLoss
+	// TrainedSamples is the number of minibatch rows the learned components
+	// (𝔼/𝔾/𝔻) consumed this period; TrainedSamples/Busy is the training
+	// throughput an operator watches when sizing the adaptation budget.
+	TrainedSamples int
 	// Busy is the compute charged to the virtual clock this period.
 	Busy time.Duration
 

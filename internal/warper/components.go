@@ -31,6 +31,19 @@ type components struct {
 
 	// gtScale normalizes log-cardinality inputs to the encoder.
 	gtScale float64
+
+	// trained counts minibatch rows consumed by AE/discriminator/generator
+	// steps since the last TakeTrained call (feeds the per-period training
+	// throughput in PeriodStats and /metrics).
+	trained int
+}
+
+// TakeTrained returns the number of samples trained since the last call and
+// resets the counter.
+func (c *components) TakeTrained() int {
+	n := c.trained
+	c.trained = 0
+	return n
 }
 
 // Optimizer4 aliases nn.Optimizer; named to keep struct alignment readable.
@@ -94,14 +107,22 @@ func newComponents(cfg Config, sch *query.Schema, nRows int, rng *rand.Rand) *co
 // ground truth labels as an additional input ... whenever they are available
 // and up-to-date").
 func (c *components) encoderInput(e *pool.Entry) []float64 {
-	feat := e.Pred.Featurize(c.sch)
-	in := make([]float64, len(feat)+2)
-	copy(in, feat)
-	if e.HasGT() {
-		in[len(feat)] = math.Log1p(e.GT) / c.gtScale
-		in[len(feat)+1] = 1
-	}
+	in := make([]float64, c.sch.FeatureDim()+2)
+	c.encoderInputInto(e, in)
 	return in
+}
+
+// encoderInputInto writes the 𝔼 input for e into dst (len FeatureDim()+2).
+func (c *components) encoderInputInto(e *pool.Entry, dst []float64) {
+	feat := e.Pred.Featurize(c.sch)
+	d := copy(dst, feat)
+	if e.HasGT() {
+		dst[d] = math.Log1p(e.GT) / c.gtScale
+		dst[d+1] = 1
+	} else {
+		dst[d] = 0
+		dst[d+1] = 0
+	}
 }
 
 // Embed computes z = 𝔼(q, gt) and stores it on the entry.
@@ -111,21 +132,30 @@ func (c *components) Embed(e *pool.Entry) []float64 {
 	return e.Z
 }
 
-// EmbedAll refreshes the embedding of every entry (each Algorithm-1
-// invocation re-embeds so stale z never lingers after 𝔼 updates).
-func (c *components) EmbedAll(p *pool.Pool) {
-	for _, e := range p.Entries {
-		c.Embed(e)
+// embedEntries refreshes e.Z for every given entry with one batched 𝔼 pass
+// (duplicate entries are simply re-written with the same value).
+func (c *components) embedEntries(entries []*pool.Entry) {
+	if len(entries) == 0 {
+		return
+	}
+	in := nn.NewMat(len(entries), c.sch.FeatureDim()+2)
+	for i, e := range entries {
+		c.encoderInputInto(e, in.Row(i))
+	}
+	z := c.enc.BatchForward(in)
+	for i, e := range entries {
+		e.Z = append(e.Z[:0], z.Row(i)...)
 	}
 }
 
-// Classify runs 𝔻 on an entry's embedding, storing l' and the confidence s'
-// (the softmax probability that the predicate resembles the new workload).
-func (c *components) Classify(e *pool.Entry) (pool.Source, float64) {
-	if len(e.Z) == 0 {
-		c.Embed(e)
-	}
-	probs := nn.Softmax(c.disc.Forward(e.Z))
+// EmbedAll refreshes the embedding of every entry (each Algorithm-1
+// invocation re-embeds so stale z never lingers after 𝔼 updates).
+func (c *components) EmbedAll(p *pool.Pool) {
+	c.embedEntries(p.Entries)
+}
+
+// applyClass stores the classification of one softmax row on the entry.
+func applyClass(e *pool.Entry, probs []float64) (pool.Source, float64) {
 	best := classGen
 	for k := 1; k < numClasses; k++ {
 		if probs[k] > probs[best] {
@@ -146,10 +176,35 @@ func (c *components) Classify(e *pool.Entry) (pool.Source, float64) {
 	return src, probs[classNew]
 }
 
-// ClassifyAll refreshes l', s' for the given entries.
+// Classify runs 𝔻 on an entry's embedding, storing l' and the confidence s'
+// (the softmax probability that the predicate resembles the new workload).
+func (c *components) Classify(e *pool.Entry) (pool.Source, float64) {
+	if len(e.Z) != c.embedDim {
+		c.Embed(e)
+	}
+	return applyClass(e, nn.Softmax(c.disc.Forward(e.Z)))
+}
+
+// ClassifyAll refreshes l', s' for the given entries with one batched 𝔻 pass
+// over their embeddings.
 func (c *components) ClassifyAll(entries []*pool.Entry) {
+	if len(entries) == 0 {
+		return
+	}
+	var missing []*pool.Entry
 	for _, e := range entries {
-		c.Classify(e)
+		if len(e.Z) != c.embedDim {
+			missing = append(missing, e)
+		}
+	}
+	c.embedEntries(missing)
+	zm := nn.NewMat(len(entries), c.embedDim)
+	for i, e := range entries {
+		copy(zm.Row(i), e.Z)
+	}
+	logits := c.disc.BatchForward(zm)
+	for i, e := range entries {
+		applyClass(e, nn.Softmax(logits.Row(i)))
 	}
 }
 
@@ -166,30 +221,40 @@ func sampleEntries(entries []*pool.Entry, n int, rng *rand.Rand) []*pool.Entry {
 }
 
 // aeStep runs one autoencoder minibatch: q → 𝔼 → z → 𝔾 → q̂ with L1
-// reconstruction loss (Eq. 1), updating 𝔼 and 𝔾.
+// reconstruction loss (Eq. 1), updating 𝔼 and 𝔾. The whole batch moves
+// through both networks as matrices (one batched forward/backward pair per
+// network instead of per-sample calls).
 func (c *components) aeStep(batch []*pool.Entry) float64 {
 	if len(batch) == 0 {
 		return 0
 	}
+	b := len(batch)
+	featDim := c.sch.FeatureDim()
 	c.enc.ZeroGrad()
 	c.gen.ZeroGrad()
+	in := nn.NewMat(b, featDim+2)
+	for i, e := range batch {
+		c.encoderInputInto(e, in.Row(i))
+	}
+	z := c.enc.BatchForward(in)
+	rec := c.gen.BatchForward(z)
 	var loss nn.L1
 	var total float64
-	for _, e := range batch {
-		in := c.encoderInput(e)
-		target := in[:c.sch.FeatureDim()]
-		z := c.enc.Forward(in)
-		rec := c.gen.Forward(z)
-		total += loss.Loss(rec, target)
-		gz := c.gen.Backward(loss.Grad(rec, target))
-		c.enc.Backward(gz)
+	g := nn.NewMat(b, featDim)
+	for r := 0; r < b; r++ {
+		target := in.Row(r)[:featDim]
+		total += loss.Loss(rec.Row(r), target)
+		copy(g.Row(r), loss.Grad(rec.Row(r), target))
 	}
-	scale := 1 / float64(len(batch))
+	gz := c.gen.BatchBackward(g)
+	c.enc.BatchBackward(gz)
+	c.trained += b
+	scale := 1 / float64(b)
 	scaleGrads(c.enc, scale)
 	scaleGrads(c.gen, scale)
 	c.optEnc.Step(c.enc.Params())
 	c.optGen.Step(c.gen.Params())
-	return total / float64(len(batch))
+	return total / float64(b)
 }
 
 // UpdateAutoEncoder implements update_AutoEncoder (§3.3) over the whole pool
@@ -224,25 +289,34 @@ func (c *components) UpdateAutoEncoder(p *pool.Pool, epochs int) float64 {
 }
 
 // discStep trains 𝔻 on one minibatch with the 3-class cross-entropy
-// 𝓛_discr = CE(l, l_d). 𝔼 provides embeddings but is held fixed here; it
-// learns through the autoencoder task each iteration.
+// 𝓛_discr = CE(l, l_d). 𝔼 provides embeddings (one batched forward, fresh so
+// post-AE-step weights are used) but is held fixed here; it learns through
+// the autoencoder task each iteration.
 func (c *components) discStep(batch []*pool.Entry) float64 {
 	if len(batch) == 0 {
 		return 0
 	}
+	b := len(batch)
 	c.disc.ZeroGrad()
+	in := nn.NewMat(b, c.sch.FeatureDim()+2)
+	for i, e := range batch {
+		c.encoderInputInto(e, in.Row(i))
+	}
+	z := c.enc.BatchForward(in)
+	logits := c.disc.BatchForward(z)
 	var loss nn.SoftmaxCrossEntropy
 	var total float64
-	for _, e := range batch {
-		z := c.enc.Forward(c.encoderInput(e))
-		logits := c.disc.Forward(z)
-		target := nn.OneHot(numClasses, classOf(e.Source))
-		total += loss.Loss(logits, target)
-		c.disc.Backward(loss.Grad(logits, target))
+	g := nn.NewMat(b, numClasses)
+	for r := 0; r < b; r++ {
+		target := nn.OneHot(numClasses, classOf(batch[r].Source))
+		total += loss.Loss(logits.Row(r), target)
+		copy(g.Row(r), loss.Grad(logits.Row(r), target))
 	}
-	scaleGrads(c.disc, 1/float64(len(batch)))
+	c.disc.BatchBackward(g)
+	c.trained += b
+	scaleGrads(c.disc, 1/float64(b))
 	c.optDisc.Step(c.disc.Params())
-	return total / float64(len(batch))
+	return total / float64(b)
 }
 
 // genAnchorWeight balances the adversarial objective against an L1 anchor to
@@ -261,50 +335,63 @@ func (c *components) genStep(seeds []*pool.Entry, sigma []float64) float64 {
 	if len(seeds) == 0 {
 		return 0
 	}
-	c.enc.ZeroGrad()
+	b := len(seeds)
+	featDim := c.sch.FeatureDim()
 	c.gen.ZeroGrad()
-	c.disc.ZeroGrad()
 	var ce nn.SoftmaxCrossEntropy
 	var l1 nn.L1
 	target := nn.OneHot(numClasses, classNew)
-	var total float64
+
+	var missing []*pool.Entry
 	for _, seed := range seeds {
 		if len(seed.Z) != c.embedDim {
-			c.Embed(seed)
+			missing = append(missing, seed)
 		}
-		zin := c.noisy(seed.Z, sigma)
-		feat := c.gen.Forward(zin)
-		anchor := seed.Pred.Featurize(c.sch)
-		encIn := c.withoutGT(feat)
-		z2 := c.enc.Forward(encIn)
-		logits := c.disc.Forward(z2)
-		total += genAdvWeight*ce.Loss(logits, target) + genAnchorWeight*l1.Loss(feat, anchor)
-		gCE := ce.Grad(logits, target)
-		for i := range gCE {
-			gCE[i] *= genAdvWeight
-		}
-		gz2 := c.disc.Backward(gCE)
-		gEncIn := c.enc.Backward(gz2)
-		gFeat := gEncIn[:c.sch.FeatureDim()]
-		for i, g := range l1.Grad(feat, anchor) {
-			gFeat[i] += genAnchorWeight * g
-		}
-		c.gen.Backward(gFeat)
 	}
-	scaleGrads(c.gen, 1/float64(len(seeds)))
-	// 𝔻 and 𝔼 accumulated gradients are discarded: only 𝔾 steps here.
-	c.disc.ZeroGrad()
-	c.enc.ZeroGrad()
-	c.optGen.Step(c.gen.Params())
-	return total / float64(len(seeds))
-}
+	c.embedEntries(missing)
+	zin := nn.NewMat(b, c.embedDim)
+	for i, seed := range seeds {
+		copy(zin.Row(i), c.noisy(seed.Z, sigma))
+	}
+	feat := c.gen.BatchForward(zin)
+	// Pad generated featurizations into encoder inputs; the two gt slots
+	// stay zero (no ground truth for synthetic queries).
+	encIn := nn.NewMat(b, featDim+2)
+	for r := 0; r < b; r++ {
+		copy(encIn.Row(r), feat.Row(r))
+	}
+	z2 := c.enc.BatchForward(encIn)
+	logits := c.disc.BatchForward(z2)
 
-// withoutGT pads a generated featurization into an encoder input with the
-// no-ground-truth signal.
-func (c *components) withoutGT(feat []float64) []float64 {
-	in := make([]float64, len(feat)+2)
-	copy(in, feat)
-	return in
+	anchors := make([][]float64, b)
+	var total float64
+	gCE := nn.NewMat(b, numClasses)
+	for r := 0; r < b; r++ {
+		anchors[r] = seeds[r].Pred.Featurize(c.sch)
+		total += genAdvWeight*ce.Loss(logits.Row(r), target) + genAnchorWeight*l1.Loss(feat.Row(r), anchors[r])
+		g := ce.Grad(logits.Row(r), target)
+		row := gCE.Row(r)
+		for i := range g {
+			row[i] = genAdvWeight * g[i]
+		}
+	}
+	// Gradients flow through 𝔻 and 𝔼 as data only (BatchBackwardData skips
+	// parameter-gradient accumulation): only 𝔾 steps here.
+	gz2 := c.disc.BatchBackwardData(gCE)
+	gEncIn := c.enc.BatchBackwardData(gz2)
+	gFeat := nn.NewMat(b, featDim)
+	for r := 0; r < b; r++ {
+		row := gFeat.Row(r)
+		copy(row, gEncIn.Row(r)[:featDim])
+		for i, g := range l1.Grad(feat.Row(r), anchors[r]) {
+			row[i] += genAnchorWeight * g
+		}
+	}
+	c.gen.BatchBackward(gFeat)
+	c.trained += b
+	scaleGrads(c.gen, 1/float64(b))
+	c.optGen.Step(c.gen.Params())
+	return total / float64(b)
 }
 
 // noiseScale shrinks the ε noise below the raw per-dimension embedding std:
@@ -404,16 +491,31 @@ func (c *components) UpdateMultiTask(p *pool.Pool, nIters int) ganLoss {
 	return last
 }
 
+// generateFeats synthesizes n featurizations seeded from random
+// new-workload embeddings: one batched 𝔼 refresh over the picks (𝔼 may have
+// changed since their Z was cached) plus one batched 𝔾 pass. The returned
+// matrix is a scratch view valid until the next 𝔾 batch operation.
+func (c *components) generateFeats(newEntries []*pool.Entry, n int, sigma []float64) nn.Mat {
+	picks := make([]*pool.Entry, n)
+	for i := range picks {
+		picks[i] = newEntries[c.rng.Intn(len(newEntries))]
+	}
+	c.embedEntries(picks)
+	zin := nn.NewMat(n, c.embedDim)
+	for i, e := range picks {
+		copy(zin.Row(i), c.noisy(e.Z, sigma))
+	}
+	return c.gen.BatchForward(zin)
+}
+
 // generateEntries synthesizes n throwaway entries (not added to the pool)
 // for discriminator training.
 func (c *components) generateEntries(newEntries []*pool.Entry, n int, sigma []float64) []*pool.Entry {
-	out := make([]*pool.Entry, 0, n)
-	for i := 0; i < n; i++ {
-		e := newEntries[c.rng.Intn(len(newEntries))]
-		c.Embed(e) // re-embed: 𝔼 may have changed since e.Z was cached
-		feat := c.gen.Forward(c.noisy(e.Z, sigma))
-		pred := query.Unfeaturize(feat, c.sch)
-		out = append(out, &pool.Entry{Pred: pred, GT: pool.NoGT, Source: pool.SrcGen})
+	feats := c.generateFeats(newEntries, n, sigma)
+	out := make([]*pool.Entry, n)
+	for i := range out {
+		pred := query.Unfeaturize(feats.Row(i), c.sch)
+		out[i] = &pool.Entry{Pred: pred, GT: pool.NoGT, Source: pool.SrcGen}
 	}
 	return out
 }
@@ -426,12 +528,10 @@ func (c *components) Generate(p *pool.Pool, n int) []query.Predicate {
 		return nil
 	}
 	sigma := c.embeddingStd(newEntries)
-	out := make([]query.Predicate, 0, n)
-	for i := 0; i < n; i++ {
-		e := newEntries[c.rng.Intn(len(newEntries))]
-		c.Embed(e) // re-embed: 𝔼 may have changed since e.Z was cached
-		feat := c.gen.Forward(c.noisy(e.Z, sigma))
-		out = append(out, query.Unfeaturize(feat, c.sch))
+	feats := c.generateFeats(newEntries, n, sigma)
+	out := make([]query.Predicate, n)
+	for i := range out {
+		out[i] = query.Unfeaturize(feats.Row(i), c.sch)
 	}
 	return out
 }

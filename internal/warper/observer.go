@@ -34,7 +34,10 @@ type PeriodStats struct {
 	Gamma        int
 	PoolSize     int
 	Labeled      int
-	Busy         time.Duration
+	// TrainedSamples counts minibatch rows consumed by component training
+	// this period; with Busy it gives the training throughput (samples/sec).
+	TrainedSamples int
+	Busy           time.Duration
 
 	// Degradation outcomes (see Report): a period that lost part of its
 	// annotation batch but proceeded, the number of failed annotation
@@ -63,6 +66,10 @@ type Observer interface {
 // emitPeriod sends the per-stage durations and the summary to the observer,
 // if any. stages is indexed like StageNames.
 func (a *Adapter) emitPeriod(rep *Report, arrivals int, stages *[len(StageNames)]time.Duration) {
+	// Drain the component training counter into the report even when no
+	// observer is wired. Samples trained during a period that errored out
+	// before emitting are attributed to the next emitted period.
+	rep.TrainedSamples = a.comps.TakeTrained()
 	if a.Obs == nil {
 		return
 	}
@@ -81,9 +88,10 @@ func (a *Adapter) emitPeriod(rep *Report, arrivals int, stages *[len(StageNames)
 		DeltaJS:      rep.Detection.DeltaJS,
 		Pi:           a.det.pi,
 		Gamma:        a.det.gamma,
-		PoolSize:     a.Pool.Len(),
-		Labeled:      a.Pool.CountLabeled(),
-		Busy:         rep.Busy,
+		PoolSize:       a.Pool.Len(),
+		Labeled:        a.Pool.CountLabeled(),
+		TrainedSamples: rep.TrainedSamples,
+		Busy:           rep.Busy,
 
 		Partial:           rep.Partial,
 		AnnotateFailed:    rep.AnnotateFailed,

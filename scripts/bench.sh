@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-2 micro-benchmarks for the compute core: nn train step, gbt fit,
+# kernel solve, and an end-to-end adaptation period. Writes BENCH_PR4.json
+# (ns/op, B/op, allocs/op, samples/sec, and reference-vs-optimized speedup
+# ratios). Pass -quick for the single-iteration CI smoke variant, and -out
+# to change the output path.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec go run ./cmd/warperbench -micro "$@"
