@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint chaos check bench bench-smoke
+.PHONY: build test race vet lint chaos check bench bench-serve bench-smoke
 
 build:
 	$(GO) build ./...
@@ -33,13 +33,19 @@ lint:
 chaos:
 	WARPER_CHAOS=1 $(GO) test -race -count=1 -run 'Chaos|Faulty|Degraded' ./internal/serve ./internal/resilience ./internal/warper
 
-# Tier-2 micro-benchmarks for the compute core (nn/gbt/kernel + one full
-# adaptation period), recorded to BENCH_PR4.json. bench-smoke is the
-# single-iteration CI variant: it proves the harness runs, not the numbers.
+# Tier-2 benchmarks. bench: compute-core micro-benchmarks (nn/gbt/kernel +
+# one full adaptation period) → BENCH_PR4.json. bench-serve: concurrent
+# /estimate serving throughput (single-lock baseline vs replica pool vs
+# coalescer, byte-identity checked) → BENCH_PR5.json. bench-smoke runs the
+# quick variant of both: it proves the harnesses run, not the numbers.
 bench:
-	./scripts/bench.sh -out BENCH_PR4.json
+	./scripts/bench.sh micro -out BENCH_PR4.json
+
+bench-serve:
+	./scripts/bench.sh serve -out BENCH_PR5.json
 
 bench-smoke:
-	./scripts/bench.sh -quick -out /tmp/bench-smoke.json
+	./scripts/bench.sh micro -quick -out /tmp/bench-smoke.json
+	./scripts/bench.sh serve -quick -out /tmp/bench-serve-smoke.json
 
 check: build vet lint test race chaos

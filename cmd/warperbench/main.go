@@ -23,19 +23,35 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id to run, or 'all'")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		quick = flag.Bool("quick", false, "use the shrunken quick scale")
-		runs  = flag.Int("runs", 0, "override repetitions per configuration")
-		seed  = flag.Int64("seed", 1, "base random seed")
-		micro = flag.Bool("micro", false, "run the compute-core micro-benchmarks and write JSON")
-		out   = flag.String("out", "BENCH_PR4.json", "output path for -micro results")
+		exp    = flag.String("exp", "", "experiment id to run, or 'all'")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		quick  = flag.Bool("quick", false, "use the shrunken quick scale")
+		runs   = flag.Int("runs", 0, "override repetitions per configuration")
+		seed   = flag.Int64("seed", 1, "base random seed")
+		micro  = flag.Bool("micro", false, "run the compute-core micro-benchmarks and write JSON")
+		sbench = flag.Bool("servebench", false, "run the concurrent /estimate serving benchmark and write JSON")
+		out    = flag.String("out", "", "output path (default BENCH_PR4.json for -micro, BENCH_PR5.json for -servebench)")
 	)
 	flag.Parse()
 
 	if *micro {
-		if err := runMicro(*out, *quick); err != nil {
+		path := *out
+		if path == "" {
+			path = "BENCH_PR4.json"
+		}
+		if err := runMicro(path, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, "micro:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *sbench {
+		path := *out
+		if path == "" {
+			path = "BENCH_PR5.json"
+		}
+		if err := runServeBench(path, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "servebench:", err)
 			os.Exit(1)
 		}
 		return

@@ -20,6 +20,7 @@
 //	warperd -addr :8080 -dataset prsa                 # synthetic table
 //	warperd -addr :8080 -csv mydata.csv -model lm-mlp # your own CSV
 //	warperd -addr :8080 -pprof -log-level debug       # full observability
+//	warperd -replicas 8 -batch-window 200us           # concurrent serving tuning
 //	warperd -faults 0.2 -fault-hang 0.05 -annotate-timeout 500ms  # chaos mode
 package main
 
@@ -54,6 +55,12 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		pprofOn   = flag.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints")
+
+		// Concurrent serving. Replicas are deep model clones checked out per
+		// estimate; batching coalesces queued estimates into one forward pass.
+		replicas    = flag.Int("replicas", 0, "serving replicas (0 = GOMAXPROCS)")
+		batchWindow = flag.Duration("batch-window", 0, "estimate micro-batching window (0 = off)")
+		batchMax    = flag.Int("batch-max", 0, "max estimates per coalesced batch (0 = default 64)")
 
 		// Fault tolerance. The resilience wrapper always guards period-time
 		// annotation; the -faults* flags additionally inject deterministic
@@ -147,6 +154,9 @@ func main() {
 		Logger:        logger,
 		EnablePprof:   *pprofOn,
 		PeriodTimeout: *periodTimeout,
+		Replicas:      *replicas,
+		BatchWindow:   *batchWindow,
+		BatchMax:      *batchMax,
 	})
 
 	// Route period-time annotation through the resilience stack: optional

@@ -52,12 +52,40 @@ type Estimator interface {
 	// model built from.
 	Update(examples []query.Labeled) error
 	// Estimate returns the predicted cardinality for a predicate.
+	//
+	// Estimate is NOT safe for concurrent use on one model value: forward
+	// passes write model-owned scratch buffers (layer activations, batch
+	// feature matrices). Concurrent serving must give each goroutine its
+	// own clone — see Clone and the serve package's replica pool.
 	Estimate(p query.Predicate) float64
 	// Policy reports whether Update fine-tunes or re-trains.
 	Policy() UpdatePolicy
 	// Clone returns an independent deep copy of the current model.
+	//
+	// The clone contract, which the replica-pool serving path depends on:
+	//   - the clone shares NO mutable state with the source: parameters are
+	//     deep-copied and scratch buffers are never aliased, so the clone
+	//     and the source can run Estimate concurrently with each other;
+	//   - the clone is estimate-identical to the source: Estimate on the
+	//     clone returns bit-identical float64s for every predicate;
+	//   - Clone may read (and advance) the source's RNG to seed the clone's,
+	//     so Clone itself must not race with other Clone/Train/Update calls
+	//     on the same source.
 	Clone() Estimator
 	Name() string
+}
+
+// InPlaceCloner is implemented by estimators that can overwrite a previous
+// clone in place, reusing its parameter and scratch memory. The serving
+// replica pool uses it so a model swap re-points N replicas without
+// re-allocating N models.
+type InPlaceCloner interface {
+	Estimator
+	// CloneInto makes dst estimate-identical to the receiver, reusing
+	// dst's memory where shapes allow. It reports false — leaving dst
+	// untouched — when dst is not a compatible target (different concrete
+	// type, variant, or dimensions); callers then fall back to Clone.
+	CloneInto(dst Estimator) bool
 }
 
 // JoinEstimator extends Estimator to key–foreign-key join queries (MSCN).

@@ -2,6 +2,8 @@ package ce
 
 import (
 	"testing"
+
+	"warper/internal/query"
 )
 
 // Re-train-backed LM variants share the immutable fitted model across
@@ -36,6 +38,79 @@ func TestMSCNCloneIsolation(t *testing.T) {
 	m.Update(train[:50])
 	if after := EvalGMQ(clone, test); after != before {
 		t.Error("MSCN clone shares weights with original")
+	}
+}
+
+// TestCloneIntoEstimateIdentical pins the InPlaceCloner contract for every
+// LM variant: after CloneInto, the destination answers bit-identically to
+// the source, including on the batched path.
+func TestCloneIntoEstimateIdentical(t *testing.T) {
+	_, sch, train, test := fixture(t, 250, 40)
+	for _, v := range []LMVariant{LMMLP, LMGBT, LMPly, LMRBF} {
+		src := NewLM(v, sch, 11)
+		dst := NewLM(v, sch, 12)
+		trainOK(t, src, train)
+		trainOK(t, dst, train[:150]) // different weights than src
+		if !src.CloneInto(dst) {
+			t.Fatalf("%s: CloneInto refused matching shapes", v)
+		}
+		preds := make([]query.Predicate, len(test))
+		for i, l := range test {
+			preds[i] = l.Pred
+		}
+		out := make([]float64, len(preds))
+		dst.EstimateAll(preds, out)
+		for i, p := range preds {
+			want := src.Estimate(p)
+			if got := dst.Estimate(p); got != want {
+				t.Fatalf("%s: dst.Estimate = %v, src = %v", v, got, want)
+			}
+			if out[i] != want {
+				t.Fatalf("%s: dst.EstimateAll[%d] = %v, src = %v", v, i, out[i], want)
+			}
+		}
+	}
+}
+
+// TestCloneIntoIsolation checks that CloneInto severs all mutable state:
+// updating the source afterwards must not move the destination's answers.
+func TestCloneIntoIsolation(t *testing.T) {
+	_, sch, train, test := fixture(t, 250, 40)
+	src := NewLM(LMMLP, sch, 13)
+	dst := NewLM(LMMLP, sch, 14)
+	trainOK(t, src, train)
+	trainOK(t, dst, train[:150])
+	if !src.CloneInto(dst) {
+		t.Fatal("CloneInto refused matching shapes")
+	}
+	before := EvalGMQ(dst, test)
+	updateOK(t, src, train[:100])
+	if after := EvalGMQ(dst, test); after != before {
+		t.Errorf("destination moved with the source: before=%v after=%v", before, after)
+	}
+}
+
+// TestCloneIntoRejectsMismatch checks the fallback seam: incompatible
+// destinations are refused so callers fall back to a full Clone.
+func TestCloneIntoRejectsMismatch(t *testing.T) {
+	_, sch, train, _ := fixture(t, 250, 1)
+	src := NewLM(LMMLP, sch, 15)
+	trainOK(t, src, train)
+
+	other := NewLM(LMGBT, sch, 16)
+	trainOK(t, other, train[:150])
+	if src.CloneInto(other) {
+		t.Error("CloneInto accepted a different variant")
+	}
+	if src.CloneInto(src) {
+		t.Error("CloneInto accepted the receiver itself")
+	}
+	// A destination built on a different schema object is refused even if
+	// the shapes happen to agree: normalization state could differ.
+	_, sch2, _, _ := fixture(t, 1, 1)
+	foreign := NewLM(LMMLP, sch2, 17)
+	if src.CloneInto(foreign) {
+		t.Error("CloneInto accepted a destination on a different schema")
 	}
 }
 

@@ -20,6 +20,13 @@ type LM struct {
 	name    string
 	policy  UpdatePolicy
 	rng     *rand.Rand
+
+	// batchBuf backs the feature matrix EstimateAll builds for batched MLP
+	// inference. It is model-owned scratch (like the layers' forward
+	// buffers): grown on demand, reused across calls, and never shared
+	// between clones — Clone and CloneInto reset it so two models can batch
+	// concurrently.
+	batchBuf []float64
 }
 
 // lmBackend is the pluggable regressor behind LM. fit and finetune report
@@ -32,6 +39,9 @@ type lmBackend interface {
 	finetune(X [][]float64, y []float64, rng *rand.Rand) (bool, error)
 	predict(x []float64) float64
 	clone() lmBackend
+	// cloneInto copies the backend's model into dst in place, reusing
+	// dst's memory; false means dst is shape-incompatible and untouched.
+	cloneInto(dst lmBackend) bool
 }
 
 // LMVariant names an LM backend.
@@ -105,11 +115,18 @@ func (lm *LM) EstimateAll(ps []query.Predicate, out []float64) {
 		panic("ce: EstimateAll length mismatch") //lint:allow panicfree caller-side slice-length contract
 	}
 	if mlp, ok := lm.backend.(*mlpBackend); ok && len(ps) > 0 {
-		X := make([][]float64, len(ps))
-		for i := range ps {
-			X[i] = ps[i].Featurize(lm.Schema)
+		// Featurize straight into the model-owned batch matrix, so the
+		// steady-state serving coalescer performs no allocations here.
+		in := lm.Schema.FeatureDim()
+		need := len(ps) * in
+		if cap(lm.batchBuf) < need {
+			lm.batchBuf = make([]float64, need)
 		}
-		mlp.predictAll(X, out)
+		X := nn.Mat{Rows: len(ps), Cols: in, Stride: in, Data: lm.batchBuf[:need]}
+		for i := range ps {
+			ps[i].FeaturizeInto(lm.Schema, X.Row(i))
+		}
+		mlp.predictAllMat(X, out)
 		for i := range out {
 			out[i] = targetToCard(out[i])
 		}
@@ -126,12 +143,31 @@ func (lm *LM) Policy() UpdatePolicy { return lm.policy }
 // Name implements Estimator.
 func (lm *LM) Name() string { return lm.name }
 
-// Clone implements Estimator.
+// Clone implements Estimator. The clone gets fresh backend scratch and its
+// own batch buffer, so it can serve estimates concurrently with the source.
 func (lm *LM) Clone() Estimator {
 	c := *lm
 	c.backend = lm.backend.clone()
 	c.rng = rand.New(rand.NewSource(lm.rng.Int63()))
+	c.batchBuf = nil
 	return &c
+}
+
+// CloneInto implements InPlaceCloner: it makes dst estimate-identical to lm
+// while reusing dst's parameter and scratch memory. dst must be an LM of
+// the same variant over the same schema (the shape a replica refreshed from
+// an earlier generation of the same model always has).
+func (lm *LM) CloneInto(dst Estimator) bool {
+	d, ok := dst.(*LM)
+	if !ok || d == lm || d.name != lm.name || d.Schema != lm.Schema {
+		return false
+	}
+	if !lm.backend.cloneInto(d.backend) {
+		return false
+	}
+	d.policy = lm.policy
+	d.rng = rand.New(rand.NewSource(lm.rng.Int63()))
+	return true
 }
 
 func (lm *LM) featurizeAll(examples []query.Labeled) ([][]float64, []float64) {
@@ -190,18 +226,31 @@ func (b *mlpBackend) run(X [][]float64, y []float64, epochs int, rng *rand.Rand)
 
 func (b *mlpBackend) predict(x []float64) float64 { return b.net.Forward(x)[0] }
 
-// predictAll runs one batched forward pass over all rows of X, using the
-// network's minibatch kernels instead of len(X) per-sample Forward calls.
-func (b *mlpBackend) predictAll(X [][]float64, out []float64) {
-	m := nn.NewMat(len(X), b.in)
-	m.CopyFromRows(X)
-	y := b.net.BatchForward(m)
+// predictAllMat runs one batched forward pass over the rows of X, using the
+// network's minibatch kernels instead of X.Rows per-sample Forward calls.
+// X must already hold the featurized predicates. The tile-resident
+// InferBatch path serves full 4-row blocks without materializing activation
+// matrices; where it cannot run it falls back to BatchForward, which is
+// byte-identical by the same contract.
+func (b *mlpBackend) predictAllMat(X nn.Mat, out []float64) {
+	if b.net.InferBatch(X, out) {
+		return
+	}
+	y := b.net.BatchForward(X)
 	for i := range out {
 		out[i] = y.Row(i)[0]
 	}
 }
 
 func (b *mlpBackend) clone() lmBackend { return &mlpBackend{net: b.net.Clone(), in: b.in} }
+
+func (b *mlpBackend) cloneInto(dst lmBackend) bool {
+	d, ok := dst.(*mlpBackend)
+	if !ok || d == b || d.in != b.in {
+		return false
+	}
+	return b.net.CloneInto(d.net)
+}
 
 // --- GBT backend -----------------------------------------------------------
 
@@ -236,6 +285,15 @@ func (b *gbtBackend) clone() lmBackend {
 	// The fitted ensemble is immutable after Fit, so sharing it is safe; a
 	// subsequent fit replaces the pointer rather than mutating trees.
 	return &gbtBackend{cfg: b.cfg, model: b.model}
+}
+
+func (b *gbtBackend) cloneInto(dst lmBackend) bool {
+	d, ok := dst.(*gbtBackend)
+	if !ok {
+		return false
+	}
+	d.cfg, d.model = b.cfg, b.model // immutable ensemble: pointer copy suffices
+	return true
 }
 
 // --- Kernel ridge backend (LM-ply / LM-rbf) ---------------------------------
@@ -276,3 +334,12 @@ func (b *krrBackend) predict(x []float64) float64 {
 }
 
 func (b *krrBackend) clone() lmBackend { return &krrBackend{cfg: b.cfg, model: b.model} }
+
+func (b *krrBackend) cloneInto(dst lmBackend) bool {
+	d, ok := dst.(*krrBackend)
+	if !ok {
+		return false
+	}
+	d.cfg, d.model = b.cfg, b.model // fitted regressor is immutable: pointer copy
+	return true
+}

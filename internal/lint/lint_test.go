@@ -126,8 +126,8 @@ func TestPanicFreeComputeCoreFixture(t *testing.T) {
 
 func TestLockHygieneFixture(t *testing.T) {
 	diags := checkFixture(t, LockHygiene, "lockhygiene/serve")
-	if len(diags) != 2 {
-		t.Errorf("got %d diagnostics, want 2 (TryLock and post-unlock calls are exempt)", len(diags))
+	if len(diags) != 4 {
+		t.Errorf("got %d diagnostics, want 4 (TryLock, post-unlock calls, and refreshMu are exempt)", len(diags))
 	}
 }
 

@@ -13,6 +13,13 @@ import (
 // may run while a sync.Mutex or sync.RWMutex is held via a blocking
 // Lock/RLock. TryLock-guarded regions are exempt — handlePeriod
 // intentionally holds its non-blocking period latch across a full repair.
+//
+// The replica-pool rework adds a second property: the checkout path —
+// replicaPool methods and the server's Estimate method — must stay
+// lock-free, handing replicas over through the free-list channel. Any
+// blocking Lock/RLock there reintroduces the single-lock bottleneck this
+// module exists to remove. refreshMu is the one sanctioned exception: it
+// serializes rare post-swap re-clones, off the common path.
 var LockHygiene = &Analyzer{
 	Name:     "lockhygiene",
 	Doc:      "no model updates, annotation, or I/O while holding a sync lock in internal/serve",
@@ -39,6 +46,9 @@ func runLockHygiene(pass *Pass) {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				body = fn.Body
+				if body != nil && onCheckoutPath(fn) {
+					reportCheckoutLocks(pass, body)
+				}
 			case *ast.FuncLit:
 				body = fn.Body
 			default:
@@ -50,6 +60,55 @@ func runLockHygiene(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// onCheckoutPath reports whether fn belongs to the replica checkout hot
+// path: any method on the replica pool, or the server's public Estimate.
+func onCheckoutPath(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	recv := recvTypeName(fn.Recv.List[0].Type)
+	if recv == "replicaPool" {
+		return true
+	}
+	return fn.Name.Name == "Estimate" && strings.EqualFold(recv, "server")
+}
+
+// recvTypeName unwraps a receiver type expression to its base identifier.
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// reportCheckoutLocks flags every blocking Lock/RLock in a checkout-path
+// body. refreshMu is exempt by name, matching the sanctioned design.
+func reportCheckoutLocks(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		recv, kind := mutexCall(pass, es)
+		if kind != "Lock" && kind != "RLock" {
+			return true
+		}
+		if strings.Contains(recv, "refreshMu") {
+			return true
+		}
+		pass.Reportf(es.Pos(), "blocking %s of %s on the replica checkout path: hand replicas over the free-list channel instead", kind, recv)
+		return true
+	})
 }
 
 // checkLockedRegions scans one statement list. A blocking Lock/RLock on a

@@ -49,3 +49,35 @@ func (s *server) goodTryLock(xs []float64) error {
 	defer s.periodMu.Unlock()
 	return s.model.Update(xs)
 }
+
+type replica struct{ model *model }
+
+type replicaPool struct {
+	free      chan *replica
+	mu        sync.Mutex
+	refreshMu sync.Mutex
+}
+
+// badCheckoutLock funnels every estimate through a mutex — the exact
+// single-lock bottleneck the replica pool exists to remove.
+func (p *replicaPool) badCheckoutLock() *replica {
+	p.mu.Lock() // want "on the replica checkout path"
+	defer p.mu.Unlock()
+	return <-p.free
+}
+
+// goodRefresh: refreshMu serializes rare post-swap re-clones and is the
+// one sanctioned lock on pool methods.
+func (p *replicaPool) goodRefresh(r *replica) {
+	p.refreshMu.Lock()
+	defer p.refreshMu.Unlock()
+	r.model = &model{}
+}
+
+// Estimate reintroduces a blocking serving lock on the public estimate
+// path, which must stay channel-only.
+func (s *server) Estimate() float64 {
+	s.mu.Lock() // want "on the replica checkout path"
+	defer s.mu.Unlock()
+	return s.model.Estimate()
+}

@@ -49,6 +49,11 @@ type scratch struct {
 
 	runner *parallel.Runner
 
+	// fwdOK records whether the activation matrices hold a full
+	// BatchForward result for the current row count; InferBatch clears it
+	// because its tile-resident pass never materializes them.
+	fwdOK bool
+
 	// Per-cycle state: written by the dispatching goroutine before
 	// runner.Run, read by shard workers (the channel hand-off orders it).
 	mode    int
@@ -433,7 +438,76 @@ func (n *Network) BatchForward(x Mat) Mat {
 	}
 	sc.mode = modeForward
 	sc.runner.Run(sc.nShards)
+	sc.fwdOK = true
 	return sc.acts[len(sc.acts)-1]
+}
+
+// InferBatch is the forward-only inference fast path: full 4-row blocks stay
+// in the SIMD lane tile across the entire layer stack — the tile an output
+// kernel writes (o-major) is laid out exactly as the next kernel's input
+// (k-major), and the activation layers are elementwise, so the per-layer
+// gather/scatter that BatchForward pays disappears and only the final scalar
+// output leaves the tile. Each sample's arithmetic runs in the same order as
+// the scalar Forward, so out is byte-identical to it. It writes each row's
+// single output into out[r] and reports false — leaving out untouched — when
+// this network or platform cannot run it (head wider than one output, SIMD
+// unavailable, non-batchable or narrow layers); callers then fall back to
+// BatchForward. Unlike BatchForward it does not fill the activation
+// matrices, so it cannot seed a BatchBackward.
+func (n *Network) InferBatch(x Mat, out []float64) bool {
+	if !simdEnabled || x.Rows == 0 || len(out) < x.Rows {
+		return false
+	}
+	sc := n.ensureScratch(x.Rows, x.Cols)
+	if sc == nil || sc.widths[len(sc.widths)-1] != 1 {
+		return false
+	}
+	for _, l := range n.Layers {
+		if d, ok := l.(*Dense); ok && d.In < 4 {
+			return false
+		}
+	}
+	sc.fwdOK = false
+	tile := sc.tiles[0]
+	q := len(tile) / 4
+	xt, yt := tile[:q], tile[q:2*q]
+	r := 0
+	for ; r+4 <= x.Rows; r += 4 {
+		x0, x1, x2, x3 := x.Row(r), x.Row(r+1), x.Row(r+2), x.Row(r+3)
+		for k := 0; k < x.Cols; k++ {
+			xt[k*4] = x0[k]
+			xt[k*4+1] = x1[k]
+			xt[k*4+2] = x2[k]
+			xt[k*4+3] = x3[k]
+		}
+		cur, nxt := xt, yt
+		w := x.Cols
+		for _, l := range n.Layers {
+			switch t := l.(type) {
+			case *Dense:
+				denseForwardBlockASM(&t.Weight.W[0], &t.Bias.W[0], &cur[0], &nxt[0], t.In, t.Out)
+				cur, nxt = nxt, cur
+				w = t.Out
+			case *LeakyReLU:
+				leakyForwardASM(&cur[0], &cur[0], 4*w, t.Alpha)
+			case *ReLU:
+				reluForwardASM(&cur[0], &cur[0], 4*w)
+			case *Sigmoid:
+				for i := 0; i < 4*w; i++ {
+					cur[i] = 1 / (1 + math.Exp(-cur[i]))
+				}
+			case *Tanh:
+				for i := 0; i < 4*w; i++ {
+					cur[i] = math.Tanh(cur[i])
+				}
+			}
+		}
+		out[r], out[r+1], out[r+2], out[r+3] = cur[0], cur[1], cur[2], cur[3]
+	}
+	for ; r < x.Rows; r++ {
+		out[r] = n.Forward(x.Row(r))[0]
+	}
+	return true
 }
 
 // BatchBackward propagates a full batch of output gradients back through the
@@ -453,7 +527,7 @@ func (n *Network) BatchBackwardData(gradOut Mat) Mat {
 
 func (n *Network) batchBackward(gradOut Mat, mode int) Mat {
 	sc := n.sc
-	if sc == nil || sc.rows != gradOut.Rows || gradOut.Cols != sc.widths[len(sc.widths)-1] {
+	if sc == nil || !sc.fwdOK || sc.rows != gradOut.Rows || gradOut.Cols != sc.widths[len(sc.widths)-1] {
 		panic("nn: BatchBackward requires a matching BatchForward on a batchable network") //lint:allow panicfree out-of-order batch API use is a programmer error
 	}
 	sc.gOut = gradOut
@@ -478,6 +552,7 @@ func (n *Network) trainBatchBatched(sc *scratch, xs, ys [][]float64, loss Loss, 
 	sc.loss = loss
 	sc.ys = ys
 	sc.runner.Run(sc.nShards)
+	sc.fwdOK = true
 	sc.ys = nil
 	var total float64
 	for s := 0; s < sc.nShards; s++ {

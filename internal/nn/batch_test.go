@@ -27,7 +27,9 @@ func randBatch(rng *rand.Rand, rows, in, out int) (xs, ys [][]float64) {
 func testNets() map[string]func(*rand.Rand) *Network {
 	return map[string]func(*rand.Rand) *Network{
 		"mlp-leaky": func(rng *rand.Rand) *Network { return MLP(9, 16, 2, 5, rng) },
-		"sigmoid":   func(rng *rand.Rand) *Network { return NewNetwork(NewDense(9, 12, rng), NewSigmoid(), NewDense(12, 5, rng)) },
+		"sigmoid": func(rng *rand.Rand) *Network {
+			return NewNetwork(NewDense(9, 12, rng), NewSigmoid(), NewDense(12, 5, rng))
+		},
 		"tanh-relu": func(rng *rand.Rand) *Network {
 			return NewNetwork(NewDense(9, 12, rng), NewTanh(), NewDense(12, 7, rng), NewReLU(), NewDense(7, 5, rng))
 		},
@@ -312,4 +314,94 @@ func TestBatchBackwardAccumulatesLikeSerial(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestInferBatchMatchesForward pins the tile-resident inference fast path:
+// for every row (including the scalar tail when rows % 4 != 0) InferBatch
+// must be bit-identical to the per-sample Forward, across each elementwise
+// activation kind it knows how to keep in the tile.
+func TestInferBatchMatchesForward(t *testing.T) {
+	if !simdAvailable {
+		t.Skip("no AVX2 on this machine")
+	}
+	rng := rand.New(rand.NewSource(5))
+	nets := map[string]*Network{
+		"leaky": NewNetwork(NewDense(6, 16, rng), NewLeakyReLU(), NewDense(16, 16, rng), NewLeakyReLU(), NewDense(16, 1, rng)),
+		"relu":  NewNetwork(NewDense(5, 8, rng), NewReLU(), NewDense(8, 1, rng)),
+		"mixed": NewNetwork(NewDense(7, 9, rng), NewTanh(), NewDense(9, 6, rng), NewSigmoid(), NewDense(6, 1, rng)),
+	}
+	for name, n := range nets {
+		for _, rows := range []int{1, 3, 4, 8, 11} {
+			x := NewMat(rows, n.Layers[0].(*Dense).In)
+			for r := 0; r < rows; r++ {
+				row := x.Row(r)
+				for i := range row {
+					row[i] = rng.NormFloat64()
+				}
+			}
+			out := make([]float64, rows)
+			if !n.InferBatch(x, out) {
+				t.Fatalf("%s rows=%d: InferBatch refused a batchable network", name, rows)
+			}
+			for r := 0; r < rows; r++ {
+				if want := n.Forward(x.Row(r))[0]; out[r] != want {
+					t.Fatalf("%s rows=%d row %d: InferBatch %v != Forward %v", name, rows, r, out[r], want)
+				}
+			}
+		}
+	}
+}
+
+// TestInferBatchRefusals pins the fallback contract: a wide head, a narrow
+// Dense input, or disabled SIMD must make InferBatch report false without
+// touching out.
+func TestInferBatchRefusals(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := NewMat(4, 6)
+	out := []float64{9, 9, 9, 9}
+
+	wide := NewNetwork(NewDense(6, 8, rng), NewLeakyReLU(), NewDense(8, 2, rng))
+	if wide.InferBatch(x, out) {
+		t.Error("InferBatch accepted a two-output head")
+	}
+	narrow := NewNetwork(NewDense(6, 3, rng), NewLeakyReLU(), NewDense(3, 1, rng))
+	if narrow.InferBatch(x, out) {
+		t.Error("InferBatch accepted a Dense with In < 4")
+	}
+	if simdAvailable {
+		defer func(v bool) { simdEnabled = v }(simdEnabled)
+		simdEnabled = false
+		plain := NewNetwork(NewDense(6, 8, rng), NewLeakyReLU(), NewDense(8, 1, rng))
+		if plain.InferBatch(x, out) {
+			t.Error("InferBatch ran with SIMD disabled")
+		}
+	}
+	for i, v := range out {
+		if v != 9 {
+			t.Fatalf("out[%d] = %v: a refused InferBatch must leave out untouched", i, v)
+		}
+	}
+}
+
+// TestBatchBackwardAfterInferBatchPanics pins the forward-validity guard:
+// InferBatch does not materialize activation matrices, so a BatchBackward
+// fed from it must panic instead of silently back-propagating stale state.
+func TestBatchBackwardAfterInferBatchPanics(t *testing.T) {
+	if !simdAvailable {
+		t.Skip("no AVX2 on this machine")
+	}
+	rng := rand.New(rand.NewSource(7))
+	n := NewNetwork(NewDense(6, 8, rng), NewLeakyReLU(), NewDense(8, 1, rng))
+	x := NewMat(4, 6)
+	out := make([]float64, 4)
+	n.BatchForward(x) // valid forward state…
+	if !n.InferBatch(x, out) {
+		t.Fatal("InferBatch refused a batchable network")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BatchBackward after InferBatch did not panic")
+		}
+	}()
+	n.BatchBackward(NewMat(4, 1))
 }

@@ -192,6 +192,57 @@ func TestCloneIndependence(t *testing.T) {
 	}
 }
 
+// TestCloneIntoCopiesParams pins the in-place clone path used by serving
+// replica refreshes: same-shape networks copy parameters exactly, and the
+// destination stays independent afterwards.
+func TestCloneIntoCopiesParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := MLP(3, 4, 1, 2, rng)
+	dst := MLP(3, 4, 1, 2, rng) // same shape, different weights
+	x := []float64{1, 2, 3}
+	want := append([]float64(nil), src.Forward(x)...)
+	if !src.CloneInto(dst) {
+		t.Fatal("CloneInto refused same-shape networks")
+	}
+	got := append([]float64(nil), dst.Forward(x)...)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dst output %v, want %v", got, want)
+		}
+	}
+	// Training the source must not move the destination.
+	xs := [][]float64{x}
+	ys := [][]float64{{0, 0}}
+	for i := 0; i < 10; i++ {
+		if _, err := src.TrainBatch(xs, ys, MSE{}, NewSGD(0.1)); err != nil {
+			t.Fatalf("TrainBatch: %v", err)
+		}
+	}
+	after := dst.Forward(x)
+	for i := range want {
+		if after[i] != want[i] {
+			t.Fatal("CloneInto left shared parameter state")
+		}
+	}
+}
+
+func TestCloneIntoRejectsShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	src := MLP(3, 4, 1, 2, rng)
+	if src.CloneInto(nil) {
+		t.Error("CloneInto accepted nil")
+	}
+	if src.CloneInto(src) {
+		t.Error("CloneInto accepted the receiver itself")
+	}
+	if src.CloneInto(MLP(3, 8, 1, 2, rng)) {
+		t.Error("CloneInto accepted a different hidden width")
+	}
+	if src.CloneInto(MLP(3, 4, 2, 2, rng)) {
+		t.Error("CloneInto accepted a different depth")
+	}
+}
+
 func TestSGDDecaySchedule(t *testing.T) {
 	opt := NewPaperSGD(1e-3)
 	for i := 0; i < 10; i++ {

@@ -176,21 +176,45 @@ func (p *Pool) CountLabeled() int {
 	return n
 }
 
-// TrimGenerated drops generated entries beyond the most recent keep count,
-// bounding pool growth across many adaptation periods.
+// TrimGenerated drops generated entries beyond the keep count, bounding
+// pool growth across many adaptation periods.
+//
+// Eviction is label-aware: annotated generated entries carry ground truth
+// the cost ledger paid real annotation budget for, so unlabeled and stale
+// generated entries (oldest first) are evicted before any fresh-labeled one.
+// Only when the unlabeled/stale supply is exhausted are labeled generated
+// entries dropped, again oldest first.
 func (p *Pool) TrimGenerated(keep int) {
-	var gen []*Entry
+	nGen := 0
 	for _, e := range p.Entries {
 		if e.Source == SrcGen {
-			gen = append(gen, e)
+			nGen++
 		}
 	}
-	if len(gen) <= keep {
+	need := nGen - keep
+	if need <= 0 {
 		return
 	}
-	drop := make(map[*Entry]bool, len(gen)-keep)
-	for _, e := range gen[:len(gen)-keep] {
-		drop[e] = true
+	drop := make(map[*Entry]bool, need)
+	// First pass: unlabeled or stale generated entries, oldest first.
+	for _, e := range p.Entries {
+		if need == 0 {
+			break
+		}
+		if e.Source == SrcGen && !e.HasGT() {
+			drop[e] = true
+			need--
+		}
+	}
+	// Second pass: labeled generated entries, oldest first, only if needed.
+	for _, e := range p.Entries {
+		if need == 0 {
+			break
+		}
+		if e.Source == SrcGen && !drop[e] {
+			drop[e] = true
+			need--
+		}
 	}
 	kept := p.Entries[:0]
 	for _, e := range p.Entries {

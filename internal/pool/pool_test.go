@@ -101,6 +101,49 @@ func TestTrimGenerated(t *testing.T) {
 	}
 }
 
+// TestTrimGeneratedKeepsLabeled is the regression test for label-blind
+// eviction: trimming used to drop the oldest generated entries regardless
+// of labels, throwing away ground truth the annotation budget paid for
+// while keeping unlabeled placeholders.
+func TestTrimGeneratedKeepsLabeled(t *testing.T) {
+	p := New()
+	for i := 0; i < 10; i++ {
+		p.AddGenerated(pred(float64(i)))
+	}
+	// Label three entries and mark one more labeled-but-stale.
+	for _, i := range []int{2, 5, 8} {
+		p.Entries[i].GT = float64(100 + i)
+	}
+	p.Entries[3].GT = 50
+	p.Entries[3].Stale = true
+
+	p.TrimGenerated(4)
+	gen := p.BySource(SrcGen)
+	if len(gen) != 4 {
+		t.Fatalf("gen after trim = %d, want 4", len(gen))
+	}
+	// All fresh-labeled entries survive; the rest of the budget keeps the
+	// newest unlabeled one. Stale labels rank with unlabeled and go first.
+	var lows []float64
+	for _, e := range gen {
+		lows = append(lows, e.Pred.Lows[0])
+	}
+	want := []float64{2, 5, 8, 9}
+	for i, w := range want {
+		if lows[i] != w {
+			t.Fatalf("kept entries %v, want lows %v", lows, want)
+		}
+	}
+
+	// Once the unlabeled supply is exhausted, labeled entries are evicted
+	// oldest first.
+	p.TrimGenerated(2)
+	gen = p.BySource(SrcGen)
+	if len(gen) != 2 || gen[0].Pred.Lows[0] != 5 || gen[1].Pred.Lows[0] != 8 {
+		t.Errorf("second trim kept %v entries, want labeled 5 and 8", len(gen))
+	}
+}
+
 func TestTrimGeneratedNoopWhenUnder(t *testing.T) {
 	p := New()
 	p.AddGenerated(pred(0))

@@ -112,20 +112,31 @@ func (p Predicate) Normalize(s *Schema) Predicate {
 // {low₁..low_d, high₁..high_d} with each bound scaled into [0,1] by the
 // column range (§3.2, §4.1). Constant columns map to 0.
 func (p Predicate) Featurize(s *Schema) []float64 {
+	f := make([]float64, 2*p.Dim())
+	p.FeaturizeInto(s, f)
+	return f
+}
+
+// FeaturizeInto writes the Featurize layout into f, which must have length
+// 2·d. It performs no allocation, so batched serving paths can reuse one
+// feature buffer across requests.
+func (p Predicate) FeaturizeInto(s *Schema, f []float64) {
 	d := p.Dim()
 	if d != s.NumCols() {
 		panic(fmt.Sprintf("query: predicate dim %d vs schema %d", d, s.NumCols()))
 	}
-	f := make([]float64, 2*d)
+	if len(f) != 2*d {
+		panic(fmt.Sprintf("query: feature buffer len %d vs 2·%d", len(f), d))
+	}
 	for i := 0; i < d; i++ {
 		span := s.Maxs[i] - s.Mins[i]
 		if span <= 0 {
+			f[i], f[d+i] = 0, 0
 			continue
 		}
 		f[i] = mathClamp((p.Lows[i]-s.Mins[i])/span, 0, 1)
 		f[d+i] = mathClamp((p.Highs[i]-s.Mins[i])/span, 0, 1)
 	}
-	return f
 }
 
 // Unfeaturize is the inverse of Featurize: it maps a feature vector (any real

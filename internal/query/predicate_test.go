@@ -95,6 +95,40 @@ func TestFeaturizeLayout(t *testing.T) {
 	}
 }
 
+// FeaturizeInto is the zero-allocation path behind Featurize; the two must
+// agree bit for bit on arbitrary predicates.
+func TestFeaturizeIntoMatchesFeaturize(t *testing.T) {
+	s := testSchema()
+	rng := rand.New(rand.NewSource(8))
+	buf := make([]float64, 2*len(s.Names))
+	for i := 0; i < 200; i++ {
+		p := NewFullRange(s)
+		for c := range s.Names {
+			span := s.Maxs[c] - s.Mins[c]
+			p.SetRange(c, s.Mins[c]+rng.Float64()*span, s.Mins[c]+rng.Float64()*span)
+		}
+		p = p.Normalize(s)
+		want := p.Featurize(s)
+		p.FeaturizeInto(s, buf)
+		for j := range want {
+			if buf[j] != want[j] {
+				t.Fatalf("pred %d feature %d: FeaturizeInto = %v, Featurize = %v", i, j, buf[j], want[j])
+			}
+		}
+	}
+}
+
+func TestFeaturizeIntoBadBufferPanics(t *testing.T) {
+	s := testSchema()
+	p := NewFullRange(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.FeaturizeInto(s, make([]float64, 3)) // needs 6
+}
+
 func TestFeaturizeDimMismatchPanics(t *testing.T) {
 	s := testSchema()
 	p := Predicate{Lows: []float64{0}, Highs: []float64{1}}

@@ -35,6 +35,14 @@ const (
 	mTrainSamples    = "warper_train_samples_total"
 	mTrainThroughput = "warper_train_samples_per_second"
 
+	// Replica-pool serving metrics.
+	mReplicas      = "warper_serve_replicas"
+	mCheckouts     = "warper_replica_checkouts_total"
+	mCheckoutQueue = "warper_replica_checkout_queue"
+	mRefreshes     = "warper_replica_refreshes_total"
+	mSwapSeconds   = "warper_model_swap_seconds"
+	mBatchSize     = "warper_estimate_batch_size"
+
 	// Resilience metrics (fault-tolerant annotation pipeline).
 	mAnnRetries    = "warper_annotate_retries_total"
 	mAnnTimeouts   = "warper_annotate_timeouts_total"
@@ -71,6 +79,13 @@ type Metrics struct {
 	trained   *obs.Counter
 	trainTput *obs.Gauge
 
+	replicas      *obs.Gauge
+	checkouts     *obs.Counter
+	checkoutQueue *obs.Gauge
+	refreshes     *obs.Counter
+	swapSeconds   *obs.Histogram
+	batchSize     *obs.Histogram
+
 	annRetries    *obs.Counter
 	annTimeouts   *obs.Counter
 	annFailed     *obs.Counter
@@ -85,7 +100,7 @@ func NewMetrics() *Metrics {
 	r := obs.NewRegistry()
 	r.Help(mReqTotal, "HTTP requests by handler and status code.")
 	r.Help(mReqSeconds, "HTTP request latency in seconds, by handler.")
-	r.Help(mLockWait, "Time estimate/feedback requests wait for the serving lock.")
+	r.Help(mLockWait, "Time estimate requests wait to check out a serving replica.")
 	r.Help(mQError, "Observed q-error of served estimates, from execution feedback.")
 	r.Help(mStageSeconds, "Adaptation period stage durations in seconds.")
 	r.Help(mPeriodsTotal, "Completed adaptation periods.")
@@ -105,6 +120,12 @@ func NewMetrics() *Metrics {
 	r.Help(mDeltaJS, "Workload-distance drift metric delta_js from the last period.")
 	r.Help(mTrainSamples, "Minibatch rows consumed by component training across all periods.")
 	r.Help(mTrainThroughput, "Component training throughput of the last period, in samples per second of busy time.")
+	r.Help(mReplicas, "Serving replica-pool size.")
+	r.Help(mCheckouts, "Replica checkouts: one per served estimate (or coalesced batch).")
+	r.Help(mCheckoutQueue, "Estimate requests currently queued for a free replica.")
+	r.Help(mRefreshes, "Replica re-clones after a model swap bumped the serving generation.")
+	r.Help(mSwapSeconds, "Time to swap a repaired model into the serving pool (clone + generation bump).")
+	r.Help(mBatchSize, "Coalesced estimate batch sizes.")
 	r.Help(mAnnRetries, "Annotation attempts retried by the resilience wrapper.")
 	r.Help(mAnnTimeouts, "Annotation attempts killed by the per-attempt deadline.")
 	r.Help(mAnnFailed, "Annotation calls that failed for good within a period (after retries).")
@@ -133,6 +154,14 @@ func NewMetrics() *Metrics {
 		deltaJS:   r.Gauge(mDeltaJS),
 		trained:   r.Counter(mTrainSamples),
 		trainTput: r.Gauge(mTrainThroughput),
+
+		replicas:      r.Gauge(mReplicas),
+		checkouts:     r.Counter(mCheckouts),
+		checkoutQueue: r.Gauge(mCheckoutQueue),
+		refreshes:     r.Counter(mRefreshes),
+		swapSeconds:   r.Histogram(mSwapSeconds, obs.LatencyOpts()),
+		// Batch sizes span 1..BatchMax; log-scale buckets from 1 up.
+		batchSize: r.Histogram(mBatchSize, obs.HistogramOpts{Start: 1, Growth: 2, Count: 10}),
 
 		annRetries:    r.Counter(mAnnRetries),
 		annTimeouts:   r.Counter(mAnnTimeouts),

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"warper/internal/annotator"
+	"warper/internal/ce"
+	"warper/internal/dataset"
+	"warper/internal/query"
+	"warper/internal/warper"
+	"warper/internal/workload"
+)
+
+// newPoolServer builds a server with explicit serving options over the same
+// environment newTestServer uses.
+func newPoolServer(t *testing.T, opts Options) (*Server, *query.Schema, workload.Generator) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(61))
+	tbl := dataset.PRSA(2000, rng)
+	sch := query.SchemaOf(tbl)
+	ann := annotator.New(tbl)
+	wopts := workload.Options{MaxConstrained: 2}
+	gTrain := workload.New("w1", tbl, sch, wopts)
+	train := annAll(t, ann, workload.Generate(gTrain, 300, rng))
+	lm := ce.NewLM(ce.LMMLP, sch, 1)
+	if err := lm.Train(train); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	cfg := warper.DefaultConfig()
+	cfg.Hidden = 32
+	cfg.Depth = 2
+	cfg.NIters = 20
+	cfg.Gamma = 100
+	cfg.PickSize = 60
+	ad, err := warper.New(cfg, lm, sch, ann, train)
+	if err != nil {
+		t.Fatalf("warper.New: %v", err)
+	}
+	srv := NewWithOptions(ad, sch, opts)
+	t.Cleanup(srv.Close)
+	return srv, sch, workload.New("w4", tbl, sch, wopts)
+}
+
+// concurrentEstimates fires every predicate through srv.Estimate from nWorkers
+// goroutines and returns the results in predicate order.
+func concurrentEstimates(srv *Server, preds []query.Predicate, nWorkers int) []float64 {
+	got := make([]float64, len(preds))
+	var next sync.Mutex
+	idx := 0
+	var wg sync.WaitGroup
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				next.Lock()
+				i := idx
+				idx++
+				next.Unlock()
+				if i >= len(preds) {
+					return
+				}
+				got[i] = srv.Estimate(preds[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return got
+}
+
+// TestConcurrentReplicaEstimatesAreByteIdentical pins the replica-pool
+// clone contract: estimates served concurrently from N replicas are
+// bit-identical to single-threaded estimates on the adapter's model. Run
+// under -race this also proves the checkout path shares no scratch state.
+func TestConcurrentReplicaEstimatesAreByteIdentical(t *testing.T) {
+	srv, sch, gNew := newPoolServer(t, Options{Replicas: 4})
+	rng := rand.New(rand.NewSource(3))
+	preds := make([]query.Predicate, 200)
+	want := make([]float64, len(preds))
+	for i := range preds {
+		preds[i] = gNew.Gen(rng).Normalize(sch)
+		want[i] = srv.adapter.M.Estimate(preds[i])
+	}
+	got := concurrentEstimates(srv, preds, 8)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("estimate %d: replica served %v, reference %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCoalescedEstimatesAreByteIdentical pins the BatchEstimator contract on
+// the serving path: batched answers from the coalescer match per-sample
+// estimates bit for bit, and batches actually formed.
+func TestCoalescedEstimatesAreByteIdentical(t *testing.T) {
+	srv, sch, gNew := newPoolServer(t, Options{
+		Replicas:    2,
+		BatchWindow: 200 * time.Microsecond,
+		BatchMax:    8,
+	})
+	rng := rand.New(rand.NewSource(5))
+	preds := make([]query.Predicate, 300)
+	want := make([]float64, len(preds))
+	for i := range preds {
+		preds[i] = gNew.Gen(rng).Normalize(sch)
+		want[i] = srv.adapter.M.Estimate(preds[i])
+	}
+	got := concurrentEstimates(srv, preds, 8)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("estimate %d: coalesced answer %v, reference %v", i, got[i], want[i])
+		}
+	}
+	if srv.met.batchSize.Count() == 0 {
+		t.Error("no coalesced batch was recorded")
+	}
+	// After Close, the direct checkout path still answers.
+	srv.Close()
+	if got := srv.Estimate(preds[0]); got != want[0] {
+		t.Errorf("post-Close estimate = %v, want %v", got, want[0])
+	}
+}
+
+// TestModelSwapRefreshesReplicas runs a successful adaptation period and
+// checks the swap protocol: the generation bump is recorded, replicas
+// refresh lazily, and post-swap estimates come from the repaired model.
+func TestModelSwapRefreshesReplicas(t *testing.T) {
+	srv, ts, sch, ann, gNew := newTestServer(t)
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 30; i++ {
+		p := gNew.Gen(rng)
+		card := countOK(t, ann, p)
+		postJSON(t, ts.URL+"/feedback", feedbackRequest{
+			predicateJSON: predicateJSON{Lows: p.Lows, Highs: p.Highs},
+			Cardinality:   &card,
+		}, nil)
+	}
+	if r := postJSON(t, ts.URL+"/period", struct{}{}, nil); r.StatusCode != http.StatusOK {
+		t.Fatalf("period = %d", r.StatusCode)
+	}
+	if srv.met.swapSeconds.Count() != 1 {
+		t.Errorf("swap histogram count = %d, want 1", srv.met.swapSeconds.Count())
+	}
+	// The next estimate must check out a replica, notice the stale
+	// generation, refresh, and answer from the repaired model.
+	p := gNew.Gen(rng).Normalize(sch)
+	got := srv.Estimate(p)
+	if want := srv.adapter.M.Estimate(p); got != want {
+		t.Errorf("post-swap estimate = %v, want repaired model's %v", got, want)
+	}
+	body := metricsBody(t, ts.URL)
+	if metricValue(t, body, mRefreshes) == 0 {
+		t.Error("no replica refresh recorded after a model swap")
+	}
+}
+
+// TestFailedPeriodRestoresArrivals is the regression test for the dropped-
+// feedback bug: a failed period used to consume the buffered arrivals for
+// good, so the evidence of drift silently vanished. They must be
+// re-buffered for the next attempt.
+func TestFailedPeriodRestoresArrivals(t *testing.T) {
+	_, ts, ann, gNew := robustnessEnv(t, func(lm *ce.LM) ce.Estimator {
+		return &failUpdateModel{LM: lm}
+	})
+	rng := rand.New(rand.NewSource(37))
+	const n = 30
+	feedDrifted(t, ts, ann, gNew, rng, n)
+
+	if r := postJSON(t, ts.URL+"/period", struct{}{}, nil); r.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failing period = %d, want 500", r.StatusCode)
+	}
+
+	body := metricsBody(t, ts.URL)
+	if got := metricValue(t, body, mBuffered); got != n {
+		t.Errorf("%s = %v after failed period, want %v (arrivals dropped)", mBuffered, got, float64(n))
+	}
+	// A second failing period consumes the restored arrivals again —
+	// proving they were really re-buffered, not just counted.
+	if r := postJSON(t, ts.URL+"/period", struct{}{}, nil); r.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("second failing period = %d, want 500", r.StatusCode)
+	}
+	body = metricsBody(t, ts.URL)
+	if got := metricValue(t, body, mBuffered); got != n {
+		t.Errorf("%s = %v after second failed period, want %v", mBuffered, got, float64(n))
+	}
+}
+
+// TestPeriodBodyTooLarge is the regression test for the truncated-validation
+// bug: an oversize /period body used to have only its first MiB validated,
+// silently accepting a truncated request. It must be rejected outright.
+func TestPeriodBodyTooLarge(t *testing.T) {
+	_, ts, _, _, _ := newTestServer(t)
+	// Valid JSON overall — the old code would read a 1 MiB prefix of it,
+	// judge the prefix, and run the period anyway.
+	huge := `{"pad":"` + strings.Repeat("a", maxPeriodBody) + `"}`
+	resp, err := http.Post(ts.URL+"/period", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversize period body = %d, want 413", resp.StatusCode)
+	}
+	// At the cap exactly, the request is still honored.
+	pad := strings.Repeat(" ", maxPeriodBody-2)
+	resp2, err := http.Post(ts.URL+"/period", "application/json", strings.NewReader("{}"+pad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("at-cap period body = %d, want 200", resp2.StatusCode)
+	}
+}
+
+// failingWriter fails every body write and records status headers — the
+// shape of a client that disconnected mid-response.
+type failingWriter struct {
+	header http.Header
+	codes  []int
+}
+
+func (f *failingWriter) Header() http.Header {
+	if f.header == nil {
+		f.header = http.Header{}
+	}
+	return f.header
+}
+func (f *failingWriter) Write([]byte) (int, error) { return 0, errors.New("client gone") }
+func (f *failingWriter) WriteHeader(code int)      { f.codes = append(f.codes, code) }
+
+// TestWriteJSONEncodeFailureDoesNotRewriteStatus is the regression test for
+// the double-WriteHeader bug: when encoding the response fails after the
+// 200 header is committed, the server used to write a second (500) status
+// header into the half-sent body. Now it logs and leaves the wire alone.
+func TestWriteJSONEncodeFailureDoesNotRewriteStatus(t *testing.T) {
+	var logBuf bytes.Buffer
+	s := &Server{logger: slog.New(slog.NewTextHandler(&logBuf, nil))}
+	fw := &failingWriter{}
+	s.writeJSON(fw, estimateResponse{Cardinality: 42})
+	if len(fw.codes) != 0 {
+		t.Errorf("writeJSON wrote status headers %v after a failed body write, want none", fw.codes)
+	}
+	if !strings.Contains(logBuf.String(), "response encode failed") {
+		t.Errorf("encode failure was not logged; log: %q", logBuf.String())
+	}
+}

@@ -1,0 +1,325 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"warper/internal/ce"
+	"warper/internal/obs"
+	"warper/internal/query"
+)
+
+// This file implements the replica-pool serving core. PR 1 kept estimates
+// behind one serving mutex; that lock is gone from the hot path entirely:
+// N independent model clones sit on a channel free-list, each estimate
+// checks one out, runs on private scratch, and checks it back in. A model
+// swap after an adaptation period is a single atomic generation bump —
+// replicas notice the stale generation on their next checkout and lazily
+// re-clone from the new source, so a swap never stalls in-flight estimates.
+
+// modelGen is one serving generation: a private clone of the adapter's
+// model plus a monotonically increasing generation number.
+type modelGen struct {
+	model ce.Estimator
+	gen   uint64
+}
+
+// replica is one checkout-able serving model. Exactly one goroutine owns a
+// replica between checkout and checkin, so its model's forward-pass scratch
+// is never shared — the property ce.Estimator.Estimate requires.
+type replica struct {
+	model ce.Estimator
+	gen   uint64
+}
+
+// replicaPool hands model clones to concurrent estimates via a channel
+// free-list. The checkout path is lock-free (a channel receive, an atomic
+// load); the only mutex, refreshMu, serializes the rare lazy re-clone after
+// a generation bump, because Clone/CloneInto advance the source model's RNG.
+// warperlint's lockhygiene rule pins the lock-free property.
+type replicaPool struct {
+	free chan *replica
+	src  atomic.Pointer[modelGen]
+	// refreshMu serializes replica refreshes against each other; it is the
+	// only lock a checkout may ever take, and only on the post-swap path.
+	refreshMu sync.Mutex
+	met       *Metrics
+}
+
+// newReplicaPool builds a pool of n replicas cloned from src. src must be a
+// private model (never the adapter's own M): the pool owns it, and refreshes
+// advance its RNG.
+func newReplicaPool(src ce.Estimator, n int, met *Metrics) *replicaPool {
+	if n < 1 {
+		n = 1
+	}
+	p := &replicaPool{free: make(chan *replica, n), met: met}
+	p.src.Store(&modelGen{model: src, gen: 1})
+	for i := 0; i < n; i++ {
+		p.free <- &replica{model: src.Clone(), gen: 1}
+	}
+	met.replicas.Set(float64(n))
+	return p
+}
+
+// checkout acquires a free replica, refreshing it first when a model swap
+// made its clone stale. The fast path is one buffered-channel receive.
+func (p *replicaPool) checkout() *replica {
+	p.met.checkouts.Inc()
+	var r *replica
+	select {
+	case r = <-p.free:
+	default:
+		// Every replica is busy: this request queues. The wait histogram is
+		// the successor of PR 1's estimate-lock wait — same name, so the
+		// dashboards that watched the old lock now watch the free-list.
+		p.met.checkoutQueue.Add(1)
+		sp := obs.StartSpan(p.met.lockWait)
+		r = <-p.free
+		sp.End()
+		p.met.checkoutQueue.Add(-1)
+	}
+	if cur := p.src.Load(); r.gen != cur.gen {
+		p.refresh(r)
+	}
+	return r
+}
+
+// checkin returns a replica to the free-list.
+func (p *replicaPool) checkin(r *replica) { p.free <- r }
+
+// refresh re-clones a stale replica from the current generation's source.
+// Refreshes are serialized because Clone and CloneInto draw from the source
+// model's RNG; the source is pool-private, so those draws never perturb the
+// adapter's seeded state.
+func (p *replicaPool) refresh(r *replica) {
+	p.refreshMu.Lock()
+	defer p.refreshMu.Unlock()
+	cur := p.src.Load()
+	if r.gen == cur.gen {
+		return
+	}
+	if ipc, ok := cur.model.(ce.InPlaceCloner); !ok || !ipc.CloneInto(r.model) {
+		r.model = cur.model.Clone()
+	}
+	r.gen = cur.gen
+	p.met.refreshes.Inc()
+}
+
+// swap installs m as the new serving generation: one private clone, one
+// atomic pointer store. In-flight estimates finish on the old generation;
+// each replica re-clones lazily at its next checkout. The caller must
+// serialize swaps (handlePeriod's periodMu does) and guarantee m is not
+// concurrently mutated during the clone.
+func (p *replicaPool) swap(m ce.Estimator) {
+	sp := obs.StartSpan(p.met.swapSeconds)
+	src := m.Clone()
+	cur := p.src.Load()
+	p.src.Store(&modelGen{model: src, gen: cur.gen + 1})
+	sp.End()
+}
+
+// current returns the serving generation's source model. Callers must treat
+// it as read-only: it backs every future replica refresh.
+func (p *replicaPool) current() ce.Estimator { return p.src.Load().model }
+
+// --- micro-batching coalescer ----------------------------------------------
+
+// batch is one combining buffer of concurrent estimates. Appends happen
+// under the coalescer mutex; once the batch is detached (full, or its
+// leader's wait ended) no request touches preds again. outs and pv are
+// written by the leader before close(done), so every waiter reads them
+// race-free after <-done.
+type batch struct {
+	preds []query.Predicate
+	outs  []float64
+	done  chan struct{}
+	pv    any // model panic, re-raised in every waiting request
+	// n mirrors len(preds): stored (under the coalescer mutex) after every
+	// append, loaded by the spinning leader without the mutex. The atomic
+	// load doubles as the happens-before edge that lets exec read preds
+	// lock-free when a follower filled and detached the batch.
+	n atomic.Int32
+	// refs counts waiters still reading outs; the last one to leave
+	// recycles the batch onto the coalescer free-list.
+	refs atomic.Int32
+}
+
+// coalescer combines concurrent estimate requests into single
+// ce.BatchEstimator.EstimateAll calls using a leader/follower scheme: the
+// request that opens a batch becomes its leader, yields the processor a few
+// times (never longer than `window`) so concurrent requests can join, then
+// detaches the batch, runs it on one checked-out replica, and wakes every
+// follower with one channel close. There is no dispatcher goroutine and no
+// per-request channel hop — the hot path is one short mutex region, one
+// park on the batch's done channel, and a slot read. Per the BatchEstimator
+// contract the results are bit-identical to per-request Estimate calls;
+// what the window trades is a bounded amount of p50 latency for amortized
+// inference cost.
+type coalescer struct {
+	pool *replicaPool
+	met  *Metrics
+
+	window time.Duration
+	max    int
+
+	// mu guards cur and closed. Held only to append to the forming batch —
+	// never across inference.
+	mu     sync.Mutex
+	cur    *batch
+	closed bool
+
+	// freeb recycles batch buffers (preds/outs backing arrays) between
+	// rounds; the done channel is the only per-batch allocation that
+	// survives, because a closed channel cannot be reused.
+	freeb chan *batch
+}
+
+// newCoalescer builds a combining coalescer over pool.
+func newCoalescer(pool *replicaPool, window time.Duration, max int, met *Metrics) *coalescer {
+	if max < 1 {
+		max = 1
+	}
+	return &coalescer{pool: pool, met: met, window: window, max: max, freeb: make(chan *batch, 4)}
+}
+
+// newBatch takes a recycled batch off the free-list or allocates one.
+func (c *coalescer) newBatch() *batch {
+	var b *batch
+	select {
+	case b = <-c.freeb:
+		b.preds = b.preds[:0]
+		b.pv = nil
+		b.n.Store(0)
+	default:
+		b = &batch{preds: make([]query.Predicate, 0, c.max), outs: make([]float64, c.max)}
+	}
+	b.done = make(chan struct{})
+	return b
+}
+
+// recycle offers a drained batch back to the free-list.
+func (c *coalescer) recycle(b *batch) {
+	select {
+	case c.freeb <- b:
+	default:
+	}
+}
+
+// estimate joins (or opens) the forming batch and blocks for its batched
+// answer. It reports false after Close, telling the caller to fall back to
+// the direct checkout path.
+func (c *coalescer) estimate(p query.Predicate) (float64, bool) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, false
+	}
+	b := c.cur
+	leader := b == nil
+	if leader {
+		b = c.newBatch()
+		c.cur = b
+	}
+	idx := len(b.preds)
+	b.preds = append(b.preds, p)
+	b.n.Store(int32(len(b.preds)))
+	if len(b.preds) >= c.max {
+		// Full: detach now so the next arrival opens a fresh batch with its
+		// own leader. Two detached batches may run concurrently — that is
+		// exactly what the replica pool is for.
+		c.cur = nil
+	}
+	c.mu.Unlock()
+
+	if leader {
+		// lead runs exec in this goroutine, which closes done before
+		// returning — the leader never parks on it.
+		c.lead(b)
+	} else {
+		<-b.done
+	}
+	out, pv := b.outs[idx], b.pv
+	if b.refs.Add(-1) == 0 && pv == nil {
+		c.recycle(b)
+	}
+	if pv != nil {
+		// Re-raise the model panic in each requesting goroutine so the HTTP
+		// recover middleware charges it per request. A panicked batch is
+		// never recycled.
+		panic(pv) //lint:allow panicfree re-raising a model panic for the per-request recover middleware
+	}
+	return out, true
+}
+
+// lead is the batch leader's accumulation wait: while the batch is still
+// forming it yields so runnable requesters can join, and detaches after two
+// consecutive yields without a new arrival or once the window is spent — a
+// saturated server batches at its concurrency level with no timer stall,
+// and a lone request passes straight through. The window is therefore a
+// hard cap on accumulation wait, not a mandatory delay.
+func (c *coalescer) lead(b *batch) {
+	start := time.Now()
+	idle, lastN := 0, 1
+	for {
+		n := int(b.n.Load())
+		if n >= c.max {
+			break // a follower filled and detached it
+		}
+		if n > lastN {
+			idle, lastN = 0, n
+		} else {
+			idle++
+		}
+		if idle > 2 || time.Since(start) >= c.window {
+			c.mu.Lock()
+			if c.cur == b {
+				c.cur = nil
+			}
+			c.mu.Unlock()
+			break
+		}
+		runtime.Gosched()
+	}
+	c.exec(b)
+}
+
+// exec runs one detached batch on a checked-out replica and wakes every
+// waiter. A model panic is captured into b.pv for the waiters to re-raise;
+// the deferred checkin keeps a panicking model from draining the pool
+// (forward scratch is overwritten on every call, so the replica stays
+// usable), and the deferred close guarantees no waiter is left parked.
+func (c *coalescer) exec(b *batch) {
+	defer close(b.done)
+	defer func() {
+		if rec := recover(); rec != nil {
+			b.pv = rec
+		}
+	}()
+	n := len(b.preds)
+	b.refs.Store(int32(n))
+	c.met.batchSize.Observe(float64(n))
+	if cap(b.outs) < n {
+		b.outs = make([]float64, n)
+	}
+	b.outs = b.outs[:n]
+	r := c.pool.checkout()
+	defer c.pool.checkin(r)
+	if be, ok := r.model.(ce.BatchEstimator); ok {
+		be.EstimateAll(b.preds, b.outs)
+		return
+	}
+	for i := range b.preds {
+		b.outs[i] = r.model.Estimate(b.preds[i])
+	}
+}
+
+// Close makes every subsequent estimate fall back to the direct checkout
+// path. Batches already forming complete normally. Safe to call repeatedly.
+func (c *coalescer) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+}

@@ -196,13 +196,16 @@ func TestFailedPeriodKeepsPrePeriodModelServing(t *testing.T) {
 		t.Errorf("estimate changed across failed period: %v -> %v (half-updated model serving?)",
 			before.Cardinality, after.Cardinality)
 	}
-	// The served model and the adapter's model were both reset to the
-	// pre-period clone.
-	srv.mu.Lock()
-	same := srv.model == srv.adapter.M
-	srv.mu.Unlock()
-	if !same {
-		t.Error("served model and adapter model diverged after failed period")
+	// Both the adapter and the serving pool were reset to the pre-period
+	// model: a direct estimate on either matches the pre-period response.
+	norm := probe.Clone().Normalize(srv.sch)
+	if got := srv.adapter.M.Estimate(norm); math.Abs(got-before.Cardinality) > 1e-9 {
+		t.Errorf("adapter model not rolled back after failed period: estimate %v, want %v",
+			got, before.Cardinality)
+	}
+	if got := srv.Estimator().Estimate(norm); math.Abs(got-before.Cardinality) > 1e-9 {
+		t.Errorf("serving generation diverged after failed period: estimate %v, want %v",
+			got, before.Cardinality)
 	}
 	if body := metricsBody(t, ts.URL); !strings.Contains(body, "warper_period_failures_total 1") {
 		t.Error("warper_period_failures_total was not incremented to 1")

@@ -4,13 +4,19 @@
 // §1 of the paper sketches — the CE model serves estimates continuously
 // while Warper periodically repairs it against drifts.
 //
-// Concurrency model: a short serving lock (mu) guards the served model and
-// the feedback buffer, while a separate period lock serializes adaptation.
-// An adaptation period clones the model, mutates the adapter's copy outside
-// the serving lock, and swaps the repaired model in under the lock at the
-// end — so estimates stay servable (and fast) while a period is in flight,
-// instead of queueing behind a multi-second model update. The measured lock
-// wait is exported so the win stays visible.
+// Concurrency model: estimates run on a pool of independent model replicas
+// checked out via a lock-free free-list (see replicas.go), so concurrent
+// /estimate requests never serialize on a mutex. A short serving lock (mu)
+// guards only the feedback buffer and status counters; a separate period
+// lock serializes adaptation. An adaptation period mutates the adapter's
+// model while the pool keeps serving private clones of the previous
+// generation; the repaired model is swapped in with one atomic generation
+// bump at the end, and replicas re-clone lazily — so estimates stay
+// servable (and fast) while a period is in flight, instead of queueing
+// behind a multi-second model update. The measured replica-checkout wait is
+// exported so the win stays visible. An optional micro-batching coalescer
+// (Options.BatchWindow) drains concurrent estimates into single batched
+// forward passes.
 package serve
 
 import (
@@ -23,6 +29,7 @@ import (
 	"log/slog"
 	"mime"
 	"net/http"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -48,13 +55,26 @@ type Options struct {
 	// expiry the period aborts and the pre-period model keeps serving.
 	// 0 = no extra deadline.
 	PeriodTimeout time.Duration
+	// Replicas is the serving-pool size: how many independent model clones
+	// can estimate concurrently. 0 or negative defaults to GOMAXPROCS.
+	Replicas int
+	// BatchWindow enables the micro-batching coalescer: concurrent
+	// estimates are drained into single batched forward passes, waiting at
+	// most this long to accumulate a batch. 0 disables coalescing. The
+	// results are bit-identical to per-request estimates (the
+	// ce.BatchEstimator contract); the trade is a little p50 latency for
+	// amortized inference cost under concurrency.
+	BatchWindow time.Duration
+	// BatchMax caps one coalesced batch. 0 defaults to 64.
+	BatchMax int
 }
 
 // Server wires an Adapter behind an http.Handler. All handlers are safe for
 // concurrent use.
 type Server struct {
-	// mu guards model, buffer, periods and status; it is held only for
-	// O(µs)–O(ms) sections (one estimate, a buffer append, a pointer swap).
+	// mu guards buffer, periods and status; it is held only for O(µs)
+	// sections (a buffer append, a snapshot copy). Estimates never touch
+	// it — they run on the replica pool.
 	mu sync.Mutex
 	// periodMu serializes adaptation; handlePeriod TryLocks it and answers
 	// 409 when a period is already running.
@@ -62,9 +82,12 @@ type Server struct {
 
 	adapter *warper.Adapter
 	sch     *query.Schema
-	// model is the estimator serving reads. Between periods it aliases
-	// adapter.M; while a period mutates adapter.M it points at a clone.
-	model   ce.Estimator
+	// pool serves estimates from private model clones; handlePeriod swaps
+	// a repaired model in with one atomic generation bump.
+	pool *replicaPool
+	// coal, when non-nil, drains concurrent estimates into batched forward
+	// passes (Options.BatchWindow).
+	coal    *coalescer
 	buffer  []warper.Arrival
 	periods int
 	// status caches the adapter-derived fields of GET /status so the
@@ -95,11 +118,11 @@ func New(a *warper.Adapter, sch *query.Schema) *Server {
 
 // NewWithOptions builds a Server with explicit options. The server installs
 // its metric set as the adapter's Observer unless one is already attached.
+// Servers with a batch window must be Closed when done.
 func NewWithOptions(a *warper.Adapter, sch *query.Schema, opts Options) *Server {
 	s := &Server{
 		adapter:       a,
 		sch:           sch,
-		model:         a.M,
 		met:           NewMetrics(),
 		logger:        opts.Logger,
 		pprof:         opts.EnablePprof,
@@ -114,8 +137,47 @@ func NewWithOptions(a *warper.Adapter, sch *query.Schema, opts Options) *Server 
 	if a.Obs == nil {
 		a.Obs = s.met
 	}
+	n := opts.Replicas
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	// The pool source is a private snapshot, never the adapter's own M:
+	// replica refreshes advance the source's RNG, and the adapter's seeded
+	// state must stay traffic-independent.
+	s.pool = newReplicaPool(a.ModelSnapshot(), n, s.met)
+	if opts.BatchWindow > 0 {
+		bm := opts.BatchMax
+		if bm <= 0 {
+			bm = 64
+		}
+		s.coal = newCoalescer(s.pool, opts.BatchWindow, bm, s.met)
+	}
 	s.refreshStatusLocked()
 	return s
+}
+
+// Close releases background serving resources (the batching dispatcher).
+// Idempotent; only needed when Options.BatchWindow was set.
+func (s *Server) Close() {
+	if s.coal != nil {
+		s.coal.Close()
+	}
+}
+
+// Estimate answers one predicate on the served model — the in-process
+// equivalent of POST /estimate, exported for embedding Warper without HTTP
+// and for the serving benchmark. The predicate must already be normalized
+// against the server's schema. Safe for concurrent use.
+func (s *Server) Estimate(p query.Predicate) float64 {
+	if s.coal != nil {
+		if card, ok := s.coal.estimate(p); ok {
+			return card
+		}
+		// Coalescer closed: fall through to the direct checkout path.
+	}
+	r := s.pool.checkout()
+	defer s.pool.checkin(r)
+	return r.model.Estimate(p)
 }
 
 // Metrics exposes the server's metric set (for tests and embedding).
@@ -241,20 +303,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	// Estimates on the served model are serialized under mu (model forward
-	// passes share scratch state); the lock-wait histogram shows how long
-	// requests queue here — near zero even mid-period, since periods no
-	// longer hold this lock. The unlock is deferred so a panicking model
-	// cannot leave the serving lock held (the recover middleware turns the
-	// panic into a 500; the next request must still be able to lock).
-	card := func() float64 {
-		sp := obs.StartSpan(s.met.lockWait)
-		s.mu.Lock()
-		sp.End()
-		defer s.mu.Unlock()
-		return s.model.Estimate(p)
-	}()
-	writeJSON(w, estimateResponse{Cardinality: card})
+	// The estimate runs on a checked-out replica (or through the batching
+	// coalescer) — no serving mutex anywhere on this path. The checkout-wait
+	// histogram shows how long requests queue when every replica is busy.
+	s.writeJSON(w, estimateResponse{Cardinality: s.Estimate(p)})
 }
 
 type feedbackRequest struct {
@@ -284,27 +336,18 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		ar.GT = *req.Cardinality
 		ar.HasGT = true
 	}
-	var qerr float64
-	var n int
-	func() {
-		sp := obs.StartSpan(s.met.lockWait)
-		s.mu.Lock()
-		sp.End()
-		defer s.mu.Unlock()
-		if ar.HasGT {
-			// Feedback carrying ground truth measures the served model's live
-			// q-error — the continuous accuracy signal the paper only gets
-			// offline.
-			qerr = metrics.QError(s.model.Estimate(p), ar.GT)
-		}
-		s.buffer = append(s.buffer, ar)
-		n = len(s.buffer)
-	}()
 	if ar.HasGT {
-		s.met.qerr.Observe(qerr)
+		// Feedback carrying ground truth measures the served model's live
+		// q-error — the continuous accuracy signal the paper only gets
+		// offline. The estimate runs on the replica pool, outside mu.
+		s.met.qerr.Observe(metrics.QError(s.Estimate(p), ar.GT))
 	}
+	s.mu.Lock()
+	s.buffer = append(s.buffer, ar)
+	n := len(s.buffer)
+	s.mu.Unlock()
 	s.met.buffered.Set(float64(n))
-	writeJSON(w, feedbackResponse{Buffered: n})
+	s.writeJSON(w, feedbackResponse{Buffered: n})
 }
 
 type periodResponse struct {
@@ -325,8 +368,12 @@ type periodResponse struct {
 	TelemetryDegraded bool `json:"telemetry_degraded,omitempty"`
 }
 
+// maxPeriodBody caps a /period request body. Bodies beyond it are rejected
+// outright rather than silently truncated.
+const maxPeriodBody = 1 << 20
+
 // validatePeriodBody enforces the /period request contract: an empty body,
-// or a JSON object with a JSON content type.
+// or a JSON object with a JSON content type, no larger than maxPeriodBody.
 func validatePeriodBody(r *http.Request) (int, error) {
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		mt, _, err := mime.ParseMediaType(ct)
@@ -335,9 +382,15 @@ func validatePeriodBody(r *http.Request) (int, error) {
 				fmt.Errorf("content-type %q, want application/json", ct)
 		}
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	// Read one byte past the cap so an oversize body is detected instead of
+	// validating (and accepting) a truncated prefix of it.
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxPeriodBody+1))
 	if err != nil {
 		return http.StatusBadRequest, fmt.Errorf("read body: %v", err)
+	}
+	if len(body) > maxPeriodBody {
+		return http.StatusRequestEntityTooLarge,
+			fmt.Errorf("body exceeds %d bytes", maxPeriodBody)
 	}
 	if len(bytes.TrimSpace(body)) > 0 && !json.Valid(body) {
 		return http.StatusBadRequest, fmt.Errorf("body is not valid JSON")
@@ -359,17 +412,15 @@ func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.periodMu.Unlock()
 
-	// Serve estimates from a clone while Period mutates the adapter's
-	// model outside the serving lock. The clone itself is taken under mu:
-	// between periods s.model aliases adapter.M, and estimates write the
-	// model's forward-pass scratch state, so an unlocked Clone would race
-	// with a concurrent /estimate. Cloning is a bounded memory copy, not a
-	// model update, so the serving lock is held only briefly.
+	// The replica pool serves private clones of the pre-period generation,
+	// so the period below can mutate the adapter's model freely — estimates
+	// never wait on it, and no serving-side clone is needed up front. The
+	// pre-period clone here exists only for rollback on failure.
+	pre := s.adapter.M.Clone()
+
 	s.mu.Lock()
-	clone := s.adapter.M.Clone()
 	arrivals := s.buffer
 	s.buffer = nil
-	s.model = clone
 	s.mu.Unlock()
 	nArrivals := len(arrivals)
 	s.met.buffered.Set(0)
@@ -386,14 +437,21 @@ func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
 	rep, perr := s.adapter.PeriodCtx(ctx, arrivals)
 	if perr != nil {
 		// Failed repair (§6.4 robustness): discard the possibly
-		// half-updated model and reinstate the pre-period clone — it is
-		// already serving, so /estimate never sees the failure. The buffered
-		// arrivals were consumed; execution feedback keeps accumulating for
-		// the next attempt.
+		// half-updated model and reinstate the pre-period clone — the pool
+		// is still serving that generation, so /estimate never sees the
+		// failure. The consumed arrivals are re-buffered ahead of any
+		// feedback that arrived mid-period: a failed period must not cost
+		// the next one its drift evidence.
 		s.mu.Lock()
-		s.adapter.M = clone
+		s.adapter.M = pre
+		restored := make([]warper.Arrival, 0, len(arrivals)+len(s.buffer))
+		restored = append(restored, arrivals...)
+		restored = append(restored, s.buffer...)
+		s.buffer = restored
+		nBuffered := len(s.buffer)
 		s.refreshStatusLocked()
 		s.mu.Unlock()
+		s.met.buffered.Set(float64(nBuffered))
 		s.met.failures.Inc()
 		s.logger.Error("period failed",
 			"err", perr, "arrivals", nArrivals, "mode", rep.Detection.Mode.String(),
@@ -406,8 +464,11 @@ func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Swap the repaired model in: one atomic generation bump. Replicas
+	// re-clone from the new generation's private source lazily, at their
+	// next checkout.
+	s.pool.swap(s.adapter.M)
 	s.mu.Lock()
-	s.model = s.adapter.M // swap the repaired model in
 	s.periods++
 	s.refreshStatusLocked()
 	s.mu.Unlock()
@@ -430,7 +491,7 @@ func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
 		"used_fallback", rep.UsedFallback,
 		"telemetry_degraded", rep.TelemetryDegraded)
 
-	writeJSON(w, periodResponse{
+	s.writeJSON(w, periodResponse{
 		Mode:         rep.Detection.Mode.String(),
 		Arrivals:     nArrivals,
 		Generated:    rep.Generated,
@@ -473,13 +534,17 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		Costs:    s.status.Costs,
 	}
 	s.mu.Unlock()
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON encodes v as the response body. By the time Encode can fail the
+// 200 header (and possibly part of the body) is already on the wire, so a
+// failure is logged rather than answered — writing a second status header
+// into a half-sent body would corrupt the response, not repair it.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		httpError(w, http.StatusInternalServerError, "encode: %v", err)
+		s.logger.Error("response encode failed", "err", err)
 	}
 }
 
@@ -487,9 +552,8 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	http.Error(w, fmt.Sprintf(format, args...), code)
 }
 
-// Estimator returns the currently served model, for tests.
+// Estimator returns the serving generation's source model, for tests.
+// Treat it as read-only: it backs every future replica refresh.
 func (s *Server) Estimator() ce.Estimator {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.model
+	return s.pool.current()
 }

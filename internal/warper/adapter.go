@@ -179,6 +179,13 @@ func (a *Adapter) Period(arrivals []Arrival) (Report, error) {
 	return a.PeriodCtx(context.Background(), arrivals)
 }
 
+// ModelSnapshot returns a private deep copy of the current model M, the
+// swap seam serving layers build their replica pools from: the snapshot
+// shares no mutable state with M, so it can serve estimates while a period
+// mutates M. It must not be called concurrently with a running Period or
+// another snapshot — both clone from (and advance the RNG of) the same M.
+func (a *Adapter) ModelSnapshot() ce.Estimator { return a.M.Clone() }
+
 // PeriodCtx runs one Warper invocation (Figure 3 + Algorithm 1) over the
 // queries that arrived in the current adaptation period.
 //

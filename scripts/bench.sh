@@ -1,9 +1,29 @@
 #!/usr/bin/env bash
-# Tier-2 micro-benchmarks for the compute core: nn train step, gbt fit,
-# kernel solve, and an end-to-end adaptation period. Writes BENCH_PR4.json
-# (ns/op, B/op, allocs/op, samples/sec, and reference-vs-optimized speedup
-# ratios). Pass -quick for the single-iteration CI smoke variant, and -out
-# to change the output path.
+# Tier-2 benchmarks. Two suites:
+#
+#   bench.sh micro  [...]   compute-core micro-benchmarks (nn train step,
+#                           gbt fit, kernel solve, one adaptation period)
+#                           → BENCH_PR4.json
+#   bench.sh serve  [...]   concurrent /estimate serving benchmark: 8
+#                           clients against the single-lock baseline, the
+#                           replica pool, and the micro-batching coalescer,
+#                           every answer checked byte-identical
+#                           → BENCH_PR5.json
+#
+# With no suite argument, micro runs (the historical default). Remaining
+# arguments pass through: -quick for the CI smoke variant, -out for the
+# output path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-exec go run ./cmd/warperbench -micro "$@"
+
+mode=-micro
+case "${1:-}" in
+micro)
+	shift
+	;;
+serve)
+	mode=-servebench
+	shift
+	;;
+esac
+exec go run ./cmd/warperbench "$mode" "$@"
