@@ -29,23 +29,30 @@ lint:
 
 # Fault-injected soak: the WARPER_CHAOS gate enables the opt-in chaos tests
 # (heavy injected errors/hangs under concurrent traffic) on top of the
-# always-on fault-tolerance tests, under the race detector.
+# always-on fault-tolerance tests, under the race detector. The soak writes
+# its /debug/events adaptation journal to $(EVENTS_OUT) as a CI artifact.
+EVENTS_OUT ?= EVENTS_chaos.json
 chaos:
-	WARPER_CHAOS=1 $(GO) test -race -count=1 -run 'Chaos|Faulty|Degraded' ./internal/serve ./internal/resilience ./internal/warper
+	WARPER_CHAOS=1 WARPER_EVENTS_OUT=$(CURDIR)/$(EVENTS_OUT) $(GO) test -race -count=1 -run 'Chaos|Faulty|Degraded' ./internal/serve ./internal/resilience ./internal/warper
 
 # Tier-2 benchmarks. bench: compute-core micro-benchmarks (nn/gbt/kernel +
-# one full adaptation period) → BENCH_PR4.json. bench-serve: concurrent
+# one full adaptation period) → BENCH_PR4.json, then the cross-PR trajectory
+# table over every BENCH_*.json in the repo. bench-serve: concurrent
 # /estimate serving throughput (single-lock baseline vs replica pool vs
-# coalescer, byte-identity checked) → BENCH_PR5.json. bench-smoke runs the
-# quick variant of both: it proves the harnesses run, not the numbers.
+# coalescer vs tracer envelope, byte-identity checked) → BENCH_PR5.json,
+# plus an adaptation-journal artifact. bench-smoke runs the quick variant
+# of both: it proves the harnesses run, not the numbers.
 bench:
 	./scripts/bench.sh micro -out BENCH_PR4.json
+	./scripts/bench_trajectory.sh
 
 bench-serve:
-	./scripts/bench.sh serve -out BENCH_PR5.json
+	WARPER_EVENTS_OUT=$(CURDIR)/EVENTS_servebench.json ./scripts/bench.sh serve -out BENCH_PR5.json
+	./scripts/bench_trajectory.sh
 
 bench-smoke:
 	./scripts/bench.sh micro -quick -out /tmp/bench-smoke.json
 	./scripts/bench.sh serve -quick -out /tmp/bench-serve-smoke.json
+	./scripts/bench_trajectory.sh /tmp/bench-smoke.json /tmp/bench-serve-smoke.json
 
 check: build vet lint test race chaos

@@ -30,9 +30,18 @@ func main() {
 		seed   = flag.Int64("seed", 1, "base random seed")
 		micro  = flag.Bool("micro", false, "run the compute-core micro-benchmarks and write JSON")
 		sbench = flag.Bool("servebench", false, "run the concurrent /estimate serving benchmark and write JSON")
+		traj   = flag.Bool("trajectory", false, "merge BENCH_*.json reports (or the given paths) into one trajectory table")
 		out    = flag.String("out", "", "output path (default BENCH_PR4.json for -micro, BENCH_PR5.json for -servebench)")
 	)
 	flag.Parse()
+
+	if *traj {
+		if err := runTrajectory(flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "trajectory:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *micro {
 		path := *out

@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"testing"
 	"time"
 
 	"warper/internal/annotator"
@@ -134,7 +136,7 @@ func runServeBench(out string, quick bool) error {
 	// direct-checkout and micro-batched configurations.
 	locked := &lockedEstimator{
 		m:        lm.Clone(),
-		lockWait: obs.NewRegistry().Histogram("lock_wait", obs.LatencyOpts()),
+		lockWait: obs.NewRegistry().Histogram("lock_wait_seconds", obs.LatencyOpts()),
 	}
 	direct := serve.NewWithOptions(ad, sch, serve.Options{Replicas: serveClients})
 	defer direct.Close()
@@ -145,6 +147,23 @@ func runServeBench(out string, quick bool) error {
 	})
 	defer batched.Close()
 
+	// The flight-recorder acceptance check rides along: the tracer envelope
+	// the HTTP handler wraps around every estimate (Acquire → EnterStage →
+	// Finish) must cost nothing when sampling is off. These two wrappers
+	// reproduce that envelope around the replica-pool path with sampling off
+	// and fully on.
+	tracerOff := obs.NewTracer(0, 64)
+	tracerOn := obs.NewTracer(1, 64)
+	envelope := func(tr *obs.Tracer) func(query.Predicate) float64 {
+		return func(p query.Predicate) float64 {
+			t := tr.Acquire("estimate")
+			t.EnterStage("infer")
+			v := direct.Estimate(p)
+			tr.Finish(t)
+			return v
+		}
+	}
+
 	configs := []struct {
 		name string
 		est  func(query.Predicate) float64
@@ -152,6 +171,30 @@ func runServeBench(out string, quick bool) error {
 		{"serve_estimate_single_lock", locked.Estimate},
 		{"serve_estimate_replicas", direct.Estimate},
 		{"serve_estimate_coalesced", batched.Estimate},
+		{"serve_estimate_tracer_off", envelope(tracerOff)},
+		{"serve_estimate_traced", envelope(tracerOn)},
+	}
+
+	// Allocation acceptance: with sampling off the tracer envelope must add
+	// exactly zero allocations per estimate over the bare replica path.
+	allocsPer := func(est func(query.Predicate) float64) float64 {
+		i := 0
+		return testing.AllocsPerRun(512, func() {
+			est(preds[i%len(preds)])
+			i++
+		})
+	}
+	aBare := allocsPer(direct.Estimate)
+	aOff := allocsPer(envelope(tracerOff))
+	aOn := allocsPer(envelope(tracerOn))
+	fmt.Printf("allocs/op: replicas %.2f, tracer-off %.2f, traced %.2f\n", aBare, aOff, aOn)
+	if aOff > aBare {
+		return fmt.Errorf("tracing off added allocations on the estimate path: %.2f -> %.2f allocs/op", aBare, aOff)
+	}
+	allocsByName := map[string]float64{
+		"serve_estimate_replicas":   aBare,
+		"serve_estimate_tracer_off": aOff,
+		"serve_estimate_traced":     aOn,
 	}
 
 	best := make(map[string]float64, len(configs))
@@ -173,12 +216,13 @@ func runServeBench(out string, quick bool) error {
 			Name:          cf.name,
 			Iterations:    total * servePasses,
 			NsPerOp:       nsPerOp,
+			AllocsPerOp:   int64(allocsByName[cf.name] + 0.5),
 			SamplesPerSec: 1e9 / nsPerOp,
 		})
 		fmt.Printf("%-28s %10.0f ns/op %12.0f est/s  (best of %d, %d clients, byte-identical)\n",
 			cf.name, nsPerOp, 1e9/nsPerOp, servePasses, serveClients)
 	}
-	bh := batched.Metrics().Reg.Histogram("warper_estimate_batch_size", obs.HistogramOpts{Start: 1, Growth: 2, Count: 10})
+	bh := batched.Metrics().Reg.Histogram("warper_estimate_batch_rows", obs.HistogramOpts{Start: 1, Growth: 2, Count: 10})
 	if bh.Count() > 0 {
 		fmt.Printf("coalesced batches: %d, mean size %.2f\n", bh.Count(), bh.Mean())
 	}
@@ -200,6 +244,29 @@ func runServeBench(out string, quick bool) error {
 	}
 	ratio("serve_replicas_speedup", "serve_estimate_single_lock", "serve_estimate_replicas")
 	ratio("serve_coalesced_speedup", "serve_estimate_single_lock", "serve_estimate_coalesced")
+	// ≈1.00x is the acceptance target: tracing off must be free.
+	ratio("serve_tracer_off_overhead", "serve_estimate_tracer_off", "serve_estimate_replicas")
+
+	// Snapshot the adaptation event journal as a CI artifact when asked: one
+	// empty-buffer period gives the journal real period_start/period_end/
+	// model_swap content to capture.
+	if path := os.Getenv("WARPER_EVENTS_OUT"); path != "" {
+		h := batched.Handler()
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, httptest.NewRequest("POST", "/period", nil))
+		if rw.Code != 200 {
+			return fmt.Errorf("events artifact: POST /period = %d", rw.Code)
+		}
+		rw = httptest.NewRecorder()
+		h.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/events", nil))
+		if rw.Code != 200 {
+			return fmt.Errorf("events artifact: GET /debug/events = %d", rw.Code)
+		}
+		if err := os.WriteFile(path, rw.Body.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

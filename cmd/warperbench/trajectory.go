@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// The -trajectory mode merges the BENCH_*.json reports the repo accumulates
+// across PRs into one table, so `make bench` shows how the numbers moved
+// over time instead of one isolated snapshot. When a benchmark appears in
+// several reports the row carries its relative move against the previous
+// report — the performance trajectory the mode is named for.
+
+// loadedReport is one parsed benchmark report plus where it came from.
+type loadedReport struct {
+	path string
+	rep  microReport
+}
+
+// runTrajectory prints the merged table for the given report paths; with no
+// paths it globs BENCH_*.json in the working directory.
+func runTrajectory(paths []string) error {
+	if len(paths) == 0 {
+		var err error
+		paths, err = filepath.Glob("BENCH_*.json")
+		if err != nil {
+			return err
+		}
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("trajectory: no BENCH_*.json reports found")
+	}
+	sort.Strings(paths)
+
+	var reports []loadedReport
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		var rep microReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return fmt.Errorf("%s: %v", p, err)
+		}
+		reports = append(reports, loadedReport{path: filepath.Base(p), rep: rep})
+	}
+
+	fmt.Printf("bench trajectory: %d reports\n\n", len(reports))
+	fmt.Printf("%-30s %-18s %12s %10s %9s\n", "benchmark", "report", "ns/op", "allocs/op", "vs prev")
+
+	// Benchmarks in first-seen order; each name's rows in report order, so
+	// repeated names read as a time series.
+	var names []string
+	seen := map[string]bool{}
+	for _, lr := range reports {
+		for _, b := range lr.rep.Benchmarks {
+			if !seen[b.Name] {
+				seen[b.Name] = true
+				names = append(names, b.Name)
+			}
+		}
+	}
+	for _, name := range names {
+		prev := 0.0
+		for _, lr := range reports {
+			for _, b := range lr.rep.Benchmarks {
+				if b.Name != name {
+					continue
+				}
+				move := ""
+				if prev > 0 {
+					move = fmt.Sprintf("%+.1f%%", 100*(b.NsPerOp-prev)/prev)
+				}
+				fmt.Printf("%-30s %-18s %12.0f %10d %9s\n", name, lr.path, b.NsPerOp, b.AllocsPerOp, move)
+				prev = b.NsPerOp
+			}
+		}
+	}
+
+	hasRatios := false
+	for _, lr := range reports {
+		for _, r := range lr.rep.Ratios {
+			if !hasRatios {
+				hasRatios = true
+				fmt.Printf("\n%-30s %-18s %8s\n", "ratio", "report", "speedup")
+			}
+			fmt.Printf("%-30s %-18s %7.2fx\n", r.Name, lr.path, r.Speedup)
+		}
+	}
+
+	fmt.Println()
+	for _, lr := range reports {
+		when := time.Unix(lr.rep.GeneratedUnix, 0).UTC().Format("2006-01-02")
+		mode := "full"
+		if lr.rep.Quick {
+			mode = "quick"
+		}
+		fmt.Printf("%s: %s, %s, %s/%s, %d cpu\n",
+			lr.path, when, mode, lr.rep.GOOS, lr.rep.GOARCH, lr.rep.NumCPU)
+	}
+	return nil
+}

@@ -7,8 +7,11 @@
 //	POST /feedback     {"lows": [...], "highs": [...], "cardinality": N}
 //	POST /period       run one adaptation period over buffered feedback
 //	GET  /status       model, pool, thresholds, component costs
+//	GET  /statusz      human-readable flight-recorder page (HTML)
 //	GET  /metrics      Prometheus text exposition
 //	GET  /debug/vars   JSON metric dump
+//	GET  /debug/traces Chrome trace-event JSON of sampled requests
+//	GET  /debug/events adaptation event journal (JSON)
 //	GET  /debug/pprof/ CPU/heap profiles (only with -pprof)
 //	GET  /healthz
 //
@@ -22,6 +25,7 @@
 //	warperd -addr :8080 -pprof -log-level debug       # full observability
 //	warperd -replicas 8 -batch-window 200us           # concurrent serving tuning
 //	warperd -faults 0.2 -fault-hang 0.05 -annotate-timeout 500ms  # chaos mode
+//	warperd -trace-sample 100 -drift-alarm-gmq 4      # drift flight recorder
 package main
 
 import (
@@ -66,6 +70,14 @@ func main() {
 		// annotation; the -faults* flags additionally inject deterministic
 		// faults underneath it — the chaos-testing mode used to demo the
 		// degradation ladder end to end.
+		// Drift flight recorder. Tracing is off by default so /estimate stays
+		// allocation-free; the drift watch always runs (it rides the feedback
+		// path, not the hot path).
+		traceSample = flag.Int("trace-sample", 0, "trace 1 in N requests (0 = tracing off)")
+		traceBuf    = flag.Int("trace-buf", 0, "finished traces kept for /debug/traces (0 = default 64)")
+		driftWindow = flag.Duration("drift-window", 0, "rolling q-error drift window (0 = default 5m)")
+		driftAlarm  = flag.Float64("drift-alarm-gmq", 4, "windowed GMQ that raises the drift alarm (0 = off)")
+
 		faultErr      = flag.Float64("faults", 0, "injected annotation error rate in [0,1] (testing)")
 		faultHang     = flag.Float64("fault-hang", 0, "injected annotation hang rate in [0,1] (testing)")
 		faultLatency  = flag.Duration("fault-latency", 0, "injected annotation latency (testing)")
@@ -157,6 +169,10 @@ func main() {
 		Replicas:      *replicas,
 		BatchWindow:   *batchWindow,
 		BatchMax:      *batchMax,
+		TraceSample:   *traceSample,
+		TraceBuf:      *traceBuf,
+		DriftWindow:   *driftWindow,
+		DriftAlarmGMQ: *driftAlarm,
 	})
 
 	// Route period-time annotation through the resilience stack: optional

@@ -179,5 +179,6 @@ func All() []*Analyzer {
 		LockHygiene,
 		ErrcheckLite,
 		CtxPropagate,
+		ObsNames,
 	}
 }

@@ -138,6 +138,13 @@ func TestCtxPropagateFixture(t *testing.T) {
 	}
 }
 
+func TestObsNamesFixture(t *testing.T) {
+	diags := checkFixture(t, ObsNames, "obsnames/app")
+	if len(diags) != 7 {
+		t.Errorf("got %d diagnostics, want 7 (non-Registry receivers and lint:allow lines are exempt)", len(diags))
+	}
+}
+
 func TestErrcheckLiteFixture(t *testing.T) {
 	diags := checkFixture(t, ErrcheckLite, "errcheck/app")
 	if len(diags) != 2 {

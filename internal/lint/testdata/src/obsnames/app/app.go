@@ -1,0 +1,42 @@
+// Package app is a lint fixture for the obsnames rule. Its Registry type
+// stands in for obs.Registry: the rule matches any receiver named Registry,
+// so the fixture needs no module imports.
+package app
+
+type Registry struct{}
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+type HistogramOpts struct{}
+
+func (r *Registry) Counter(name string, labels ...string) *Counter { return nil }
+func (r *Registry) Gauge(name string, labels ...string) *Gauge     { return nil }
+func (r *Registry) Histogram(name string, opts HistogramOpts, labels ...string) *Histogram {
+	return nil
+}
+
+// notRegistry has the same method names but a different receiver type; the
+// rule must ignore it.
+type notRegistry struct{}
+
+func (notRegistry) Counter(name string) *Counter { return nil }
+
+const viaConstant = "request_latency"
+
+func register(r *Registry, other notRegistry) {
+	r.Counter("warper_requests_total")
+	r.Counter("badRequests_total")  // want "not snake_case"
+	r.Counter("warper_reqs_count")  // want "must end in _total"
+	r.Counter("_leading_total")     // want "not snake_case"
+	r.Gauge("warper_pool_size")
+	r.Gauge("PoolSize") // want "not snake_case"
+	r.Histogram("warper_latency_seconds", HistogramOpts{})
+	r.Histogram("warper_payload_bytes", HistogramOpts{})
+	r.Histogram("warper_qerror_ratio", HistogramOpts{})
+	r.Histogram("warper_latency", HistogramOpts{})     // want "must end in a unit suffix"
+	r.Histogram(viaConstant, HistogramOpts{})          // want "must end in a unit suffix"
+	r.Gauge("warper_latency_seconds")                  // want "registered as both histogram and gauge"
+	other.Counter("notARegistry.soAnythingGoes")       // different receiver: ignored
+	//lint:allow obsnames legacy dashboard name kept during migration
+	r.Counter("legacy.dotted.name")
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanEndAtMostOnce pins the End contract: the first call records, every
+// later call returns 0 and observes nothing, so a defer plus an explicit
+// early End cannot double-count.
+func TestSpanEndAtMostOnce(t *testing.T) {
+	h := NewHistogram(LatencyOpts())
+	sp := StartSpan(h)
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d <= 0 {
+		t.Fatalf("first End = %v, want > 0", d)
+	}
+	if d := sp.End(); d != 0 {
+		t.Errorf("second End = %v, want 0", d)
+	}
+	if h.Count() != 1 {
+		t.Errorf("histogram recorded %d observations, want 1", h.Count())
+	}
+
+	// The defer-plus-early-End idiom the contract exists for.
+	h2 := NewHistogram(LatencyOpts())
+	func() {
+		sp := StartSpan(h2)
+		defer sp.End()
+		sp.End()
+	}()
+	if h2.Count() != 1 {
+		t.Errorf("defer+early End recorded %d, want 1", h2.Count())
+	}
+}
+
+// TestGaugeAddConcurrent hammers the CAS loop in Gauge.Add from many
+// goroutines; the final value must be the exact sum (run under -race to
+// validate the loop's memory ordering).
+func TestGaugeAddConcurrent(t *testing.T) {
+	var g Gauge
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				g.Add(1)
+				g.Add(-0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	want := float64(workers * perWorker * 0.5)
+	if got := g.Value(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("gauge = %v, want %v", got, want)
+	}
+}
+
+// TestAliasHistogramSharesData verifies the rename bridge: the alias family
+// exports the same observations as the canonical name.
+func TestAliasHistogramSharesData(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("replica_checkout_wait_seconds", LatencyOpts())
+	r.AliasHistogram("estimate_lock_wait_seconds", h)
+	h.Observe(0.01)
+	h.Observe(0.02)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		"replica_checkout_wait_seconds_count 2",
+		"estimate_lock_wait_seconds_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// The alias shares the histogram, so later observations appear in both.
+	h.Observe(0.03)
+	sb.Reset()
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "estimate_lock_wait_seconds_count 3") {
+		t.Error("alias did not track the canonical histogram")
+	}
+}
+
+func TestAliasHistogramKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("taken_total")
+	defer func() {
+		if recover() == nil {
+			t.Error("aliasing over a counter name did not panic")
+		}
+	}()
+	r.AliasHistogram("taken_total", NewHistogram(LatencyOpts()))
+}

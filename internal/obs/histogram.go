@@ -131,8 +131,21 @@ func (h *Histogram) Buckets() []Bucket {
 // inside the owning bucket. It returns 0 before any observation; overflow
 // observations report the last finite bound.
 func (h *Histogram) Quantile(q float64) float64 {
-	n := h.count.Load()
-	if n == 0 {
+	counts := make([]int64, len(h.buckets))
+	var n int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		n += counts[i]
+	}
+	n += h.over.Load()
+	return quantileFromCounts(h.bounds, counts, n, q)
+}
+
+// quantileFromCounts interpolates the q-quantile over explicit per-bucket
+// counts (total includes the overflow bucket). Shared between live
+// histograms and the windowed bucket deltas computed by Windows.
+func quantileFromCounts(bounds []float64, counts []int64, total int64, q float64) float64 {
+	if total == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -141,24 +154,24 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	rank := q * float64(n)
+	rank := q * float64(total)
 	var cum float64
-	for i := range h.buckets {
-		c := float64(h.buckets[i].Load())
+	for i := range counts {
+		c := float64(counts[i])
 		if cum+c >= rank && c > 0 {
-			lower := h.bounds[i] / geomRatio(h.bounds, i)
+			lower := bounds[i] / geomRatio(bounds, i)
 			if i == 0 {
 				// First bucket: interpolate from 0 (latency) — but a
 				// log-scale start near 1 (q-error) makes 0 misleading, so
 				// use half the bound as the nominal lower edge.
-				lower = h.bounds[0] / 2
+				lower = bounds[0] / 2
 			}
 			frac := (rank - cum) / c
-			return lower * math.Pow(h.bounds[i]/lower, frac)
+			return lower * math.Pow(bounds[i]/lower, frac)
 		}
 		cum += c
 	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }
 
 // geomRatio returns the growth ratio at bucket i (bounds are geometric, so

@@ -209,6 +209,31 @@ func (r *Registry) Histogram(name string, opts HistogramOpts, labels ...string) 
 	return s.h
 }
 
+// AliasHistogram exposes an existing histogram under a second name — the
+// one-release bridge when a metric is renamed: dashboards watching the old
+// name keep seeing the same data while they migrate. The alias shares the
+// histogram, so the two exported families are always identical. Panics if
+// the alias name is already registered as a different kind.
+func (r *Registry) AliasHistogram(alias string, h *Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[alias]
+	if f == nil {
+		f = &family{name: alias, kind: kindHistogram, series: map[string]*series{}}
+		r.families[alias] = f
+	} else if len(f.series) == 0 {
+		f.kind = kindHistogram
+	} else if f.kind != kindHistogram {
+		panic(fmt.Sprintf("obs: alias %q already registered as %v", alias, f.kind))
+	}
+	s := f.series[""]
+	if s == nil {
+		s = &series{}
+		f.series[""] = s
+	}
+	s.h = h
+}
+
 // snapshotFamilies returns families and series in deterministic order for
 // exposition.
 func (r *Registry) snapshotFamilies() []*family {

@@ -1,0 +1,146 @@
+package obs
+
+// P2 is a streaming quantile sketch implementing the P² algorithm
+// (Jain & Chlamtac, CACM 1985): five markers track the running quantile
+// with O(1) memory and O(1) update cost, no sample buffer. The flight
+// recorder uses it for rolling q-error quantiles over the drift window,
+// where a full histogram per window slot would cost more than the signal
+// is worth and an exact sample buffer would be unbounded.
+//
+// A P2 is not safe for concurrent use; callers (the drift watch) guard it
+// with their own mutex.
+type P2 struct {
+	p float64 // target quantile in (0,1)
+	n int     // observations seen
+
+	// The five markers: heights (estimated values) and actual positions
+	// (1-based ranks), plus the desired positions and their per-observation
+	// increments. Until five observations arrive, q holds the raw samples.
+	q    [5]float64
+	pos  [5]float64
+	want [5]float64
+	dw   [5]float64
+}
+
+// NewP2 returns a sketch estimating the p-quantile, p in (0,1).
+func NewP2(p float64) *P2 {
+	s := &P2{}
+	s.Reset(p)
+	return s
+}
+
+// Reset empties the sketch and re-targets it at quantile p (keep the old
+// target by passing the same value). The drift watch resets its sketches at
+// each window boundary, making them tumbling-window estimators.
+func (s *P2) Reset(p float64) {
+	if p <= 0 {
+		p = 0.5
+	}
+	if p >= 1 {
+		p = 0.99
+	}
+	*s = P2{p: p}
+	s.dw = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+}
+
+// Count returns the number of observations since the last reset.
+func (s *P2) Count() int { return s.n }
+
+// Observe folds one value into the sketch.
+func (s *P2) Observe(v float64) {
+	if s.n < 5 {
+		// Bootstrap: collect the first five samples sorted.
+		i := s.n
+		s.q[i] = v
+		for i > 0 && s.q[i-1] > s.q[i] {
+			s.q[i-1], s.q[i] = s.q[i], s.q[i-1]
+			i--
+		}
+		s.n++
+		if s.n == 5 {
+			for j := range s.pos {
+				s.pos[j] = float64(j + 1)
+			}
+			s.want = [5]float64{1, 1 + 2*s.p, 1 + 4*s.p, 3 + 2*s.p, 5}
+		}
+		return
+	}
+
+	// Find the cell k such that q[k] <= v < q[k+1], stretching the extremes.
+	var k int
+	switch {
+	case v < s.q[0]:
+		s.q[0] = v
+		k = 0
+	case v >= s.q[4]:
+		s.q[4] = v
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if v < s.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		s.pos[i]++
+	}
+	for i := range s.want {
+		s.want[i] += s.dw[i]
+	}
+	s.n++
+
+	// Adjust the three interior markers toward their desired positions with
+	// the piecewise-parabolic (P²) update, falling back to linear when the
+	// parabola would breach a neighbor.
+	for i := 1; i <= 3; i++ {
+		d := s.want[i] - s.pos[i]
+		if (d >= 1 && s.pos[i+1]-s.pos[i] > 1) || (d <= -1 && s.pos[i-1]-s.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			qn := s.parabolic(i, sign)
+			if s.q[i-1] < qn && qn < s.q[i+1] {
+				s.q[i] = qn
+			} else {
+				s.q[i] = s.linear(i, sign)
+			}
+			s.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for marker i
+// moved by d (±1).
+func (s *P2) parabolic(i int, d float64) float64 {
+	return s.q[i] + d/(s.pos[i+1]-s.pos[i-1])*
+		((s.pos[i]-s.pos[i-1]+d)*(s.q[i+1]-s.q[i])/(s.pos[i+1]-s.pos[i])+
+			(s.pos[i+1]-s.pos[i]-d)*(s.q[i]-s.q[i-1])/(s.pos[i]-s.pos[i-1]))
+}
+
+// linear is the fallback height prediction along the segment toward the
+// neighbor in direction d.
+func (s *P2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return s.q[i] + d*(s.q[j]-s.q[i])/(s.pos[j]-s.pos[i])
+}
+
+// Quantile returns the current estimate: the middle marker once five
+// observations exist, the exact order statistic before that, and 0 on an
+// empty sketch.
+func (s *P2) Quantile() float64 {
+	switch {
+	case s.n == 0:
+		return 0
+	case s.n < 5:
+		// Exact small-sample quantile by nearest rank on the sorted prefix.
+		idx := int(s.p * float64(s.n))
+		if idx >= s.n {
+			idx = s.n - 1
+		}
+		return s.q[idx]
+	default:
+		return s.q[2]
+	}
+}

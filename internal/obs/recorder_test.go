@@ -1,0 +1,462 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- P² sketch ---------------------------------------------------------------
+
+func TestP2AgainstExactQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		sk := NewP2(p)
+		n := 5000
+		vals := make([]float64, n)
+		for i := range vals {
+			// Log-normal-ish q-error shaped data.
+			vals[i] = math.Exp(rng.NormFloat64())
+			sk.Observe(vals[i])
+		}
+		sort.Float64s(vals)
+		exact := vals[int(p*float64(n))]
+		got := sk.Quantile()
+		// P² is an approximation; accept 15% relative error on this smooth
+		// distribution (it is typically far tighter).
+		if math.Abs(got-exact)/exact > 0.15 {
+			t.Errorf("p=%v: P² = %v, exact = %v", p, got, exact)
+		}
+		if sk.Count() != n {
+			t.Errorf("count = %d, want %d", sk.Count(), n)
+		}
+	}
+}
+
+func TestP2SmallSamplesExact(t *testing.T) {
+	sk := NewP2(0.5)
+	if sk.Quantile() != 0 {
+		t.Error("empty sketch should report 0")
+	}
+	sk.Observe(3)
+	sk.Observe(1)
+	sk.Observe(2)
+	// Median of {1,2,3} by nearest rank.
+	if got := sk.Quantile(); got != 2 {
+		t.Errorf("small-sample median = %v, want 2", got)
+	}
+	sk.Reset(0.5)
+	if sk.Count() != 0 || sk.Quantile() != 0 {
+		t.Error("reset did not empty the sketch")
+	}
+}
+
+func TestP2MonotoneStream(t *testing.T) {
+	sk := NewP2(0.95)
+	for i := 1; i <= 1000; i++ {
+		sk.Observe(float64(i))
+	}
+	got := sk.Quantile()
+	if got < 850 || got > 1000 {
+		t.Errorf("p95 of 1..1000 = %v, want ≈950", got)
+	}
+}
+
+// --- Journal -----------------------------------------------------------------
+
+func TestJournalAppendAndEviction(t *testing.T) {
+	j := NewJournal(16)
+	for i := 0; i < 40; i++ {
+		j.Append("k", uint64(i), map[string]any{"i": i})
+	}
+	evs := j.Snapshot()
+	if len(evs) != 16 {
+		t.Fatalf("retained %d events, want 16", len(evs))
+	}
+	if j.Total() != 40 {
+		t.Errorf("total = %d, want 40", j.Total())
+	}
+	// Oldest-first, contiguous seq, newest = 39.
+	for i, ev := range evs {
+		if want := uint64(24 + i); ev.Seq != want {
+			t.Errorf("event[%d].Seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestJournalConcurrentAppend(t *testing.T) {
+	j := NewJournal(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				j.Append("k", 0, nil)
+				_ = j.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if j.Total() != 800 {
+		t.Errorf("total = %d, want 800", j.Total())
+	}
+}
+
+// --- Tracer ------------------------------------------------------------------
+
+func TestTracerSamplingAndStages(t *testing.T) {
+	tr := NewTracer(1, 8)
+	x := tr.Acquire("estimate")
+	if x == nil {
+		t.Fatal("sample-every-1 tracer returned nil")
+	}
+	x.EnterStage("decode")
+	x.EnterStage("infer")
+	x.BatchSize = 4
+	x.Generation = 2
+	tr.Finish(x)
+
+	snap := tr.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot len = %d, want 1", len(snap))
+	}
+	got := snap[0]
+	if got.BatchSize != 4 || got.Generation != 2 || got.Handler != "estimate" {
+		t.Errorf("trace fields = %+v", got)
+	}
+	stages := got.Stages()
+	if len(stages) != 2 || stages[0].Name != "decode" || stages[1].Name != "infer" {
+		t.Fatalf("stages = %+v", stages)
+	}
+	// Stage sum must be ≈ the request total (no gaps between EnterStage calls).
+	var sum time.Duration
+	for _, s := range stages {
+		sum += s.Dur
+	}
+	if got.Total() < sum {
+		t.Errorf("total %v < stage sum %v", got.Total(), sum)
+	}
+}
+
+func TestTracerDisabledReturnsNil(t *testing.T) {
+	tr := NewTracer(0, 8)
+	for i := 0; i < 100; i++ {
+		if tr.Acquire("x") != nil {
+			t.Fatal("disabled tracer sampled a request")
+		}
+	}
+	// Nil traces are inert everywhere.
+	var nilTrace *Trace
+	nilTrace.EnterStage("a")
+	tr.Finish(nil)
+}
+
+func TestTracerBoundedUnderLoad(t *testing.T) {
+	tr := NewTracer(1, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				x := tr.Acquire("estimate")
+				x.EnterStage("infer")
+				tr.Finish(x)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(tr.Snapshot()); n != 8 {
+		t.Errorf("ring retained %d traces, want 8", n)
+	}
+	if tr.Sampled.Load() == 0 {
+		t.Error("nothing sampled")
+	}
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	tr := NewTracer(1, 8)
+	for i := 0; i < 3; i++ {
+		x := tr.Acquire("estimate")
+		x.EnterStage("checkout")
+		x.EnterStage("infer")
+		tr.Finish(x)
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  uint64  `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	// 3 traces × (1 request event + 2 stage events).
+	if len(file.TraceEvents) != 9 {
+		t.Fatalf("events = %d, want 9", len(file.TraceEvents))
+	}
+	for _, ev := range file.TraceEvents {
+		if ev.Ph != "X" || ev.Ts < 0 || ev.Dur < 0 {
+			t.Errorf("bad event %+v", ev)
+		}
+	}
+	// Empty input still renders a valid file.
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("empty trace file is invalid JSON")
+	}
+}
+
+// --- Exemplars ---------------------------------------------------------------
+
+func TestExemplarsTopK(t *testing.T) {
+	e := NewExemplars(3)
+	for _, q := range []float64{5, 2, 9, 1, 7, 3} {
+		e.OfferQError(Exemplar{QError: q})
+	}
+	got := e.WorstQ()
+	if len(got) != 3 || got[0].QError != 9 || got[1].QError != 7 || got[2].QError != 5 {
+		t.Errorf("worstQ = %+v", got)
+	}
+	for _, l := range []float64{0.1, 0.5, 0.2, 0.9} {
+		e.OfferSlow(Exemplar{Latency: l})
+	}
+	slow := e.Slowest()
+	if len(slow) != 3 || slow[0].Latency != 0.9 {
+		t.Errorf("slowest = %+v", slow)
+	}
+}
+
+func TestExemplarsConcurrent(t *testing.T) {
+	e := NewExemplars(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				e.OfferQError(Exemplar{QError: 1 + rng.Float64()*100})
+				e.OfferSlow(Exemplar{Latency: rng.Float64()})
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	q := e.WorstQ()
+	if len(q) != 8 {
+		t.Fatalf("retained %d, want 8", len(q))
+	}
+	for i := 1; i < len(q); i++ {
+		if q[i].QError > q[i-1].QError {
+			t.Errorf("worstQ not sorted: %v after %v", q[i].QError, q[i-1].QError)
+		}
+	}
+}
+
+// --- DriftWatch --------------------------------------------------------------
+
+func TestDriftWatchAlarmLifecycle(t *testing.T) {
+	d := NewDriftWatch(time.Minute, 4)
+	d.SetMinCount(5)
+	t0 := time.Unix(1000, 0)
+
+	// Healthy feedback: no alarm.
+	var st DriftState
+	var tr DriftTransition
+	for i := 0; i < 10; i++ {
+		st, tr = d.Observe(1.5, t0.Add(time.Duration(i)*time.Second))
+		if tr != DriftNone {
+			t.Fatalf("healthy stream transitioned: %v", tr)
+		}
+	}
+	if st.Alarm || st.WindowGMQ > 2 {
+		t.Fatalf("healthy state = %+v", st)
+	}
+
+	// Drift: large q-errors push the windowed GMQ over the threshold.
+	raised := false
+	for i := 0; i < 20; i++ {
+		st, tr = d.Observe(100, t0.Add(time.Duration(10+i)*time.Second))
+		if tr == DriftRaised {
+			raised = true
+		}
+	}
+	if !raised || !st.Alarm {
+		t.Fatalf("alarm not raised: %+v", st)
+	}
+	if st.WindowGMQ < 4 {
+		t.Errorf("window GMQ = %v, want ≥ 4", st.WindowGMQ)
+	}
+
+	// Recovery: good feedback after the window ages the bad slots out.
+	cleared := false
+	for i := 0; i < 200; i++ {
+		st, tr = d.Observe(1.1, t0.Add(time.Duration(30+i)*time.Second))
+		if tr == DriftCleared {
+			cleared = true
+		}
+	}
+	if !cleared || st.Alarm {
+		t.Fatalf("alarm not cleared: %+v", st)
+	}
+}
+
+func TestDriftWatchWindowAgesOut(t *testing.T) {
+	d := NewDriftWatch(time.Minute, 0) // alarms off, window still maintained
+	t0 := time.Unix(0, 0)
+	for i := 0; i < 30; i++ {
+		d.Observe(50, t0.Add(time.Duration(i)*time.Second))
+	}
+	if st := d.State(t0.Add(30 * time.Second)); st.Count != 30 {
+		t.Fatalf("count = %d, want 30", st.Count)
+	}
+	// Two windows later everything is stale.
+	st := d.State(t0.Add(3 * time.Minute))
+	if st.Count != 0 || st.WindowGMQ != 1 {
+		t.Errorf("stale state = %+v", st)
+	}
+}
+
+func TestDriftWatchMinCountGate(t *testing.T) {
+	d := NewDriftWatch(time.Minute, 2)
+	t0 := time.Unix(0, 0)
+	// Huge q-errors but below the default min count: no alarm.
+	var tr DriftTransition
+	for i := 0; i < defaultDriftMinCount-1; i++ {
+		_, tr = d.Observe(1e6, t0.Add(time.Duration(i)*time.Millisecond))
+		if tr != DriftNone {
+			t.Fatal("alarm fired below the observation floor")
+		}
+	}
+}
+
+// --- Windows -----------------------------------------------------------------
+
+func TestWindowsCounterRatesAndHistogramDeltas(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total")
+	h := r.Histogram("lat_seconds", HistogramOpts{Start: 0.001, Growth: 10, Count: 4})
+	g := r.Gauge("pool")
+
+	w := NewWindows(r, 12*time.Second) // 1s slots
+	t0 := time.Unix(100, 0)
+
+	c.Add(100)
+	h.Observe(0.01)
+	g.Set(5)
+	w.Tick(t0)
+
+	// Inside the window: 50 more requests, two slower observations.
+	c.Add(50)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	g.Set(7)
+	view := w.View(t0.Add(10 * time.Second))
+
+	stats := map[string]WindowStat{}
+	for _, st := range view.Stats {
+		stats[st.Name] = st
+	}
+	cs := stats["reqs_total"]
+	if cs.Delta != 50 {
+		t.Errorf("counter delta = %d, want 50", cs.Delta)
+	}
+	if math.Abs(cs.Rate-5) > 0.01 {
+		t.Errorf("rate = %v, want 5/s", cs.Rate)
+	}
+	if cs.Lifetime != 150 {
+		t.Errorf("lifetime = %v, want 150", cs.Lifetime)
+	}
+	hs := stats["lat_seconds"]
+	if hs.Count != 2 {
+		t.Errorf("windowed histogram count = %d, want 2", hs.Count)
+	}
+	if math.Abs(hs.Mean-0.5) > 1e-9 {
+		t.Errorf("windowed mean = %v, want 0.5", hs.Mean)
+	}
+	// The lifetime view still sees all three observations.
+	if hs.Lifetime != 3 {
+		t.Errorf("histogram lifetime = %v, want 3", hs.Lifetime)
+	}
+	// Windowed p50 must sit in the 0.5 bucket, not be dragged down by the
+	// pre-window 0.01 observation.
+	if hs.P50 < 0.1 {
+		t.Errorf("windowed p50 = %v, polluted by pre-window data", hs.P50)
+	}
+	gs := stats["pool"]
+	if gs.Value != 7 {
+		t.Errorf("gauge value = %v, want 7", gs.Value)
+	}
+}
+
+func TestWindowsTickCadenceAndRing(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	w := NewWindows(r, 12*time.Second)
+	t0 := time.Unix(0, 0)
+	// Ticks faster than the slot duration collapse into one.
+	w.Tick(t0)
+	w.Tick(t0.Add(100 * time.Millisecond))
+	w.mu.Lock()
+	n := w.n
+	w.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("sub-slot tick was recorded: n = %d", n)
+	}
+	// Fill far past the ring: the base must slide forward, bounding the span.
+	for i := 1; i <= 100; i++ {
+		c.Inc()
+		w.Tick(t0.Add(time.Duration(i) * time.Second))
+	}
+	view := w.View(t0.Add(101 * time.Second))
+	if view.Seconds > 13 {
+		t.Errorf("window spans %.1fs, want ≤ 13s (ring must bound it)", view.Seconds)
+	}
+	if view.Stats[0].Delta >= 100 {
+		t.Errorf("delta = %d covers the whole lifetime; window not rolling", view.Stats[0].Delta)
+	}
+}
+
+func TestWindowsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	w := NewWindows(r, 2*time.Second)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					r.Counter("c_total").Inc()
+					r.Histogram("h_seconds", LatencyOpts()).Observe(0.001)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		w.Tick(time.Now())
+		_ = w.View(time.Now())
+	}
+	close(stop)
+	wg.Wait()
+}

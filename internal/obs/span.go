@@ -8,6 +8,7 @@ import "time"
 type Span struct {
 	h     *Histogram
 	start time.Time
+	ended bool
 }
 
 // StartSpan begins timing against h (which may be nil).
@@ -16,11 +17,14 @@ func StartSpan(h *Histogram) Span {
 }
 
 // End stops the span, records the elapsed seconds and returns the duration.
-// It is safe to call on a zero Span and may be called at most once.
-func (s Span) End() time.Duration {
-	if s.start.IsZero() {
+// It is safe to call on a zero Span, and at most the first call records: a
+// second End on the same span returns 0 and observes nothing, so a defer
+// plus an explicit early End cannot double-count a histogram.
+func (s *Span) End() time.Duration {
+	if s.ended || s.start.IsZero() {
 		return 0
 	}
+	s.ended = true
 	d := time.Since(s.start)
 	if s.h != nil {
 		s.h.Observe(d.Seconds())

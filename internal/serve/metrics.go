@@ -12,10 +12,15 @@ import (
 // Metric names exposed on GET /metrics. Kept as constants so tests and the
 // README's operating guide cannot drift from the implementation.
 const (
-	mReqTotal        = "warper_http_requests_total"
-	mReqSeconds      = "warper_http_request_seconds"
-	mLockWait        = "warper_estimate_lock_wait_seconds"
-	mQError          = "warper_qerror"
+	mReqTotal   = "warper_http_requests_total"
+	mReqSeconds = "warper_http_request_seconds"
+	// mCheckoutWait is the renamed replica-wait histogram; the old name
+	// below is exported as an alias for one release so dashboards watching
+	// it keep seeing data while they migrate.
+	mCheckoutWait    = "warper_replica_checkout_wait_seconds"
+	mCheckoutWaitOld = "warper_estimate_lock_wait_seconds"
+	mQError          = "warper_qerror_ratio"
+	mQErrorOld       = "warper_qerror"
 	mStageSeconds    = "warper_period_stage_seconds"
 	mPeriodsTotal    = "warper_periods_total"
 	mPeriodConflicts = "warper_period_conflicts_total"
@@ -41,7 +46,12 @@ const (
 	mCheckoutQueue = "warper_replica_checkout_queue"
 	mRefreshes     = "warper_replica_refreshes_total"
 	mSwapSeconds   = "warper_model_swap_seconds"
-	mBatchSize     = "warper_estimate_batch_size"
+	mBatchRows     = "warper_estimate_batch_rows"
+	mBatchRowsOld  = "warper_estimate_batch_size"
+
+	// Flight-recorder metrics (rolling q-error drift watch).
+	mDriftAlarm = "warper_drift_alarm"
+	mDriftGMQ   = "warper_drift_window_gmq"
 
 	// Resilience metrics (fault-tolerant annotation pipeline).
 	mAnnRetries    = "warper_annotate_retries_total"
@@ -59,8 +69,12 @@ const (
 type Metrics struct {
 	Reg *obs.Registry
 
-	lockWait  *obs.Histogram
-	qerr      *obs.Histogram
+	// rec, when non-nil, receives adaptation-lifecycle callbacks for the
+	// flight recorder's event journal (set by NewWithOptions).
+	rec *flightRecorder
+
+	checkoutWait *obs.Histogram
+	qerr         *obs.Histogram
 	periods   *obs.Counter
 	conflicts *obs.Counter
 	failures  *obs.Counter
@@ -84,7 +98,10 @@ type Metrics struct {
 	checkoutQueue *obs.Gauge
 	refreshes     *obs.Counter
 	swapSeconds   *obs.Histogram
-	batchSize     *obs.Histogram
+	batchRows     *obs.Histogram
+
+	driftAlarm *obs.Gauge
+	driftGMQ   *obs.Gauge
 
 	annRetries    *obs.Counter
 	annTimeouts   *obs.Counter
@@ -100,8 +117,10 @@ func NewMetrics() *Metrics {
 	r := obs.NewRegistry()
 	r.Help(mReqTotal, "HTTP requests by handler and status code.")
 	r.Help(mReqSeconds, "HTTP request latency in seconds, by handler.")
-	r.Help(mLockWait, "Time estimate requests wait to check out a serving replica.")
+	r.Help(mCheckoutWait, "Time estimate requests wait to check out a serving replica.")
+	r.Help(mCheckoutWaitOld, "Deprecated alias of "+mCheckoutWait+"; removed next release.")
 	r.Help(mQError, "Observed q-error of served estimates, from execution feedback.")
+	r.Help(mQErrorOld, "Deprecated alias of "+mQError+"; removed next release.")
 	r.Help(mStageSeconds, "Adaptation period stage durations in seconds.")
 	r.Help(mPeriodsTotal, "Completed adaptation periods.")
 	r.Help(mPeriodConflicts, "Period requests rejected because one was already running.")
@@ -125,7 +144,10 @@ func NewMetrics() *Metrics {
 	r.Help(mCheckoutQueue, "Estimate requests currently queued for a free replica.")
 	r.Help(mRefreshes, "Replica re-clones after a model swap bumped the serving generation.")
 	r.Help(mSwapSeconds, "Time to swap a repaired model into the serving pool (clone + generation bump).")
-	r.Help(mBatchSize, "Coalesced estimate batch sizes.")
+	r.Help(mBatchRows, "Coalesced estimate batch sizes, in predicates per forward pass.")
+	r.Help(mBatchRowsOld, "Deprecated alias of "+mBatchRows+"; removed next release.")
+	r.Help(mDriftAlarm, "Drift-watch alarm state: 1 while the windowed GMQ breaches the threshold.")
+	r.Help(mDriftGMQ, "Geometric mean q-error over the drift watch's rolling window.")
 	r.Help(mAnnRetries, "Annotation attempts retried by the resilience wrapper.")
 	r.Help(mAnnTimeouts, "Annotation attempts killed by the per-attempt deadline.")
 	r.Help(mAnnFailed, "Annotation calls that failed for good within a period (after retries).")
@@ -134,9 +156,9 @@ func NewMetrics() *Metrics {
 	r.Help(mPeriodPartial, "Periods that proceeded with a partial annotation batch.")
 	r.Help(mTelemetryDeg, "Periods whose canary telemetry or rebase was skipped after source failures.")
 	m := &Metrics{
-		Reg:       r,
-		lockWait:  r.Histogram(mLockWait, obs.LatencyOpts()),
-		qerr:      r.Histogram(mQError, obs.QErrorOpts()),
+		Reg:          r,
+		checkoutWait: r.Histogram(mCheckoutWait, obs.LatencyOpts()),
+		qerr:         r.Histogram(mQError, obs.QErrorOpts()),
 		periods:   r.Counter(mPeriodsTotal),
 		conflicts: r.Counter(mPeriodConflicts),
 		failures:  r.Counter(mPeriodFailures),
@@ -161,7 +183,10 @@ func NewMetrics() *Metrics {
 		refreshes:     r.Counter(mRefreshes),
 		swapSeconds:   r.Histogram(mSwapSeconds, obs.LatencyOpts()),
 		// Batch sizes span 1..BatchMax; log-scale buckets from 1 up.
-		batchSize: r.Histogram(mBatchSize, obs.HistogramOpts{Start: 1, Growth: 2, Count: 10}),
+		batchRows: r.Histogram(mBatchRows, obs.HistogramOpts{Start: 1, Growth: 2, Count: 10}),
+
+		driftAlarm: r.Gauge(mDriftAlarm),
+		driftGMQ:   r.Gauge(mDriftGMQ),
 
 		annRetries:    r.Counter(mAnnRetries),
 		annTimeouts:   r.Counter(mAnnTimeouts),
@@ -171,6 +196,10 @@ func NewMetrics() *Metrics {
 		periodPartial: r.Counter(mPeriodPartial),
 		telemetryDeg:  r.Counter(mTelemetryDeg),
 	}
+	// One-release rename bridge: the old names export the same histograms.
+	r.AliasHistogram(mCheckoutWaitOld, m.checkoutWait)
+	r.AliasHistogram(mQErrorOld, m.qerr)
+	r.AliasHistogram(mBatchRowsOld, m.batchRows)
 	// Pre-create one histogram per period stage so /metrics shows the full
 	// stage set from startup, not only after the first period.
 	for _, st := range warper.StageNames {
@@ -188,10 +217,16 @@ func (m *Metrics) requestDone(handler string, code int, d time.Duration) {
 // PeriodStage implements warper.Observer.
 func (m *Metrics) PeriodStage(stage string, d time.Duration) {
 	m.Reg.Histogram(mStageSeconds, obs.LatencyOpts(), "stage", stage).Observe(d.Seconds())
+	if m.rec != nil {
+		m.rec.noteStage(stage, d)
+	}
 }
 
 // PeriodDone implements warper.Observer.
 func (m *Metrics) PeriodDone(st warper.PeriodStats) {
+	if m.rec != nil {
+		m.rec.periodDone(st)
+	}
 	m.periods.Inc()
 	m.generated.Add(int64(st.Generated))
 	m.annotated.Add(int64(st.Annotated))
@@ -235,6 +270,9 @@ func (m *Metrics) ResilienceEvents() resilience.Events {
 			// Export the breaker state with a stable encoding: 0 closed,
 			// 1 open, 2 half-open (the resilience.State values).
 			m.breakerState.Set(float64(s))
+			if m.rec != nil {
+				m.rec.journal.Append("breaker", 0, map[string]any{"state": s.String()})
+			}
 		},
 	}
 }

@@ -119,7 +119,7 @@ func TestCoalescedEstimatesAreByteIdentical(t *testing.T) {
 			t.Fatalf("estimate %d: coalesced answer %v, reference %v", i, got[i], want[i])
 		}
 	}
-	if srv.met.batchSize.Count() == 0 {
+	if srv.met.batchRows.Count() == 0 {
 		t.Error("no coalesced batch was recorded")
 	}
 	// After Close, the direct checkout path still answers.

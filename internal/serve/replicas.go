@@ -73,10 +73,11 @@ func (p *replicaPool) checkout() *replica {
 	case r = <-p.free:
 	default:
 		// Every replica is busy: this request queues. The wait histogram is
-		// the successor of PR 1's estimate-lock wait — same name, so the
-		// dashboards that watched the old lock now watch the free-list.
+		// the successor of PR 1's estimate-lock wait, renamed to say what it
+		// now measures; the old name stays exported as an alias for one
+		// release (see metrics.go).
 		p.met.checkoutQueue.Add(1)
-		sp := obs.StartSpan(p.met.lockWait)
+		sp := obs.StartSpan(p.met.checkoutWait)
 		r = <-p.free
 		sp.End()
 		p.met.checkoutQueue.Add(-1)
@@ -125,6 +126,9 @@ func (p *replicaPool) swap(m ce.Estimator) {
 // it as read-only: it backs every future replica refresh.
 func (p *replicaPool) current() ce.Estimator { return p.src.Load().model }
 
+// generation returns the current serving generation number.
+func (p *replicaPool) generation() uint64 { return p.src.Load().gen }
+
 // --- micro-batching coalescer ----------------------------------------------
 
 // batch is one combining buffer of concurrent estimates. Appends happen
@@ -137,6 +141,9 @@ type batch struct {
 	outs  []float64
 	done  chan struct{}
 	pv    any // model panic, re-raised in every waiting request
+	// gen is the serving generation that executed the batch, written by exec
+	// before close(done) so traced waiters read it race-free.
+	gen uint64
 	// n mirrors len(preds): stored (under the coalescer mutex) after every
 	// append, loaded by the spinning leader without the mutex. The atomic
 	// load doubles as the happens-before edge that lets exec read preds
@@ -210,8 +217,9 @@ func (c *coalescer) recycle(b *batch) {
 
 // estimate joins (or opens) the forming batch and blocks for its batched
 // answer. It reports false after Close, telling the caller to fall back to
-// the direct checkout path.
-func (c *coalescer) estimate(p query.Predicate) (float64, bool) {
+// the direct checkout path. A non-nil trace records whether this request
+// led or followed, plus the executed batch's size and generation.
+func (c *coalescer) estimate(p query.Predicate, tr *obs.Trace) (float64, bool) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -237,9 +245,16 @@ func (c *coalescer) estimate(p query.Predicate) (float64, bool) {
 	if leader {
 		// lead runs exec in this goroutine, which closes done before
 		// returning — the leader never parks on it.
-		c.lead(b)
+		tr.EnterStage("batch_lead")
+		c.lead(b, tr)
 	} else {
+		tr.EnterStage("batch_wait")
 		<-b.done
+	}
+	if tr != nil {
+		// Written by exec before close(done) / before lead returned.
+		tr.BatchSize = int(b.n.Load())
+		tr.Generation = b.gen
 	}
 	out, pv := b.outs[idx], b.pv
 	if b.refs.Add(-1) == 0 && pv == nil {
@@ -260,7 +275,7 @@ func (c *coalescer) estimate(p query.Predicate) (float64, bool) {
 // saturated server batches at its concurrency level with no timer stall,
 // and a lone request passes straight through. The window is therefore a
 // hard cap on accumulation wait, not a mandatory delay.
-func (c *coalescer) lead(b *batch) {
+func (c *coalescer) lead(b *batch, tr *obs.Trace) {
 	start := time.Now()
 	idle, lastN := 0, 1
 	for {
@@ -283,7 +298,7 @@ func (c *coalescer) lead(b *batch) {
 		}
 		runtime.Gosched()
 	}
-	c.exec(b)
+	c.exec(b, tr)
 }
 
 // exec runs one detached batch on a checked-out replica and wakes every
@@ -291,7 +306,7 @@ func (c *coalescer) lead(b *batch) {
 // the deferred checkin keeps a panicking model from draining the pool
 // (forward scratch is overwritten on every call, so the replica stays
 // usable), and the deferred close guarantees no waiter is left parked.
-func (c *coalescer) exec(b *batch) {
+func (c *coalescer) exec(b *batch, tr *obs.Trace) {
 	defer close(b.done)
 	defer func() {
 		if rec := recover(); rec != nil {
@@ -300,13 +315,16 @@ func (c *coalescer) exec(b *batch) {
 	}()
 	n := len(b.preds)
 	b.refs.Store(int32(n))
-	c.met.batchSize.Observe(float64(n))
+	c.met.batchRows.Observe(float64(n))
 	if cap(b.outs) < n {
 		b.outs = make([]float64, n)
 	}
 	b.outs = b.outs[:n]
+	tr.EnterStage("checkout")
 	r := c.pool.checkout()
 	defer c.pool.checkin(r)
+	b.gen = r.gen
+	tr.EnterStage("infer")
 	if be, ok := r.model.(ce.BatchEstimator); ok {
 		be.EstimateAll(b.preds, b.outs)
 		return

@@ -497,4 +497,23 @@ func TestChaosSoak(t *testing.T) {
 	if n := bad.Load(); n != 0 {
 		t.Errorf("%d estimate requests failed during the chaos soak", n)
 	}
+
+	// `make chaos` captures the adaptation event journal of the soak as a CI
+	// artifact: the breaker transitions, degradation steps and model swaps
+	// the fault injection provoked, in causal order.
+	if path := os.Getenv("WARPER_EVENTS_OUT"); path != "" {
+		resp, err := http.Get(ts.URL + "/debug/events")
+		if err != nil {
+			t.Fatalf("events artifact: %v", err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("events artifact: %v", err)
+		}
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			t.Fatalf("events artifact: %v", err)
+		}
+		t.Logf("wrote adaptation event journal to %s", path)
+	}
 }

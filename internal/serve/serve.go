@@ -67,6 +67,20 @@ type Options struct {
 	BatchWindow time.Duration
 	// BatchMax caps one coalesced batch. 0 defaults to 64.
 	BatchMax int
+	// TraceSample enables request tracing: one estimate (and period) request
+	// in every TraceSample is traced through the serving stages and retained
+	// for /debug/traces. 0 disables tracing; the disabled hot path costs one
+	// atomic load and allocates nothing.
+	TraceSample int
+	// TraceBuf is how many finished traces /debug/traces retains (default 64).
+	TraceBuf int
+	// DriftWindow is the rolling window of the q-error drift watch
+	// (default 5m).
+	DriftWindow time.Duration
+	// DriftAlarmGMQ raises the drift alarm (journal event + warper_drift_alarm
+	// gauge) when the windowed geometric mean q-error reaches this value.
+	// 0 disables alarming; the windowed GMQ is still tracked for /statusz.
+	DriftAlarmGMQ float64
 }
 
 // Server wires an Adapter behind an http.Handler. All handlers are safe for
@@ -94,7 +108,10 @@ type Server struct {
 	// handler never touches adapter state a running period may be mutating.
 	status statusSnapshot
 
-	met           *Metrics
+	met *Metrics
+	// rec is the drift flight recorder: request tracer, adaptation event
+	// journal, windowed telemetry and the rolling q-error drift watch.
+	rec           *flightRecorder
 	logger        *slog.Logger
 	pprof         bool
 	periodTimeout time.Duration
@@ -134,6 +151,7 @@ func NewWithOptions(a *warper.Adapter, sch *query.Schema, opts Options) *Server 
 		s.logger = slog.New(slog.NewTextHandler(io.Discard,
 			&slog.HandlerOptions{Level: slog.Level(127)}))
 	}
+	s.rec = newFlightRecorder(s.met, opts)
 	if a.Obs == nil {
 		a.Obs = s.met
 	}
@@ -169,14 +187,29 @@ func (s *Server) Close() {
 // and for the serving benchmark. The predicate must already be normalized
 // against the server's schema. Safe for concurrent use.
 func (s *Server) Estimate(p query.Predicate) float64 {
+	return s.estimate(p, nil)
+}
+
+// estimate is the traced form of Estimate: a non-nil trace records the
+// serving stages (coalesce / checkout / infer), the batch size and the
+// serving generation. With tr == nil the path is identical to before
+// tracing existed — nil-receiver stage calls compile to cheap no-ops and
+// nothing allocates.
+func (s *Server) estimate(p query.Predicate, tr *obs.Trace) float64 {
 	if s.coal != nil {
-		if card, ok := s.coal.estimate(p); ok {
+		if card, ok := s.coal.estimate(p, tr); ok {
 			return card
 		}
 		// Coalescer closed: fall through to the direct checkout path.
 	}
+	tr.EnterStage("checkout")
 	r := s.pool.checkout()
 	defer s.pool.checkin(r)
+	if tr != nil {
+		tr.BatchSize = 1
+		tr.Generation = r.gen
+	}
+	tr.EnterStage("infer")
 	return r.model.Estimate(p)
 }
 
@@ -208,8 +241,11 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		_, _ = fmt.Fprintln(w, "ok") // health probes ignore the body anyway
 	})
-	mux.Handle("GET /metrics", s.met.Reg.PrometheusHandler())
-	mux.Handle("GET /debug/vars", s.met.Reg.VarsHandler())
+	mux.Handle("GET /metrics", s.withTick(s.met.Reg.PrometheusHandler()))
+	mux.Handle("GET /debug/vars", s.withTick(s.met.Reg.VarsHandler()))
+	mux.HandleFunc("GET /debug/traces", s.instrument("traces", s.rec.handleTraces))
+	mux.HandleFunc("GET /debug/events", s.instrument("events", s.rec.handleEvents))
+	mux.HandleFunc("GET /statusz", s.instrument("statusz", s.handleStatusz))
 	if s.pprof {
 		obs.AttachPprof(mux)
 	}
@@ -293,20 +329,41 @@ type estimateResponse struct {
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	// Acquire costs one atomic load when tracing is off and returns nil;
+	// every stage call below is a nil-receiver no-op then.
+	tr := s.rec.tracer.Acquire("estimate")
+	tr.EnterStage("decode")
 	var req estimateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.rec.tracer.Finish(tr)
 		httpError(w, http.StatusBadRequest, "decode: %v", err)
 		return
 	}
 	p, err := s.decodePredicate(req.predicateJSON)
 	if err != nil {
+		s.rec.tracer.Finish(tr)
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	// The estimate runs on a checked-out replica (or through the batching
 	// coalescer) — no serving mutex anywhere on this path. The checkout-wait
 	// histogram shows how long requests queue when every replica is busy.
-	s.writeJSON(w, estimateResponse{Cardinality: s.Estimate(p)})
+	card := s.estimate(p, tr)
+	tr.EnterStage("respond")
+	s.writeJSON(w, estimateResponse{Cardinality: card})
+	if tr != nil {
+		// Offer the request as a slowest-exemplar candidate before the ring
+		// recycles the trace. Sampled requests only — the string render
+		// never happens on untraced requests.
+		lat := time.Since(tr.Start)
+		s.rec.exemplars.OfferSlow(obs.Exemplar{
+			TraceID:   tr.ID,
+			Time:      tr.Start,
+			Latency:   lat.Seconds(),
+			Predicate: p.WhereClause(s.sch),
+		})
+		s.rec.tracer.Finish(tr)
+	}
 }
 
 type feedbackRequest struct {
@@ -340,7 +397,20 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		// Feedback carrying ground truth measures the served model's live
 		// q-error — the continuous accuracy signal the paper only gets
 		// offline. The estimate runs on the replica pool, outside mu.
-		s.met.qerr.Observe(metrics.QError(s.Estimate(p), ar.GT))
+		est := s.Estimate(p)
+		q := metrics.QError(est, ar.GT)
+		s.met.qerr.Observe(q)
+		// Feed the rolling drift watch; an alarm transition lands in the
+		// event journal and on the warper_drift_alarm gauge. The exemplar
+		// set pins the worst offenders with their predicates for /statusz.
+		now := time.Now()
+		s.rec.feedback(q, obs.Exemplar{
+			Time:      now,
+			QError:    q,
+			Estimate:  est,
+			Truth:     ar.GT,
+			Predicate: p.WhereClause(s.sch),
+		}, now)
 	}
 	s.mu.Lock()
 	s.buffer = append(s.buffer, ar)
@@ -412,6 +482,16 @@ func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.periodMu.Unlock()
 
+	// Period requests ride the same sampler as estimates, so a journal
+	// event can point at the trace that carried its period.
+	tr := s.rec.tracer.Acquire("period")
+	tr.EnterStage("period")
+	defer s.rec.tracer.Finish(tr)
+	var traceID uint64
+	if tr != nil {
+		traceID = tr.ID
+	}
+
 	// The replica pool serves private clones of the pre-period generation,
 	// so the period below can mutate the adapter's model freely — estimates
 	// never wait on it, and no serving-side clone is needed up front. The
@@ -424,6 +504,7 @@ func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	nArrivals := len(arrivals)
 	s.met.buffered.Set(0)
+	s.rec.journal.Append("period_start", traceID, map[string]any{"arrivals": nArrivals})
 
 	// Propagate the request context so a disconnected client or the
 	// configured period deadline aborts the adaptation instead of leaving
@@ -453,6 +534,11 @@ func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		s.met.buffered.Set(float64(nBuffered))
 		s.met.failures.Inc()
+		s.rec.journal.Append("period_rollback", traceID, map[string]any{
+			"error":      perr.Error(),
+			"arrivals":   nArrivals,
+			"rebuffered": nBuffered,
+		})
 		s.logger.Error("period failed",
 			"err", perr, "arrivals", nArrivals, "mode", rep.Detection.Mode.String(),
 			"annotate_failed", rep.AnnotateFailed)
@@ -468,6 +554,11 @@ func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
 	// re-clone from the new generation's private source lazily, at their
 	// next checkout.
 	s.pool.swap(s.adapter.M)
+	s.rec.journal.Append("model_swap", traceID, map[string]any{
+		"generation": s.pool.generation(),
+		"model":      s.adapter.M.Name(),
+		"updated":    rep.Updated,
+	})
 	s.mu.Lock()
 	s.periods++
 	s.refreshStatusLocked()

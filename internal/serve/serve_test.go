@@ -20,6 +20,11 @@ import (
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server, *query.Schema, *annotator.Annotator, workload.Generator) {
 	t.Helper()
+	return newTestServerOpts(t, Options{})
+}
+
+func newTestServerOpts(t *testing.T, sopts Options) (*Server, *httptest.Server, *query.Schema, *annotator.Annotator, workload.Generator) {
+	t.Helper()
 	rng := rand.New(rand.NewSource(61))
 	tbl := dataset.PRSA(2000, rng)
 	sch := query.SchemaOf(tbl)
@@ -42,7 +47,8 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server, *query.Schema, *ann
 	if err != nil {
 		t.Fatalf("warper.New: %v", err)
 	}
-	srv := New(ad, sch)
+	srv := NewWithOptions(ad, sch, sopts)
+	t.Cleanup(srv.Close)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	gNew := workload.New("w4", tbl, sch, opts)

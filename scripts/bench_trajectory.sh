@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Merge the repo's BENCH_*.json benchmark reports into one trajectory
+# table: every benchmark from every report, with the relative move where
+# the same benchmark appears in several reports. `make bench` runs this
+# after regenerating BENCH_PR4.json; pass explicit report paths to compare
+# a subset.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec go run ./cmd/warperbench -trajectory "$@"
