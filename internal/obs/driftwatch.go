@@ -135,7 +135,26 @@ func (d *DriftWatch) Observe(q float64, now time.Time) (DriftState, DriftTransit
 	d.p50.Observe(q)
 	d.p95.Observe(q)
 	d.p99.Observe(q)
+	return d.readLocked(now)
+}
 
+// State returns the current reading, rolling the window forward to now so
+// stale slots age out even without new feedback. Aging alone can move the
+// windowed GMQ across the threshold — most commonly the alarm clearing
+// because feedback stopped entirely and the bad slots expired — so State
+// reports alarm transitions exactly like Observe; callers should turn them
+// into journal events and gauge updates the same way.
+func (d *DriftWatch) State(now time.Time) (DriftState, DriftTransition) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.roll(now)
+	return d.readLocked(now)
+}
+
+// readLocked computes the windowed state and applies any alarm edge it
+// implies. Shared by Observe and State so the alarm tracks the window
+// whether it changed by new feedback or by slots aging out.
+func (d *DriftWatch) readLocked(now time.Time) (DriftState, DriftTransition) {
 	st := d.stateLocked()
 	tr := DriftNone
 	if d.alarmGMQ > 0 {
@@ -153,15 +172,6 @@ func (d *DriftWatch) Observe(q float64, now time.Time) (DriftState, DriftTransit
 		st.AlarmSince = d.alarmSince
 	}
 	return st, tr
-}
-
-// State returns the current reading, rolling the window forward to now so
-// stale slots age out even without new feedback.
-func (d *DriftWatch) State(now time.Time) DriftState {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.roll(now)
-	return d.stateLocked()
 }
 
 // roll advances the ring so the current slot covers now, zeroing every

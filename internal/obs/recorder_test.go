@@ -178,6 +178,20 @@ func TestTracerBoundedUnderLoad(t *testing.T) {
 	if tr.Sampled.Load() == 0 {
 		t.Error("nothing sampled")
 	}
+	// Sequential acquire/finish must keep succeeding forever: with at most
+	// one trace in flight, the free list can never starve, no matter how
+	// many traces have already flowed through the ring.
+	dropped := tr.Dropped.Load()
+	for i := 0; i < 100; i++ {
+		x := tr.Acquire("estimate")
+		if x == nil {
+			t.Fatalf("sequential acquire %d returned nil: free list starved", i)
+		}
+		tr.Finish(x)
+	}
+	if got := tr.Dropped.Load(); got != dropped {
+		t.Errorf("sequential acquire/finish dropped %d traces", got-dropped)
+	}
 }
 
 func TestWriteChromeTraceValidJSON(t *testing.T) {
@@ -323,13 +337,42 @@ func TestDriftWatchWindowAgesOut(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		d.Observe(50, t0.Add(time.Duration(i)*time.Second))
 	}
-	if st := d.State(t0.Add(30 * time.Second)); st.Count != 30 {
+	if st, _ := d.State(t0.Add(30 * time.Second)); st.Count != 30 {
 		t.Fatalf("count = %d, want 30", st.Count)
 	}
 	// Two windows later everything is stale.
-	st := d.State(t0.Add(3 * time.Minute))
+	st, _ := d.State(t0.Add(3 * time.Minute))
 	if st.Count != 0 || st.WindowGMQ != 1 {
 		t.Errorf("stale state = %+v", st)
+	}
+}
+
+func TestDriftWatchStateClearsStalledAlarm(t *testing.T) {
+	d := NewDriftWatch(time.Minute, 4)
+	d.SetMinCount(5)
+	t0 := time.Unix(0, 0)
+	raised := false
+	for i := 0; i < 30; i++ {
+		if _, tr := d.Observe(100, t0.Add(time.Duration(i)*time.Second)); tr == DriftRaised {
+			raised = true
+		}
+	}
+	if !raised {
+		t.Fatal("alarm never raised")
+	}
+	// Feedback stops entirely. Two windows later the bad slots have aged
+	// out; a read must clear the alarm rather than leave it raised against
+	// a perfect windowed GMQ.
+	st, tr := d.State(t0.Add(5 * time.Minute))
+	if tr != DriftCleared {
+		t.Fatalf("transition = %v, want DriftCleared", tr)
+	}
+	if st.Alarm || st.WindowGMQ != 1 {
+		t.Errorf("post-clear state = %+v", st)
+	}
+	// Further reads are steady state: no duplicate clear transitions.
+	if _, tr := d.State(t0.Add(6 * time.Minute)); tr != DriftNone {
+		t.Errorf("second read transitioned again: %v", tr)
 	}
 }
 
@@ -402,6 +445,9 @@ func TestWindowsCounterRatesAndHistogramDeltas(t *testing.T) {
 	gs := stats["pool"]
 	if gs.Value != 7 {
 		t.Errorf("gauge value = %v, want 7", gs.Value)
+	}
+	if gs.Change != 2 {
+		t.Errorf("gauge change = %v, want 2 (5 → 7 inside the window)", gs.Change)
 	}
 }
 

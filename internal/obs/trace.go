@@ -130,7 +130,10 @@ func NewTracer(every, buf int) *Tracer {
 		free: make(chan *Trace, 2*buf),
 		ring: make([]*Trace, buf),
 	}
-	for i := 0; i < buf; i++ {
+	// 2*buf total: once the ring fills with buf finished traces, every
+	// Finish recycles its eviction back here, leaving buf circulating
+	// through the free list indefinitely.
+	for i := 0; i < 2*buf; i++ {
 		t.free <- &Trace{}
 	}
 	t.SetSample(every)

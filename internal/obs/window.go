@@ -13,7 +13,8 @@ import (
 // the snapshot from one window ago". Counters become rates, histograms
 // become windowed bucket deltas — which yield windowed count, mean and
 // quantiles exactly, because a log-bucket histogram is just a vector of
-// counters — and gauges report their span over the window.
+// counters — and gauges report their current value plus its change since
+// the base snapshot.
 //
 // All cost sits on the snapshot/read path (a scrape, a /statusz render, a
 // feedback tick); Observe/Inc/Add stay the single atomic ops they were.
@@ -130,8 +131,10 @@ type WindowStat struct {
 	// Counters: the increase over the window and its per-second rate.
 	Delta int64   `json:"delta,omitempty"`
 	Rate  float64 `json:"rate,omitempty"`
-	// Gauges: the current value and its change over the window.
-	Value float64 `json:"value,omitempty"`
+	// Gauges: the current value and its change over the window (zero when
+	// the series was born inside the window, so no base reading exists).
+	Value  float64 `json:"value,omitempty"`
+	Change float64 `json:"change,omitempty"`
 	// Histograms: windowed count, mean and quantiles.
 	Count int64   `json:"count,omitempty"`
 	Mean  float64 `json:"mean,omitempty"`
@@ -197,7 +200,11 @@ func (w *Windows) View(now time.Time) WindowView {
 			continue
 		}
 		if v, ok := live.gauges[k]; ok {
-			view.Stats = append(view.Stats, WindowStat{Name: k, Kind: "gauge", Value: v, Lifetime: v})
+			st := WindowStat{Name: k, Kind: "gauge", Value: v, Lifetime: v}
+			if bv, ok := base.gauges[k]; ok {
+				st.Change = v - bv
+			}
+			view.Stats = append(view.Stats, st)
 			continue
 		}
 		hs := live.hists[k]

@@ -75,6 +75,25 @@ func newFlightRecorder(met *Metrics, opts Options) *flightRecorder {
 // Called from the feedback handler — never from /estimate.
 func (r *flightRecorder) feedback(q float64, ex obs.Exemplar, now time.Time) {
 	st, tr := r.drift.Observe(q, now)
+	r.applyDriftTransition(st, tr)
+	r.exemplars.OfferQError(ex)
+	r.windows.Tick(now)
+}
+
+// driftState reads the drift watch, rolling its window to now. Rolling can
+// itself produce an alarm edge — typically the alarm clearing because
+// feedback stopped and the bad slots aged out — so reads apply transitions
+// exactly like feedback does: the journal and the alarm gauge stay truthful
+// even when the q-error stream goes quiet.
+func (r *flightRecorder) driftState(now time.Time) obs.DriftState {
+	st, tr := r.drift.State(now)
+	r.applyDriftTransition(st, tr)
+	return st
+}
+
+// applyDriftTransition turns a drift-watch reading into gauge updates and,
+// on alarm edges, journal events.
+func (r *flightRecorder) applyDriftTransition(st obs.DriftState, tr obs.DriftTransition) {
 	r.met.driftGMQ.Set(st.WindowGMQ)
 	switch tr {
 	case obs.DriftRaised:
@@ -91,8 +110,6 @@ func (r *flightRecorder) feedback(q float64, ex obs.Exemplar, now time.Time) {
 			"count":      st.Count,
 		})
 	}
-	r.exemplars.OfferQError(ex)
-	r.windows.Tick(now)
 }
 
 // noteStage records one period-stage duration for the upcoming period_end
@@ -279,7 +296,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		Now:     now,
 		Status:  status,
 		Window:  s.rec.windows.View(now),
-		Drift:   s.rec.drift.State(now),
+		Drift:   s.rec.driftState(now),
 		WorstQ:  s.rec.exemplars.WorstQ(),
 		Slowest: s.rec.exemplars.Slowest(),
 		Events:  events,
