@@ -22,8 +22,11 @@ race:
 vet:
 	$(GO) vet ./...
 
-# warperlint enforces determinism, panic-safety, lock hygiene and error
-# handling (see internal/lint). Exits non-zero on any diagnostic.
+# warperlint enforces determinism, panic-safety, lock hygiene, error
+# handling, and the module-wide call-graph contracts: hot-path
+# allocation-freedom, atomic-field discipline, goroutine exits, and lock
+# ordering (see internal/lint, DESIGN.md §13). Exits non-zero on any
+# diagnostic.
 lint:
 	$(GO) run ./cmd/warperlint ./...
 

@@ -82,8 +82,19 @@ func (h *HistogramEstimator) massLE(edges []float64, x float64) float64 {
 	if x >= edges[last] {
 		return 1
 	}
-	// Largest b with edges[b] <= x.
-	ub := sort.Search(len(edges), func(i int) bool { return edges[i] > x }) - 1
+	// Largest b with edges[b] <= x. Hand-rolled binary search: a
+	// sort.Search closure would capture edges and x, and this runs on the
+	// allocation-free serving path.
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if edges[mid] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	ub := lo - 1
 	if edges[ub] == x {
 		return float64(ub) / float64(last)
 	}

@@ -22,11 +22,12 @@ type LM struct {
 	rng     *rand.Rand
 
 	// batchBuf backs the feature matrix EstimateAll builds for batched MLP
-	// inference. It is model-owned scratch (like the layers' forward
-	// buffers): grown on demand, reused across calls, and never shared
-	// between clones — Clone and CloneInto reset it so two models can batch
-	// concurrently.
+	// inference; featBuf backs the single feature vector Estimate builds.
+	// Both are model-owned scratch (like the layers' forward buffers):
+	// grown on demand, reused across calls, and never shared between
+	// clones — Clone resets them so two models can serve concurrently.
 	batchBuf []float64
+	featBuf  []float64
 }
 
 // lmBackend is the pluggable regressor behind LM. fit and finetune report
@@ -101,9 +102,18 @@ func (lm *LM) Update(examples []query.Labeled) error {
 	return nil
 }
 
-// Estimate implements Estimator.
+// Estimate implements Estimator. The featurization goes through the
+// model-owned scratch vector, so per-row serving (the tree and kernel
+// backends, and the non-batch interface fallback) allocates nothing after
+// the first call.
 func (lm *LM) Estimate(p query.Predicate) float64 {
-	return targetToCard(lm.backend.predict(p.Featurize(lm.Schema)))
+	in := lm.Schema.FeatureDim()
+	if cap(lm.featBuf) < in {
+		lm.featBuf = make([]float64, in) //lint:allow hotpathalloc grow-once feature scratch; steady state reuses its capacity
+	}
+	f := lm.featBuf[:in]
+	p.FeaturizeInto(lm.Schema, f)
+	return targetToCard(lm.backend.predict(f))
 }
 
 // EstimateAll implements BatchEstimator: the MLP backend answers the whole
@@ -120,7 +130,7 @@ func (lm *LM) EstimateAll(ps []query.Predicate, out []float64) {
 		in := lm.Schema.FeatureDim()
 		need := len(ps) * in
 		if cap(lm.batchBuf) < need {
-			lm.batchBuf = make([]float64, need)
+			lm.batchBuf = make([]float64, need) //lint:allow hotpathalloc grow-once batch matrix; steady state reuses its capacity
 		}
 		X := nn.Mat{Rows: len(ps), Cols: in, Stride: in, Data: lm.batchBuf[:need]}
 		for i := range ps {
@@ -150,6 +160,7 @@ func (lm *LM) Clone() Estimator {
 	c.backend = lm.backend.clone()
 	c.rng = rand.New(rand.NewSource(lm.rng.Int63()))
 	c.batchBuf = nil
+	c.featBuf = nil
 	return &c
 }
 
@@ -236,6 +247,7 @@ func (b *mlpBackend) predictAllMat(X nn.Mat, out []float64) {
 	if b.net.InferBatch(X, out) {
 		return
 	}
+	//lint:allow hotpathalloc fallback for layer kinds the in-place kernels cannot drive; LM's MLP stays on InferBatch
 	y := b.net.BatchForward(X)
 	for i := range out {
 		out[i] = y.Row(i)[0]

@@ -164,6 +164,45 @@ func TestAllowSuppressesExactlyOne(t *testing.T) {
 	}
 }
 
+func TestHotPathAllocFixture(t *testing.T) {
+	diags := checkFixture(t, HotPathAlloc, "hotpathalloc/serve")
+	if len(diags) != 13 {
+		t.Errorf("got %d diagnostics, want 13 (panic args, allow-pruned decls/edges, and unreachable helpers are exempt)", len(diags))
+	}
+}
+
+func TestAtomicSanityFixture(t *testing.T) {
+	diags := checkFixture(t, AtomicSanity, "atomicsanity/app")
+	if len(diags) != 3 {
+		t.Errorf("got %d diagnostics, want 3 (constructors, atomic sites, and typed atomics are exempt)", len(diags))
+	}
+}
+
+func TestGoroutineLeakFixture(t *testing.T) {
+	diags := checkFixture(t, GoroutineLeak, "goroutineleak/serve")
+	if len(diags) != 3 {
+		t.Errorf("got %d diagnostics, want 3 (channel ranges, ctx selects, and allowed spawns are exempt)", len(diags))
+	}
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	diags := checkFixture(t, LockOrder, "lockorder/serve")
+	if len(diags) != 2 {
+		t.Errorf("got %d diagnostics, want 2 (TryLock, refreshMu, and direct slow calls are exempt)", len(diags))
+	}
+}
+
+// TestAllowStatementScope pins the widened suppression contract: a
+// directive above or inside a multi-line statement covers diagnostics
+// reported on the statement's inner lines, and the undirected twin is
+// still reported.
+func TestAllowStatementScope(t *testing.T) {
+	diags := checkFixture(t, CtxPropagate, "allowstmt/resilience")
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1 (both directives must reach the wrapped call's inner line)", len(diags))
+	}
+}
+
 // TestScopeByLastSegment pins the package-scoping rule: an analyzer with a
 // Packages list skips paths whose last segment is not listed.
 func TestScopeByLastSegment(t *testing.T) {

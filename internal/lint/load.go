@@ -34,10 +34,25 @@ type Loader struct {
 	Module string
 	// Root is the absolute directory containing go.mod.
 	Root string
+	// Build selects which build-constrained files LoadDir admits; nil
+	// means build.Default, i.e. the host platform. Overriding GOARCH/GOOS
+	// here lets tests pin that a tagged pair (the AVX2 kernels in
+	// simd_amd64.go vs the portable simd_other.go) stays loadable — and
+	// therefore lintable — no matter which architecture runs the linter.
+	Build *build.Context
 
 	Fset  *token.FileSet
 	std   types.Importer
 	cache map[string]*Package
+}
+
+// buildContext returns the file-matching context: Build if set, else the
+// host default.
+func (l *Loader) buildContext() *build.Context {
+	if l.Build != nil {
+		return l.Build
+	}
+	return &build.Default
 }
 
 // NewLoader builds a loader for the module rooted at root, reading the
@@ -88,7 +103,8 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 // LoadDir parses and type-checks the single package in dir under the given
 // import path. Test files and testdata are excluded: the lint rules govern
 // shipped code, and tests legitimately panic and drop errors. Build
-// constraints are honored for the host platform, so of a GOARCH-split pair
+// constraints are honored for the loader's build context (the host
+// platform unless Build overrides it), so of a GOARCH-split pair
 // (e.g. simd_amd64.go / simd_other.go) exactly one side is loaded, same as
 // go build.
 func (l *Loader) LoadDir(path, dir string) (*Package, error) {
@@ -105,7 +121,7 @@ func (l *Loader) LoadDir(path, dir string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
+		if ok, err := l.buildContext().MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)

@@ -1,0 +1,540 @@
+package lint
+
+// LockOrder lifts the lock discipline from per-function to module-wide.
+// Two properties are checked over the call graph:
+//
+//  1. Ordering. Every blocking Lock/RLock opens a region (to the matching
+//     Unlock in the same statement list, or the end of the list for
+//     deferred/implicit unlocks — the same region shape lockhygiene
+//     uses). Any mutex acquired inside the region — directly, in a
+//     nested block, or transitively through module calls — adds an edge
+//     held → acquired to a module-wide acquisition graph. A cycle in
+//     that graph is a latent deadlock between serving, pool, and
+//     observability locks, and is reported even when the two halves of
+//     the inversion live in different packages.
+//
+//  2. Transitive hygiene. lockhygiene flags slow work (training,
+//     annotation, I/O) called directly under a lock in internal/serve;
+//     this rule extends the same check through the call graph, so a
+//     helper that reaches model.Update three frames down is caught at
+//     the call site under the lock.
+//
+// TryLock never opens a region — a non-blocking acquisition cannot
+// deadlock, which is exactly why handlePeriod's period latch uses it —
+// and refreshMu keeps its sanctioned exemption from the hygiene check
+// (but not from ordering: a cycle through refreshMu is still a cycle).
+// Goroutine and closure edges are followed conservatively: work spawned
+// while a lock is held can run while it is held.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "module-wide mutex acquisition graph must be cycle-free; no slow work transitively under serve locks",
+	Packages:  []string{"serve", "pool", "obs"},
+	RunModule: runLockOrder,
+}
+
+// lockEdge is one held → acquired observation with its acquisition site.
+type lockEdge struct {
+	from, to *types.Var
+	pos      token.Pos
+}
+
+// lockOrderState carries the per-run memoization.
+type lockOrderState struct {
+	mp        *ModulePass
+	g         *CallGraph
+	summaries map[*CGNode][]*types.Var // locks acquired by node or callees
+	inSummary map[*CGNode]bool
+	slowMemo  map[*CGNode]string // transitive slow-work description, "" = none
+	inSlow    map[*CGNode]bool
+	edges     []lockEdge
+	edgeSeen  map[[2]*types.Var]bool
+	display   map[*types.Var]string
+	hygSeen   map[token.Pos]bool // transitive-hygiene report dedup
+}
+
+func runLockOrder(mp *ModulePass) {
+	st := &lockOrderState{
+		mp:        mp,
+		g:         mp.Graph,
+		summaries: map[*CGNode][]*types.Var{},
+		inSummary: map[*CGNode]bool{},
+		slowMemo:  map[*CGNode]string{},
+		inSlow:    map[*CGNode]bool{},
+		edgeSeen:  map[[2]*types.Var]bool{},
+		display:   map[*types.Var]string{},
+		hygSeen:   map[token.Pos]bool{},
+	}
+	st.buildDisplayNames()
+	for _, n := range st.g.Nodes() {
+		if n.Body != nil {
+			st.scanRegions(n, n.Body.List, nil)
+		}
+	}
+	st.reportCycles()
+}
+
+// buildDisplayNames maps struct-field mutexes to pkg.Type.field names so
+// diagnostics read the same from every acquisition site.
+func (st *lockOrderState) buildDisplayNames() {
+	for _, named := range st.g.named {
+		s, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < s.NumFields(); i++ {
+			f := s.Field(i)
+			st.display[f] = fmt.Sprintf("%s.%s.%s", named.Obj().Pkg().Name(), named.Obj().Name(), f.Name())
+		}
+	}
+}
+
+func (st *lockOrderState) name(v *types.Var) string {
+	if d, ok := st.display[v]; ok {
+		return d
+	}
+	if v.Pkg() != nil {
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return v.Name()
+}
+
+// scanRegions walks one statement list. held carries the lock keys open
+// at this point (outer regions included). For every statement it records
+// direct acquisitions and call-carried acquisitions against every held
+// lock, and recurses into nested lists. A Lock opens a region scanned
+// recursively with the key held; the outer loop resumes at the matching
+// unlock so no statement is charged twice.
+func (st *lockOrderState) scanRegions(n *CGNode, stmts []ast.Stmt, held []*types.Var) {
+	for i := 0; i < len(stmts); i++ {
+		stm := stmts[i]
+		// Nested statement lists inherit the currently-held set; the
+		// non-list parts (conditions, range operands) are charged here.
+		switch v := stm.(type) {
+		case *ast.BlockStmt:
+			st.scanRegions(n, v.List, held)
+			continue
+		case *ast.IfStmt:
+			if v.Init != nil {
+				st.scanRegions(n, []ast.Stmt{v.Init}, held)
+			}
+			st.noteNodeCalls(n, v.Cond, held)
+			st.scanRegions(n, v.Body.List, held)
+			switch els := v.Else.(type) {
+			case *ast.BlockStmt:
+				st.scanRegions(n, els.List, held)
+			case *ast.IfStmt:
+				st.scanRegions(n, []ast.Stmt{els}, held)
+			}
+			continue
+		case *ast.ForStmt:
+			if v.Cond != nil {
+				st.noteNodeCalls(n, v.Cond, held)
+			}
+			st.scanRegions(n, v.Body.List, held)
+			continue
+		case *ast.RangeStmt:
+			st.noteNodeCalls(n, v.X, held)
+			st.scanRegions(n, v.Body.List, held)
+			continue
+		case *ast.SwitchStmt:
+			if v.Tag != nil {
+				st.noteNodeCalls(n, v.Tag, held)
+			}
+			st.scanClauses(n, v.Body, held)
+			continue
+		case *ast.TypeSwitchStmt:
+			st.scanClauses(n, v.Body, held)
+			continue
+		case *ast.SelectStmt:
+			st.scanClauses(n, v.Body, held)
+			continue
+		case *ast.LabeledStmt:
+			st.scanRegions(n, []ast.Stmt{v.Stmt}, held)
+			continue
+		}
+
+		key, kind := st.mutexCallKey(n, stm)
+		if kind == "Lock" || kind == "RLock" {
+			// Direct acquisition while other locks are held.
+			st.noteAcquire(n, key, stm.Pos(), held)
+			// Open the region: to the matching unlock, else end of list.
+			end := len(stmts)
+			recvText := mutexRecvText(stm)
+			for j := i + 1; j < len(stmts); j++ {
+				if mutexRecvText(stmts[j]) == recvText {
+					if _, k := st.mutexCallKey(n, stmts[j]); k == "Unlock" || k == "RUnlock" {
+						end = j
+						break
+					}
+				}
+			}
+			if key != nil {
+				st.scanRegions(n, stmts[i+1:end], append(held[:len(held):len(held)], key))
+				i = end - 1 // resume at the unlock; the region is charged
+				continue
+			}
+		}
+
+		st.noteStmtCalls(n, stm, held)
+	}
+}
+
+// scanClauses scans each case/comm clause body of a switch or select.
+func (st *lockOrderState) scanClauses(n *CGNode, body *ast.BlockStmt, held []*types.Var) {
+	for _, cl := range body.List {
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			st.scanRegions(n, c.Body, held)
+		case *ast.CommClause:
+			if c.Comm != nil {
+				st.scanRegions(n, []ast.Stmt{c.Comm}, held)
+			}
+			st.scanRegions(n, c.Body, held)
+		}
+	}
+}
+
+// noteStmtCalls charges every call in a simple statement against the
+// held set.
+func (st *lockOrderState) noteStmtCalls(n *CGNode, stm ast.Stmt, held []*types.Var) {
+	st.noteNodeCalls(n, stm, held)
+}
+
+// noteNodeCalls records, for every call under the node, the locks the
+// callee transitively acquires (as ordering edges) and transitive slow
+// work (as hygiene diagnostics, serve package only). Function literals
+// invoked in place are followed; closures merely constructed here run
+// elsewhere and are skipped — deferred unlock closures must not extend
+// the region.
+func (st *lockOrderState) noteNodeCalls(n *CGNode, node ast.Node, held []*types.Var) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(node, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lit, ok := unparen(call.Fun).(*ast.FuncLit); ok {
+			if ln := st.g.LitNode(lit); ln != nil {
+				st.noteCallee(n, ln, call.Pos(), held)
+			}
+			return true
+		}
+		targets, _ := st.g.resolveTargets(n.Pkg, call.Fun)
+		for _, t := range targets {
+			st.noteCallee(n, t, call.Pos(), held)
+		}
+		return true
+	})
+}
+
+// noteCallee charges one resolved callee against the held set: ordering
+// edges for its lock summary, and a transitive-hygiene diagnostic when a
+// serve lock shields slow work through it.
+func (st *lockOrderState) noteCallee(n *CGNode, t *CGNode, pos token.Pos, held []*types.Var) {
+	for _, lk := range st.lockSummary(t) {
+		st.noteAcquire(n, lk, pos, held)
+	}
+	if n.Pkg.Types.Name() != "serve" {
+		return
+	}
+	if st.mp.Allowed(pos) {
+		return
+	}
+	for _, h := range held {
+		if strings.Contains(st.name(h), "refreshMu") {
+			continue // sanctioned: rare post-swap re-clone serialization
+		}
+		if directlySlow(t) {
+			continue // lockhygiene reports direct slow calls itself
+		}
+		if desc := st.slowReach(t); desc != "" && !st.hygSeen[pos] {
+			st.hygSeen[pos] = true
+			st.mp.Reportf(pos, "call to %s transitively reaches %s while %s is held: move slow work off the lock",
+				t.Name, desc, st.name(h))
+			return
+		}
+	}
+}
+
+// noteAcquire records held → key edges.
+func (st *lockOrderState) noteAcquire(n *CGNode, key *types.Var, pos token.Pos, held []*types.Var) {
+	if key == nil || st.mp.Allowed(pos) {
+		return
+	}
+	for _, h := range held {
+		k := [2]*types.Var{h, key}
+		if st.edgeSeen[k] {
+			continue
+		}
+		st.edgeSeen[k] = true
+		st.edges = append(st.edges, lockEdge{from: h, to: key, pos: pos})
+	}
+}
+
+// lockSummary returns every lock key n or its transitive callees acquire
+// via blocking Lock/RLock, memoized, cycle-safe.
+func (st *lockOrderState) lockSummary(n *CGNode) []*types.Var {
+	if s, ok := st.summaries[n]; ok {
+		return s
+	}
+	if st.inSummary[n] {
+		return nil
+	}
+	st.inSummary[n] = true
+	defer delete(st.inSummary, n)
+	seen := map[*types.Var]bool{}
+	var acc []*types.Var
+	add := func(v *types.Var) {
+		if v != nil && !seen[v] {
+			seen[v] = true
+			acc = append(acc, v)
+		}
+	}
+	if n.Body != nil {
+		ast.Inspect(n.Body, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false // separate node, reached through its edge below
+			}
+			es, ok := x.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			if key, kind := st.mutexCallKey(n, es); kind == "Lock" || kind == "RLock" {
+				add(key)
+			}
+			return true
+		})
+	}
+	for _, e := range n.Out {
+		for _, v := range st.lockSummary(e.Callee) {
+			add(v)
+		}
+	}
+	st.summaries[n] = acc
+	return acc
+}
+
+// slowReach returns a description of slow work (training methods,
+// annotation, I/O packages) reachable from n, or "".
+func (st *lockOrderState) slowReach(n *CGNode) string {
+	if d, ok := st.slowMemo[n]; ok {
+		return d
+	}
+	if st.inSlow[n] {
+		return ""
+	}
+	st.inSlow[n] = true
+	defer delete(st.inSlow, n)
+	desc := directSlowCall(n)
+	if desc == "" {
+		for _, e := range n.Out {
+			if d := st.slowReach(e.Callee); d != "" {
+				desc = d + " (via " + e.Callee.Name + ")"
+				break
+			}
+		}
+	}
+	st.slowMemo[n] = desc
+	return desc
+}
+
+// directlySlow reports whether n itself is one of the slow-named module
+// methods lockhygiene already flags at direct call sites.
+func directlySlow(n *CGNode) bool {
+	if n.Obj == nil {
+		return false
+	}
+	name := n.Obj.Name()
+	if slowMethods[name] {
+		return true
+	}
+	return name == "Count" && n.Obj.Pkg() != nil && strings.HasSuffix(n.Obj.Pkg().Path(), "/annotator")
+}
+
+// directSlowCall scans n's own body for a call to a slow module method
+// or an I/O package function, mirroring lockhygiene's direct check.
+func directSlowCall(n *CGNode) string {
+	if n.Body == nil {
+		return ""
+	}
+	info := n.Pkg.Info
+	out := ""
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		if out != "" {
+			return false
+		}
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Recv() == nil {
+			if ioPackages[fn.Pkg().Path()] {
+				out = fn.Pkg().Name() + "." + fn.Name()
+			}
+			return true
+		}
+		isModule := strings.Contains(fn.Pkg().Path(), "/") || fn.Pkg().Path() == n.Pkg.Types.Path()
+		if !isModule {
+			return true
+		}
+		if slowMethods[fn.Name()] || (fn.Name() == "Count" && strings.HasSuffix(fn.Pkg().Path(), "/annotator")) {
+			out = types.ExprString(sel.X) + "." + fn.Name()
+		}
+		return true
+	})
+	return out
+}
+
+// mutexCallKey resolves a plain `x.Lock()`-shaped statement to the mutex
+// variable it locks and the method name. TryLock is reported as its own
+// kind and never opens a region.
+func (st *lockOrderState) mutexCallKey(n *CGNode, stm ast.Stmt) (*types.Var, string) {
+	es, ok := stm.(*ast.ExprStmt)
+	if !ok {
+		return nil, ""
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn, ok := n.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	return varOf(n.Pkg.Info, unparen(sel.X)), fn.Name()
+}
+
+// mutexRecvText renders the receiver of a mutex-method statement for
+// matching Lock to its Unlock, the same way lockhygiene does.
+func mutexRecvText(stm ast.Stmt) string {
+	es, ok := stm.(*ast.ExprStmt)
+	if !ok {
+		return ""
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return types.ExprString(sel.X)
+}
+
+// reportCycles finds strongly connected components of the acquisition
+// graph and reports each cycle once, at its lexicographically-first
+// edge's site.
+func (st *lockOrderState) reportCycles() {
+	if len(st.edges) == 0 {
+		return
+	}
+	adj := map[*types.Var][]lockEdge{}
+	for _, e := range st.edges {
+		adj[e.from] = append(adj[e.from], e)
+	}
+	for v := range adj {
+		sort.Slice(adj[v], func(i, j int) bool { return st.name(adj[v][i].to) < st.name(adj[v][j].to) })
+	}
+	// Order roots deterministically by display name.
+	var roots []*types.Var
+	for v := range adj {
+		roots = append(roots, v)
+	}
+	sort.Slice(roots, func(i, j int) bool { return st.name(roots[i]) < st.name(roots[j]) })
+
+	reported := map[string]bool{}
+	var path []lockEdge
+	onPath := map[*types.Var]bool{}
+	var dfs func(v *types.Var)
+	dfs = func(v *types.Var) {
+		if len(path) > 32 {
+			return // depth cap; module lock graphs are tiny
+		}
+		onPath[v] = true
+		for _, e := range adj[v] {
+			if onPath[e.to] {
+				// Extract the cycle from the path suffix starting at e.to.
+				var cyc []lockEdge
+				for i := 0; i < len(path); i++ {
+					if path[i].from == e.to {
+						cyc = append(cyc, path[i:]...)
+						break
+					}
+				}
+				cyc = append(cyc, e)
+				st.reportCycle(cyc, reported)
+				continue
+			}
+			path = append(path, e)
+			dfs(e.to)
+			path = path[:len(path)-1]
+		}
+		delete(onPath, v)
+	}
+	for _, r := range roots {
+		dfs(r)
+	}
+}
+
+// reportCycle renders one cycle, canonicalized so each distinct cycle is
+// reported exactly once regardless of discovery order.
+func (st *lockOrderState) reportCycle(cyc []lockEdge, reported map[string]bool) {
+	if len(cyc) == 0 {
+		return
+	}
+	// Rotate so the lexicographically-smallest lock name leads.
+	lead := 0
+	for i := range cyc {
+		if st.name(cyc[i].from) < st.name(cyc[lead].from) {
+			lead = i
+		}
+	}
+	rot := append(append([]lockEdge{}, cyc[lead:]...), cyc[:lead]...)
+	var b strings.Builder
+	for i, e := range rot {
+		if i > 0 {
+			b.WriteString(" → ")
+		}
+		b.WriteString(st.name(e.from))
+	}
+	b.WriteString(" → ")
+	b.WriteString(st.name(rot[0].from))
+	key := b.String()
+	if reported[key] {
+		return
+	}
+	reported[key] = true
+	st.mp.Reportf(rot[0].pos, "lock acquisition cycle %s is a latent deadlock: acquire these locks in one global order", key)
+}

@@ -1,0 +1,37 @@
+// Package resilience pins the statement-scoped reach of //lint:allow: a
+// directive above (or inside) a multi-line statement must cover a
+// diagnostic reported on an inner line of that statement — here the
+// context.Background() argument on the wrapped call's second line — and
+// the same shape without a directive must still be reported.
+package resilience
+
+import "context"
+
+func do(ctx context.Context, n int) error { return ctx.Err() }
+
+// covered: the directive precedes the statement, the diagnostic lands
+// two lines below it, inside the statement's span.
+func covered(ctx context.Context) {
+	//lint:allow ctxpropagate fixture: statement-scoped suppression
+	_ = do(
+		context.Background(),
+		1,
+	)
+}
+
+// coveredSibling: the directive trails a different line of the same
+// statement than the one the diagnostic lands on.
+func coveredSibling(ctx context.Context) {
+	_ = do(
+		context.Background(),
+		2, //lint:allow ctxpropagate fixture: directive elsewhere in the statement
+	)
+}
+
+// uncovered twin: same shape, no directive, still reported.
+func uncovered(ctx context.Context) {
+	_ = do(
+		context.Background(), // want "passed to do with a context.Context in scope"
+		3,
+	)
+}

@@ -1,0 +1,62 @@
+// Package app is the atomicsanity fixture: legacy sync/atomic package
+// functions applied to plain fields and globals, mixed with plain
+// accesses. Constructor-shaped code is exempt; typed atomics are immune
+// by construction.
+package app
+
+import "sync/atomic"
+
+type counter struct {
+	n   int64
+	gen uint64
+	ok  int64
+}
+
+func NewCounter() *counter {
+	c := &counter{}
+	c.n = 0 // constructor: single-owner init before publication is exempt
+	return c
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.StoreUint64(&c.gen, 7)
+}
+
+func (c *counter) read() int64 {
+	return c.n // want "accessed via sync/atomic"
+}
+
+func (c *counter) mix() {
+	c.gen++ // want "accessed via sync/atomic"
+	v := atomic.LoadUint64(&c.gen)
+	_ = v
+}
+
+func (c *counter) fine() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// ok is never touched atomically; plain access is plain access.
+func (c *counter) plainOnly() int64 {
+	c.ok++
+	return c.ok
+}
+
+var global int64
+
+func touchGlobal() {
+	atomic.AddInt64(&global, 1)
+}
+
+func readGlobal() int64 {
+	return global // want "accessed via sync/atomic"
+}
+
+// typed atomics never trip the rule: their value cannot be read plainly.
+type typed struct{ n atomic.Int64 }
+
+func (t *typed) bump() int64 {
+	t.n.Add(1)
+	return t.n.Load()
+}

@@ -1,0 +1,84 @@
+// Package serve is the goroutineleak fixture: goroutines with and
+// without a reachable exit construct, spawned directly, through named
+// functions, through interface dispatch, and through an unresolvable
+// function value.
+package serve
+
+import "context"
+
+type Worker struct {
+	tasks chan int
+}
+
+// ok: range over a channel exits when the channel closes.
+func (w *Worker) startDrain() {
+	go func() {
+		for range w.tasks {
+		}
+	}()
+}
+
+// ok: select with ctx.Done.
+func (w *Worker) startCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case t := <-w.tasks:
+				_ = t
+			}
+		}
+	}()
+}
+
+// ok: the exit lives transitively in a named function.
+func (w *Worker) startNamed(ctx context.Context) {
+	go w.loop(ctx)
+}
+
+func (w *Worker) loop(ctx context.Context) {
+	for ctx.Err() == nil {
+	}
+}
+
+// leak: busy loop with no exit construct anywhere.
+func (w *Worker) startHot() {
+	go func() { // want "no reachable ctx.Done"
+		for {
+		}
+	}()
+}
+
+// leak: a func-typed value cannot be resolved statically.
+func (w *Worker) startFire(f func()) {
+	go f() // want "cannot be resolved statically"
+}
+
+// allowed: documented one-shot.
+func (w *Worker) startSanctioned() {
+	//lint:allow goroutineleak fixture: bounded one-shot loop for the test
+	go func() {
+		for {
+		}
+	}()
+}
+
+// Interface dispatch: CHA fans out to both implementations, and the one
+// without an exit is reported.
+type runner interface{ run(ctx context.Context) }
+
+type good struct{}
+
+func (g *good) run(ctx context.Context) { <-ctx.Done() }
+
+type bad struct{}
+
+func (b *bad) run(ctx context.Context) {
+	for {
+	}
+}
+
+func spawn(r runner, ctx context.Context) {
+	go r.run(ctx) // want "no reachable ctx.Done"
+}

@@ -81,6 +81,8 @@ func (n *Network) batchable() bool {
 // use. It returns nil when the network contains a layer kind the batched
 // kernels cannot drive (callers then fall back to the per-sample path). The
 // network topology must not change once batched training has started.
+//
+//lint:allow hotpathalloc first-batch arena construction; every later batch reuses or grows the same scratch
 func (n *Network) ensureScratch(rows, inCols int) *scratch {
 	sc := n.sc
 	if sc == nil {

@@ -80,7 +80,7 @@ func (d *Dense) Forward(x []float64) []float64 {
 	}
 	d.lastIn = x
 	if d.out == nil {
-		d.out = make([]float64, d.Out)
+		d.out = make([]float64, d.Out) //lint:allow hotpathalloc first-call lazy buffer; reused on every later forward
 	}
 	y := d.out
 	for o := 0; o < d.Out; o++ {
@@ -141,7 +141,7 @@ func (d *Dense) OutSize(int) int { return d.Out }
 // exceeded. It is the growth primitive behind the layer-owned buffers.
 func ensureLen(buf []float64, n int) []float64 {
 	if cap(buf) < n {
-		return make([]float64, n)
+		return make([]float64, n) //lint:allow hotpathalloc grow-once primitive; steady state returns the resliced buffer
 	}
 	return buf[:n]
 }

@@ -83,7 +83,7 @@ func (p *replicaPool) checkout() *replica {
 		p.met.checkoutQueue.Add(-1)
 	}
 	if cur := p.src.Load(); r.gen != cur.gen {
-		p.refresh(r)
+		p.refresh(r) //lint:allow hotpathalloc sanctioned slow branch: one re-clone per model swap, serialized behind refreshMu
 	}
 	return r
 }
@@ -193,6 +193,8 @@ func newCoalescer(pool *replicaPool, window time.Duration, max int, met *Metrics
 }
 
 // newBatch takes a recycled batch off the free-list or allocates one.
+//
+//lint:allow hotpathalloc free-list miss and the per-batch done channel are the documented batch-amortized allocations
 func (c *coalescer) newBatch() *batch {
 	var b *batch
 	select {
@@ -232,7 +234,7 @@ func (c *coalescer) estimate(p query.Predicate, tr *obs.Trace) (float64, bool) {
 		c.cur = b
 	}
 	idx := len(b.preds)
-	b.preds = append(b.preds, p)
+	b.preds = append(b.preds, p) //lint:allow hotpathalloc never grows: capacity is c.max and the batch detaches at max
 	b.n.Store(int32(len(b.preds)))
 	if len(b.preds) >= c.max {
 		// Full: detach now so the next arrival opens a fresh batch with its
@@ -308,6 +310,7 @@ func (c *coalescer) lead(b *batch, tr *obs.Trace) {
 // usable), and the deferred close guarantees no waiter is left parked.
 func (c *coalescer) exec(b *batch, tr *obs.Trace) {
 	defer close(b.done)
+	//lint:allow hotpathalloc open-coded defers keep this recover closure off the heap
 	defer func() {
 		if rec := recover(); rec != nil {
 			b.pv = rec
@@ -317,7 +320,7 @@ func (c *coalescer) exec(b *batch, tr *obs.Trace) {
 	b.refs.Store(int32(n))
 	c.met.batchRows.Observe(float64(n))
 	if cap(b.outs) < n {
-		b.outs = make([]float64, n)
+		b.outs = make([]float64, n) //lint:allow hotpathalloc grow-once output buffer; recycled batches keep their capacity
 	}
 	b.outs = b.outs[:n]
 	tr.EnterStage("checkout")

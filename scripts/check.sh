@@ -12,8 +12,12 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go run ./cmd/warperlint ./..."
-go run ./cmd/warperlint ./...
+# The JSON report lands in warperlint.json for the CI artifact upload;
+# warperlint logs its load/analyze durations to stderr either way. The
+# file is written even when diagnostics fail the run, so the artifact
+# shows what fired.
+echo "== go run ./cmd/warperlint -json ./... (report: warperlint.json)"
+go run ./cmd/warperlint -json ./... > warperlint.json
 
 echo "== go test ./..."
 go test ./...
