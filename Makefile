@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint chaos check bench bench-serve bench-smoke
+.PHONY: build test race vet lint chaos check bench bench-serve bench-overload bench-smoke
 
 build:
 	$(GO) build ./...
@@ -31,12 +31,15 @@ lint:
 	$(GO) run ./cmd/warperlint ./...
 
 # Fault-injected soak: the WARPER_CHAOS gate enables the opt-in chaos tests
-# (heavy injected errors/hangs under concurrent traffic) on top of the
+# (heavy injected errors/hangs under concurrent traffic, plus the overload
+# soak: replica starvation + slow swaps + open breaker) on top of the
 # always-on fault-tolerance tests, under the race detector. The soak writes
-# its /debug/events adaptation journal to $(EVENTS_OUT) as a CI artifact.
-EVENTS_OUT ?= EVENTS_chaos.json
+# its /debug/events adaptation journal to $(EVENTS_OUT); everything under
+# artifacts/ is ignored by git and uploaded by CI as a workflow artifact.
+EVENTS_OUT ?= artifacts/EVENTS_chaos.json
 chaos:
-	WARPER_CHAOS=1 WARPER_EVENTS_OUT=$(CURDIR)/$(EVENTS_OUT) $(GO) test -race -count=1 -run 'Chaos|Faulty|Degraded' ./internal/serve ./internal/resilience ./internal/warper
+	@mkdir -p $(dir $(CURDIR)/$(EVENTS_OUT))
+	WARPER_CHAOS=1 WARPER_EVENTS_OUT=$(CURDIR)/$(EVENTS_OUT) $(GO) test -race -count=1 -run 'Chaos|Faulty|Degraded|Overload' ./internal/serve ./internal/resilience ./internal/warper
 
 # Tier-2 benchmarks. bench: compute-core micro-benchmarks (nn/gbt/kernel +
 # one full adaptation period) → BENCH_PR4.json, then the cross-PR trajectory
@@ -50,12 +53,22 @@ bench:
 	./scripts/bench_trajectory.sh
 
 bench-serve:
-	WARPER_EVENTS_OUT=$(CURDIR)/EVENTS_servebench.json ./scripts/bench.sh serve -out BENCH_PR5.json
+	@mkdir -p $(CURDIR)/artifacts
+	WARPER_EVENTS_OUT=$(CURDIR)/artifacts/EVENTS_servebench.json ./scripts/bench.sh serve -out BENCH_PR5.json
+	./scripts/bench_trajectory.sh
+
+# Overload acceptance run: open-loop load at 2x measured saturation through
+# the admission controller, health machine and fallback ladder. Fails on
+# unbounded queue growth, late sheds, or post-recovery divergence; records
+# shed-rate and degraded-vs-full GMQ in BENCH_PR8.json.
+bench-overload:
+	./scripts/bench.sh overload -out BENCH_PR8.json
 	./scripts/bench_trajectory.sh
 
 bench-smoke:
 	./scripts/bench.sh micro -quick -out /tmp/bench-smoke.json
 	./scripts/bench.sh serve -quick -out /tmp/bench-serve-smoke.json
+	./scripts/bench.sh overload -quick -out /tmp/bench-overload-smoke.json
 	./scripts/bench_trajectory.sh /tmp/bench-smoke.json /tmp/bench-serve-smoke.json
 
 check: build vet lint test race chaos

@@ -30,8 +30,9 @@ func main() {
 		seed   = flag.Int64("seed", 1, "base random seed")
 		micro  = flag.Bool("micro", false, "run the compute-core micro-benchmarks and write JSON")
 		sbench = flag.Bool("servebench", false, "run the concurrent /estimate serving benchmark and write JSON")
+		over   = flag.Bool("overload", false, "with -servebench: drive open-loop load past saturation and record shed/fallback behavior")
 		traj   = flag.Bool("trajectory", false, "merge BENCH_*.json reports (or the given paths) into one trajectory table")
-		out    = flag.String("out", "", "output path (default BENCH_PR4.json for -micro, BENCH_PR5.json for -servebench)")
+		out    = flag.String("out", "", "output path (default BENCH_PR4.json for -micro, BENCH_PR5.json for -servebench, BENCH_PR8.json for -servebench -overload)")
 	)
 	flag.Parse()
 
@@ -56,6 +57,16 @@ func main() {
 	}
 	if *sbench {
 		path := *out
+		if *over {
+			if path == "" {
+				path = "BENCH_PR8.json"
+			}
+			if err := runOverloadBench(path, *quick); err != nil {
+				fmt.Fprintln(os.Stderr, "overload:", err)
+				os.Exit(1)
+			}
+			return
+		}
 		if path == "" {
 			path = "BENCH_PR5.json"
 		}

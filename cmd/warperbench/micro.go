@@ -57,6 +57,9 @@ type microReport struct {
 	Quick         bool          `json:"quick"`
 	Benchmarks    []microResult `json:"benchmarks"`
 	Ratios        []microRatio  `json:"ratios"`
+	// Overload records the -servebench -overload run (BENCH_PR8.json):
+	// shed/fallback behavior at 2x saturation. Nil for every other mode.
+	Overload *overloadReport `json:"overload,omitempty"`
 }
 
 // runMicro executes the micro-benchmark suite and writes the report to out.

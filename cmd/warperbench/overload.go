@@ -1,0 +1,357 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"warper/internal/annotator"
+	"warper/internal/ce"
+	"warper/internal/dataset"
+	"warper/internal/metrics"
+	"warper/internal/query"
+	"warper/internal/resilience"
+	"warper/internal/serve"
+	"warper/internal/warper"
+	"warper/internal/workload"
+)
+
+// The -servebench -overload mode is the acceptance harness for overload-safe
+// serving: it measures the server's closed-loop saturation throughput (with
+// replica starvation injected so saturation is reachable on any machine),
+// then drives open-loop arrivals at twice that rate and records what the
+// admission controller, health machine and fallback ladder do with the
+// excess. The run fails — not just reports — when the admission queue grows
+// past its bound, a shed response overstays the deadline budget, or answers
+// are not byte-identical to the reference once the chaos stops.
+
+// overloadReport is the JSON record of one overload run, embedded in the
+// microReport written to BENCH_PR8.json.
+type overloadReport struct {
+	// Load shape.
+	SaturationPerSec float64 `json:"saturation_per_sec"`
+	TargetPerSec     float64 `json:"target_per_sec"`
+	BudgetMs         float64 `json:"budget_ms"`
+	DurationMs       float64 `json:"duration_ms"`
+	ShedQueue        int64   `json:"shed_queue"`
+	StarveHoldUs     float64 `json:"starve_hold_us"`
+
+	// Outcome counts: every request is exactly one of ok/degraded/shed.
+	Requests int64            `json:"requests"`
+	OK       int64            `json:"ok"`
+	Degraded int64            `json:"degraded"`
+	Shed     int64            `json:"shed"`
+	Reasons  map[string]int64 `json:"reasons"`
+
+	// Bound checks the run asserts on.
+	MaxQueueDepth    int64   `json:"max_queue_depth"`
+	MaxShedLatencyMs float64 `json:"max_shed_latency_ms"`
+
+	// Fallback accuracy: GMQ vs exact counts, for the full model over the
+	// whole predicate set and for the degraded (ladder) answers actually
+	// served during overload.
+	FullGMQ     float64 `json:"full_gmq"`
+	DegradedGMQ float64 `json:"degraded_gmq"`
+
+	FinalHealth string `json:"final_health"`
+}
+
+// overloadStats accumulates per-response outcomes. One mutex is plenty: the
+// arrival rate is tens of thousands per second, far below mutex throughput,
+// and the stats lock is on the bench harness side, not the server's path.
+type overloadStats struct {
+	mu         sync.Mutex
+	ok         int64
+	degraded   int64
+	shed       int64
+	reasons    map[string]int64
+	okLogQ     float64
+	degLogQ    float64
+	maxShedLat time.Duration
+}
+
+func (st *overloadStats) record(out serve.EstimateOutcome, card, truth float64, lat time.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch {
+	case out.Shed:
+		st.shed++
+		st.reasons[out.Reason]++
+		if lat > st.maxShedLat {
+			st.maxShedLat = lat
+		}
+	case out.Degraded:
+		st.degraded++
+		st.reasons[out.Reason]++
+		st.degLogQ += math.Log(metrics.QError(card, truth))
+	default:
+		st.ok++
+		st.okLogQ += math.Log(metrics.QError(card, truth))
+	}
+}
+
+// runOverloadBench executes the overload benchmark and writes the report.
+func runOverloadBench(out string, quick bool) error {
+	nTrain := 500
+	satDur, dur := 400*time.Millisecond, 2*time.Second
+	if quick {
+		nTrain = 200
+		satDur, dur = 150*time.Millisecond, 600*time.Millisecond
+	}
+	// The shapes are chosen so 2x saturation exercises every rung: the
+	// excess arrival rate times the budget exceeds the queue bound (so the
+	// queue caps out and sheds), the full queue's drain time exceeds the
+	// budget (so queued requests time out into the fallback ladder), and
+	// QueueHigh (= shedQueue/2) is crossed (so the health machine reaches
+	// shedding and its admission rule sheds too).
+	const (
+		budget     = 5 * time.Millisecond
+		shedQueue  = 64
+		starveHold = 100 * time.Microsecond
+		step       = 2 * time.Millisecond // dispatcher batch interval
+	)
+
+	rng := rand.New(rand.NewSource(17))
+	tbl := dataset.PRSA(3000, rng)
+	sch := query.SchemaOf(tbl)
+	ann := annotator.New(tbl)
+	ctx := context.Background()
+	gTrain := workload.New("w1", tbl, sch, workload.Options{MaxConstrained: 2})
+	gServe := workload.New("w4", tbl, sch, workload.Options{MaxConstrained: 2})
+	train, err := ann.AnnotateAll(ctx, workload.Generate(gTrain, nTrain, rng))
+	if err != nil {
+		return err
+	}
+	lm := ce.NewLM(ce.LMMLP, sch, 31)
+	if err := lm.Train(train); err != nil {
+		return err
+	}
+	ad, err := warper.New(warper.DefaultConfig(), lm, sch, ann, train)
+	if err != nil {
+		return err
+	}
+
+	// The predicate set, its exact cardinalities (the GMQ denominator), and
+	// the full model's reference answers (the byte-identity oracle).
+	preds := make([]query.Predicate, 256)
+	want := make([]float64, len(preds))
+	truth := make([]float64, len(preds))
+	ref := lm.Clone()
+	for i := range preds {
+		preds[i] = gServe.Gen(rng).Normalize(sch)
+		want[i] = ref.Estimate(preds[i])
+		if truth[i], err = ann.Count(ctx, preds[i]); err != nil {
+			return err
+		}
+	}
+	fullGMQ := metrics.GMQ(want, truth)
+
+	// Replica starvation makes saturation machine-independent: every
+	// checkout holds its replica for starveHold, so the pool's service rate
+	// is ~replicas/starveHold regardless of how fast the model infers.
+	faults := resilience.NewServeFaults(resilience.ServeFaultPlan{
+		StarveEvery: 1,
+		StarveHold:  starveHold,
+	})
+	srv := serve.NewWithOptions(ad, sch, serve.Options{
+		Replicas:        serveClients,
+		EstimateTimeout: budget,
+		ShedQueue:       shedQueue,
+		ServeFaults:     faults,
+		Health:          serve.HealthConfig{EvalInterval: 20 * time.Millisecond},
+	})
+	defer srv.Close()
+
+	// Phase 1: closed-loop saturation. serveClients clients back to back,
+	// blocking path, byte-checked against the reference clone.
+	sat, err := measureSaturation(srv, preds, want, satDur)
+	if err != nil {
+		return err
+	}
+	target := 2 * sat
+	fmt.Printf("saturation %12.0f est/s (closed loop, %d clients)\n", sat, serveClients)
+	fmt.Printf("target     %12.0f est/s (open loop, 2x saturation)\n", target)
+
+	// Phase 2: open-loop overload. A dispatcher releases perStep requests
+	// every step on a fixed schedule — arrivals do not wait for completions,
+	// which is what makes queue growth possible and the bound meaningful. A
+	// sampler drives the health machine's clock and watches queue depth.
+	st := &overloadStats{reasons: make(map[string]int64)}
+	var maxDepth int64
+	done := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-tick.C:
+				srv.Tick(now)
+				if d := srv.QueueDepth(); d > maxDepth {
+					maxDepth = d
+				}
+			}
+		}
+	}()
+
+	perStep := int(target * step.Seconds())
+	if perStep < 1 {
+		perStep = 1
+	}
+	steps := int(dur / step)
+	var wg sync.WaitGroup
+	start := time.Now()
+	idx := 0
+	for s := 0; s < steps; s++ {
+		if d := time.Until(start.Add(time.Duration(s) * step)); d > 0 {
+			time.Sleep(d)
+		}
+		for j := 0; j < perStep; j++ {
+			i := idx % len(preds)
+			idx++
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				t0 := time.Now()
+				card, o := srv.EstimateBudget(preds[i], t0.Add(budget))
+				st.record(o, card, truth[i], time.Since(t0))
+			}(i)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(done)
+	sampler.Wait()
+
+	// Phase 3: recovery. Chaos off, let the queue drain and the health
+	// machine walk back to healthy, then re-verify byte-identity: overload
+	// must not have perturbed the served model.
+	faults.Disable()
+	time.Sleep(budget + 50*time.Millisecond)
+	recoverBy := time.Now().Add(5 * time.Second)
+	for srv.HealthState() != serve.Healthy && time.Now().Before(recoverBy) {
+		srv.Estimate(preds[0]) // keep the wait window fed with healthy samples
+		srv.Tick(time.Now())
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := srv.HealthState(); got != serve.Healthy {
+		return fmt.Errorf("overload: server did not recover to healthy (state %v)", got)
+	}
+	for i := range preds {
+		if got := srv.Estimate(preds[i]); got != want[i] {
+			return fmt.Errorf("overload: post-recovery estimate %d diverged from the reference", i)
+		}
+	}
+
+	rep := &microReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Quick:         quick,
+	}
+	olr := &overloadReport{
+		SaturationPerSec: sat,
+		TargetPerSec:     target,
+		BudgetMs:         float64(budget) / 1e6,
+		DurationMs:       float64(elapsed) / 1e6,
+		ShedQueue:        shedQueue,
+		StarveHoldUs:     float64(starveHold) / 1e3,
+		Requests:         st.ok + st.degraded + st.shed,
+		OK:               st.ok,
+		Degraded:         st.degraded,
+		Shed:             st.shed,
+		Reasons:          st.reasons,
+		MaxQueueDepth:    maxDepth,
+		MaxShedLatencyMs: float64(st.maxShedLat) / 1e6,
+		FullGMQ:          fullGMQ,
+		FinalHealth:      srv.HealthState().String(),
+	}
+	if st.degraded > 0 {
+		olr.DegradedGMQ = math.Exp(st.degLogQ / float64(st.degraded))
+	}
+	rep.Overload = olr
+
+	fmt.Printf("requests %d: ok %d, degraded %d, shed %d  (%.0f est/s offered)\n",
+		olr.Requests, st.ok, st.degraded, st.shed, float64(olr.Requests)/elapsed.Seconds())
+	for r, n := range st.reasons {
+		fmt.Printf("  reason %-12s %d\n", r, n)
+	}
+	fmt.Printf("max queue depth %d (bound %d), max shed latency %.2fms (budget %.2fms)\n",
+		maxDepth, int64(shedQueue), olr.MaxShedLatencyMs, olr.BudgetMs)
+	fmt.Printf("GMQ: full model %.3f, degraded answers %.3f\n", fullGMQ, olr.DegradedGMQ)
+
+	// Acceptance: bounded queue, sheds within budget, both ladder rungs
+	// exercised, healthy and byte-identical afterwards (checked above).
+	// The depth slack covers arrivals sampled between their reservation and
+	// its rollback; the latency slack covers timer-wakeup scheduling noise.
+	if maxDepth > shedQueue+int64(serveClients)*8 {
+		return fmt.Errorf("overload: queue depth %d grew past the %d bound", maxDepth, int64(shedQueue))
+	}
+	if st.maxShedLat > budget+250*time.Millisecond {
+		return fmt.Errorf("overload: shed response took %v, budget %v", st.maxShedLat, budget)
+	}
+	if st.shed == 0 {
+		return fmt.Errorf("overload: no requests shed at 2x saturation — load shedding untested")
+	}
+	if st.degraded == 0 {
+		return fmt.Errorf("overload: no degraded answers at 2x saturation — fallback ladder untested")
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}
+
+// measureSaturation drives the blocking estimate path closed-loop from
+// serveClients goroutines for about d and returns completions per second,
+// verifying every answer against the reference.
+func measureSaturation(srv *serve.Server, preds []query.Predicate, want []float64, d time.Duration) (float64, error) {
+	var wg sync.WaitGroup
+	var total, bad int64
+	var mu sync.Mutex
+	start := time.Now()
+	stop := start.Add(d)
+	for w := 0; w < serveClients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var n, b int64
+			for i := w; time.Now().Before(stop); i++ {
+				j := i % len(preds)
+				if got := srv.Estimate(preds[j]); got != want[j] {
+					b++
+				}
+				n++
+			}
+			mu.Lock()
+			total += n
+			bad += b
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if bad > 0 {
+		return 0, fmt.Errorf("saturation: %d estimates diverged from the reference", bad)
+	}
+	return float64(total) / elapsed.Seconds(), nil
+}

@@ -26,6 +26,7 @@
 //	warperd -replicas 8 -batch-window 200us           # concurrent serving tuning
 //	warperd -faults 0.2 -fault-hang 0.05 -annotate-timeout 500ms  # chaos mode
 //	warperd -trace-sample 100 -drift-alarm-gmq 4      # drift flight recorder
+//	warperd -estimate-timeout 50ms -shed-queue 256    # overload-safe serving
 package main
 
 import (
@@ -65,6 +66,13 @@ func main() {
 		replicas    = flag.Int("replicas", 0, "serving replicas (0 = GOMAXPROCS)")
 		batchWindow = flag.Duration("batch-window", 0, "estimate micro-batching window (0 = off)")
 		batchMax    = flag.Int("batch-max", 0, "max estimates per coalesced batch (0 = default 64)")
+
+		// Overload safety. The deadline budgets how long an estimate may
+		// queue for a replica before the fallback ladder (or a 429) answers;
+		// the shed queue bounds admission; the health machine rides on top.
+		estTimeout = flag.Duration("estimate-timeout", 0, "per-request /estimate deadline budget, overridable via X-Warper-Deadline-Ms (0 = wait forever)")
+		shedQueue  = flag.Int("shed-queue", 0, "max estimates queued for a replica before load shedding (0 = max(64, 16*replicas))")
+		fallback   = flag.Bool("fallback", true, "serve budget misses and degraded mode from the histogram fallback ladder instead of shedding")
 
 		// Fault tolerance. The resilience wrapper always guards period-time
 		// annotation; the -faults* flags additionally inject deterministic
@@ -173,6 +181,10 @@ func main() {
 		TraceBuf:      *traceBuf,
 		DriftWindow:   *driftWindow,
 		DriftAlarmGMQ: *driftAlarm,
+
+		EstimateTimeout: *estTimeout,
+		ShedQueue:       *shedQueue,
+		NoFallback:      !*fallback,
 	})
 
 	// Route period-time annotation through the resilience stack: optional

@@ -115,8 +115,18 @@ func (h *HistogramEstimator) massLT(edges []float64, x float64) float64 {
 	if x > edges[last] {
 		return 1
 	}
-	// Smallest b with edges[b] >= x.
-	lb := sort.SearchFloat64s(edges, x)
+	// Smallest b with edges[b] >= x. Hand-rolled like massLE: this runs on
+	// the serving fallback path, which must stay allocation-free.
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if edges[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	lb := lo
 	if lb <= last && edges[lb] == x {
 		return float64(lb) / float64(last)
 	}

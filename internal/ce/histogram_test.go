@@ -129,3 +129,27 @@ func annCountOK(t *testing.T, ann *annotator.Annotator, p query.Predicate) float
 	}
 	return c
 }
+
+// TestHistogramEstimateAllocationFree pins the fallback-ladder contract:
+// serving a degraded estimate from the histogram tier must not allocate
+// (both massLE and massLT binary searches are hand-rolled for this).
+func TestHistogramEstimateAllocationFree(t *testing.T) {
+	tbl, sch, _ := histFixture(t)
+	h := NewHistogramEstimator(tbl, 64)
+	rng := rand.New(rand.NewSource(7))
+	ps := make([]query.Predicate, 16)
+	for i := range ps {
+		p := query.NewFullRange(sch)
+		c := rng.Intn(sch.NumCols())
+		lo := sch.Mins[c] + rng.Float64()*(sch.Maxs[c]-sch.Mins[c])/2
+		p.SetRange(c, lo, lo+(sch.Maxs[c]-sch.Mins[c])/4)
+		ps[i] = p
+	}
+	i := 0
+	if allocs := testing.AllocsPerRun(256, func() {
+		h.Estimate(ps[i%len(ps)])
+		i++
+	}); allocs > 0 {
+		t.Errorf("HistogramEstimator.Estimate allocates %.2f/op, want 0", allocs)
+	}
+}

@@ -52,7 +52,10 @@ var HotPathAlloc = &Analyzer{
 var hotPathRoots = []string{
 	"serve.(*Server).handleEstimate",
 	"serve.(*Server).Estimate",
+	"serve.(*Server).EstimateBudget",
 	"serve.(*replicaPool).checkout",
+	"serve.(*replicaPool).checkoutDeadline",
+	"serve.(*replicaPool).tryCheckout",
 	"serve.(*replicaPool).checkin",
 	"obs.(*Tracer).Acquire",
 	"obs.(*Trace).EnterStage",

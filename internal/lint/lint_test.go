@@ -140,8 +140,8 @@ func TestCtxPropagateFixture(t *testing.T) {
 
 func TestObsNamesFixture(t *testing.T) {
 	diags := checkFixture(t, ObsNames, "obsnames/app")
-	if len(diags) != 7 {
-		t.Errorf("got %d diagnostics, want 7 (non-Registry receivers and lint:allow lines are exempt)", len(diags))
+	if len(diags) != 8 {
+		t.Errorf("got %d diagnostics, want 8 (non-Registry receivers and lint:allow lines are exempt)", len(diags))
 	}
 }
 

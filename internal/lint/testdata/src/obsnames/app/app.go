@@ -39,4 +39,12 @@ func register(r *Registry, other notRegistry) {
 	other.Counter("notARegistry.soAnythingGoes")       // different receiver: ignored
 	//lint:allow obsnames legacy dashboard name kept during migration
 	r.Counter("legacy.dotted.name")
+
+	// Overload-safety names (PR 8): serve-prefixed gauges and per-reason
+	// labeled counters must pass; a reason-style counter missing _total must
+	// still be caught.
+	r.Gauge("serve_health_state")
+	r.Counter("estimate_fallback_total", "reason", "timeout")
+	r.Counter("estimate_shed_total", "reason", "queue_full")
+	r.Counter("estimate_fallback", "reason", "breaker") // want "must end in _total"
 }

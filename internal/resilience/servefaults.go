@@ -1,0 +1,91 @@
+package resilience
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// ServeFaultPlan describes a deterministic fault schedule for the serving
+// path, the overload counterpart of FaultPlan's annotation faults. Where
+// FaultPlan models a flaky ground-truth source, ServeFaultPlan models the
+// serving layer's own failure modes: replicas held hostage by slow
+// inference (starvation), model swaps that take far too long (a stuck or
+// slow period), and — combined with FaultPlan.HangRate on the annotation
+// source — adaptation periods that never finish.
+//
+// The schedule is count-based rather than probability-based, following the
+// circuit breaker's design: every decision is a pure function of the call
+// sequence, so a given plan replays identically across runs with the same
+// traffic and the chaos tests stay deterministic without any RNG.
+type ServeFaultPlan struct {
+	// StarveEvery holds every N-th replica checkout for StarveHold before
+	// returning it to the caller, modeling a slow forward pass that keeps
+	// the replica out of the free list and starves the admission queue.
+	// 0 disables checkout starvation.
+	StarveEvery int
+	// StarveHold is how long a starved checkout holds its replica.
+	StarveHold time.Duration
+	// SwapDelay is added inside every model swap, modeling a slow clone of
+	// a large model (the window during which replicas serve the previous
+	// generation and the health tracker sees a swap in flight).
+	SwapDelay time.Duration
+}
+
+// ServeFaults injects the plan onto a serving stack. The injector itself
+// never sleeps: it answers "how long should this call stall", and the serve
+// layer applies the stall, so the decision logic stays pure and this
+// package stays free of uninterruptible waits. Safe for concurrent use;
+// every method is lock-free (the serve checkout path must not acquire
+// locks).
+type ServeFaults struct {
+	plan ServeFaultPlan
+
+	// disabled flips the whole plan off at runtime, so a soak test can
+	// stop injecting and watch the server recover.
+	disabled atomic.Bool
+
+	checkouts atomic.Int64
+	starved   atomic.Int64
+	swaps     atomic.Int64
+}
+
+// NewServeFaults builds an injector for the plan.
+func NewServeFaults(plan ServeFaultPlan) *ServeFaults {
+	return &ServeFaults{plan: plan}
+}
+
+// CheckoutHold reports how long the current replica checkout should be held
+// before the replica is handed to the request: non-zero for every
+// plan.StarveEvery-th checkout, zero otherwise.
+func (f *ServeFaults) CheckoutHold() time.Duration {
+	n := f.checkouts.Add(1)
+	if f.disabled.Load() || f.plan.StarveEvery <= 0 || f.plan.StarveHold <= 0 {
+		return 0
+	}
+	if n%int64(f.plan.StarveEvery) != 0 {
+		return 0
+	}
+	f.starved.Add(1)
+	return f.plan.StarveHold
+}
+
+// SwapHold reports how long the current model swap should stall.
+func (f *ServeFaults) SwapHold() time.Duration {
+	f.swaps.Add(1)
+	if f.disabled.Load() {
+		return 0
+	}
+	return f.plan.SwapDelay
+}
+
+// Disable turns all injection off; subsequent calls report zero holds. Used
+// by soak tests to end the chaos phase and assert recovery.
+func (f *ServeFaults) Disable() { f.disabled.Store(true) }
+
+// Enable re-arms the plan after a Disable.
+func (f *ServeFaults) Enable() { f.disabled.Store(false) }
+
+// Stats returns (checkouts seen, checkouts starved, swaps seen).
+func (f *ServeFaults) Stats() (checkouts, starved, swaps int64) {
+	return f.checkouts.Load(), f.starved.Load(), f.swaps.Load()
+}

@@ -1,0 +1,77 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServeFaultsCountSchedule pins the count-based determinism: exactly
+// every StarveEvery-th checkout is held, independent of timing.
+func TestServeFaultsCountSchedule(t *testing.T) {
+	f := NewServeFaults(ServeFaultPlan{StarveEvery: 3, StarveHold: time.Millisecond})
+	var holds []int
+	for i := 1; i <= 9; i++ {
+		if f.CheckoutHold() > 0 {
+			holds = append(holds, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(holds) != len(want) {
+		t.Fatalf("held checkouts %v, want %v", holds, want)
+	}
+	for i := range want {
+		if holds[i] != want[i] {
+			t.Fatalf("held checkouts %v, want %v", holds, want)
+		}
+	}
+	if c, s, _ := f.Stats(); c != 9 || s != 3 {
+		t.Errorf("Stats = (%d, %d), want (9, 3)", c, s)
+	}
+}
+
+// TestServeFaultsDisable verifies Disable stops all injection and Enable
+// re-arms it, the knob the overload soak uses to end its chaos phase.
+func TestServeFaultsDisable(t *testing.T) {
+	f := NewServeFaults(ServeFaultPlan{StarveEvery: 1, StarveHold: time.Millisecond, SwapDelay: time.Millisecond})
+	if f.CheckoutHold() == 0 {
+		t.Fatal("armed plan with StarveEvery=1 must hold every checkout")
+	}
+	if f.SwapHold() == 0 {
+		t.Fatal("armed plan must stall swaps")
+	}
+	f.Disable()
+	if f.CheckoutHold() != 0 || f.SwapHold() != 0 {
+		t.Fatal("disabled plan must not inject")
+	}
+	f.Enable()
+	if f.CheckoutHold() == 0 {
+		t.Fatal("re-enabled plan must inject again")
+	}
+}
+
+// TestServeFaultsConcurrent exercises the lock-free counters under the race
+// detector: the exact set of starved checkouts depends on interleaving, but
+// the total starve count must match the schedule's share of calls.
+func TestServeFaultsConcurrent(t *testing.T) {
+	f := NewServeFaults(ServeFaultPlan{StarveEvery: 4, StarveHold: time.Microsecond})
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.CheckoutHold()
+			}
+		}()
+	}
+	wg.Wait()
+	c, s, _ := f.Stats()
+	if c != workers*per {
+		t.Fatalf("checkouts = %d, want %d", c, workers*per)
+	}
+	if want := int64(workers * per / 4); s != want {
+		t.Errorf("starved = %d, want %d", s, want)
+	}
+}

@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"warper/internal/obs"
+)
+
+// This file implements the serving health state machine: a three-state
+// ladder (healthy → degraded → shedding) that decides, per estimate, whether
+// the request may queue for a replica, must settle for the fallback
+// estimator, or should be shed outright. The paper budgets adaptation so
+// serving is never starved (§4.3); the health machine is the same idea
+// pointed the other way — it budgets *serving* so overload or a stuck swap
+// degrades answers instead of collapsing the process.
+//
+// The machine is deliberately cheap to read and deliberately slow to move:
+// the estimate hot path pays one atomic load to learn the state, and state
+// changes happen only on the read-side tick paths (scrapes, /statusz,
+// feedback, period edges) with hysteresis, so a single bad sample cannot
+// flap the server between modes.
+
+// HealthState is the serving health ladder. The numeric values are exported
+// on the serve_health_state gauge, so they are part of the metric contract.
+type HealthState int32
+
+const (
+	// Healthy serves every estimate from the model, queueing (within the
+	// deadline budget) when replicas are busy.
+	Healthy HealthState = 0
+	// Degraded answers from a replica when one is free immediately and from
+	// the fallback ladder otherwise; responses carry "degraded": true.
+	Degraded HealthState = 1
+	// Shedding admits an estimate only when a replica is free immediately
+	// and answers 429 + Retry-After otherwise.
+	Shedding HealthState = 2
+)
+
+// String names the state for journals and /statusz.
+func (h HealthState) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Shedding:
+		return "shedding"
+	}
+	return "unknown"
+}
+
+// HealthConfig tunes the health state machine. The zero value means
+// "defaults", resolved by withDefaults at server construction.
+type HealthConfig struct {
+	// DegradeWaitP99 is the windowed replica-checkout-wait p99 above which
+	// the server counts an evaluation as degraded. Default 25ms.
+	DegradeWaitP99 time.Duration
+	// ShedWaitP99 is the checkout-wait p99 above which an evaluation counts
+	// as shedding. Default 250ms.
+	ShedWaitP99 time.Duration
+	// QueueHigh is the admission-queue depth above which an evaluation
+	// counts as shedding. Default: half the pool's shed-queue bound.
+	QueueHigh int64
+	// MaxSwapAge marks the server degraded while an adaptation period (and
+	// its eventual model swap) has been in flight longer than this. Default
+	// 30s.
+	MaxSwapAge time.Duration
+	// EscalateAfter is how many consecutive worse-than-current evaluations
+	// move the state one step up the ladder. Default 2.
+	EscalateAfter int
+	// RecoverAfter is how many consecutive better-than-current evaluations
+	// move it one step down. Recovery is slower than escalation by default
+	// (3) so a brief lull under sustained overload does not bounce the
+	// server straight back into the queue it just shed.
+	RecoverAfter int
+	// EvalInterval throttles evaluations: tick paths fire far more often
+	// than the machine needs to think. Default 250ms; negative disables the
+	// throttle (used by tests driving the machine step by step).
+	EvalInterval time.Duration
+}
+
+// withDefaults resolves zero fields. queueBound is the pool's admission
+// queue cap, used to derive QueueHigh.
+func (c HealthConfig) withDefaults(queueBound int64) HealthConfig {
+	if c.DegradeWaitP99 <= 0 {
+		c.DegradeWaitP99 = 25 * time.Millisecond
+	}
+	if c.ShedWaitP99 <= 0 {
+		c.ShedWaitP99 = 250 * time.Millisecond
+	}
+	if c.QueueHigh <= 0 {
+		c.QueueHigh = queueBound / 2
+		if c.QueueHigh < 1 {
+			c.QueueHigh = 1
+		}
+	}
+	if c.MaxSwapAge <= 0 {
+		c.MaxSwapAge = 30 * time.Second
+	}
+	if c.EscalateAfter <= 0 {
+		c.EscalateAfter = 2
+	}
+	if c.RecoverAfter <= 0 {
+		c.RecoverAfter = 3
+	}
+	if c.EvalInterval == 0 {
+		c.EvalInterval = 250 * time.Millisecond
+	}
+	return c
+}
+
+// healthSignals is one evaluation's input: the windowed checkout-wait p99,
+// the live admission-queue depth, the annotation breaker state, and how long
+// the in-flight adaptation period (if any) has been running.
+type healthSignals struct {
+	waitP99     float64 // seconds
+	queueDepth  int64
+	breakerOpen bool
+	swapAge     time.Duration
+}
+
+// healthTracker runs the state machine. State reads are one atomic load
+// (the estimate hot path's only contact with it); evaluations run under a
+// mutex but only ever on tick paths.
+type healthTracker struct {
+	cfg HealthConfig
+
+	state atomic.Int32
+	// breakerOpen mirrors the annotation circuit breaker, written by the
+	// resilience Events callback and read by evaluations and by the
+	// degraded-path reason split.
+	breakerOpen atomic.Bool
+	// swapStart is the UnixNano start of the in-flight adaptation period
+	// (0 when none): a period stuck past MaxSwapAge degrades the server.
+	swapStart atomic.Int64
+	// lastEval throttles evaluations to EvalInterval (UnixNano, CAS-guarded
+	// so concurrent scrapes elect one evaluator).
+	lastEval atomic.Int64
+
+	// mu guards the hysteresis streaks; held only inside eval.
+	mu         sync.Mutex
+	badStreak  int
+	goodStreak int
+
+	met     *Metrics
+	journal *obs.Journal
+}
+
+// newHealthTracker builds a tracker publishing transitions on met's
+// serve_health_state gauge and into the journal.
+func newHealthTracker(cfg HealthConfig, met *Metrics, journal *obs.Journal) *healthTracker {
+	h := &healthTracker{cfg: cfg, met: met, journal: journal}
+	met.healthState.Set(float64(Healthy))
+	return h
+}
+
+// current returns the state with one atomic load.
+func (h *healthTracker) current() HealthState { return HealthState(h.state.Load()) }
+
+// due reports whether enough time passed since the last evaluation, electing
+// exactly one caller per interval.
+func (h *healthTracker) due(now time.Time) bool {
+	if h.cfg.EvalInterval < 0 {
+		return true
+	}
+	last := h.lastEval.Load()
+	if now.UnixNano()-last < int64(h.cfg.EvalInterval) {
+		return false
+	}
+	return h.lastEval.CompareAndSwap(last, now.UnixNano())
+}
+
+// classify maps one signal reading onto the ladder, worst condition wins.
+func (h *healthTracker) classify(sig healthSignals) HealthState {
+	if sig.waitP99 >= h.cfg.ShedWaitP99.Seconds() || sig.queueDepth >= h.cfg.QueueHigh {
+		return Shedding
+	}
+	if sig.breakerOpen || sig.waitP99 >= h.cfg.DegradeWaitP99.Seconds() ||
+		(sig.swapAge > 0 && sig.swapAge >= h.cfg.MaxSwapAge) {
+		return Degraded
+	}
+	return Healthy
+}
+
+// eval folds one signal reading into the hysteresis streaks and applies at
+// most a single-step transition. Transitions are journaled with the signals
+// that caused them, so an operator can replay *why* the server left healthy.
+func (h *healthTracker) eval(sig healthSignals) {
+	target := h.classify(sig)
+	h.mu.Lock()
+	cur := h.current()
+	next := cur
+	switch {
+	case target > cur:
+		h.badStreak++
+		h.goodStreak = 0
+		if h.badStreak >= h.cfg.EscalateAfter {
+			next = cur + 1 // single step, even when target is two above
+			h.badStreak = 0
+		}
+	case target < cur:
+		h.goodStreak++
+		h.badStreak = 0
+		if h.goodStreak >= h.cfg.RecoverAfter {
+			next = cur - 1
+			h.goodStreak = 0
+		}
+	default:
+		h.badStreak, h.goodStreak = 0, 0
+	}
+	if next != cur {
+		h.state.Store(int32(next))
+	}
+	h.mu.Unlock()
+	if next == cur {
+		return
+	}
+	h.met.healthState.Set(float64(next))
+	h.journal.Append("health", 0, map[string]any{
+		"from":         cur.String(),
+		"to":           next.String(),
+		"wait_p99_ms":  sig.waitP99 * 1000,
+		"queue_depth":  sig.queueDepth,
+		"breaker_open": sig.breakerOpen,
+		"swap_age_ms":  float64(sig.swapAge.Microseconds()) / 1000,
+	})
+}

@@ -53,6 +53,13 @@ const (
 	mDriftAlarm = "warper_drift_alarm"
 	mDriftGMQ   = "warper_drift_window_gmq"
 
+	// Overload-safety metrics (admission control + fallback ladder). Named
+	// like serve_panics_total: serving-stack concerns, not adaptation ones,
+	// so they carry the serve-side prefix style rather than warper_.
+	mHealthState   = "serve_health_state"
+	mFallbackTotal = "estimate_fallback_total"
+	mShedTotal     = "estimate_shed_total"
+
 	// Resilience metrics (fault-tolerant annotation pipeline).
 	mAnnRetries    = "warper_annotate_retries_total"
 	mAnnTimeouts   = "warper_annotate_timeouts_total"
@@ -75,23 +82,23 @@ type Metrics struct {
 
 	checkoutWait *obs.Histogram
 	qerr         *obs.Histogram
-	periods   *obs.Counter
-	conflicts *obs.Counter
-	failures  *obs.Counter
-	panics    *obs.Counter
-	generated *obs.Counter
-	annotated *obs.Counter
-	updates   *obs.Counter
-	earlyStop *obs.Counter
-	poolSize  *obs.Gauge
-	labeled   *obs.Gauge
-	buffered  *obs.Gauge
-	pi        *obs.Gauge
-	gamma     *obs.Gauge
-	deltaM    *obs.Gauge
-	deltaJS   *obs.Gauge
-	trained   *obs.Counter
-	trainTput *obs.Gauge
+	periods      *obs.Counter
+	conflicts    *obs.Counter
+	failures     *obs.Counter
+	panics       *obs.Counter
+	generated    *obs.Counter
+	annotated    *obs.Counter
+	updates      *obs.Counter
+	earlyStop    *obs.Counter
+	poolSize     *obs.Gauge
+	labeled      *obs.Gauge
+	buffered     *obs.Gauge
+	pi           *obs.Gauge
+	gamma        *obs.Gauge
+	deltaM       *obs.Gauge
+	deltaJS      *obs.Gauge
+	trained      *obs.Counter
+	trainTput    *obs.Gauge
 
 	replicas      *obs.Gauge
 	checkouts     *obs.Counter
@@ -102,6 +109,20 @@ type Metrics struct {
 
 	driftAlarm *obs.Gauge
 	driftGMQ   *obs.Gauge
+
+	// health, when non-nil, mirrors the annotation breaker state into the
+	// serving health machine (set by NewWithOptions).
+	health      *healthTracker
+	healthState *obs.Gauge
+	// Per-reason fallback and shed counters, pre-created so the estimate hot
+	// path increments a pointer instead of doing a labeled registry lookup
+	// (which would allocate the label key).
+	fbTimeout     *obs.Counter
+	fbBreaker     *obs.Counter
+	fbDegraded    *obs.Counter
+	shedQueueFull *obs.Counter
+	shedShedding  *obs.Counter
+	shedDeadline  *obs.Counter
 
 	annRetries    *obs.Counter
 	annTimeouts   *obs.Counter
@@ -148,6 +169,9 @@ func NewMetrics() *Metrics {
 	r.Help(mBatchRowsOld, "Deprecated alias of "+mBatchRows+"; removed next release.")
 	r.Help(mDriftAlarm, "Drift-watch alarm state: 1 while the windowed GMQ breaches the threshold.")
 	r.Help(mDriftGMQ, "Geometric mean q-error over the drift watch's rolling window.")
+	r.Help(mHealthState, "Serving health state: 0 healthy, 1 degraded, 2 shedding.")
+	r.Help(mFallbackTotal, "Estimates answered by the fallback ladder instead of the model, by reason.")
+	r.Help(mShedTotal, "Estimate requests shed by admission control (429), by reason.")
 	r.Help(mAnnRetries, "Annotation attempts retried by the resilience wrapper.")
 	r.Help(mAnnTimeouts, "Annotation attempts killed by the per-attempt deadline.")
 	r.Help(mAnnFailed, "Annotation calls that failed for good within a period (after retries).")
@@ -159,23 +183,23 @@ func NewMetrics() *Metrics {
 		Reg:          r,
 		checkoutWait: r.Histogram(mCheckoutWait, obs.LatencyOpts()),
 		qerr:         r.Histogram(mQError, obs.QErrorOpts()),
-		periods:   r.Counter(mPeriodsTotal),
-		conflicts: r.Counter(mPeriodConflicts),
-		failures:  r.Counter(mPeriodFailures),
-		panics:    r.Counter(mPanicsTotal),
-		generated: r.Counter(mGeneratedTotal),
-		annotated: r.Counter(mAnnotatedTotal),
-		updates:   r.Counter(mUpdatesTotal),
-		earlyStop: r.Counter(mEarlyStopsTotal),
-		poolSize:  r.Gauge(mPoolSize),
-		labeled:   r.Gauge(mPoolLabeled),
-		buffered:  r.Gauge(mBuffered),
-		pi:        r.Gauge(mPi),
-		gamma:     r.Gauge(mGamma),
-		deltaM:    r.Gauge(mDeltaM),
-		deltaJS:   r.Gauge(mDeltaJS),
-		trained:   r.Counter(mTrainSamples),
-		trainTput: r.Gauge(mTrainThroughput),
+		periods:      r.Counter(mPeriodsTotal),
+		conflicts:    r.Counter(mPeriodConflicts),
+		failures:     r.Counter(mPeriodFailures),
+		panics:       r.Counter(mPanicsTotal),
+		generated:    r.Counter(mGeneratedTotal),
+		annotated:    r.Counter(mAnnotatedTotal),
+		updates:      r.Counter(mUpdatesTotal),
+		earlyStop:    r.Counter(mEarlyStopsTotal),
+		poolSize:     r.Gauge(mPoolSize),
+		labeled:      r.Gauge(mPoolLabeled),
+		buffered:     r.Gauge(mBuffered),
+		pi:           r.Gauge(mPi),
+		gamma:        r.Gauge(mGamma),
+		deltaM:       r.Gauge(mDeltaM),
+		deltaJS:      r.Gauge(mDeltaJS),
+		trained:      r.Counter(mTrainSamples),
+		trainTput:    r.Gauge(mTrainThroughput),
 
 		replicas:      r.Gauge(mReplicas),
 		checkouts:     r.Counter(mCheckouts),
@@ -187,6 +211,14 @@ func NewMetrics() *Metrics {
 
 		driftAlarm: r.Gauge(mDriftAlarm),
 		driftGMQ:   r.Gauge(mDriftGMQ),
+
+		healthState:   r.Gauge(mHealthState),
+		fbTimeout:     r.Counter(mFallbackTotal, "reason", "timeout"),
+		fbBreaker:     r.Counter(mFallbackTotal, "reason", "breaker"),
+		fbDegraded:    r.Counter(mFallbackTotal, "reason", "degraded"),
+		shedQueueFull: r.Counter(mShedTotal, "reason", "queue_full"),
+		shedShedding:  r.Counter(mShedTotal, "reason", "shedding"),
+		shedDeadline:  r.Counter(mShedTotal, "reason", "deadline"),
 
 		annRetries:    r.Counter(mAnnRetries),
 		annTimeouts:   r.Counter(mAnnTimeouts),
@@ -270,6 +302,13 @@ func (m *Metrics) ResilienceEvents() resilience.Events {
 			// Export the breaker state with a stable encoding: 0 closed,
 			// 1 open, 2 half-open (the resilience.State values).
 			m.breakerState.Set(float64(s))
+			if m.health != nil {
+				// An open annotation breaker is a degraded-health signal:
+				// the adapter cannot repair the model right now, so serving
+				// should stop betting on a fresh one. Half-open probes count
+				// as open until they succeed.
+				m.health.breakerOpen.Store(s != resilience.Closed)
+			}
 			if m.rec != nil {
 				m.rec.journal.Append("breaker", 0, map[string]any{"state": s.String()})
 			}

@@ -1,0 +1,505 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"warper/internal/ce"
+	"warper/internal/query"
+	"warper/internal/resilience"
+)
+
+// drainReplicas checks out every free replica so the pool looks saturated;
+// the caller checks them back in (or restoreReplicas does) to end the
+// simulated overload.
+func drainReplicas(t *testing.T, srv *Server) []*replica {
+	t.Helper()
+	var out []*replica
+	for {
+		r, ok := srv.pool.tryCheckout()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+func restoreReplicas(srv *Server, rs []*replica) {
+	for _, r := range rs {
+		srv.pool.checkin(r)
+	}
+}
+
+// TestSheddingState429 pins the top of the ladder: in shedding state with no
+// replica free, /estimate answers 429 with Retry-After and charges
+// estimate_shed_total{reason="shedding"}; once healthy again the same
+// request serves normally.
+func TestSheddingState429(t *testing.T) {
+	srv, ts, _, _, gNew := newTestServerOpts(t, Options{Replicas: 2})
+	p := gNew.Gen(rand.New(rand.NewSource(3)))
+
+	srv.health.state.Store(int32(Shedding))
+	held := drainReplicas(t, srv)
+	r := postJSON(t, ts.URL+"/estimate", predicateJSON{Lows: p.Lows, Highs: p.Highs}, nil)
+	if r.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shedding estimate = %d, want 429", r.StatusCode)
+	}
+	if ra := r.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", ra)
+	}
+	if body := metricsBody(t, ts.URL); !strings.Contains(body, `estimate_shed_total{reason="shedding"} 1`) {
+		t.Error("estimate_shed_total{reason=\"shedding\"} not incremented")
+	}
+
+	// A free replica is still admitted in shedding state (try-only).
+	restoreReplicas(srv, held)
+	var est estimateResponse
+	if r := postJSON(t, ts.URL+"/estimate", predicateJSON{Lows: p.Lows, Highs: p.Highs}, &est); r.StatusCode != http.StatusOK {
+		t.Fatalf("shedding estimate with free replica = %d, want 200", r.StatusCode)
+	}
+	if est.Degraded {
+		t.Error("replica-served answer marked degraded")
+	}
+	srv.health.state.Store(int32(Healthy))
+}
+
+// TestDegradedStateFallsBack pins the middle rung: degraded state with no
+// replica free serves from the histogram ladder, marked "degraded": true with
+// the reason, and healthy responses stay byte-identical to the legacy wire
+// format (no degraded/reason keys at all).
+func TestDegradedStateFallsBack(t *testing.T) {
+	srv, ts, _, _, gNew := newTestServerOpts(t, Options{Replicas: 2})
+	p := gNew.Gen(rand.New(rand.NewSource(5)))
+
+	srv.health.state.Store(int32(Degraded))
+	held := drainReplicas(t, srv)
+	var est estimateResponse
+	r := postJSON(t, ts.URL+"/estimate", predicateJSON{Lows: p.Lows, Highs: p.Highs}, &est)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("degraded estimate = %d, want 200", r.StatusCode)
+	}
+	if !est.Degraded || est.Reason != "degraded" {
+		t.Errorf("degraded answer = {degraded:%v reason:%q}, want {true \"degraded\"}", est.Degraded, est.Reason)
+	}
+	if est.Cardinality <= 0 {
+		t.Errorf("fallback cardinality = %v, want > 0", est.Cardinality)
+	}
+
+	// With the annotation breaker open the reason is attributed to it.
+	srv.health.breakerOpen.Store(true)
+	est = estimateResponse{}
+	postJSON(t, ts.URL+"/estimate", predicateJSON{Lows: p.Lows, Highs: p.Highs}, &est)
+	if est.Reason != "breaker" {
+		t.Errorf("breaker-open fallback reason = %q, want \"breaker\"", est.Reason)
+	}
+	srv.health.breakerOpen.Store(false)
+
+	body := metricsBody(t, ts.URL)
+	for _, m := range []string{
+		`estimate_fallback_total{reason="degraded"} 1`,
+		`estimate_fallback_total{reason="breaker"} 1`,
+	} {
+		if !strings.Contains(body, m) {
+			t.Errorf("metric %s missing from /metrics", m)
+		}
+	}
+
+	// Back to healthy with replicas free: the response body must not even
+	// mention degradation (wire-format byte identity with the legacy path).
+	restoreReplicas(srv, held)
+	srv.health.state.Store(int32(Healthy))
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(predicateJSON{Lows: p.Lows, Highs: p.Highs}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/estimate", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("degraded")) || bytes.Contains(raw, []byte("reason")) {
+		t.Errorf("healthy response leaks degradation fields: %s", raw)
+	}
+}
+
+// TestDeadlineBudgetFallsBackToLadder pins the healthy-path budget: with
+// every replica busy, a request carrying a deadline (server default here)
+// waits at most the budget and then answers from the ladder with reason
+// "timeout".
+func TestDeadlineBudgetFallsBackToLadder(t *testing.T) {
+	srv, ts, _, _, gNew := newTestServerOpts(t, Options{Replicas: 2, EstimateTimeout: 30 * time.Millisecond})
+	p := gNew.Gen(rand.New(rand.NewSource(7)))
+
+	held := drainReplicas(t, srv)
+	defer restoreReplicas(srv, held)
+	start := time.Now()
+	var est estimateResponse
+	r := postJSON(t, ts.URL+"/estimate", predicateJSON{Lows: p.Lows, Highs: p.Highs}, &est)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("budget-missed estimate = %d, want 200 (fallback)", r.StatusCode)
+	}
+	if !est.Degraded || est.Reason != "timeout" {
+		t.Errorf("budget miss = {degraded:%v reason:%q}, want {true \"timeout\"}", est.Degraded, est.Reason)
+	}
+	if wait := time.Since(start); wait > 5*time.Second {
+		t.Errorf("budget-missed request took %v, want ~30ms", wait)
+	}
+	if body := metricsBody(t, ts.URL); !strings.Contains(body, `estimate_fallback_total{reason="timeout"} 1`) {
+		t.Error("estimate_fallback_total{reason=\"timeout\"} not incremented")
+	}
+}
+
+// TestDeadlineHeaderOverride pins the per-request override: a server with no
+// default budget honors X-Warper-Deadline-Ms, so a drained pool answers from
+// the ladder instead of blocking forever.
+func TestDeadlineHeaderOverride(t *testing.T) {
+	srv, ts, _, _, gNew := newTestServerOpts(t, Options{Replicas: 2})
+	p := gNew.Gen(rand.New(rand.NewSource(9)))
+
+	held := drainReplicas(t, srv)
+	defer restoreReplicas(srv, held)
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(predicateJSON{Lows: p.Lows, Highs: p.Highs}); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", ts.URL+"/estimate", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Warper-Deadline-Ms", "25")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("override estimate = %d, want 200", resp.StatusCode)
+	}
+	var est estimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+		t.Fatal(err)
+	}
+	if !est.Degraded || est.Reason != "timeout" {
+		t.Errorf("override miss = {degraded:%v reason:%q}, want {true \"timeout\"}", est.Degraded, est.Reason)
+	}
+}
+
+// TestQueueBoundSheds pins the bounded admission queue: with the only
+// replica busy and a one-slot queue, the second queued arrival is shed with
+// reason "queue_full" while the first still gets its replica.
+func TestQueueBoundSheds(t *testing.T) {
+	srv, _, sch, _, gNew := newTestServerOpts(t, Options{
+		Replicas:        1,
+		EstimateTimeout: time.Second,
+		ShedQueue:       1,
+	})
+	p := gNew.Gen(rand.New(rand.NewSource(11))).Normalize(sch)
+
+	held := drainReplicas(t, srv)
+	type res struct {
+		card float64
+		out  EstimateOutcome
+	}
+	first := make(chan res, 1)
+	go func() {
+		c, o := srv.EstimateBudget(p, time.Now().Add(time.Second))
+		first <- res{c, o}
+	}()
+	// Wait for the first request to park in the queue.
+	for i := 0; srv.QueueDepth() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.QueueDepth() != 1 {
+		t.Fatalf("queue depth = %d, want 1 parked waiter", srv.QueueDepth())
+	}
+
+	_, out := srv.EstimateBudget(p, time.Now().Add(time.Second))
+	if !out.Shed || out.Reason != "queue_full" {
+		t.Errorf("over-bound arrival = %+v, want shed queue_full", out)
+	}
+
+	restoreReplicas(srv, held)
+	got := <-first
+	if got.out != (EstimateOutcome{}) {
+		t.Errorf("queued request outcome = %+v, want full-model answer", got.out)
+	}
+	if want := srv.Estimator().Estimate(p); got.card != want {
+		t.Errorf("queued request answer = %v, want %v", got.card, want)
+	}
+}
+
+// TestNoFallbackShedsOnBudgetMiss pins -fallback=false: a budget miss sheds
+// with reason "deadline" instead of serving a histogram answer.
+func TestNoFallbackShedsOnBudgetMiss(t *testing.T) {
+	srv, ts, _, _, gNew := newTestServerOpts(t, Options{
+		Replicas:        2,
+		EstimateTimeout: 20 * time.Millisecond,
+		NoFallback:      true,
+	})
+	p := gNew.Gen(rand.New(rand.NewSource(13)))
+
+	held := drainReplicas(t, srv)
+	defer restoreReplicas(srv, held)
+	r := postJSON(t, ts.URL+"/estimate", predicateJSON{Lows: p.Lows, Highs: p.Highs}, nil)
+	if r.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("no-fallback budget miss = %d, want 429", r.StatusCode)
+	}
+	if body := metricsBody(t, ts.URL); !strings.Contains(body, `estimate_shed_total{reason="deadline"} 1`) {
+		t.Error("estimate_shed_total{reason=\"deadline\"} not incremented")
+	}
+}
+
+// TestEstimateAndFeedbackBodyCaps pins the request-body satellite: /estimate
+// and /feedback reject oversized bodies with 413, like /period always has.
+func TestEstimateAndFeedbackBodyCaps(t *testing.T) {
+	_, ts, _, _, _ := newTestServer(t)
+	huge := `{"pad":"` + strings.Repeat("a", maxPeriodBody) + `"}`
+	for _, path := range []string{"/estimate", "/feedback"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(huge))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("oversized %s = %d, want 413", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestEstimatesSurviveReplicaPanicExhaustion is the checkin-on-panic
+// regression: more panicking requests than replicas must not leak the pool
+// dry — every replica's deferred checkin returns it even when the model
+// panics, so post-panic estimates all succeed.
+func TestEstimatesSurviveReplicaPanicExhaustion(t *testing.T) {
+	armed := &atomic.Bool{}
+	srv, ts, _, gNew := robustnessEnv(t, func(lm *ce.LM) ce.Estimator {
+		return &panicModel{LM: lm, armed: armed}
+	})
+	rng := rand.New(rand.NewSource(17))
+	p := gNew.Gen(rng)
+	n := cap(srv.pool.free)
+
+	armed.Store(true)
+	for i := 0; i < 2*n+2; i++ {
+		r := postJSON(t, ts.URL+"/estimate", predicateJSON{Lows: p.Lows, Highs: p.Highs}, nil)
+		if r.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("panicking estimate %d = %d, want 500", i, r.StatusCode)
+		}
+	}
+	armed.Store(false)
+
+	// If any panic leaked its replica, one of these n+2 serial estimates
+	// would block forever on an empty free list.
+	client := &http.Client{Timeout: 15 * time.Second}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(predicateJSON{Lows: p.Lows, Highs: p.Highs}); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.Bytes()
+	for i := 0; i < n+2; i++ {
+		resp, err := client.Post(ts.URL+"/estimate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("post-panic estimate %d: %v (replica leaked on panic?)", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-panic estimate %d = %d, want 200", i, resp.StatusCode)
+		}
+	}
+}
+
+// TestOverloadChaosSoak is the env-gated overload soak behind `make chaos`:
+// replica starvation, a slow mid-traffic model swap and an open annotation
+// breaker, all at once, under -race. Invariants: the admission queue stays
+// bounded, every health transition in the journal is a single monotone step,
+// and once the chaos stops the server walks back to healthy and serves
+// byte-identical full-model answers.
+func TestOverloadChaosSoak(t *testing.T) {
+	if os.Getenv("WARPER_CHAOS") == "" {
+		t.Skip("overload soak is opt-in: set WARPER_CHAOS=1 (or run `make chaos`)")
+	}
+	const (
+		budget   = 10 * time.Millisecond
+		maxQueue = 8
+		workers  = 12
+	)
+	faults := resilience.NewServeFaults(resilience.ServeFaultPlan{
+		StarveEvery: 2,
+		StarveHold:  2 * time.Millisecond,
+		SwapDelay:   100 * time.Millisecond,
+	})
+	// Wait thresholds sit far above anything this run can record: under
+	// the race detector a timed-out wait's measured duration includes
+	// scheduler delays of hundreds of milliseconds, and those samples live
+	// in the 1-minute metrics window long after the chaos ends — they
+	// would pin the machine degraded through the whole recovery deadline.
+	// Queue depth (QueueHigh = maxQueue/2 = 4 < workers) and the breaker
+	// signal drive the ladder here.
+	srv, ts, sch, ann, gNew := newTestServerOpts(t, Options{
+		Replicas:        2,
+		EstimateTimeout: budget,
+		ShedQueue:       maxQueue,
+		ServeFaults:     faults,
+		Health: HealthConfig{
+			EvalInterval:   5 * time.Millisecond,
+			DegradeWaitP99: 30 * time.Second,
+			ShedWaitP99:    time.Minute,
+		},
+	})
+	rng := rand.New(rand.NewSource(19))
+	probes := make([]query.Predicate, 8)
+	for i := range probes {
+		probes[i] = gNew.Gen(rng).Normalize(sch)
+	}
+
+	// Chaos phase: open-ended load against starved replicas, the breaker
+	// signal forced open, and one adaptation period (with its delayed swap)
+	// overlapping the traffic.
+	srv.health.breakerOpen.Store(true)
+	var ok, degraded, shed, overBound atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, o := srv.EstimateBudget(probes[i%len(probes)], time.Now().Add(budget))
+				switch {
+				case o.Shed:
+					shed.Add(1)
+				case o.Degraded:
+					degraded.Add(1)
+				default:
+					ok.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-tick.C:
+				srv.Tick(now)
+				// Transient overshoot of `workers` is the reservation
+				// window (Add before the bound check rolls back).
+				if d := srv.QueueDepth(); d > maxQueue+workers {
+					overBound.Add(1)
+				}
+			}
+		}
+	}()
+
+	feedDrifted(t, ts, ann, gNew, rng, 25)
+	postJSON(t, ts.URL+"/period", struct{}{}, nil) // may fail; overlap is the point
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if overBound.Load() > 0 {
+		t.Errorf("admission queue exceeded its bound %d times", overBound.Load())
+	}
+	if ok.Load()+degraded.Load()+shed.Load() == 0 {
+		t.Fatal("soak issued no requests")
+	}
+	t.Logf("soak outcomes: ok %d, degraded %d, shed %d", ok.Load(), degraded.Load(), shed.Load())
+
+	// Recovery: chaos off, breaker closed, tick until healthy.
+	faults.Disable()
+	srv.health.breakerOpen.Store(false)
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.HealthState() != Healthy && time.Now().Before(deadline) {
+		srv.Estimate(probes[0])
+		srv.Tick(time.Now())
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.HealthState(); got != Healthy {
+		var waitP99 float64
+		for _, st := range srv.rec.windows.View(time.Now()).Stats {
+			if st.Name == mCheckoutWait {
+				waitP99 = st.P99
+			}
+		}
+		t.Fatalf("server did not recover to healthy, state %v (wait_p99 %.3fs, queue %d, breaker %v, swap_start %d)",
+			got, waitP99, srv.QueueDepth(), srv.health.breakerOpen.Load(), srv.health.swapStart.Load())
+	}
+
+	// Every journaled health transition is one monotone step.
+	var transitions int
+	for _, ev := range srv.rec.journal.Snapshot() {
+		if ev.Kind != "health" {
+			continue
+		}
+		transitions++
+		from, to := healthLevel(t, ev.Fields["from"]), healthLevel(t, ev.Fields["to"])
+		if d := to - from; d != 1 && d != -1 {
+			t.Errorf("health transition %v -> %v is not a single step", ev.Fields["from"], ev.Fields["to"])
+		}
+	}
+	if transitions == 0 {
+		t.Error("soak provoked no health transitions")
+	}
+
+	// Byte-identity once healthy: two raw reads agree with each other, with
+	// the in-process model, and carry no degradation fields.
+	body, err := json.Marshal(predicateJSON{Lows: probes[0].Lows, Highs: probes[0].Highs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func() []byte {
+		resp, err := http.Post(ts.URL+"/estimate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-recovery estimate = %d", resp.StatusCode)
+		}
+		return raw
+	}
+	a, b := read(), read()
+	if !bytes.Equal(a, b) {
+		t.Errorf("post-recovery answers differ: %s vs %s", a, b)
+	}
+	if bytes.Contains(a, []byte("degraded")) {
+		t.Errorf("post-recovery answer still degraded: %s", a)
+	}
+	var est estimateResponse
+	if err := json.Unmarshal(a, &est); err != nil {
+		t.Fatal(err)
+	}
+	if want := srv.Estimator().Estimate(probes[0]); est.Cardinality != want {
+		t.Errorf("post-recovery answer %v, want full-model %v", est.Cardinality, want)
+	}
+}

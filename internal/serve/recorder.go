@@ -186,20 +186,22 @@ func (r *flightRecorder) handleEvents(w http.ResponseWriter, _ *http.Request) {
 
 // statuszData feeds the /statusz template.
 type statuszData struct {
-	Now      time.Time
-	Status   statusResponse
-	Window   obs.WindowView
-	Drift    obs.DriftState
-	WorstQ   []obs.Exemplar
-	Slowest  []obs.Exemplar
-	Events   []obs.Event
-	Traces   int
-	Sampled  int64
-	Dropped  int64
-	Journal  uint64
-	Evicted  uint64
-	TraceOn  bool
-	DriftOn  bool
+	Now        time.Time
+	Status     statusResponse
+	Health     HealthState
+	QueueDepth int64
+	Window     obs.WindowView
+	Drift      obs.DriftState
+	WorstQ     []obs.Exemplar
+	Slowest    []obs.Exemplar
+	Events     []obs.Event
+	Traces     int
+	Sampled    int64
+	Dropped    int64
+	Journal    uint64
+	Evicted    uint64
+	TraceOn    bool
+	DriftOn    bool
 }
 
 var statuszTmpl = template.Must(template.New("statusz").Funcs(template.FuncMap{
@@ -217,6 +219,11 @@ th{background:#eee}td.l,th.l{text-align:left}
 <h1>warperd flight recorder</h1>
 <p>model={{.Status.Model}} periods={{.Status.Periods}} buffered={{.Status.Buffered}}
 pi={{printf "%.3f" .Status.Pi}} gamma={{.Status.Gamma}}</p>
+
+<h2>Serving health</h2>
+<p>state {{if eq .Health 0}}<span class="ok">healthy</span>{{else}}<span class="alarm">{{.Health}}</span>{{end}}
+— admission queue depth {{.QueueDepth}}; degraded answers come from the fallback ladder,
+sheds answer 429 (see estimate_fallback_total / estimate_shed_total below)</p>
 
 <h2>Drift watch</h2>
 {{if .DriftOn}}
@@ -266,7 +273,7 @@ const statuszEventTail = 40
 // window, drift state, exemplars and the journal tail, stdlib-only HTML.
 func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	now := time.Now()
-	s.rec.windows.Tick(now)
+	s.Tick(now)
 
 	s.mu.Lock()
 	status := statusResponse{
@@ -293,20 +300,22 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	}
 	traces := s.rec.tracer.Snapshot()
 	data := statuszData{
-		Now:     now,
-		Status:  status,
-		Window:  s.rec.windows.View(now),
-		Drift:   s.rec.driftState(now),
-		WorstQ:  s.rec.exemplars.WorstQ(),
-		Slowest: s.rec.exemplars.Slowest(),
-		Events:  events,
-		Traces:  len(traces),
-		Sampled: s.rec.tracer.Sampled.Load(),
-		Dropped: s.rec.tracer.Dropped.Load(),
-		Journal: total,
-		Evicted: evicted,
-		TraceOn: s.rec.tracer.Sampling(),
-		DriftOn: s.rec.drift.Threshold() > 0,
+		Now:        now,
+		Status:     status,
+		Health:     s.health.current(),
+		QueueDepth: s.pool.queueDepth(),
+		Window:     s.rec.windows.View(now),
+		Drift:      s.rec.driftState(now),
+		WorstQ:     s.rec.exemplars.WorstQ(),
+		Slowest:    s.rec.exemplars.Slowest(),
+		Events:     events,
+		Traces:     len(traces),
+		Sampled:    s.rec.tracer.Sampled.Load(),
+		Dropped:    s.rec.tracer.Dropped.Load(),
+		Journal:    total,
+		Evicted:    evicted,
+		TraceOn:    s.rec.tracer.Sampling(),
+		DriftOn:    s.rec.drift.Threshold() > 0,
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := statuszTmpl.Execute(w, data); err != nil {
@@ -315,12 +324,48 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // withTick wraps a read-side handler so serving it also advances the
-// windowed-telemetry ring — the pull-based design's only clock.
+// windowed-telemetry ring — the pull-based design's only clock — and lets
+// the health machine reconsider on the fresh window.
 func (s *Server) withTick(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.rec.windows.Tick(time.Now())
+		s.Tick(time.Now())
 		h.ServeHTTP(w, r)
 	})
+}
+
+// Tick advances the windowed-telemetry ring and re-evaluates serving health
+// as of now. Exported for embedders (and the overload benchmark) that serve
+// estimates in-process and therefore never hit the HTTP tick paths; HTTP
+// deployments get ticks for free from scrapes, /statusz, feedback and
+// period edges. Never called from the estimate hot path.
+func (s *Server) Tick(now time.Time) {
+	s.rec.windows.Tick(now)
+	s.evalHealth(now)
+}
+
+// evalHealth runs one (throttled) health evaluation: gather the signals —
+// windowed checkout-wait p99, live admission-queue depth, breaker state,
+// in-flight swap age — and let the tracker classify them with hysteresis.
+func (s *Server) evalHealth(now time.Time) {
+	if !s.health.due(now) {
+		return
+	}
+	sig := healthSignals{
+		queueDepth:  s.pool.queueDepth(),
+		breakerOpen: s.health.breakerOpen.Load(),
+	}
+	if start := s.health.swapStart.Load(); start != 0 {
+		sig.swapAge = now.Sub(time.Unix(0, start))
+	}
+	// The windowed view walks the whole registry; due() has already bounded
+	// how often that happens.
+	for _, st := range s.rec.windows.View(now).Stats {
+		if st.Name == mCheckoutWait {
+			sig.waitP99 = st.P99
+			break
+		}
+	}
+	s.health.eval(sig)
 }
 
 // formatMillis renders seconds as a millisecond string.

@@ -388,4 +388,3 @@ func TestTracingOffHasNoDebugData(t *testing.T) {
 		t.Errorf("tracing off but %d events exported", len(dump.TraceEvents))
 	}
 }
-

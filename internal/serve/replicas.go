@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,19 @@ import (
 	"warper/internal/ce"
 	"warper/internal/obs"
 	"warper/internal/query"
+	"warper/internal/resilience"
+)
+
+// Admission-control outcomes of a deadline-bounded checkout. Sentinels, not
+// wrapped errors: the estimate path switches on identity and never formats
+// them.
+var (
+	// errShed: the bounded admission queue is full; the request is load-shed
+	// without waiting.
+	errShed = errors.New("admission queue full")
+	// errCheckoutTimeout: the request queued but no replica freed up within
+	// its deadline budget.
+	errCheckoutTimeout = errors.New("replica checkout deadline exceeded")
 )
 
 // This file implements the replica-pool serving core. PR 1 kept estimates
@@ -46,6 +60,19 @@ type replicaPool struct {
 	// only lock a checkout may ever take, and only on the post-swap path.
 	refreshMu sync.Mutex
 	met       *Metrics
+
+	// waiters counts requests parked in checkoutDeadline's bounded admission
+	// queue; maxQueue caps it — arrival number maxQueue+1 is shed with
+	// errShed instead of queueing. The blocking checkout() path is exempt
+	// (no deadline means the caller opted out of admission control).
+	waiters  atomic.Int64
+	maxQueue int64
+	// timers recycles the slow-path deadline timers so a queued checkout
+	// does not allocate one per wait.
+	timers chan *time.Timer
+	// faults, when non-nil, injects the deterministic overload chaos plan
+	// (replica starvation, slow swaps) into this pool.
+	faults *resilience.ServeFaults
 }
 
 // newReplicaPool builds a pool of n replicas cloned from src. src must be a
@@ -55,7 +82,12 @@ func newReplicaPool(src ce.Estimator, n int, met *Metrics) *replicaPool {
 	if n < 1 {
 		n = 1
 	}
-	p := &replicaPool{free: make(chan *replica, n), met: met}
+	p := &replicaPool{
+		free:     make(chan *replica, n),
+		met:      met,
+		maxQueue: defaultShedQueue(n),
+		timers:   make(chan *time.Timer, n),
+	}
 	p.src.Store(&modelGen{model: src, gen: 1})
 	for i := 0; i < n; i++ {
 		p.free <- &replica{model: src.Clone(), gen: 1}
@@ -82,14 +114,129 @@ func (p *replicaPool) checkout() *replica {
 		sp.End()
 		p.met.checkoutQueue.Add(-1)
 	}
+	return p.ready(r)
+}
+
+// ready finishes a checkout: the chaos starvation hold (a no-op without an
+// armed fault plan) and the lazy post-swap refresh.
+func (p *replicaPool) ready(r *replica) *replica {
+	if p.faults != nil {
+		// Chaos only: hold the replica hostage like a slow forward pass
+		// would. The injector decides, count-based; this path sleeps so the
+		// starvation is real for everyone queued behind the free-list.
+		if d := p.faults.CheckoutHold(); d > 0 {
+			time.Sleep(d)
+		}
+	}
 	if cur := p.src.Load(); r.gen != cur.gen {
 		p.refresh(r) //lint:allow hotpathalloc sanctioned slow branch: one re-clone per model swap, serialized behind refreshMu
 	}
 	return r
 }
 
+// tryCheckout acquires a replica only if one is free right now — the
+// admission rule of the degraded and shedding health states, where letting
+// requests queue is exactly what the server must stop doing.
+func (p *replicaPool) tryCheckout() (*replica, bool) {
+	select {
+	case r := <-p.free:
+		p.met.checkouts.Inc()
+		return p.ready(r), true
+	default:
+		return nil, false
+	}
+}
+
+// checkoutDeadline is checkout with an admission budget: a free replica is
+// taken immediately; otherwise the request joins the bounded admission queue
+// and waits until deadline. A full queue sheds with errShed without waiting;
+// a missed deadline returns errCheckoutTimeout. A zero deadline preserves
+// the legacy contract — wait forever, no queue bound.
+func (p *replicaPool) checkoutDeadline(deadline time.Time) (*replica, error) {
+	select {
+	case r := <-p.free:
+		p.met.checkouts.Inc()
+		return p.ready(r), nil
+	default:
+	}
+	if deadline.IsZero() {
+		return p.checkout(), nil
+	}
+	if p.waiters.Add(1) > p.maxQueue {
+		p.waiters.Add(-1)
+		return nil, errShed
+	}
+	d := time.Until(deadline)
+	if d <= 0 {
+		p.waiters.Add(-1)
+		return nil, errCheckoutTimeout
+	}
+	p.met.checkoutQueue.Add(1)
+	t := p.getTimer(d)
+	sp := obs.StartSpan(p.met.checkoutWait)
+	select {
+	case r := <-p.free:
+		p.met.checkouts.Inc()
+		sp.End()
+		p.met.checkoutQueue.Add(-1)
+		p.waiters.Add(-1)
+		p.putTimer(t)
+		return p.ready(r), nil
+	case <-t.C:
+		// The wait span still records: a timed-out wait is precisely the
+		// signal the health machine's p99 watches.
+		sp.End()
+		p.met.checkoutQueue.Add(-1)
+		p.waiters.Add(-1)
+		p.putTimer(t)
+		return nil, errCheckoutTimeout
+	}
+}
+
+// getTimer takes a recycled deadline timer or allocates one on a free-list
+// miss.
+func (p *replicaPool) getTimer(d time.Duration) *time.Timer {
+	select {
+	case t := <-p.timers:
+		t.Reset(d)
+		return t
+	default:
+	}
+	return time.NewTimer(d) //lint:allow hotpathalloc timer free-list miss: at most pool-capacity timers are ever live, then every wait recycles
+}
+
+// putTimer returns a timer to the free-list, stopped and drained so the next
+// Reset starts clean. Callers that consumed the fire hand over an already
+// drained channel; Stop returning false is then benign.
+func (p *replicaPool) putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	select {
+	case p.timers <- t:
+	default:
+	}
+}
+
 // checkin returns a replica to the free-list.
 func (p *replicaPool) checkin(r *replica) { p.free <- r }
+
+// queueDepth reports how many requests sit in the bounded admission queue.
+func (p *replicaPool) queueDepth() int64 { return p.waiters.Load() }
+
+// defaultShedQueue derives the admission-queue bound from the pool size:
+// room for a healthy burst (16 requests per replica) but never less than 64,
+// so small pools still absorb scrape-sized spikes.
+func defaultShedQueue(replicas int) int64 {
+	q := int64(16 * replicas)
+	if q < 64 {
+		q = 64
+	}
+	return q
+}
 
 // refresh re-clones a stale replica from the current generation's source.
 // Refreshes are serialized because Clone and CloneInto draw from the source
@@ -116,6 +263,14 @@ func (p *replicaPool) refresh(r *replica) {
 // concurrently mutated during the clone.
 func (p *replicaPool) swap(m ce.Estimator) {
 	sp := obs.StartSpan(p.met.swapSeconds)
+	if p.faults != nil {
+		// Chaos only: a slow clone of a large model. Inside the span so the
+		// injected stall is visible on warper_model_swap_seconds, exactly
+		// where a real slow swap would show.
+		if d := p.faults.SwapHold(); d > 0 {
+			time.Sleep(d)
+		}
+	}
 	src := m.Clone()
 	cur := p.src.Load()
 	p.src.Store(&modelGen{model: src, gen: cur.gen + 1})
@@ -141,6 +296,17 @@ type batch struct {
 	outs  []float64
 	done  chan struct{}
 	pv    any // model panic, re-raised in every waiting request
+	// deadline is the tightest non-zero deadline among the batch's members,
+	// maintained under the coalescer mutex while the batch forms (the
+	// leader's b.n load after detach is the happens-before edge that lets
+	// exec read it lock-free). A shared batch lives or dies on one checkout,
+	// so the strictest member budgets it.
+	deadline time.Time
+	// out is the batch-level outcome, written by exec before close(done):
+	// degraded marks a fallback-served batch with its reason; errv carries
+	// the admission error (errShed / errCheckoutTimeout) when the batch
+	// could not be answered at all.
+	out batchOutcome
 	// gen is the serving generation that executed the batch, written by exec
 	// before close(done) so traced waiters read it race-free.
 	gen uint64
@@ -165,9 +331,21 @@ type batch struct {
 // contract the results are bit-identical to per-request Estimate calls;
 // what the window trades is a bounded amount of p50 latency for amortized
 // inference cost.
+// batchOutcome is how one coalesced batch (and hence each of its members)
+// was ultimately served: fully (zero value), from the fallback ladder
+// (degraded + reason), or not at all (err set to an admission sentinel).
+type batchOutcome struct {
+	degraded bool
+	reason   string
+	err      error
+}
+
 type coalescer struct {
 	pool *replicaPool
 	met  *Metrics
+	// fb, when non-nil, answers a batch whose replica checkout missed its
+	// deadline; nil means such batches fail with the admission error.
+	fb *fallbackLadder
 
 	window time.Duration
 	max    int
@@ -184,12 +362,13 @@ type coalescer struct {
 	freeb chan *batch
 }
 
-// newCoalescer builds a combining coalescer over pool.
-func newCoalescer(pool *replicaPool, window time.Duration, max int, met *Metrics) *coalescer {
+// newCoalescer builds a combining coalescer over pool. fb may be nil
+// (fallback disabled).
+func newCoalescer(pool *replicaPool, window time.Duration, max int, met *Metrics, fb *fallbackLadder) *coalescer {
 	if max < 1 {
 		max = 1
 	}
-	return &coalescer{pool: pool, met: met, window: window, max: max, freeb: make(chan *batch, 4)}
+	return &coalescer{pool: pool, met: met, fb: fb, window: window, max: max, freeb: make(chan *batch, 4)}
 }
 
 // newBatch takes a recycled batch off the free-list or allocates one.
@@ -201,6 +380,8 @@ func (c *coalescer) newBatch() *batch {
 	case b = <-c.freeb:
 		b.preds = b.preds[:0]
 		b.pv = nil
+		b.deadline = time.Time{}
+		b.out = batchOutcome{}
 		b.n.Store(0)
 	default:
 		b = &batch{preds: make([]query.Predicate, 0, c.max), outs: make([]float64, c.max)}
@@ -219,13 +400,16 @@ func (c *coalescer) recycle(b *batch) {
 
 // estimate joins (or opens) the forming batch and blocks for its batched
 // answer. It reports false after Close, telling the caller to fall back to
-// the direct checkout path. A non-nil trace records whether this request
-// led or followed, plus the executed batch's size and generation.
-func (c *coalescer) estimate(p query.Predicate, tr *obs.Trace) (float64, bool) {
+// the direct checkout path. A non-nil deadline tightens the batch's shared
+// admission budget; the returned batchOutcome says whether the answer came
+// from the model, the fallback ladder, or nowhere (outcome.err set). A
+// non-nil trace records whether this request led or followed, plus the
+// executed batch's size and generation.
+func (c *coalescer) estimate(p query.Predicate, tr *obs.Trace, deadline time.Time) (float64, batchOutcome, bool) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return 0, false
+		return 0, batchOutcome{}, false
 	}
 	b := c.cur
 	leader := b == nil
@@ -235,6 +419,9 @@ func (c *coalescer) estimate(p query.Predicate, tr *obs.Trace) (float64, bool) {
 	}
 	idx := len(b.preds)
 	b.preds = append(b.preds, p) //lint:allow hotpathalloc never grows: capacity is c.max and the batch detaches at max
+	if !deadline.IsZero() && (b.deadline.IsZero() || deadline.Before(b.deadline)) {
+		b.deadline = deadline
+	}
 	b.n.Store(int32(len(b.preds)))
 	if len(b.preds) >= c.max {
 		// Full: detach now so the next arrival opens a fresh batch with its
@@ -258,7 +445,7 @@ func (c *coalescer) estimate(p query.Predicate, tr *obs.Trace) (float64, bool) {
 		tr.BatchSize = int(b.n.Load())
 		tr.Generation = b.gen
 	}
-	out, pv := b.outs[idx], b.pv
+	out, bo, pv := b.outs[idx], b.out, b.pv
 	if b.refs.Add(-1) == 0 && pv == nil {
 		c.recycle(b)
 	}
@@ -268,7 +455,7 @@ func (c *coalescer) estimate(p query.Predicate, tr *obs.Trace) (float64, bool) {
 		// never recycled.
 		panic(pv) //lint:allow panicfree re-raising a model panic for the per-request recover middleware
 	}
-	return out, true
+	return out, bo, true
 }
 
 // lead is the batch leader's accumulation wait: while the batch is still
@@ -324,7 +511,23 @@ func (c *coalescer) exec(b *batch, tr *obs.Trace) {
 	}
 	b.outs = b.outs[:n]
 	tr.EnterStage("checkout")
-	r := c.pool.checkout()
+	r, err := c.pool.checkoutDeadline(b.deadline)
+	if err != nil {
+		// The whole batch missed its budget together: answer every member
+		// from the fallback ladder, or fail them all with the admission
+		// sentinel when the queue was full (shedding beats serving stale
+		// answers to a queue that is still growing) or fallback is off.
+		if c.fb == nil || err == errShed {
+			b.out = batchOutcome{err: err}
+			return
+		}
+		tr.EnterStage("fallback")
+		b.out = batchOutcome{degraded: true, reason: reasonTimeout}
+		for i := range b.preds {
+			b.outs[i] = c.fb.estimate(b.preds[i])
+		}
+		return
+	}
 	defer c.pool.checkin(r)
 	b.gen = r.gen
 	tr.EnterStage("infer")

@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
@@ -38,6 +39,7 @@ import (
 	"warper/internal/metrics"
 	"warper/internal/obs"
 	"warper/internal/query"
+	"warper/internal/resilience"
 	"warper/internal/warper"
 )
 
@@ -81,6 +83,24 @@ type Options struct {
 	// gauge) when the windowed geometric mean q-error reaches this value.
 	// 0 disables alarming; the windowed GMQ is still tracked for /statusz.
 	DriftAlarmGMQ float64
+	// EstimateTimeout is the default per-request deadline budget for
+	// /estimate: how long a request may queue for a replica before the
+	// server answers from the fallback ladder (or sheds, when fallback is
+	// off). Requests can override it with the X-Warper-Deadline-Ms header.
+	// 0 preserves the legacy contract: wait forever, no admission bound.
+	EstimateTimeout time.Duration
+	// ShedQueue bounds the admission queue of deadline-carrying estimates;
+	// arrival ShedQueue+1 is shed immediately with 429 + Retry-After. 0
+	// defaults to max(64, 16×Replicas).
+	ShedQueue int
+	// NoFallback disables the estimator fallback ladder: budget misses and
+	// degraded-state requests shed instead of answering from histograms.
+	NoFallback bool
+	// ServeFaults, when non-nil, injects the deterministic overload chaos
+	// plan (replica starvation, slow swaps) into the serving pool.
+	ServeFaults *resilience.ServeFaults
+	// Health tunes the serving health state machine; zero fields default.
+	Health HealthConfig
 }
 
 // Server wires an Adapter behind an http.Handler. All handlers are safe for
@@ -115,6 +135,15 @@ type Server struct {
 	logger        *slog.Logger
 	pprof         bool
 	periodTimeout time.Duration
+
+	// fb is the estimator fallback ladder (nil with Options.NoFallback):
+	// the tier estimates drop to when the model cannot be reached in budget.
+	fb *fallbackLadder
+	// health is the serving health state machine; the estimate path reads
+	// its state with one atomic load, tick paths evaluate it.
+	health *healthTracker
+	// estimateTimeout is the default /estimate deadline budget (0 = none).
+	estimateTimeout time.Duration
 }
 
 // statusSnapshot holds the /status fields refreshed under mu after every
@@ -163,12 +192,27 @@ func NewWithOptions(a *warper.Adapter, sch *query.Schema, opts Options) *Server 
 	// replica refreshes advance the source's RNG, and the adapter's seeded
 	// state must stay traffic-independent.
 	s.pool = newReplicaPool(a.ModelSnapshot(), n, s.met)
+	if opts.ShedQueue > 0 {
+		s.pool.maxQueue = int64(opts.ShedQueue)
+	}
+	s.pool.faults = opts.ServeFaults
+	s.estimateTimeout = opts.EstimateTimeout
+	if !opts.NoFallback {
+		// Build the fallback ladder up front: the histogram tier from the
+		// adapter's live table, the scale prior from the initial model.
+		// Construction is single-threaded, so probing the adapter's model
+		// here cannot race a replica refresh.
+		s.fb = newFallbackLadder()
+		s.fb.refresh(a.Table(), a.M, sch)
+	}
+	s.health = newHealthTracker(opts.Health.withDefaults(s.pool.maxQueue), s.met, s.rec.journal)
+	s.met.health = s.health
 	if opts.BatchWindow > 0 {
 		bm := opts.BatchMax
 		if bm <= 0 {
 			bm = 64
 		}
-		s.coal = newCoalescer(s.pool, opts.BatchWindow, bm, s.met)
+		s.coal = newCoalescer(s.pool, opts.BatchWindow, bm, s.met, s.fb)
 	}
 	s.refreshStatusLocked()
 	return s
@@ -197,13 +241,22 @@ func (s *Server) Estimate(p query.Predicate) float64 {
 // nothing allocates.
 func (s *Server) estimate(p query.Predicate, tr *obs.Trace) float64 {
 	if s.coal != nil {
-		if card, ok := s.coal.estimate(p, tr); ok {
+		// Zero deadline: the batch outcome can only be the zero value.
+		if card, _, ok := s.coal.estimate(p, tr, time.Time{}); ok {
 			return card
 		}
 		// Coalescer closed: fall through to the direct checkout path.
 	}
 	tr.EnterStage("checkout")
 	r := s.pool.checkout()
+	return s.runOn(r, p, tr)
+}
+
+// runOn answers one predicate on a checked-out replica. The deferred checkin
+// is the replica-leak guard: even a panicking model hands its replica back
+// to the free list (forward scratch is overwritten per call, so the replica
+// stays usable) before the panic reaches the recover middleware.
+func (s *Server) runOn(r *replica, p query.Predicate, tr *obs.Trace) float64 {
 	defer s.pool.checkin(r)
 	if tr != nil {
 		tr.BatchSize = 1
@@ -211,6 +264,116 @@ func (s *Server) estimate(p query.Predicate, tr *obs.Trace) float64 {
 	}
 	tr.EnterStage("infer")
 	return r.model.Estimate(p)
+}
+
+// Fallback and shed reasons, exported on the estimate_fallback_total and
+// estimate_shed_total counters and in degraded response bodies.
+const (
+	reasonTimeout   = "timeout"    // checkout missed the deadline budget
+	reasonBreaker   = "breaker"    // annotation breaker open, server degraded
+	reasonDegraded  = "degraded"   // degraded health, no replica free
+	reasonQueueFull = "queue_full" // bounded admission queue overflowed
+	reasonShedding  = "shedding"   // shedding health, no replica free
+	reasonDeadline  = "deadline"   // budget missed with fallback disabled
+)
+
+// EstimateOutcome reports how an estimate was (or was not) served: fully
+// (zero value), from the fallback ladder (Degraded), or refused (Shed).
+type EstimateOutcome struct {
+	Degraded bool
+	Shed     bool
+	Reason   string
+}
+
+// EstimateBudget is Estimate under admission control: the deadline bounds
+// how long the request may queue for a replica, and the outcome says whether
+// the answer is the model's, the fallback ladder's, or a shed. A zero
+// deadline waits forever (in healthy state). Safe for concurrent use.
+func (s *Server) EstimateBudget(p query.Predicate, deadline time.Time) (float64, EstimateOutcome) {
+	return s.estimateBudget(p, nil, deadline)
+}
+
+// estimateBudget is the overload-safe estimate path: the health state picks
+// the admission rule, the deadline budgets the replica wait, and the
+// fallback ladder (when enabled) keeps budget misses answerable.
+func (s *Server) estimateBudget(p query.Predicate, tr *obs.Trace, deadline time.Time) (float64, EstimateOutcome) {
+	switch s.health.current() {
+	case Shedding:
+		// Admit only what a free replica can absorb right now; everything
+		// else is refused so the queue drains instead of growing.
+		tr.EnterStage("checkout")
+		if r, ok := s.pool.tryCheckout(); ok {
+			return s.runOn(r, p, tr), EstimateOutcome{}
+		}
+		s.met.shedShedding.Inc()
+		return 0, EstimateOutcome{Shed: true, Reason: reasonShedding}
+	case Degraded:
+		// Serve from the model when it is immediately reachable, from the
+		// fallback ladder otherwise — degraded mode never queues.
+		tr.EnterStage("checkout")
+		if r, ok := s.pool.tryCheckout(); ok {
+			return s.runOn(r, p, tr), EstimateOutcome{}
+		}
+		if s.fb == nil {
+			s.met.shedShedding.Inc()
+			return 0, EstimateOutcome{Shed: true, Reason: reasonShedding}
+		}
+		reason := reasonDegraded
+		if s.health.breakerOpen.Load() {
+			reason = reasonBreaker
+			s.met.fbBreaker.Inc()
+		} else {
+			s.met.fbDegraded.Inc()
+		}
+		tr.EnterStage("fallback")
+		return s.fb.estimate(p), EstimateOutcome{Degraded: true, Reason: reason}
+	}
+	// Healthy: the normal coalesced/queued path, budgeted by the deadline.
+	if s.coal != nil {
+		if card, bo, ok := s.coal.estimate(p, tr, deadline); ok {
+			return s.resolveBatch(card, bo)
+		}
+	}
+	tr.EnterStage("checkout")
+	r, err := s.pool.checkoutDeadline(deadline)
+	if err == nil {
+		return s.runOn(r, p, tr), EstimateOutcome{}
+	}
+	return s.resolveMiss(p, tr, err)
+}
+
+// resolveMiss turns a direct-path admission error into a fallback answer or
+// a shed outcome.
+func (s *Server) resolveMiss(p query.Predicate, tr *obs.Trace, err error) (float64, EstimateOutcome) {
+	if err == errShed {
+		s.met.shedQueueFull.Inc()
+		return 0, EstimateOutcome{Shed: true, Reason: reasonQueueFull}
+	}
+	// errCheckoutTimeout: answer from the ladder, or shed when it is off.
+	if s.fb != nil {
+		tr.EnterStage("fallback")
+		s.met.fbTimeout.Inc()
+		return s.fb.estimate(p), EstimateOutcome{Degraded: true, Reason: reasonTimeout}
+	}
+	s.met.shedDeadline.Inc()
+	return 0, EstimateOutcome{Shed: true, Reason: reasonDeadline}
+}
+
+// resolveBatch maps a coalesced batch's outcome onto this member's outcome,
+// charging the per-request fallback/shed counters.
+func (s *Server) resolveBatch(card float64, bo batchOutcome) (float64, EstimateOutcome) {
+	switch {
+	case bo.err == errShed:
+		s.met.shedQueueFull.Inc()
+		return 0, EstimateOutcome{Shed: true, Reason: reasonQueueFull}
+	case bo.err != nil:
+		s.met.shedDeadline.Inc()
+		return 0, EstimateOutcome{Shed: true, Reason: reasonDeadline}
+	case bo.degraded:
+		s.met.fbTimeout.Inc()
+		return card, EstimateOutcome{Degraded: true, Reason: bo.reason}
+	}
+	return card, EstimateOutcome{}
 }
 
 // Metrics exposes the server's metric set (for tests and embedding).
@@ -327,6 +490,31 @@ type estimateRequest struct {
 
 type estimateResponse struct {
 	Cardinality float64 `json:"cardinality"`
+	// Degraded marks a fallback-ladder answer (with the reason it was
+	// taken); omitted on full-model answers, so healthy responses are
+	// byte-identical to the pre-admission-control wire format.
+	Degraded bool   `json:"degraded,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// deadlineHeader lets one request override the server's default estimate
+// budget, in integer milliseconds.
+const deadlineHeader = "X-Warper-Deadline-Ms"
+
+// estimateDeadline resolves one request's deadline budget: the header
+// override when present and positive, else the -estimate-timeout default;
+// zero means unbudgeted.
+func (s *Server) estimateDeadline(r *http.Request) time.Time {
+	d := s.estimateTimeout
+	if h := r.Header.Get(deadlineHeader); h != "" {
+		if ms, err := strconv.Atoi(h); err == nil && ms > 0 {
+			d = time.Duration(ms) * time.Millisecond
+		}
+	}
+	if d <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(d)
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -334,11 +522,12 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// every stage call below is a nil-receiver no-op then.
 	tr := s.rec.tracer.Acquire("estimate")
 	tr.EnterStage("decode")
+	r.Body = http.MaxBytesReader(w, r.Body, maxPeriodBody) //lint:allow hotpathalloc HTTP decode boundary; one body-cap wrapper per request, same codec layer as the decoder below
 	var req estimateRequest
 	//lint:allow hotpathalloc HTTP decode boundary; the zero-alloc envelope covers the estimate core, not the JSON codec
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.rec.tracer.Finish(tr)
-		httpError(w, http.StatusBadRequest, "decode: %v", err)
+		httpError(w, decodeErrorCode(err), "decode: %v", err)
 		return
 	}
 	p, err := s.decodePredicate(req.predicateJSON)
@@ -348,11 +537,20 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The estimate runs on a checked-out replica (or through the batching
-	// coalescer) — no serving mutex anywhere on this path. The checkout-wait
-	// histogram shows how long requests queue when every replica is busy.
-	card := s.estimate(p, tr)
+	// coalescer) — no serving mutex anywhere on this path. The health state
+	// decides the admission rule; the deadline budgets the replica wait.
+	card, out := s.estimateBudget(p, tr, s.estimateDeadline(r))
+	if out.Shed {
+		s.rec.tracer.Finish(tr)
+		// A shed is a promise the server will recover if clients back off;
+		// Retry-After makes the back-off explicit.
+		w.Header().Set("Retry-After", "1")
+		//lint:allow hotpathalloc shed responses are off the steady path by definition; the reason string boxes once per 429
+		httpError(w, http.StatusTooManyRequests, "overloaded: %s", out.Reason)
+		return
+	}
 	tr.EnterStage("respond")
-	s.writeJSON(w, estimateResponse{Cardinality: card}) //lint:allow hotpathalloc HTTP encode boundary; one response-struct box per request
+	s.writeJSON(w, estimateResponse{Cardinality: card, Degraded: out.Degraded, Reason: out.Reason}) //lint:allow hotpathalloc HTTP encode boundary; one response-struct box per request
 	//lint:allow hotpathalloc sampled-trace epilogue: the string render and exemplar offer never run on untraced requests
 	if tr != nil {
 		// Offer the request as a slowest-exemplar candidate before the ring
@@ -381,9 +579,12 @@ type feedbackResponse struct {
 }
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	// Same body cap as /period and /estimate: feedback bodies beyond the cap
+	// answer 413 instead of being decoded unboundedly.
+	r.Body = http.MaxBytesReader(w, r.Body, maxPeriodBody)
 	var req feedbackRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decode: %v", err)
+		httpError(w, decodeErrorCode(err), "decode: %v", err)
 		return
 	}
 	p, err := s.decodePredicate(req.predicateJSON)
@@ -420,6 +621,9 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	n := len(s.buffer)
 	s.mu.Unlock()
 	s.met.buffered.Set(float64(n))
+	// Feedback is a tick path: let the health machine reconsider with the
+	// window the drift watch just advanced.
+	s.evalHealth(time.Now())
 	s.writeJSON(w, feedbackResponse{Buffered: n})
 }
 
@@ -484,6 +688,16 @@ func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.periodMu.Unlock()
+
+	// Mark the swap in flight for the health machine: a period stuck past
+	// Health.MaxSwapAge degrades the server instead of silently serving an
+	// ever-staler generation. Period edges are also tick paths, so health
+	// reconsiders at both ends.
+	s.health.swapStart.Store(time.Now().UnixNano())
+	defer func() {
+		s.health.swapStart.Store(0)
+		s.Tick(time.Now())
+	}()
 
 	// Period requests ride the same sampler as estimates, so a journal
 	// event can point at the trace that carried its period.
@@ -557,6 +771,14 @@ func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
 	// re-clone from the new generation's private source lazily, at their
 	// next checkout.
 	s.pool.swap(s.adapter.M)
+	if s.fb != nil {
+		// Refresh the fallback ladder against the post-period world: the
+		// histogram tier re-reads the (possibly drifted) table, the scale
+		// prior re-probes the just-swapped model. Under periodMu, so neither
+		// is mid-mutation; the pool serves its own clone, so probing
+		// adapter.M here races nothing.
+		s.fb.refresh(s.adapter.Table(), s.adapter.M, s.sch)
+	}
 	s.rec.journal.Append("model_swap", traceID, map[string]any{
 		"generation": s.pool.generation(),
 		"model":      s.adapter.M.Name(),
@@ -649,8 +871,28 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	http.Error(w, fmt.Sprintf(format, args...), code)
 }
 
+// decodeErrorCode maps a body-decode failure to its status: 413 when the
+// MaxBytesReader cap tripped, 400 otherwise.
+//
+//lint:allow hotpathalloc malformed-request rejection; errors.As only runs once a request has already failed
+func decodeErrorCode(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 // Estimator returns the serving generation's source model, for tests.
 // Treat it as read-only: it backs every future replica refresh.
 func (s *Server) Estimator() ce.Estimator {
 	return s.pool.current()
 }
+
+// HealthState returns the current serving health state.
+func (s *Server) HealthState() HealthState { return s.health.current() }
+
+// QueueDepth returns how many estimates currently sit in the bounded
+// admission queue, for overload benchmarks and soak tests asserting the
+// queue stays bounded.
+func (s *Server) QueueDepth() int64 { return s.pool.queueDepth() }

@@ -8,6 +8,7 @@ import (
 
 	"warper/internal/annotator"
 	"warper/internal/ce"
+	"warper/internal/dataset"
 	"warper/internal/drift"
 	"warper/internal/pool"
 	"warper/internal/query"
@@ -178,6 +179,12 @@ type Report struct {
 func (a *Adapter) Period(arrivals []Arrival) (Report, error) {
 	return a.PeriodCtx(context.Background(), arrivals)
 }
+
+// Table returns the live table behind the adapter's annotator. Serving
+// layers use it to build data-driven fallback estimators (equi-depth
+// histograms) that stay answerable when the learned model cannot be
+// reached; treat it as read-owned by the annotation pipeline.
+func (a *Adapter) Table() *dataset.Table { return a.ann.Table() }
 
 // ModelSnapshot returns a private deep copy of the current model M, the
 // swap seam serving layers build their replica pools from: the snapshot

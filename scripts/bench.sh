@@ -9,6 +9,10 @@
 #                           replica pool, and the micro-batching coalescer,
 #                           every answer checked byte-identical
 #                           → BENCH_PR5.json
+#   bench.sh overload [...] overload acceptance: open-loop load at 2x
+#                           measured saturation through admission control,
+#                           the health machine and the fallback ladder
+#                           → BENCH_PR8.json
 #
 # With no suite argument, micro runs (the historical default). Remaining
 # arguments pass through: -quick for the CI smoke variant, -out for the
@@ -25,5 +29,10 @@ serve)
 	mode=-servebench
 	shift
 	;;
+overload)
+	mode="-servebench -overload"
+	shift
+	;;
 esac
-exec go run ./cmd/warperbench "$mode" "$@"
+# shellcheck disable=SC2086 # mode is intentionally word-split (flag list)
+exec go run ./cmd/warperbench $mode "$@"

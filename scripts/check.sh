@@ -25,8 +25,10 @@ go test ./...
 echo "== go test -race -short ./..."
 go test -race -short ./...
 
-echo "== chaos (WARPER_CHAOS=1 fault-injected soak)"
-WARPER_CHAOS=1 go test -race -count=1 -run 'Chaos|Faulty|Degraded' \
+echo "== chaos (WARPER_CHAOS=1 fault-injected + overload soak)"
+mkdir -p artifacts
+WARPER_CHAOS=1 WARPER_EVENTS_OUT="$(pwd)/artifacts/EVENTS_chaos.json" \
+	go test -race -count=1 -run 'Chaos|Faulty|Degraded|Overload' \
 	./internal/serve ./internal/resilience ./internal/warper
 
 echo "OK"
