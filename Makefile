@@ -45,9 +45,12 @@ chaos:
 # one full adaptation period) → BENCH_PR4.json, then the cross-PR trajectory
 # table over every BENCH_*.json in the repo. bench-serve: concurrent
 # /estimate serving throughput (single-lock baseline vs replica pool vs
-# coalescer vs tracer envelope, byte-identity checked) → BENCH_PR5.json,
-# plus an adaptation-journal artifact. bench-smoke runs the quick variant
-# of both: it proves the harnesses run, not the numbers.
+# coalescer vs tracer envelope, byte-identity checked) → BENCH_PR5.json plus
+# an adaptation-journal artifact, then the estimate-cache benchmark —
+# Zipf(1.1) template workload, cached vs uncached, a 1-CPU pass and a
+# GOMAXPROCS=2 pass, byte-identity held across a mid-run model swap →
+# BENCH_PR9.json. bench-smoke runs the quick variant of every suite: it
+# proves the harnesses run, not the numbers.
 bench:
 	./scripts/bench.sh micro -out BENCH_PR4.json
 	./scripts/bench_trajectory.sh
@@ -55,6 +58,7 @@ bench:
 bench-serve:
 	@mkdir -p $(CURDIR)/artifacts
 	WARPER_EVENTS_OUT=$(CURDIR)/artifacts/EVENTS_servebench.json ./scripts/bench.sh serve -out BENCH_PR5.json
+	./scripts/bench.sh zipf -out BENCH_PR9.json
 	./scripts/bench_trajectory.sh
 
 # Overload acceptance run: open-loop load at 2x measured saturation through
@@ -69,6 +73,7 @@ bench-smoke:
 	./scripts/bench.sh micro -quick -out /tmp/bench-smoke.json
 	./scripts/bench.sh serve -quick -out /tmp/bench-serve-smoke.json
 	./scripts/bench.sh overload -quick -out /tmp/bench-overload-smoke.json
-	./scripts/bench_trajectory.sh /tmp/bench-smoke.json /tmp/bench-serve-smoke.json
+	./scripts/bench.sh zipf -quick -out /tmp/bench-zipf-smoke.json
+	./scripts/bench_trajectory.sh /tmp/bench-smoke.json /tmp/bench-serve-smoke.json /tmp/bench-zipf-smoke.json
 
 check: build vet lint test race chaos

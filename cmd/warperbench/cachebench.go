@@ -1,0 +1,361 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"warper/internal/annotator"
+	"warper/internal/ce"
+	"warper/internal/dataset"
+	"warper/internal/query"
+	"warper/internal/serve"
+	"warper/internal/warper"
+	"warper/internal/workload"
+)
+
+// The -servebench -zipf mode measures the drift-aware estimate cache: a
+// Zipf-skewed predicate workload (repeated templates, the shape a plan cache
+// or a dashboard's canned queries produces) against the cached and uncached
+// replica-pool server, plus hit/miss/invalidate micro-benchmarks. Every
+// served answer — including across a mid-run POST /period model swap — is
+// checked byte-identical against a reference clone, and the cache-hit path
+// is hard-asserted allocation-free. Results land in BENCH_PR9.json.
+
+// zipfTemplates is the predicate template pool the Zipf distribution draws
+// from; the cache's default capacity comfortably exceeds it, so the steady-
+// state miss rate is the re-warm cost after invalidations, not capacity.
+const zipfTemplates = 512
+
+// runZipfBench executes the cache benchmark and writes the report to out.
+func runZipfBench(out string, quick bool, zipfS float64) error {
+	if zipfS <= 1 {
+		return fmt.Errorf("zipf exponent must be > 1, got %v", zipfS)
+	}
+	nTrain, total, templates := 500, 100000, zipfTemplates
+	hotIters := 2000000
+	if quick {
+		nTrain, total, templates, hotIters = 200, 5000, 128, 200000
+	}
+	rng := rand.New(rand.NewSource(17))
+	tbl := dataset.PRSA(3000, rng)
+	sch := query.SchemaOf(tbl)
+	ann := annotator.New(tbl)
+	ctx := context.Background()
+	gTrain := workload.New("w1", tbl, sch, workload.Options{MaxConstrained: 2})
+	gServe := workload.New("w4", tbl, sch, workload.Options{MaxConstrained: 2})
+	train, err := ann.AnnotateAll(ctx, workload.Generate(gTrain, nTrain, rng))
+	if err != nil {
+		return err
+	}
+	lm := ce.NewLM(ce.LMMLP, sch, 31)
+	if err := lm.Train(train); err != nil {
+		return err
+	}
+	ad, err := warper.New(warper.DefaultConfig(), lm, sch, ann, train)
+	if err != nil {
+		return err
+	}
+
+	tpl := make([]query.Predicate, templates)
+	want := make([]float64, templates)
+	ref := lm.Clone()
+	for i := range tpl {
+		tpl[i] = gServe.Gen(rng).Normalize(sch)
+		want[i] = ref.Estimate(tpl[i])
+	}
+
+	rep := &microReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Quick:         quick,
+	}
+
+	// ---- Micro-benchmarks: hit, miss, invalidate -------------------------
+
+	cached := serve.NewWithOptions(ad, sch, serve.Options{
+		Replicas:      serveClients,
+		EstimateCache: true,
+	})
+	defer cached.Close()
+	hot := tpl[0]
+	cached.Estimate(hot) // populate: everything after this is a hit
+
+	// The acceptance gate of the whole design: a cache hit must allocate
+	// exactly nothing — the free-listed key scratch and the lock-free probe
+	// leave no garbage behind.
+	aHit := testing.AllocsPerRun(2048, func() { cached.Estimate(hot) })
+	if aHit != 0 {
+		return fmt.Errorf("cache-hit path allocates: %.2f allocs/op (must be 0)", aHit)
+	}
+	var sink float64
+	start := time.Now()
+	for i := 0; i < hotIters; i++ {
+		sink += cached.Estimate(hot)
+	}
+	hotNs := float64(time.Since(start).Nanoseconds()) / float64(hotIters)
+	_ = sink
+	fmt.Printf("%-28s %10.2f ns/op  %.0f allocs/op\n", "serve_cache_hit", hotNs, aHit)
+	if !quick && hotNs > 200 {
+		return fmt.Errorf("cache hit = %.0f ns/op, acceptance target is < 200 ns", hotNs)
+	}
+
+	// Miss micro: a deliberately tiny cache (one shard, one probe group)
+	// with a rotating predicate pool far beyond it — every estimate probes,
+	// misses, runs the model and inserts over a live entry.
+	tiny := serve.NewWithOptions(ad, sch, serve.Options{
+		Replicas:      serveClients,
+		EstimateCache: true,
+		CacheShards:   1,
+		CacheEntries:  4,
+	})
+	defer tiny.Close()
+	missIters := hotIters / 20
+	start = time.Now()
+	for i := 0; i < missIters; i++ {
+		tiny.Estimate(tpl[i%templates])
+	}
+	missNs := float64(time.Since(start).Nanoseconds()) / float64(missIters)
+	aMiss := testing.AllocsPerRun(512, func() { tiny.Estimate(tpl[0]) })
+	fmt.Printf("%-28s %10.2f ns/op  %.0f allocs/op\n", "serve_cache_miss", missNs, aMiss)
+
+	// Invalidate micro: a wholesale flush plus the re-warming estimate. The
+	// flush itself is one atomic add; the journal event it appends is the
+	// deliberate (allocating) audit trail.
+	invIters := missIters
+	start = time.Now()
+	for i := 0; i < invIters; i++ {
+		cached.InvalidateEstimateCache()
+		cached.Estimate(hot)
+	}
+	invNs := float64(time.Since(start).Nanoseconds()) / float64(invIters)
+	fmt.Printf("%-28s %10.2f ns/op\n", "serve_cache_invalidate", invNs)
+
+	rep.Benchmarks = append(rep.Benchmarks,
+		microResult{Name: "serve_cache_hit", Iterations: hotIters, NsPerOp: hotNs,
+			AllocsPerOp: int64(aHit + 0.5), SamplesPerSec: 1e9 / hotNs},
+		microResult{Name: "serve_cache_miss", Iterations: missIters, NsPerOp: missNs,
+			AllocsPerOp: int64(aMiss + 0.5), SamplesPerSec: 1e9 / missNs},
+		microResult{Name: "serve_cache_invalidate", Iterations: invIters, NsPerOp: invNs,
+			SamplesPerSec: 1e9 / invNs},
+	)
+
+	// ---- Throughput: cached vs uncached, 1 CPU and GOMAXPROCS=2 ----------
+
+	// measure drives total estimates through est from serveClients
+	// goroutines, byte-identity checked, returning wall-clock ns/op.
+	measure := func(name string, est func(query.Predicate) float64) (float64, error) {
+		var next, bad atomic.Int64
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for w := 0; w < serveClients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					n := next.Add(1) - 1
+					if n >= int64(total) {
+						return
+					}
+					i := int(n) % templates
+					if got := est(tpl[i]); got != want[i] {
+						bad.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(t0)
+		if bad.Load() > 0 {
+			return 0, fmt.Errorf("%s: %d of %d estimates diverged from the reference", name, bad.Load(), total)
+		}
+		return float64(elapsed.Nanoseconds()) / float64(total), nil
+	}
+
+	uncached := serve.NewWithOptions(ad, sch, serve.Options{Replicas: serveClients})
+	defer uncached.Close()
+	configs := []struct {
+		name string
+		est  func(query.Predicate) float64
+	}{
+		{"serve_estimate_replicas", uncached.Estimate},
+		{"serve_estimate_cached", cached.Estimate},
+	}
+	record := func(suffix string) error {
+		best := make(map[string]float64, len(configs))
+		for pass := 0; pass < servePasses; pass++ {
+			for _, cf := range configs {
+				ns, err := measure(cf.name+suffix, cf.est)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("pass %d  %-28s %10.0f ns/op\n", pass+1, cf.name+suffix, ns)
+				if b, ok := best[cf.name]; !ok || ns < b {
+					best[cf.name] = ns
+				}
+			}
+		}
+		for _, cf := range configs {
+			ns := best[cf.name]
+			rep.Benchmarks = append(rep.Benchmarks, microResult{
+				Name:          cf.name + suffix,
+				Iterations:    total * servePasses,
+				NsPerOp:       ns,
+				SamplesPerSec: 1e9 / ns,
+			})
+			fmt.Printf("%-28s %10.0f ns/op %12.0f est/s  (best of %d, %d clients, byte-identical)\n",
+				cf.name+suffix, ns, 1e9/ns, servePasses, serveClients)
+		}
+		return nil
+	}
+	if err := record(""); err != nil {
+		return err
+	}
+	// The multi-core pass: the cache's lock-free lookup should scale where
+	// the single free-list channel contends. GOMAXPROCS is restored before
+	// anything else runs.
+	prev := runtime.GOMAXPROCS(2)
+	errMP := record("_mp")
+	runtime.GOMAXPROCS(prev)
+	if errMP != nil {
+		return errMP
+	}
+
+	ratio := func(name, num, den string) {
+		var nv, dv float64
+		for _, b := range rep.Benchmarks {
+			if b.Name == num {
+				nv = b.NsPerOp
+			}
+			if b.Name == den {
+				dv = b.NsPerOp
+			}
+		}
+		if nv > 0 && dv > 0 {
+			rep.Ratios = append(rep.Ratios, microRatio{Name: name, Numerator: num, Denominator: den, Speedup: nv / dv})
+			fmt.Printf("%-28s %.2fx\n", name, nv/dv)
+		}
+	}
+
+	// ---- Zipf workload with a mid-run model swap -------------------------
+
+	// A fresh server so the hit/miss counters start at zero for this phase.
+	zs := serve.NewWithOptions(ad, sch, serve.Options{
+		Replicas:      serveClients,
+		EstimateCache: true,
+	})
+	defer zs.Close()
+	hits := zs.Metrics().Reg.Counter("estimate_cache_hits_total")
+	misses := zs.Metrics().Reg.Counter("estimate_cache_misses_total")
+
+	// One shared Zipf index stream (rand.Zipf is not goroutine-safe), drawn
+	// up front and consumed through an atomic cursor, so the measured loop
+	// does no RNG work and every run sees the same skew.
+	zrng := rand.New(rand.NewSource(23))
+	zf := rand.NewZipf(zrng, zipfS, 1, uint64(templates-1))
+	idx := make([]int32, total)
+	for i := range idx {
+		idx[i] = int32(zf.Uint64())
+	}
+	zwant := make([]float64, templates)
+	copy(zwant, want)
+
+	runPhase := func(lo, hi int) (time.Duration, error) {
+		var cur, bad atomic.Int64
+		cur.Store(int64(lo))
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for w := 0; w < serveClients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					n := cur.Add(1) - 1
+					if n >= int64(hi) {
+						return
+					}
+					i := idx[n]
+					if got := zs.Estimate(tpl[i]); got != zwant[i] {
+						bad.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		el := time.Since(t0)
+		if bad.Load() > 0 {
+			return 0, fmt.Errorf("zipf: %d estimates diverged from the reference", bad.Load())
+		}
+		return el, nil
+	}
+
+	elapsedA, err := runPhase(0, total/2)
+	if err != nil {
+		return err
+	}
+	// Mid-run model swap: one empty-buffer adaptation period bumps the
+	// serving generation, wholesale-invalidating the cache. The reference
+	// answers are recomputed from the post-swap source, so phase B certifies
+	// the cache never serves a pre-swap cardinality.
+	rw := httptest.NewRecorder()
+	zs.Handler().ServeHTTP(rw, httptest.NewRequest("POST", "/period", nil))
+	if rw.Code != 200 {
+		return fmt.Errorf("zipf mid-run swap: POST /period = %d", rw.Code)
+	}
+	post := zs.Estimator().Clone()
+	for i := range tpl {
+		zwant[i] = post.Estimate(tpl[i])
+	}
+	elapsedB, err := runPhase(total/2, total)
+	if err != nil {
+		return err
+	}
+
+	h, m := hits.Value(), misses.Value()
+	hitRate := float64(h) / float64(h+m)
+	zNs := float64((elapsedA + elapsedB).Nanoseconds()) / float64(total)
+	fmt.Printf("%-28s %10.0f ns/op  hit rate %.4f (%d hits / %d misses, swap mid-run)\n",
+		"serve_zipf_cached", zNs, hitRate, h, m)
+	if hitRate < 0.8 {
+		return fmt.Errorf("zipf(%.2f) hit rate = %.4f, acceptance target is >= 0.80", zipfS, hitRate)
+	}
+	rep.Benchmarks = append(rep.Benchmarks, microResult{
+		Name:          "serve_zipf_cached",
+		Iterations:    total,
+		NsPerOp:       zNs,
+		SamplesPerSec: 1e9 / zNs,
+	})
+	rep.Cache = &cacheReport{
+		ZipfExponent: zipfS,
+		Templates:    templates,
+		Requests:     total,
+		HitRate:      hitRate,
+		HotHitNs:     hotNs,
+		SwapChecked:  true,
+	}
+
+	ratio("serve_cache_speedup", "serve_estimate_replicas", "serve_estimate_cached")
+	ratio("serve_cache_speedup_mp", "serve_estimate_replicas_mp", "serve_estimate_cached_mp")
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}

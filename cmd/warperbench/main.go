@@ -31,8 +31,9 @@ func main() {
 		micro  = flag.Bool("micro", false, "run the compute-core micro-benchmarks and write JSON")
 		sbench = flag.Bool("servebench", false, "run the concurrent /estimate serving benchmark and write JSON")
 		over   = flag.Bool("overload", false, "with -servebench: drive open-loop load past saturation and record shed/fallback behavior")
+		zipf   = flag.Float64("zipf", 0, "with -servebench: run the estimate-cache benchmark under a Zipf-skewed template workload with this exponent (> 1)")
 		traj   = flag.Bool("trajectory", false, "merge BENCH_*.json reports (or the given paths) into one trajectory table")
-		out    = flag.String("out", "", "output path (default BENCH_PR4.json for -micro, BENCH_PR5.json for -servebench, BENCH_PR8.json for -servebench -overload)")
+		out    = flag.String("out", "", "output path (default BENCH_PR4.json for -micro, BENCH_PR5.json for -servebench, BENCH_PR8.json for -overload, BENCH_PR9.json for -zipf)")
 	)
 	flag.Parse()
 
@@ -57,6 +58,16 @@ func main() {
 	}
 	if *sbench {
 		path := *out
+		if *zipf > 0 {
+			if path == "" {
+				path = "BENCH_PR9.json"
+			}
+			if err := runZipfBench(path, *quick, *zipf); err != nil {
+				fmt.Fprintln(os.Stderr, "zipf:", err)
+				os.Exit(1)
+			}
+			return
+		}
 		if *over {
 			if path == "" {
 				path = "BENCH_PR8.json"

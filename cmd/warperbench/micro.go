@@ -60,6 +60,23 @@ type microReport struct {
 	// Overload records the -servebench -overload run (BENCH_PR8.json):
 	// shed/fallback behavior at 2x saturation. Nil for every other mode.
 	Overload *overloadReport `json:"overload,omitempty"`
+	// Cache records the -servebench -zipf run (BENCH_PR9.json): estimate-
+	// cache hit rate and hot-hit latency under a Zipf-skewed predicate
+	// workload, byte-identity checked across a mid-run model swap. Nil for
+	// every other mode.
+	Cache *cacheReport `json:"cache,omitempty"`
+}
+
+// cacheReport is the estimate-cache section of the -zipf report.
+type cacheReport struct {
+	ZipfExponent float64 `json:"zipf_exponent"`
+	Templates    int     `json:"templates"`
+	Requests     int     `json:"requests"`
+	HitRate      float64 `json:"hit_rate"`
+	HotHitNs     float64 `json:"hot_hit_ns"`
+	// SwapChecked records that a POST /period model swap ran mid-workload
+	// and every post-swap answer matched the post-swap reference clone.
+	SwapChecked bool `json:"swap_checked"`
 }
 
 // runMicro executes the micro-benchmark suite and writes the report to out.

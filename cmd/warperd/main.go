@@ -27,6 +27,7 @@
 //	warperd -faults 0.2 -fault-hang 0.05 -annotate-timeout 500ms  # chaos mode
 //	warperd -trace-sample 100 -drift-alarm-gmq 4      # drift flight recorder
 //	warperd -estimate-timeout 50ms -shed-queue 256    # overload-safe serving
+//	warperd -cache-entries 8192 -cache-shards 16      # estimate-cache tuning (-estimate-cache=false to disable)
 package main
 
 import (
@@ -73,6 +74,14 @@ func main() {
 		estTimeout = flag.Duration("estimate-timeout", 0, "per-request /estimate deadline budget, overridable via X-Warper-Deadline-Ms (0 = wait forever)")
 		shedQueue  = flag.Int("shed-queue", 0, "max estimates queued for a replica before load shedding (0 = max(64, 16*replicas))")
 		fallback   = flag.Bool("fallback", true, "serve budget misses and degraded mode from the histogram fallback ladder instead of shedding")
+
+		// Estimate cache. Entries are stamped with the serving generation, so
+		// a model swap invalidates the whole cache with one atomic bump;
+		// degraded/shed answers are never cached.
+		estCache     = flag.Bool("estimate-cache", true, "answer repeated predicates from the generation-stamped estimate cache")
+		cacheShards  = flag.Int("cache-shards", 0, "estimate-cache shards, rounded up to a power of two (0 = 8)")
+		cacheEntries = flag.Int("cache-entries", 0, "estimate-cache capacity in entries across all shards (0 = 4096)")
+		cacheFlush   = flag.Bool("cache-flush-on-alarm", true, "flush the estimate cache when the drift watch raises its alarm")
 
 		// Fault tolerance. The resilience wrapper always guards period-time
 		// annotation; the -faults* flags additionally inject deterministic
@@ -185,6 +194,11 @@ func main() {
 		EstimateTimeout: *estTimeout,
 		ShedQueue:       *shedQueue,
 		NoFallback:      !*fallback,
+
+		EstimateCache:     *estCache,
+		CacheShards:       *cacheShards,
+		CacheEntries:      *cacheEntries,
+		CacheFlushOnAlarm: *cacheFlush,
 	})
 
 	// Route period-time annotation through the resilience stack: optional

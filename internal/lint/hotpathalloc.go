@@ -41,7 +41,7 @@ import (
 var HotPathAlloc = &Analyzer{
 	Name:      "hotpathalloc",
 	Doc:       "no allocating constructs reachable from the /estimate, checkout, inference, or tracer hot paths",
-	Packages:  []string{"serve", "obs", "ce", "nn", "gbt", "kernel"},
+	Packages:  []string{"serve", "obs", "ce", "nn", "gbt", "kernel", "query"},
 	RunModule: runHotPathAlloc,
 }
 
@@ -57,6 +57,13 @@ var hotPathRoots = []string{
 	"serve.(*replicaPool).checkoutDeadline",
 	"serve.(*replicaPool).tryCheckout",
 	"serve.(*replicaPool).checkin",
+	// The estimate cache's lookup and insert paths run on every request
+	// when the cache is enabled; rooting them (in addition to reaching them
+	// through Estimate) keeps the zero-alloc proof local to the cache.
+	"serve.(*Server).cacheLookup",
+	"serve.(*Server).cacheFill",
+	"serve.(*estimateCache).get",
+	"serve.(*estimateCache).put",
 	"obs.(*Tracer).Acquire",
 	"obs.(*Trace).EnterStage",
 	"obs.(*Tracer).Finish",

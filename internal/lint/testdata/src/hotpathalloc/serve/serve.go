@@ -14,9 +14,51 @@ type replica struct{ model Estimator }
 type replicaPool struct{ free chan *replica }
 
 type Server struct {
-	pool *replicaPool
-	buf  []float64
-	tag  string
+	pool  *replicaPool
+	cache *estimateCache
+	buf   []float64
+	tag   string
+}
+
+// estimateCache mirrors the real cache's shape: a lock-free probe (get), a
+// serialized insert (put), and a free-listed key scratch whose miss branch
+// is the one sanctioned allocation on the lookup path.
+type estimateCache struct {
+	scratch chan []float64
+	keys    []uint64
+	trail   []float64
+}
+
+// get is rooted directly: pure index arithmetic, nothing to flag.
+func (c *estimateCache) get(key []float64, h uint64) (float64, bool) {
+	for i := range key {
+		if c.keys[i%len(c.keys)] != h {
+			return 0, false
+		}
+	}
+	return key[0], true
+}
+
+// put is rooted directly; its bookkeeping must stay allocation-free too.
+func (c *estimateCache) put(key []float64, h uint64) {
+	c.trail = append(c.trail, key[0]) // want "append may grow"
+	c.keys[0] = h
+}
+
+// cacheLookup carries the sanctioned free-list-miss allocation behind a
+// statement allow, and one unsanctioned allocation that must still fire.
+func (s *Server) cacheLookup(x float64) float64 {
+	var key []float64
+	select {
+	case key = <-s.cache.scratch:
+	default:
+		//lint:allow hotpathalloc fixture: key-scratch free-list miss allocates once, recycled on release
+		key = make([]float64, 4)
+	}
+	probe := &estimateCache{} // want "composite literal escapes"
+	_ = probe
+	v, _ := s.cache.get(key, uint64(x))
+	return v
 }
 
 // cheap is the zero-alloc implementation: nothing to flag.

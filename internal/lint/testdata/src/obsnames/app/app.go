@@ -47,4 +47,14 @@ func register(r *Registry, other notRegistry) {
 	r.Counter("estimate_fallback_total", "reason", "timeout")
 	r.Counter("estimate_shed_total", "reason", "queue_full")
 	r.Counter("estimate_fallback", "reason", "breaker") // want "must end in _total"
+
+	// Estimate-cache names (PR 9): event counters end in _total, the
+	// occupancy gauge is a bare noun; a camel-cased cache counter must
+	// still be caught.
+	r.Counter("estimate_cache_hits_total")
+	r.Counter("estimate_cache_misses_total")
+	r.Counter("estimate_cache_evictions_total")
+	r.Counter("estimate_cache_invalidations_total")
+	r.Gauge("estimate_cache_entries")
+	r.Counter("estimateCacheHits_total") // want "not snake_case"
 }

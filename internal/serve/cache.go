@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the drift-aware estimate cache: a sharded,
+// allocation-free predicate→cardinality map sitting in front of the replica
+// pool. The paper's whole premise (§1, §3.1) is that the served model only
+// changes at discrete adaptation-period boundaries — between two swaps the
+// model is a pure function of the feature vector, so a repeated predicate
+// can be answered from memory, byte-identical, without touching a replica.
+//
+// Correctness hangs on two stamps carried by every entry:
+//
+//   - gen: the replica-pool generation of the model that COMPUTED the
+//     answer (not the generation current at insert time — a swap racing the
+//     insert must leave the entry invisible, never serve it one generation
+//     late). Lookups require an exact match with the pool's current
+//     generation, so a model swap invalidates the whole cache with the one
+//     atomic bump the pool already performs: no scan, no lock.
+//   - epoch: the cache's flush epoch, read BEFORE the underlying estimate
+//     began. InvalidateEstimateCache bumps the epoch; an insert racing a
+//     flush is stamped with the pre-flush epoch and is therefore
+//     conservatively invisible.
+//
+// The lookup path takes no lock. Entries are seqlock-style, but with every
+// mutable word atomic (a classical seqlock's plain reads would be flagged by
+// the race detector, and the swap-under-load soak runs under -race): a
+// reader snapshots seq, reads the stamped words and the key, and accepts
+// only if seq was even and unchanged. Writers (inserts only) serialize per
+// shard on a mutex that no reader ever touches.
+type estimateCache struct {
+	shards []cacheShard
+	// shardMask selects a shard from the hash's low bits (len(shards)-1,
+	// power of two).
+	shardMask uint64
+	// keyLen is the feature-vector length (2·d); keys are compared word-wise
+	// as raw float64 bits.
+	keyLen int
+	// capacity is the total entry count across shards, for /statusz.
+	capacity int
+	// epoch is the flush epoch: bumping it makes every existing entry
+	// invisible (their stored epoch no longer matches). Entries are
+	// reclaimed lazily by the insert path's victim scan.
+	epoch atomic.Uint64
+	// live counts slots holding an entry (including generation-stale ones
+	// awaiting overwrite), exported as estimate_cache_entries.
+	live atomic.Int64
+	// scratch recycles featurization key buffers so the lookup path
+	// allocates nothing; misses of the free-list allocate and the buffer
+	// joins the pool on release.
+	scratch chan []float64
+	met     *Metrics
+}
+
+// cacheWays is the probe-group width: an entry may live in any of the
+// cacheWays consecutive slots after its home slot, and eviction picks a
+// second-chance victim within the group.
+const cacheWays = 4
+
+// cacheEntry is one cached answer. seq is the seqlock word: odd while a
+// writer is mid-update, bumped to the next even value when the write is
+// complete. All payload words are atomics so torn reads are impossible at
+// the word level and the race detector sees only synchronized accesses; the
+// seq validation makes the multi-word snapshot consistent.
+type cacheEntry struct {
+	seq   atomic.Uint64
+	hash  atomic.Uint64
+	gen   atomic.Uint64
+	epoch atomic.Uint64
+	// card holds math.Float64bits of the cached cardinality.
+	card atomic.Uint64
+	// used is the clock/second-chance reference bit.
+	used atomic.Uint32
+}
+
+// cacheShard is one power-of-two slice of the cache. Readers index ents and
+// keys lock-free; mu serializes inserts (victim choice + the seqlock write)
+// and is never taken on the lookup path.
+type cacheShard struct {
+	mu   sync.Mutex
+	ents []cacheEntry
+	// keys is a flat slab of float64 bit patterns: ents[i]'s key occupies
+	// keys[i*keyLen : (i+1)*keyLen].
+	keys []atomic.Uint64
+	// mask is len(ents)-1 (power of two).
+	mask uint64
+	// hand is the per-shard second-chance clock hand, advanced under mu.
+	hand uint64
+}
+
+// Cache sizing defaults, overridable through Options.
+const (
+	defaultCacheShards  = 8
+	defaultCacheEntries = 4096
+	maxCacheShards      = 256
+	// cacheScratchBufs bounds the key-buffer free-list; a burst of more
+	// concurrent estimates than this allocates the overflow buffers once.
+	cacheScratchBufs = 64
+)
+
+// nextPow2 rounds n up to the next power of two (n must be >= 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// newEstimateCache builds a cache with keyLen-word keys over roughly
+// `entries` total slots split across `shards` power-of-two shards.
+func newEstimateCache(keyLen, shards, entries int, met *Metrics) *estimateCache {
+	if shards <= 0 {
+		shards = defaultCacheShards
+	}
+	shards = nextPow2(shards)
+	if shards > maxCacheShards {
+		shards = maxCacheShards
+	}
+	if entries <= 0 {
+		entries = defaultCacheEntries
+	}
+	per := nextPow2((entries + shards - 1) / shards)
+	if per < cacheWays {
+		per = cacheWays
+	}
+	c := &estimateCache{
+		shards:    make([]cacheShard, shards),
+		shardMask: uint64(shards - 1),
+		keyLen:    keyLen,
+		capacity:  shards * per,
+		scratch:   make(chan []float64, cacheScratchBufs),
+		met:       met,
+	}
+	for i := range c.shards {
+		c.shards[i].ents = make([]cacheEntry, per)
+		c.shards[i].keys = make([]atomic.Uint64, per*keyLen)
+		c.shards[i].mask = uint64(per - 1)
+	}
+	return c
+}
+
+// acquire takes a key scratch buffer off the free-list.
+func (c *estimateCache) acquire() []float64 {
+	select {
+	case b := <-c.scratch:
+		return b
+	default:
+	}
+	return make([]float64, c.keyLen) //lint:allow hotpathalloc key-scratch free-list miss: only a burst beyond the pooled buffers allocates, and every buffer recycles on release
+}
+
+// release returns a key scratch buffer to the free-list.
+func (c *estimateCache) release(b []float64) {
+	select {
+	case c.scratch <- b:
+	default:
+	}
+}
+
+// cacheHash mixes the feature vector's raw float64 bits: FNV-1a word-wise,
+// then a murmur3-style finalizer so the low bits (shard) and high bits
+// (slot) are independently well distributed.
+func cacheHash(key []float64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range key {
+		h = (h ^ math.Float64bits(v)) * 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// keyEqual compares the stored key starting at slot*keyLen with key,
+// bit-exact. Atomic loads keep the race detector satisfied; the caller's
+// seq validation rejects a torn mixture of two keys.
+func (sh *cacheShard) keyEqual(slot, keyLen int, key []float64) bool {
+	off := slot * keyLen
+	for i, v := range key {
+		if sh.keys[off+i].Load() != math.Float64bits(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// get probes the cache for key (with hash h) against the given serving
+// generation and flush epoch. It is lock-free: at most cacheWays seqlock
+// reads. A hit marks the entry recently used for the second-chance clock.
+func (c *estimateCache) get(key []float64, h, gen, epoch uint64) (float64, bool) {
+	sh := &c.shards[h&c.shardMask]
+	base := (h >> 32) & sh.mask
+	for i := uint64(0); i < cacheWays; i++ {
+		slot := (base + i) & sh.mask
+		e := &sh.ents[slot]
+		s1 := e.seq.Load()
+		if s1 == 0 || s1&1 != 0 {
+			continue // empty, or a writer is mid-update
+		}
+		if e.hash.Load() != h || e.gen.Load() != gen || e.epoch.Load() != epoch {
+			continue
+		}
+		if !sh.keyEqual(int(slot), c.keyLen, key) {
+			continue
+		}
+		card := math.Float64frombits(e.card.Load())
+		if e.seq.Load() != s1 {
+			continue // raced an insert; the snapshot may mix two entries
+		}
+		if e.used.Load() == 0 {
+			e.used.Store(1)
+		}
+		return card, true
+	}
+	return 0, false
+}
+
+// put inserts an answer computed by generation gen under flush epoch
+// `epoch` (both observed by the caller around the underlying estimate).
+// Within the probe group it prefers, in order: the same key (refresh in
+// place), an empty slot, a stale entry (old generation or epoch), then a
+// second-chance eviction of a live entry.
+func (c *estimateCache) put(key []float64, h, gen, epoch uint64, card float64) {
+	sh := &c.shards[h&c.shardMask]
+	base := (h >> 32) & sh.mask
+	sh.mu.Lock()
+	victim, empty, stale := -1, -1, -1
+	for i := uint64(0); i < cacheWays; i++ {
+		slot := int((base + i) & sh.mask)
+		e := &sh.ents[slot]
+		if e.seq.Load() == 0 {
+			if empty < 0 {
+				empty = slot
+			}
+			continue
+		}
+		if e.hash.Load() == h && sh.keyEqual(slot, c.keyLen, key) {
+			victim = slot // same predicate: overwrite its slot
+			break
+		}
+		if stale < 0 && (e.gen.Load() != gen || e.epoch.Load() != epoch) {
+			stale = slot
+		}
+	}
+	evicted, fresh := false, false
+	switch {
+	case victim >= 0:
+	case empty >= 0:
+		victim, fresh = empty, true
+	case stale >= 0:
+		victim = stale
+	default:
+		// Every way holds a live same-generation entry: second-chance scan.
+		// The first pass clears reference bits; the second pass must find a
+		// victim, so the loop is bounded at two laps.
+		for lap := 0; lap < 2*cacheWays; lap++ {
+			slot := int((base + sh.hand%cacheWays) & sh.mask)
+			sh.hand++
+			e := &sh.ents[slot]
+			if e.used.Load() != 0 {
+				e.used.Store(0)
+				continue
+			}
+			victim = slot
+			break
+		}
+		if victim < 0 {
+			victim = int(base & sh.mask)
+		}
+		evicted = true
+	}
+	e := &sh.ents[victim]
+	e.seq.Add(1) // odd: readers skip while the words below are in flux
+	e.hash.Store(h)
+	e.gen.Store(gen)
+	e.epoch.Store(epoch)
+	e.card.Store(math.Float64bits(card))
+	off := victim * c.keyLen
+	for i, v := range key {
+		sh.keys[off+i].Store(math.Float64bits(v))
+	}
+	e.used.Store(1)
+	e.seq.Add(1) // even: the entry is visible again
+	sh.mu.Unlock()
+	if fresh {
+		c.met.cacheEntries.Set(float64(c.live.Add(1)))
+	}
+	if evicted {
+		c.met.cacheEvictions.Inc()
+	}
+}
+
+// flushAll makes every cached answer invisible by bumping the flush epoch.
+// Slots stay occupied (and counted) until the insert path overwrites them.
+func (c *estimateCache) flushAll() {
+	c.epoch.Add(1)
+}
+
+// entries reports how many slots hold an entry.
+func (c *estimateCache) entries() int64 { return c.live.Load() }

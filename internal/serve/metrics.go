@@ -60,6 +60,15 @@ const (
 	mFallbackTotal = "estimate_fallback_total"
 	mShedTotal     = "estimate_shed_total"
 
+	// Estimate-cache metrics (generation-stamped predicate→cardinality
+	// cache in front of the replica pool). Serve-side prefix style, like
+	// the overload metrics above.
+	mCacheHits          = "estimate_cache_hits_total"
+	mCacheMisses        = "estimate_cache_misses_total"
+	mCacheEvictions     = "estimate_cache_evictions_total"
+	mCacheInvalidations = "estimate_cache_invalidations_total"
+	mCacheEntries       = "estimate_cache_entries"
+
 	// Resilience metrics (fault-tolerant annotation pipeline).
 	mAnnRetries    = "warper_annotate_retries_total"
 	mAnnTimeouts   = "warper_annotate_timeouts_total"
@@ -124,6 +133,14 @@ type Metrics struct {
 	shedShedding  *obs.Counter
 	shedDeadline  *obs.Counter
 
+	// Estimate-cache counters, pre-created for the same reason: the lookup
+	// path increments pointers, never does a registry lookup.
+	cacheHits          *obs.Counter
+	cacheMisses        *obs.Counter
+	cacheEvictions     *obs.Counter
+	cacheInvalidations *obs.Counter
+	cacheEntries       *obs.Gauge
+
 	annRetries    *obs.Counter
 	annTimeouts   *obs.Counter
 	annFailed     *obs.Counter
@@ -172,6 +189,11 @@ func NewMetrics() *Metrics {
 	r.Help(mHealthState, "Serving health state: 0 healthy, 1 degraded, 2 shedding.")
 	r.Help(mFallbackTotal, "Estimates answered by the fallback ladder instead of the model, by reason.")
 	r.Help(mShedTotal, "Estimate requests shed by admission control (429), by reason.")
+	r.Help(mCacheHits, "Estimates answered from the generation-stamped cache.")
+	r.Help(mCacheMisses, "Estimates that probed the cache and fell through to the replica pool.")
+	r.Help(mCacheEvictions, "Live cache entries overwritten because their probe group was full.")
+	r.Help(mCacheInvalidations, "Wholesale cache invalidations: model swaps plus explicit/drift-alarm flushes.")
+	r.Help(mCacheEntries, "Cache slots holding an entry (including generation-stale ones awaiting overwrite).")
 	r.Help(mAnnRetries, "Annotation attempts retried by the resilience wrapper.")
 	r.Help(mAnnTimeouts, "Annotation attempts killed by the per-attempt deadline.")
 	r.Help(mAnnFailed, "Annotation calls that failed for good within a period (after retries).")
@@ -219,6 +241,12 @@ func NewMetrics() *Metrics {
 		shedQueueFull: r.Counter(mShedTotal, "reason", "queue_full"),
 		shedShedding:  r.Counter(mShedTotal, "reason", "shedding"),
 		shedDeadline:  r.Counter(mShedTotal, "reason", "deadline"),
+
+		cacheHits:          r.Counter(mCacheHits),
+		cacheMisses:        r.Counter(mCacheMisses),
+		cacheEvictions:     r.Counter(mCacheEvictions),
+		cacheInvalidations: r.Counter(mCacheInvalidations),
+		cacheEntries:       r.Gauge(mCacheEntries),
 
 		annRetries:    r.Counter(mAnnRetries),
 		annTimeouts:   r.Counter(mAnnTimeouts),

@@ -38,6 +38,12 @@ type flightRecorder struct {
 	exemplars *obs.Exemplars
 	met       *Metrics
 
+	// onDriftAlarm, when non-nil, runs on every DriftRaised transition.
+	// NewWithOptions points it at the estimate-cache flush under
+	// Options.CacheFlushOnAlarm: the cached pre-drift answers are exactly
+	// what would keep masking the drift the watch just detected.
+	onDriftAlarm func()
+
 	// stageMu guards the stage-duration scratch filled by PeriodStage
 	// callbacks and drained into the period_end event. handlePeriod holds
 	// periodMu around the whole period, so one period's stages never
@@ -103,6 +109,9 @@ func (r *flightRecorder) applyDriftTransition(st obs.DriftState, tr obs.DriftTra
 			"count":      st.Count,
 			"threshold":  st.Threshold,
 		})
+		if r.onDriftAlarm != nil {
+			r.onDriftAlarm()
+		}
 	case obs.DriftCleared:
 		r.met.driftAlarm.Set(0)
 		r.journal.Append("drift_clear", 0, map[string]any{
@@ -202,6 +211,16 @@ type statuszData struct {
 	Evicted    uint64
 	TraceOn    bool
 	DriftOn    bool
+
+	// Estimate-cache panel.
+	CacheOn            bool
+	CacheEntries       int64
+	CacheCap           int
+	CacheHits          int64
+	CacheMisses        int64
+	CacheHitPct        float64
+	CacheEvictions     int64
+	CacheInvalidations int64
 }
 
 var statuszTmpl = template.Must(template.New("statusz").Funcs(template.FuncMap{
@@ -224,6 +243,13 @@ pi={{printf "%.3f" .Status.Pi}} gamma={{.Status.Gamma}}</p>
 <p>state {{if eq .Health 0}}<span class="ok">healthy</span>{{else}}<span class="alarm">{{.Health}}</span>{{end}}
 — admission queue depth {{.QueueDepth}}; degraded answers come from the fallback ladder,
 sheds answer 429 (see estimate_fallback_total / estimate_shed_total below)</p>
+
+<h2>Estimate cache</h2>
+{{if .CacheOn}}<p>entries {{.CacheEntries}}/{{.CacheCap}} — hits {{.CacheHits}}, misses {{.CacheMisses}}
+(hit rate {{printf "%.1f" .CacheHitPct}}%), evictions {{.CacheEvictions}},
+invalidations {{.CacheInvalidations}} (model swaps + flushes; a swap's generation bump
+invalidates every entry without a scan)</p>
+{{else}}<p>disabled (set -estimate-cache)</p>{{end}}
 
 <h2>Drift watch</h2>
 {{if .DriftOn}}
@@ -316,6 +342,18 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		Evicted:    evicted,
 		TraceOn:    s.rec.tracer.Sampling(),
 		DriftOn:    s.rec.drift.Threshold() > 0,
+	}
+	if s.cache != nil {
+		data.CacheOn = true
+		data.CacheEntries = s.cache.entries()
+		data.CacheCap = s.cache.capacity
+		data.CacheHits = s.met.cacheHits.Value()
+		data.CacheMisses = s.met.cacheMisses.Value()
+		if n := data.CacheHits + data.CacheMisses; n > 0 {
+			data.CacheHitPct = 100 * float64(data.CacheHits) / float64(n)
+		}
+		data.CacheEvictions = s.met.cacheEvictions.Value()
+		data.CacheInvalidations = s.met.cacheInvalidations.Value()
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := statuszTmpl.Execute(w, data); err != nil {

@@ -382,6 +382,7 @@ func (c *coalescer) newBatch() *batch {
 		b.pv = nil
 		b.deadline = time.Time{}
 		b.out = batchOutcome{}
+		b.gen = 0
 		b.n.Store(0)
 	default:
 		b = &batch{preds: make([]query.Predicate, 0, c.max), outs: make([]float64, c.max)}
@@ -402,14 +403,16 @@ func (c *coalescer) recycle(b *batch) {
 // answer. It reports false after Close, telling the caller to fall back to
 // the direct checkout path. A non-nil deadline tightens the batch's shared
 // admission budget; the returned batchOutcome says whether the answer came
-// from the model, the fallback ladder, or nowhere (outcome.err set). A
+// from the model, the fallback ladder, or nowhere (outcome.err set), and
+// the returned generation is the one that executed the batch (0 when no
+// replica ever ran it) — the estimate cache stamps its entries with it. A
 // non-nil trace records whether this request led or followed, plus the
 // executed batch's size and generation.
-func (c *coalescer) estimate(p query.Predicate, tr *obs.Trace, deadline time.Time) (float64, batchOutcome, bool) {
+func (c *coalescer) estimate(p query.Predicate, tr *obs.Trace, deadline time.Time) (float64, uint64, batchOutcome, bool) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return 0, batchOutcome{}, false
+		return 0, 0, batchOutcome{}, false
 	}
 	b := c.cur
 	leader := b == nil
@@ -445,7 +448,9 @@ func (c *coalescer) estimate(p query.Predicate, tr *obs.Trace, deadline time.Tim
 		tr.BatchSize = int(b.n.Load())
 		tr.Generation = b.gen
 	}
-	out, bo, pv := b.outs[idx], b.out, b.pv
+	// b.gen must be read in the same pre-release window as outs[idx]: the
+	// moment refs hits zero the batch can be recycled and rewritten.
+	out, gen, bo, pv := b.outs[idx], b.gen, b.out, b.pv
 	if b.refs.Add(-1) == 0 && pv == nil {
 		c.recycle(b)
 	}
@@ -455,7 +460,7 @@ func (c *coalescer) estimate(p query.Predicate, tr *obs.Trace, deadline time.Tim
 		// never recycled.
 		panic(pv) //lint:allow panicfree re-raising a model panic for the per-request recover middleware
 	}
-	return out, bo, true
+	return out, gen, bo, true
 }
 
 // lead is the batch leader's accumulation wait: while the batch is still

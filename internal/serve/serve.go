@@ -101,6 +101,22 @@ type Options struct {
 	ServeFaults *resilience.ServeFaults
 	// Health tunes the serving health state machine; zero fields default.
 	Health HealthConfig
+	// EstimateCache enables the generation-stamped predicate→cardinality
+	// cache in front of the replica pool: repeated predicates are answered
+	// byte-identically from memory until the next model swap (whose atomic
+	// generation bump invalidates the whole cache). Degraded, shed and
+	// deadline-missed answers are never cached.
+	EstimateCache bool
+	// CacheShards is the estimate-cache shard count, rounded up to a power
+	// of two (0 = 8).
+	CacheShards int
+	// CacheEntries bounds the estimate cache's total capacity across all
+	// shards (0 = 4096). Full probe groups evict second-chance style.
+	CacheEntries int
+	// CacheFlushOnAlarm flushes the estimate cache when the drift watch
+	// raises its alarm, so stale pre-drift answers cannot mask the very
+	// drift the recorder is watching.
+	CacheFlushOnAlarm bool
 }
 
 // Server wires an Adapter behind an http.Handler. All handlers are safe for
@@ -121,7 +137,11 @@ type Server struct {
 	pool *replicaPool
 	// coal, when non-nil, drains concurrent estimates into batched forward
 	// passes (Options.BatchWindow).
-	coal    *coalescer
+	coal *coalescer
+	// cache, when non-nil, answers repeated predicates without touching the
+	// pool; entries are generation-stamped, so a model swap invalidates them
+	// wholesale (Options.EstimateCache).
+	cache   *estimateCache
 	buffer  []warper.Arrival
 	periods int
 	// status caches the adapter-derived fields of GET /status so the
@@ -214,6 +234,15 @@ func NewWithOptions(a *warper.Adapter, sch *query.Schema, opts Options) *Server 
 		}
 		s.coal = newCoalescer(s.pool, opts.BatchWindow, bm, s.met, s.fb)
 	}
+	if opts.EstimateCache {
+		s.cache = newEstimateCache(sch.FeatureDim(), opts.CacheShards, opts.CacheEntries, s.met)
+		if opts.CacheFlushOnAlarm {
+			// The drift watch raising its alarm means the cached pre-drift
+			// answers are the ones masking the drift: flush them so feedback
+			// keeps measuring the live model against the live data.
+			s.rec.onDriftAlarm = s.InvalidateEstimateCache
+		}
+	}
 	s.refreshStatusLocked()
 	return s
 }
@@ -234,16 +263,32 @@ func (s *Server) Estimate(p query.Predicate) float64 {
 	return s.estimate(p, nil)
 }
 
-// estimate is the traced form of Estimate: a non-nil trace records the
-// serving stages (coalesce / checkout / infer), the batch size and the
-// serving generation. With tr == nil the path is identical to before
-// tracing existed — nil-receiver stage calls compile to cheap no-ops and
-// nothing allocates.
+// estimate is the traced form of Estimate: the estimate cache first (when
+// enabled), then the coalesced/checkout path, populating the cache on the
+// way out. With tr == nil the path is identical to before tracing existed —
+// nil-receiver stage calls compile to cheap no-ops and nothing allocates.
 func (s *Server) estimate(p query.Predicate, tr *obs.Trace) float64 {
+	if s.cache == nil {
+		card, _ := s.estimateUncached(p, tr)
+		return card
+	}
+	pr, card, hit := s.cacheLookup(p, tr)
+	if hit {
+		return card
+	}
+	card, gen := s.estimateUncached(p, tr)
+	s.cacheFill(pr, gen, card)
+	return card
+}
+
+// estimateUncached runs one predicate through the coalescer or a directly
+// checked-out replica, returning the answer and the serving generation of
+// the model that computed it.
+func (s *Server) estimateUncached(p query.Predicate, tr *obs.Trace) (float64, uint64) {
 	if s.coal != nil {
 		// Zero deadline: the batch outcome can only be the zero value.
-		if card, _, ok := s.coal.estimate(p, tr, time.Time{}); ok {
-			return card
+		if card, gen, _, ok := s.coal.estimate(p, tr, time.Time{}); ok {
+			return card, gen
 		}
 		// Coalescer closed: fall through to the direct checkout path.
 	}
@@ -252,18 +297,76 @@ func (s *Server) estimate(p query.Predicate, tr *obs.Trace) float64 {
 	return s.runOn(r, p, tr)
 }
 
-// runOn answers one predicate on a checked-out replica. The deferred checkin
-// is the replica-leak guard: even a panicking model hands its replica back
-// to the free list (forward scratch is overwritten per call, so the replica
-// stays usable) before the panic reaches the recover middleware.
-func (s *Server) runOn(r *replica, p query.Predicate, tr *obs.Trace) float64 {
+// runOn answers one predicate on a checked-out replica, returning the
+// replica's serving generation alongside the answer (the cache stamps its
+// entries with the generation that computed them, never the one current at
+// insert time). The deferred checkin is the replica-leak guard: even a
+// panicking model hands its replica back to the free list (forward scratch
+// is overwritten per call, so the replica stays usable) before the panic
+// reaches the recover middleware.
+func (s *Server) runOn(r *replica, p query.Predicate, tr *obs.Trace) (float64, uint64) {
 	defer s.pool.checkin(r)
 	if tr != nil {
 		tr.BatchSize = 1
 		tr.Generation = r.gen
 	}
 	tr.EnterStage("infer")
-	return r.model.Estimate(p)
+	return r.model.Estimate(p), r.gen
+}
+
+// cacheProbe carries one request's cache interaction across the miss path:
+// the featurized key (a free-list scratch buffer), its hash, and the
+// generation + flush epoch the lookup ran against.
+type cacheProbe struct {
+	key   []float64
+	hash  uint64
+	epoch uint64
+}
+
+// cacheLookup featurizes p and probes the estimate cache. On a hit the
+// scratch key is already released; on a miss the caller must hand the probe
+// to cacheFill (which also releases it). The flush epoch is read before the
+// lookup — and therefore before the underlying estimate a miss will run —
+// so an insert racing InvalidateEstimateCache stamps the pre-flush epoch
+// and stays conservatively invisible.
+func (s *Server) cacheLookup(p query.Predicate, tr *obs.Trace) (cacheProbe, float64, bool) {
+	tr.EnterStage("cache")
+	pr := cacheProbe{key: s.cache.acquire(), epoch: s.cache.epoch.Load()}
+	p.FeaturizeInto(s.sch, pr.key)
+	pr.hash = cacheHash(pr.key)
+	if card, ok := s.cache.get(pr.key, pr.hash, s.pool.generation(), pr.epoch); ok {
+		s.cache.release(pr.key)
+		s.met.cacheHits.Inc()
+		return pr, card, true
+	}
+	s.met.cacheMisses.Inc()
+	return pr, 0, false
+}
+
+// cacheFill completes a miss: gen is the serving generation that computed
+// card, or 0 when the answer must not be cached (fallback-ladder, shed, or
+// deadline-missed responses — a degraded answer served from cache after
+// recovery would be a silent accuracy regression).
+func (s *Server) cacheFill(pr cacheProbe, gen uint64, card float64) {
+	if gen != 0 {
+		s.cache.put(pr.key, pr.hash, gen, pr.epoch, card)
+	}
+	s.cache.release(pr.key)
+}
+
+// InvalidateEstimateCache drops every cached estimate by bumping the
+// cache's flush epoch — one atomic add, no scan. Wired to the drift alarm
+// under Options.CacheFlushOnAlarm and exported for embedders and the cache
+// benchmarks. No-op when the cache is disabled.
+func (s *Server) InvalidateEstimateCache() {
+	if s.cache == nil {
+		return
+	}
+	s.cache.flushAll()
+	s.met.cacheInvalidations.Inc()
+	s.rec.journal.Append("cache_flush", 0, map[string]any{
+		"entries": s.cache.entries(),
+	})
 }
 
 // Fallback and shed reasons, exported on the estimate_fallback_total and
@@ -293,30 +396,54 @@ func (s *Server) EstimateBudget(p query.Predicate, deadline time.Time) (float64,
 	return s.estimateBudget(p, nil, deadline)
 }
 
-// estimateBudget is the overload-safe estimate path: the health state picks
-// the admission rule, the deadline budgets the replica wait, and the
-// fallback ladder (when enabled) keeps budget misses answerable.
+// estimateBudget is the overload-safe estimate path with the cache in
+// front. A cache hit is admission-free — it consumes no replica and no
+// queue slot — so hits serve even in degraded and shedding states: an exact
+// model answer for ~100 ns is strictly better than a fallback answer or a
+// 429. Only full-model answers are inserted; degraded and shed outcomes
+// pass gen 0 to cacheFill, which refuses them.
 func (s *Server) estimateBudget(p query.Predicate, tr *obs.Trace, deadline time.Time) (float64, EstimateOutcome) {
+	if s.cache == nil {
+		card, _, out := s.estimateBudgetUncached(p, tr, deadline)
+		return card, out
+	}
+	pr, card, hit := s.cacheLookup(p, tr)
+	if hit {
+		return card, EstimateOutcome{}
+	}
+	card, gen, out := s.estimateBudgetUncached(p, tr, deadline)
+	s.cacheFill(pr, gen, card)
+	return card, out
+}
+
+// estimateBudgetUncached is the overload-safe estimate core: the health
+// state picks the admission rule, the deadline budgets the replica wait,
+// and the fallback ladder (when enabled) keeps budget misses answerable.
+// The returned generation is the one that computed a full-model answer, or
+// 0 for fallback/shed outcomes (which must never be cached).
+func (s *Server) estimateBudgetUncached(p query.Predicate, tr *obs.Trace, deadline time.Time) (float64, uint64, EstimateOutcome) {
 	switch s.health.current() {
 	case Shedding:
 		// Admit only what a free replica can absorb right now; everything
 		// else is refused so the queue drains instead of growing.
 		tr.EnterStage("checkout")
 		if r, ok := s.pool.tryCheckout(); ok {
-			return s.runOn(r, p, tr), EstimateOutcome{}
+			card, gen := s.runOn(r, p, tr)
+			return card, gen, EstimateOutcome{}
 		}
 		s.met.shedShedding.Inc()
-		return 0, EstimateOutcome{Shed: true, Reason: reasonShedding}
+		return 0, 0, EstimateOutcome{Shed: true, Reason: reasonShedding}
 	case Degraded:
 		// Serve from the model when it is immediately reachable, from the
 		// fallback ladder otherwise — degraded mode never queues.
 		tr.EnterStage("checkout")
 		if r, ok := s.pool.tryCheckout(); ok {
-			return s.runOn(r, p, tr), EstimateOutcome{}
+			card, gen := s.runOn(r, p, tr)
+			return card, gen, EstimateOutcome{}
 		}
 		if s.fb == nil {
 			s.met.shedShedding.Inc()
-			return 0, EstimateOutcome{Shed: true, Reason: reasonShedding}
+			return 0, 0, EstimateOutcome{Shed: true, Reason: reasonShedding}
 		}
 		reason := reasonDegraded
 		if s.health.breakerOpen.Load() {
@@ -326,54 +453,56 @@ func (s *Server) estimateBudget(p query.Predicate, tr *obs.Trace, deadline time.
 			s.met.fbDegraded.Inc()
 		}
 		tr.EnterStage("fallback")
-		return s.fb.estimate(p), EstimateOutcome{Degraded: true, Reason: reason}
+		return s.fb.estimate(p), 0, EstimateOutcome{Degraded: true, Reason: reason}
 	}
 	// Healthy: the normal coalesced/queued path, budgeted by the deadline.
 	if s.coal != nil {
-		if card, bo, ok := s.coal.estimate(p, tr, deadline); ok {
-			return s.resolveBatch(card, bo)
+		if card, gen, bo, ok := s.coal.estimate(p, tr, deadline); ok {
+			return s.resolveBatch(card, gen, bo)
 		}
 	}
 	tr.EnterStage("checkout")
 	r, err := s.pool.checkoutDeadline(deadline)
 	if err == nil {
-		return s.runOn(r, p, tr), EstimateOutcome{}
+		card, gen := s.runOn(r, p, tr)
+		return card, gen, EstimateOutcome{}
 	}
 	return s.resolveMiss(p, tr, err)
 }
 
 // resolveMiss turns a direct-path admission error into a fallback answer or
 // a shed outcome.
-func (s *Server) resolveMiss(p query.Predicate, tr *obs.Trace, err error) (float64, EstimateOutcome) {
+func (s *Server) resolveMiss(p query.Predicate, tr *obs.Trace, err error) (float64, uint64, EstimateOutcome) {
 	if err == errShed {
 		s.met.shedQueueFull.Inc()
-		return 0, EstimateOutcome{Shed: true, Reason: reasonQueueFull}
+		return 0, 0, EstimateOutcome{Shed: true, Reason: reasonQueueFull}
 	}
 	// errCheckoutTimeout: answer from the ladder, or shed when it is off.
 	if s.fb != nil {
 		tr.EnterStage("fallback")
 		s.met.fbTimeout.Inc()
-		return s.fb.estimate(p), EstimateOutcome{Degraded: true, Reason: reasonTimeout}
+		return s.fb.estimate(p), 0, EstimateOutcome{Degraded: true, Reason: reasonTimeout}
 	}
 	s.met.shedDeadline.Inc()
-	return 0, EstimateOutcome{Shed: true, Reason: reasonDeadline}
+	return 0, 0, EstimateOutcome{Shed: true, Reason: reasonDeadline}
 }
 
 // resolveBatch maps a coalesced batch's outcome onto this member's outcome,
-// charging the per-request fallback/shed counters.
-func (s *Server) resolveBatch(card float64, bo batchOutcome) (float64, EstimateOutcome) {
+// charging the per-request fallback/shed counters. Only a full-model batch
+// keeps its generation; degraded batches return 0 so they are never cached.
+func (s *Server) resolveBatch(card float64, gen uint64, bo batchOutcome) (float64, uint64, EstimateOutcome) {
 	switch {
 	case bo.err == errShed:
 		s.met.shedQueueFull.Inc()
-		return 0, EstimateOutcome{Shed: true, Reason: reasonQueueFull}
+		return 0, 0, EstimateOutcome{Shed: true, Reason: reasonQueueFull}
 	case bo.err != nil:
 		s.met.shedDeadline.Inc()
-		return 0, EstimateOutcome{Shed: true, Reason: reasonDeadline}
+		return 0, 0, EstimateOutcome{Shed: true, Reason: reasonDeadline}
 	case bo.degraded:
 		s.met.fbTimeout.Inc()
-		return card, EstimateOutcome{Degraded: true, Reason: bo.reason}
+		return card, 0, EstimateOutcome{Degraded: true, Reason: bo.reason}
 	}
-	return card, EstimateOutcome{}
+	return card, gen, EstimateOutcome{}
 }
 
 // Metrics exposes the server's metric set (for tests and embedding).
@@ -771,6 +900,13 @@ func (s *Server) handlePeriod(w http.ResponseWriter, r *http.Request) {
 	// re-clone from the new generation's private source lazily, at their
 	// next checkout.
 	s.pool.swap(s.adapter.M)
+	if s.cache != nil {
+		// The generation bump IS the cache invalidation: every entry is
+		// stamped with the old generation and stops matching. Count it so
+		// operators can tell wholesale invalidations from per-entry
+		// evictions on /statusz.
+		s.met.cacheInvalidations.Inc()
+	}
 	if s.fb != nil {
 		// Refresh the fallback ladder against the post-period world: the
 		// histogram tier re-reads the (possibly drifted) table, the scale

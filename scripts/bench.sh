@@ -13,6 +13,12 @@
 #                           measured saturation through admission control,
 #                           the health machine and the fallback ladder
 #                           → BENCH_PR8.json
+#   bench.sh zipf   [...]   estimate-cache benchmark: Zipf(1.1)-skewed
+#                           template workload against the cached and
+#                           uncached server (1-CPU and GOMAXPROCS=2),
+#                           hit/miss/invalidate micros, zero-alloc hit
+#                           assert, byte-identity across a mid-run swap
+#                           → BENCH_PR9.json
 #
 # With no suite argument, micro runs (the historical default). Remaining
 # arguments pass through: -quick for the CI smoke variant, -out for the
@@ -31,6 +37,10 @@ serve)
 	;;
 overload)
 	mode="-servebench -overload"
+	shift
+	;;
+zipf)
+	mode="-servebench -zipf 1.1"
 	shift
 	;;
 esac
