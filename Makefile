@@ -49,7 +49,10 @@ chaos:
 # an adaptation-journal artifact, then the estimate-cache benchmark —
 # Zipf(1.1) template workload, cached vs uncached, a 1-CPU pass and a
 # GOMAXPROCS=2 pass, byte-identity held across a mid-run model swap →
-# BENCH_PR9.json. bench-smoke runs the quick variant of every suite: it
+# BENCH_PR9.json — and finally the binary-protocol benchmark: the columnar
+# /estimate/batch endpoint vs scalar JSON over HTTP on the uncached path,
+# with a zero-alloc batch assert and a GOMAXPROCS>=4 multi-core pass →
+# BENCH_PR10.json. bench-smoke runs the quick variant of every suite: it
 # proves the harnesses run, not the numbers.
 bench:
 	./scripts/bench.sh micro -out BENCH_PR4.json
@@ -59,6 +62,7 @@ bench-serve:
 	@mkdir -p $(CURDIR)/artifacts
 	WARPER_EVENTS_OUT=$(CURDIR)/artifacts/EVENTS_servebench.json ./scripts/bench.sh serve -out BENCH_PR5.json
 	./scripts/bench.sh zipf -out BENCH_PR9.json
+	./scripts/bench.sh wire -out BENCH_PR10.json
 	./scripts/bench_trajectory.sh
 
 # Overload acceptance run: open-loop load at 2x measured saturation through
@@ -74,6 +78,7 @@ bench-smoke:
 	./scripts/bench.sh serve -quick -out /tmp/bench-serve-smoke.json
 	./scripts/bench.sh overload -quick -out /tmp/bench-overload-smoke.json
 	./scripts/bench.sh zipf -quick -out /tmp/bench-zipf-smoke.json
-	./scripts/bench_trajectory.sh /tmp/bench-smoke.json /tmp/bench-serve-smoke.json /tmp/bench-zipf-smoke.json
+	./scripts/bench.sh wire -quick -out /tmp/bench-wire-smoke.json
+	./scripts/bench_trajectory.sh /tmp/bench-smoke.json /tmp/bench-serve-smoke.json /tmp/bench-zipf-smoke.json /tmp/bench-wire-smoke.json
 
 check: build vet lint test race chaos

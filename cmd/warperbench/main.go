@@ -32,8 +32,9 @@ func main() {
 		sbench = flag.Bool("servebench", false, "run the concurrent /estimate serving benchmark and write JSON")
 		over   = flag.Bool("overload", false, "with -servebench: drive open-loop load past saturation and record shed/fallback behavior")
 		zipf   = flag.Float64("zipf", 0, "with -servebench: run the estimate-cache benchmark under a Zipf-skewed template workload with this exponent (> 1)")
+		binary = flag.Bool("binary", false, "with -servebench: run the columnar binary batch protocol benchmark against scalar JSON")
 		traj   = flag.Bool("trajectory", false, "merge BENCH_*.json reports (or the given paths) into one trajectory table")
-		out    = flag.String("out", "", "output path (default BENCH_PR4.json for -micro, BENCH_PR5.json for -servebench, BENCH_PR8.json for -overload, BENCH_PR9.json for -zipf)")
+		out    = flag.String("out", "", "output path (default BENCH_PR4.json for -micro, BENCH_PR5.json for -servebench, BENCH_PR8.json for -overload, BENCH_PR9.json for -zipf, BENCH_PR10.json for -binary)")
 	)
 	flag.Parse()
 
@@ -58,6 +59,16 @@ func main() {
 	}
 	if *sbench {
 		path := *out
+		if *binary {
+			if path == "" {
+				path = "BENCH_PR10.json"
+			}
+			if err := runWireBench(path, *quick); err != nil {
+				fmt.Fprintln(os.Stderr, "wirebench:", err)
+				os.Exit(1)
+			}
+			return
+		}
 		if *zipf > 0 {
 			if path == "" {
 				path = "BENCH_PR9.json"

@@ -65,6 +65,11 @@ type microReport struct {
 	// workload, byte-identity checked across a mid-run model swap. Nil for
 	// every other mode.
 	Cache *cacheReport `json:"cache,omitempty"`
+	// Wire records the -servebench -binary run (BENCH_PR10.json): the
+	// columnar binary batch protocol against scalar JSON, its zero-alloc
+	// steady-state gate, and the GOMAXPROCS≥4 multi-core pass. Nil for
+	// every other mode.
+	Wire *wireReport `json:"wire,omitempty"`
 }
 
 // cacheReport is the estimate-cache section of the -zipf report.

@@ -1,0 +1,506 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"warper/internal/annotator"
+	"warper/internal/ce"
+	"warper/internal/dataset"
+	"warper/internal/obs"
+	"warper/internal/query"
+	"warper/internal/serve"
+	"warper/internal/warper"
+	"warper/internal/wire"
+	"warper/internal/workload"
+)
+
+// The -servebench -binary mode measures the columnar binary batch protocol
+// against the scalar JSON protocol over real HTTP: the same predicates, the
+// same server, the same client concurrency, with every answer checked
+// against a reference clone. The acceptance criteria ride along as hard
+// gates: the binary path must carry at least wireMinSpeedup times the JSON
+// throughput on an uncached workload, and the in-process batch entry point
+// (EstimateBatchWire) must serve a warmed steady state with zero
+// allocations per batch. A second measurement pass pins GOMAXPROCS to at
+// least 4 so multi-core machines record the replica-pool parallel win the
+// 1-CPU CI box cannot show.
+
+// wireBenchRows is the batch size the binary clients post per request: the
+// amortization unit the protocol exists for.
+const wireBenchRows = 64
+
+// wireMinSpeedup is the acceptance floor for binary-over-JSON throughput.
+const wireMinSpeedup = 2.0
+
+// wireMP is the GOMAXPROCS floor of the multi-core pass.
+const wireMP = 4
+
+// wireReport is the binary-protocol section of the -binary report.
+type wireReport struct {
+	BatchRows int `json:"batch_rows"`
+	Clients   int `json:"clients"`
+	// BinarySpeedup is JSON ns-per-estimate over binary ns-per-estimate at
+	// the process's own GOMAXPROCS; the ≥2x acceptance gate.
+	BinarySpeedup float64 `json:"binary_speedup"`
+	// AllocsPerBatch is the steady-state allocation count of one in-process
+	// EstimateBatchWire call on warmed pooled buffers; the zero-alloc gate.
+	AllocsPerBatch float64 `json:"allocs_per_batch"`
+	// GOMAXPROCS / MPGOMAXPROCS record the scheduler width of the base and
+	// multi-core passes; NumCPU in the enclosing report tells a reader
+	// whether MP numbers had real cores behind them.
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	MPGOMAXPROCS    int     `json:"mp_gomaxprocs"`
+	MPBinarySpeedup float64 `json:"mp_binary_speedup"`
+	// MPReplicasSpeedup re-runs PR 5's single-lock vs replica-pool
+	// comparison under the widened scheduler: the parallel win the 1-CPU
+	// recording of BENCH_PR5.json could not prove.
+	MPReplicasSpeedup float64 `json:"mp_replicas_speedup"`
+	// SwapChecked records that a POST /period model swap ran after the
+	// measurements and the binary answers stayed byte-identical to JSON,
+	// with the echoed generation advancing.
+	SwapChecked bool `json:"swap_checked"`
+}
+
+// runWireBench executes the binary-protocol benchmark and writes the
+// report to out.
+func runWireBench(out string, quick bool) error {
+	nTrain, total := 500, 100000
+	if quick {
+		nTrain, total = 200, 5000
+	}
+	rng := rand.New(rand.NewSource(23))
+	tbl := dataset.PRSA(3000, rng)
+	sch := query.SchemaOf(tbl)
+	ann := annotator.New(tbl)
+	ctx := context.Background()
+	gTrain := workload.New("w1", tbl, sch, workload.Options{MaxConstrained: 2})
+	gServe := workload.New("w4", tbl, sch, workload.Options{MaxConstrained: 2})
+	train, err := ann.AnnotateAll(ctx, workload.Generate(gTrain, nTrain, rng))
+	if err != nil {
+		return err
+	}
+	lm := ce.NewLM(ce.LMMLP, sch, 31)
+	if err := lm.Train(train); err != nil {
+		return err
+	}
+	ad, err := warper.New(warper.DefaultConfig(), lm, sch, ann, train)
+	if err != nil {
+		return err
+	}
+
+	// The cache stays off: the acceptance gate is over the uncached serving
+	// path, where every row pays a replica checkout and a forward pass.
+	srv := serve.NewWithOptions(ad, sch, serve.Options{
+		Replicas:       serveClients,
+		BinaryProtocol: true,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A fixed predicate pool with reference answers from a private clone:
+	// the byte-identity oracle for both protocols.
+	preds := make([]query.Predicate, 256)
+	want := make([]float64, len(preds))
+	ref := lm.Clone()
+	for i := range preds {
+		preds[i] = gServe.Gen(rng).Normalize(sch)
+		want[i] = ref.Estimate(preds[i])
+	}
+
+	// Pre-built binary request frames tiling the pool, one response oracle
+	// slice per frame.
+	nFrames := len(preds) / wireBenchRows
+	frames := make([][]byte, nFrames)
+	frameWant := make([][]float64, nFrames)
+	for f := 0; f < nFrames; f++ {
+		batch := preds[f*wireBenchRows : (f+1)*wireBenchRows]
+		frames[f], err = wire.AppendRequest(nil, 0, batch, false)
+		if err != nil {
+			return err
+		}
+		frameWant[f] = want[f*wireBenchRows : (f+1)*wireBenchRows]
+	}
+
+	rep := &microReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Quick:         quick,
+	}
+	wrep := &wireReport{
+		BatchRows:  wireBenchRows,
+		Clients:    serveClients,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	client := ts.Client()
+
+	// measureHTTP drives total estimates through one request function from
+	// serveClients goroutines and returns wall-clock ns per estimate. The
+	// request function answers how many estimates one call carried and how
+	// many diverged from the reference.
+	measureHTTP := func(name string, perCall int, do func(i int) (int, error)) (float64, error) {
+		var next atomic.Int64
+		var bad atomic.Int64
+		errCh := make(chan error, serveClients)
+		var wg sync.WaitGroup
+		calls := total / perCall
+		start := time.Now()
+		for w := 0; w < serveClients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					n := next.Add(1) - 1
+					if n >= int64(calls) {
+						return
+					}
+					diverged, err := do(int(n))
+					if err != nil {
+						select {
+						case errCh <- fmt.Errorf("%s: %w", name, err):
+						default:
+						}
+						return
+					}
+					bad.Add(int64(diverged))
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		select {
+		case err := <-errCh:
+			return 0, err
+		default:
+		}
+		if bad.Load() > 0 {
+			return 0, fmt.Errorf("%s: %d of %d estimates diverged from the reference", name, bad.Load(), total)
+		}
+		return float64(elapsed.Nanoseconds()) / float64(calls*perCall), nil
+	}
+
+	jsonCall := func(i int) (int, error) {
+		k := i % len(preds)
+		body, err := json.Marshal(map[string]any{"lows": preds[k].Lows, "highs": preds[k].Highs})
+		if err != nil {
+			return 0, err
+		}
+		resp, err := client.Post(ts.URL+"/estimate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		var er struct {
+			Cardinality float64 `json:"cardinality"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			return 0, err
+		}
+		if er.Cardinality != want[k] {
+			return 1, nil
+		}
+		return 0, nil
+	}
+
+	// binaryDo posts one pre-built frame and reports how many of its rows
+	// diverged from the reference (measureHTTP already knows perCall).
+	binaryDo := func(i int) (int, error) {
+		f := i % nFrames
+		resp, err := client.Post(ts.URL+"/estimate/batch", "application/x-warper-batch", bytes.NewReader(frames[f]))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return 0, err
+		}
+		_, cards, err := wire.DecodeResponse(raw, nil)
+		if err != nil {
+			return 0, err
+		}
+		if len(cards) != wireBenchRows {
+			return 0, fmt.Errorf("%d cards, want %d", len(cards), wireBenchRows)
+		}
+		diverged := 0
+		for j, c := range cards {
+			if c != frameWant[f][j] {
+				diverged++
+			}
+		}
+		return diverged, nil
+	}
+
+	// Zero-allocation gate: warm every pooled buffer through the in-process
+	// entry point, then assert the steady state allocates nothing per batch.
+	dst := make([]byte, 0, wire.HeaderSize+8*wireBenchRows)
+	var benchErr error
+	for i := 0; i < 130; i++ {
+		if dst, benchErr = srv.EstimateBatchWire(dst[:0], frames[i%nFrames], time.Time{}); benchErr != nil {
+			return fmt.Errorf("warm EstimateBatchWire: %w", benchErr)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(128, func() {
+		dst, benchErr = srv.EstimateBatchWire(dst[:0], frames[i%nFrames], time.Time{})
+		i++
+	})
+	if benchErr != nil {
+		return fmt.Errorf("steady EstimateBatchWire: %w", benchErr)
+	}
+	wrep.AllocsPerBatch = allocs
+	fmt.Printf("allocs/batch: in-process binary %.2f (%d rows)\n", allocs, wireBenchRows)
+	if allocs != 0 {
+		return fmt.Errorf("binary steady path allocates: %.2f allocs per %d-row batch, want 0", allocs, wireBenchRows)
+	}
+
+	// Base pass at the process's own GOMAXPROCS, best of servePasses.
+	record := func(name string, ns float64, perCall int) {
+		rep.Benchmarks = append(rep.Benchmarks, microResult{
+			Name:          name,
+			Iterations:    total * servePasses,
+			NsPerOp:       ns,
+			SamplesPerSec: 1e9 / ns,
+		})
+		fmt.Printf("%-28s %10.0f ns/est %12.0f est/s  (best of %d, %d clients, batch %d)\n",
+			name, ns, 1e9/ns, servePasses, serveClients, perCall)
+	}
+	bestOf := func(name string, perCall int, do func(int) (int, error)) (float64, error) {
+		best := 0.0
+		for pass := 0; pass < servePasses; pass++ {
+			ns, err := measureHTTP(name, perCall, do)
+			if err != nil {
+				return 0, err
+			}
+			fmt.Printf("pass %d  %-28s %10.0f ns/est\n", pass+1, name, ns)
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best, nil
+	}
+
+	jsonNs, err := bestOf("wire_estimate_json", 1, jsonCall)
+	if err != nil {
+		return err
+	}
+	binNs, err := bestOf("wire_estimate_binary", wireBenchRows, binaryDo)
+	if err != nil {
+		return err
+	}
+	record("wire_estimate_json", jsonNs, 1)
+	record("wire_estimate_binary", binNs, wireBenchRows)
+	wrep.BinarySpeedup = jsonNs / binNs
+	rep.Ratios = append(rep.Ratios, microRatio{
+		Name: "wire_binary_speedup", Numerator: "wire_estimate_json",
+		Denominator: "wire_estimate_binary", Speedup: wrep.BinarySpeedup,
+	})
+	fmt.Printf("%-28s %.2fx\n", "wire_binary_speedup", wrep.BinarySpeedup)
+	if wrep.BinarySpeedup < wireMinSpeedup {
+		return fmt.Errorf("binary speedup %.2fx is below the %.1fx acceptance floor",
+			wrep.BinarySpeedup, wireMinSpeedup)
+	}
+
+	// Multi-core pass: widen the scheduler to at least wireMP and repeat
+	// the protocol comparison, plus PR 5's single-lock vs replica-pool
+	// comparison in-process (no HTTP) so the parallel win is isolated from
+	// transport cost.
+	mp := runtime.GOMAXPROCS(0)
+	if mp < wireMP {
+		mp = wireMP
+	}
+	prev := runtime.GOMAXPROCS(mp)
+	wrep.MPGOMAXPROCS = mp
+	fmt.Printf("multi-core pass: GOMAXPROCS %d → %d (NumCPU %d)\n", prev, mp, runtime.NumCPU())
+
+	jsonMP, err := bestOf("wire_estimate_json_mp", 1, jsonCall)
+	if err != nil {
+		runtime.GOMAXPROCS(prev)
+		return err
+	}
+	binMP, err := bestOf("wire_estimate_binary_mp", wireBenchRows, binaryDo)
+	if err != nil {
+		runtime.GOMAXPROCS(prev)
+		return err
+	}
+	record("wire_estimate_json_mp", jsonMP, 1)
+	record("wire_estimate_binary_mp", binMP, wireBenchRows)
+	wrep.MPBinarySpeedup = jsonMP / binMP
+	rep.Ratios = append(rep.Ratios, microRatio{
+		Name: "wire_binary_speedup_mp", Numerator: "wire_estimate_json_mp",
+		Denominator: "wire_estimate_binary_mp", Speedup: wrep.MPBinarySpeedup,
+	})
+	fmt.Printf("%-28s %.2fx\n", "wire_binary_speedup_mp", wrep.MPBinarySpeedup)
+
+	// PR 5's comparison under the widened scheduler: the locked baseline
+	// serializes every estimate; the replica pool runs them in parallel.
+	locked := &lockedEstimator{
+		m:        lm.Clone(),
+		lockWait: obs.NewRegistry().Histogram("lock_wait_seconds", obs.LatencyOpts()),
+	}
+	measureLocal := func(name string, est func(query.Predicate) float64) (float64, error) {
+		return measureHTTP(name, 1, func(i int) (int, error) {
+			k := i % len(preds)
+			if est(preds[k]) != want[k] {
+				return 1, nil
+			}
+			return 0, nil
+		})
+	}
+	lockNs, err := measureLocal("serve_estimate_single_lock_mp", locked.Estimate)
+	if err != nil {
+		runtime.GOMAXPROCS(prev)
+		return err
+	}
+	replNs, err := measureLocal("serve_estimate_replicas_mp", srv.Estimate)
+	if err != nil {
+		runtime.GOMAXPROCS(prev)
+		return err
+	}
+	runtime.GOMAXPROCS(prev)
+	record("serve_estimate_single_lock_mp", lockNs, 1)
+	record("serve_estimate_replicas_mp", replNs, 1)
+	wrep.MPReplicasSpeedup = lockNs / replNs
+	rep.Ratios = append(rep.Ratios, microRatio{
+		Name: "serve_replicas_speedup_mp", Numerator: "serve_estimate_single_lock_mp",
+		Denominator: "serve_estimate_replicas_mp", Speedup: wrep.MPReplicasSpeedup,
+	})
+	fmt.Printf("%-28s %.2fx\n", "serve_replicas_speedup_mp", wrep.MPReplicasSpeedup)
+
+	// Identity across a model swap: buffer labeled feedback, run a period,
+	// and require the binary batch to stay byte-identical to JSON with the
+	// echoed generation advancing.
+	if err := wireSwapCheck(ts, client, srv, preds); err != nil {
+		return err
+	}
+	wrep.SwapChecked = true
+	fmt.Println("swap check: binary == json after POST /period, generation advanced")
+
+	rep.Wire = wrep
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}
+
+// wireSwapCheck swaps the serving model through the HTTP surface and
+// verifies the two protocols still answer identically, with the binary
+// generation echo advancing across the swap.
+func wireSwapCheck(ts *httptest.Server, client *http.Client, srv *serve.Server, preds []query.Predicate) error {
+	batch := preds[:wireBenchRows]
+	genBefore, before, err := wirePostBatch(ts, client, batch)
+	if err != nil {
+		return fmt.Errorf("swap check (pre): %w", err)
+	}
+	_ = before
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 30; i++ {
+		p := preds[rng.Intn(len(preds))]
+		body, err := json.Marshal(map[string]any{
+			"lows": p.Lows, "highs": p.Highs, "cardinality": float64(1 + rng.Intn(50)),
+		})
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(ts.URL+"/feedback", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("swap check: feedback status %d", resp.StatusCode)
+		}
+	}
+	resp, err := client.Post(ts.URL+"/period", "application/json", bytes.NewReader([]byte("{}")))
+	if err != nil {
+		return err
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("swap check: period status %d", resp.StatusCode)
+	}
+	genAfter, after, err := wirePostBatch(ts, client, batch)
+	if err != nil {
+		return fmt.Errorf("swap check (post): %w", err)
+	}
+	if genAfter <= genBefore {
+		return fmt.Errorf("swap check: generation echo %d → %d did not advance", genBefore, genAfter)
+	}
+	for i, c := range after {
+		body, err := json.Marshal(map[string]any{"lows": batch[i].Lows, "highs": batch[i].Highs})
+		if err != nil {
+			return err
+		}
+		jr, err := client.Post(ts.URL+"/estimate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		var er struct {
+			Cardinality float64 `json:"cardinality"`
+		}
+		derr := json.NewDecoder(jr.Body).Decode(&er)
+		_ = jr.Body.Close()
+		if derr != nil {
+			return derr
+		}
+		if er.Cardinality != c {
+			return fmt.Errorf("swap check: pred %d binary %v != json %v", i, c, er.Cardinality)
+		}
+	}
+	return nil
+}
+
+// wirePostBatch posts one binary batch and returns the echoed generation
+// and the decoded cardinalities.
+func wirePostBatch(ts *httptest.Server, client *http.Client, batch []query.Predicate) (uint64, []float64, error) {
+	frame, err := wire.AppendRequest(nil, 0, batch, false)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Post(ts.URL+"/estimate/batch", "application/x-warper-batch", bytes.NewReader(frame))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	h, cards, err := wire.DecodeResponse(raw, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	return h.Generation, cards, nil
+}

@@ -4,6 +4,8 @@
 // workload, wraps it in a Warper adapter, and exposes:
 //
 //	POST /estimate     {"lows": [...], "highs": [...]}            → {"cardinality": N}
+//	POST /estimate/batch        columnar binary batch frame (with -binary)
+//	POST /estimate/batch/stream length-prefixed binary frames (with -binary)
 //	POST /feedback     {"lows": [...], "highs": [...], "cardinality": N}
 //	POST /period       run one adaptation period over buffered feedback
 //	GET  /status       model, pool, thresholds, component costs
@@ -28,6 +30,7 @@
 //	warperd -trace-sample 100 -drift-alarm-gmq 4      # drift flight recorder
 //	warperd -estimate-timeout 50ms -shed-queue 256    # overload-safe serving
 //	warperd -cache-entries 8192 -cache-shards 16      # estimate-cache tuning (-estimate-cache=false to disable)
+//	warperd -binary                                   # columnar binary batch endpoints
 package main
 
 import (
@@ -78,6 +81,9 @@ func main() {
 		// Estimate cache. Entries are stamped with the serving generation, so
 		// a model swap invalidates the whole cache with one atomic bump;
 		// degraded/shed answers are never cached.
+		// Binary protocol: the zero-copy columnar batch endpoints.
+		binaryOn = flag.Bool("binary", false, "mount the columnar binary batch endpoints /estimate/batch and /estimate/batch/stream")
+
 		estCache     = flag.Bool("estimate-cache", true, "answer repeated predicates from the generation-stamped estimate cache")
 		cacheShards  = flag.Int("cache-shards", 0, "estimate-cache shards, rounded up to a power of two (0 = 8)")
 		cacheEntries = flag.Int("cache-entries", 0, "estimate-cache capacity in entries across all shards (0 = 4096)")
@@ -199,6 +205,8 @@ func main() {
 		CacheShards:       *cacheShards,
 		CacheEntries:      *cacheEntries,
 		CacheFlushOnAlarm: *cacheFlush,
+
+		BinaryProtocol: *binaryOn,
 	})
 
 	// Route period-time annotation through the resilience stack: optional

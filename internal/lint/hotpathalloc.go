@@ -41,7 +41,7 @@ import (
 var HotPathAlloc = &Analyzer{
 	Name:      "hotpathalloc",
 	Doc:       "no allocating constructs reachable from the /estimate, checkout, inference, or tracer hot paths",
-	Packages:  []string{"serve", "obs", "ce", "nn", "gbt", "kernel", "query"},
+	Packages:  []string{"serve", "obs", "ce", "nn", "gbt", "kernel", "query", "wire"},
 	RunModule: runHotPathAlloc,
 }
 
@@ -68,6 +68,16 @@ var hotPathRoots = []string{
 	"obs.(*Trace).EnterStage",
 	"obs.(*Tracer).Finish",
 	"nn.(*Network).InferBatch",
+	// The binary batch protocol: handlers, the group-serving loop, the
+	// embeddable entry point, and the wire codec's decode/encode pair all
+	// ride the same zero-alloc promise as the scalar /estimate path.
+	"serve.(*Server).handleEstimateBatch",
+	"serve.(*Server).handleEstimateStream",
+	"serve.(*Server).serveWireBatch",
+	"serve.(*Server).EstimateBatchWire",
+	"wire.(*Buffer).DecodeBatch",
+	"wire.(*Buffer).EncodeResponse",
+	"wire.(*Buffer).ReadFrame",
 }
 
 // allocPkgs: every function in these packages allocates (or may), and

@@ -140,8 +140,8 @@ func TestCtxPropagateFixture(t *testing.T) {
 
 func TestObsNamesFixture(t *testing.T) {
 	diags := checkFixture(t, ObsNames, "obsnames/app")
-	if len(diags) != 9 {
-		t.Errorf("got %d diagnostics, want 9 (non-Registry receivers and lint:allow lines are exempt)", len(diags))
+	if len(diags) != 11 {
+		t.Errorf("got %d diagnostics, want 11 (non-Registry receivers and lint:allow lines are exempt)", len(diags))
 	}
 }
 
@@ -168,6 +168,13 @@ func TestHotPathAllocFixture(t *testing.T) {
 	diags := checkFixture(t, HotPathAlloc, "hotpathalloc/serve")
 	if len(diags) != 15 {
 		t.Errorf("got %d diagnostics, want 15 (panic args, allow-pruned decls/edges, the cache's free-list-miss allow, and unreachable helpers are exempt)", len(diags))
+	}
+}
+
+func TestHotPathAllocWireFixture(t *testing.T) {
+	diags := checkFixture(t, HotPathAlloc, "hotpathalloc/wire")
+	if len(diags) != 6 {
+		t.Errorf("got %d diagnostics, want 6 (the grow-once slab allow, panic args, the pruned Dump, and unreachableGrow are exempt)", len(diags))
 	}
 }
 

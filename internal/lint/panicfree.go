@@ -15,7 +15,7 @@ import (
 var PanicFree = &Analyzer{
 	Name:     "panicfree",
 	Doc:      "serving-path packages must return errors instead of panicking",
-	Packages: []string{"serve", "warper", "ce", "annotator", "resilience", "nn", "gbt", "kernel"},
+	Packages: []string{"serve", "warper", "ce", "annotator", "resilience", "nn", "gbt", "kernel", "wire"},
 	Run:      runPanicFree,
 }
 

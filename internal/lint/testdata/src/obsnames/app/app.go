@@ -57,4 +57,15 @@ func register(r *Registry, other notRegistry) {
 	r.Counter("estimate_cache_invalidations_total")
 	r.Gauge("estimate_cache_entries")
 	r.Counter("estimateCacheHits_total") // want "not snake_case"
+
+	// Binary wire protocol names (PR 10): event counters end in _total and
+	// the batch-size histogram uses the _rows unit; a unitless histogram and
+	// a camel-cased wire counter must still be caught.
+	r.Counter("wire_batches_total")
+	r.Counter("wire_rows_total")
+	r.Counter("wire_decode_errors_total")
+	r.Counter("wire_buffer_misses_total")
+	r.Histogram("wire_batch_rows", HistogramOpts{})
+	r.Histogram("wire_batch_size", HistogramOpts{}) // want "must end in a unit suffix"
+	r.Counter("wireBatches_total")                  // want "not snake_case"
 }

@@ -1,0 +1,412 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+
+	"warper/internal/query"
+	"warper/internal/wire"
+)
+
+// jsonBytes marshals one request body for tests that post raw bytes.
+func jsonBytes(v any) ([]byte, error) {
+	return json.Marshal(v)
+}
+
+// postWire posts one unframed binary request and decodes the response.
+func postWire(t *testing.T, url string, frame []byte) (wire.ResponseHeader, []float64, int) {
+	t.Helper()
+	resp, err := http.Post(url, wireContentType, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return wire.ResponseHeader{}, nil, resp.StatusCode
+	}
+	h, cards, err := wire.DecodeResponse(body, nil)
+	if err != nil {
+		t.Fatalf("DecodeResponse: %v", err)
+	}
+	return h, cards, resp.StatusCode
+}
+
+// TestWireBatchMatchesJSONAcrossSwap is the cross-protocol identity check:
+// binary and JSON answers for the same predicates must be bit-identical,
+// before and after a mid-run model swap — and the response generation echo
+// must advance across the swap.
+func TestWireBatchMatchesJSONAcrossSwap(t *testing.T) {
+	_, ts, _, ann, gNew := newTestServerOpts(t, Options{BinaryProtocol: true})
+	rng := rand.New(rand.NewSource(11))
+	preds := make([]query.Predicate, 32)
+	for i := range preds {
+		preds[i] = gNew.Gen(rng)
+	}
+	check := func(stage string) uint64 {
+		frame, err := wire.AppendRequest(nil, 0, preds, false)
+		if err != nil {
+			t.Fatalf("%s: AppendRequest: %v", stage, err)
+		}
+		h, cards, code := postWire(t, ts.URL+"/estimate/batch", frame)
+		if code != http.StatusOK {
+			t.Fatalf("%s: batch status = %d", stage, code)
+		}
+		if h.Degraded() || h.Err() || len(cards) != len(preds) {
+			t.Fatalf("%s: header %+v with %d cards", stage, h, len(cards))
+		}
+		for i, p := range preds {
+			var er estimateResponse
+			r := postJSON(t, ts.URL+"/estimate", predicateJSON{Lows: p.Lows, Highs: p.Highs}, &er)
+			if r.StatusCode != http.StatusOK {
+				t.Fatalf("%s: json status = %d", stage, r.StatusCode)
+			}
+			if cards[i] != er.Cardinality {
+				t.Fatalf("%s: row %d binary %v != json %v", stage, i, cards[i], er.Cardinality)
+			}
+		}
+		return h.Generation
+	}
+	genPre := check("pre-swap")
+	if genPre == 0 {
+		t.Fatal("pre-swap generation echo is 0")
+	}
+	// Buffer labeled feedback and run a period: the swap bumps the serving
+	// generation even when the repair decides not to update.
+	rng2 := rand.New(rand.NewSource(12))
+	for i := 0; i < 30; i++ {
+		p := gNew.Gen(rng2)
+		card := countOK(t, ann, p)
+		r := postJSON(t, ts.URL+"/feedback", feedbackRequest{
+			predicateJSON: predicateJSON{Lows: p.Lows, Highs: p.Highs},
+			Cardinality:   &card,
+		}, nil)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("feedback status = %d", r.StatusCode)
+		}
+	}
+	if r := postJSON(t, ts.URL+"/period", struct{}{}, nil); r.StatusCode != http.StatusOK {
+		t.Fatalf("period status = %d", r.StatusCode)
+	}
+	genPost := check("post-swap")
+	if genPost <= genPre {
+		t.Errorf("generation did not advance across the swap: %d → %d", genPre, genPost)
+	}
+}
+
+func TestWireRejectsMalformed(t *testing.T) {
+	_, ts, sch, _, gNew := newTestServerOpts(t, Options{BinaryProtocol: true})
+	p := gNew.Gen(rand.New(rand.NewSource(5)))
+	valid, err := wire.AppendRequest(nil, 0, []query.Predicate{p}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		frame []byte
+		want  int
+	}{
+		{"empty body", nil, http.StatusBadRequest},
+		{"short header", valid[:10], http.StatusBadRequest},
+		{"bad magic", func() []byte { f := append([]byte{}, valid...); f[0] ^= 0xff; return f }(), http.StatusBadRequest},
+		{"bad version", func() []byte { f := append([]byte{}, valid...); f[4] = 9; return f }(), http.StatusBadRequest},
+		{"trailing bytes", append(append([]byte{}, valid...), 1, 2, 3), http.StatusBadRequest},
+		{"truncated payload", valid[:len(valid)-4], http.StatusBadRequest},
+		{"forged row count", func() []byte {
+			f := append([]byte{}, valid...)
+			f[16], f[17], f[18] = 0xff, 0xff, 0xff
+			return f
+		}(), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if _, _, code := postWire(t, ts.URL+"/estimate/batch", tc.frame); code != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.name, code, tc.want)
+		}
+	}
+	// Wrong column count for the serving schema: also 400.
+	narrow := query.Predicate{Lows: p.Lows[:sch.NumCols()-1], Highs: p.Highs[:sch.NumCols()-1]}
+	wrongCols, err := wire.AppendRequest(nil, 0, []query.Predicate{narrow}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, code := postWire(t, ts.URL+"/estimate/batch", wrongCols); code != http.StatusBadRequest {
+		t.Errorf("wrong cols: status = %d, want 400", code)
+	}
+	// A body past the frame cap answers 413, like the JSON endpoints.
+	if _, _, code := postWire(t, ts.URL+"/estimate/batch", make([]byte, maxWireBody+1)); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversize: status = %d, want 413", code)
+	}
+	// The canonical empty batch is valid: 200 with zero cards.
+	empty, err := wire.AppendRequest(nil, 0, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, cards, code := postWire(t, ts.URL+"/estimate/batch", empty); code != http.StatusOK || len(cards) != 0 || h.Err() {
+		t.Errorf("empty batch: code %d, %d cards, header %+v", code, len(cards), h)
+	}
+	// Binary endpoints must be absent without -binary.
+	_, ts2, _, _, _ := newTestServer(t)
+	if _, _, code := postWire(t, ts2.URL+"/estimate/batch", valid); code != http.StatusNotFound {
+		t.Errorf("disabled server: status = %d, want 404", code)
+	}
+}
+
+// TestWireRejectsNonFiniteAndCacheStaysClean pins the NaN bugfix at the
+// cache boundary: a non-finite bound must be rejected before it can be
+// featurized into a cache key, so the cache holds nothing afterwards.
+func TestWireRejectsNonFiniteAndCacheStaysClean(t *testing.T) {
+	srv, ts, _, _, gNew := newTestServerOpts(t, Options{BinaryProtocol: true, EstimateCache: true})
+	p := gNew.Gen(rand.New(rand.NewSource(7)))
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		poisoned := query.Predicate{
+			Lows:  append([]float64{}, p.Lows...),
+			Highs: append([]float64{}, p.Highs...),
+		}
+		poisoned.Lows[0] = bad
+		frame, err := wire.AppendRequest(nil, 0, []query.Predicate{poisoned}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, code := postWire(t, ts.URL+"/estimate/batch", frame); code != http.StatusBadRequest {
+			t.Fatalf("bound %v: status = %d, want 400", bad, code)
+		}
+	}
+	if n := srv.cache.entries(); n != 0 {
+		t.Fatalf("rejected requests left %d cache entries", n)
+	}
+	// A finite batch populates the cache, and a repeat answers identically
+	// from it.
+	frame, err := wire.AppendRequest(nil, 0, []query.Predicate{p}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, first, code := postWire(t, ts.URL+"/estimate/batch", frame)
+	if code != http.StatusOK {
+		t.Fatalf("valid frame: status = %d", code)
+	}
+	if n := srv.cache.entries(); n != 1 {
+		t.Fatalf("cache entries = %d after a full-model answer, want 1", n)
+	}
+	hitsBefore := srv.met.cacheHits.Value()
+	_, second, code := postWire(t, ts.URL+"/estimate/batch", frame)
+	if code != http.StatusOK || second[0] != first[0] {
+		t.Fatalf("repeat = (%d, %v), want (200, %v)", code, second, first)
+	}
+	if srv.met.cacheHits.Value() != hitsBefore+1 {
+		t.Errorf("repeat did not hit the cache")
+	}
+}
+
+// TestDecodePredicateRejectsNonFinite pins the JSON-side half of the NaN
+// bugfix at the decoder seam (valid JSON cannot carry NaN/Inf literals, so
+// the HTTP layer cannot exercise it; embedders calling decodePredicate can).
+func TestDecodePredicateRejectsNonFinite(t *testing.T) {
+	srv, _, sch, _, gNew := newTestServer(t)
+	p := gNew.Gen(rand.New(rand.NewSource(9)))
+	if _, err := srv.decodePredicate(predicateJSON{Lows: p.Lows, Highs: p.Highs}); err != nil {
+		t.Fatalf("finite predicate rejected: %v", err)
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		lows := append([]float64{}, p.Lows...)
+		lows[0] = bad
+		if _, err := srv.decodePredicate(predicateJSON{Lows: lows, Highs: p.Highs}); err != wire.ErrNonFinite {
+			t.Errorf("low %v: err = %v, want ErrNonFinite", bad, err)
+		}
+		highs := append([]float64{}, p.Highs...)
+		highs[sch.NumCols()-1] = bad
+		if _, err := srv.decodePredicate(predicateJSON{Lows: p.Lows, Highs: highs}); err != wire.ErrNonFinite {
+			t.Errorf("high %v: err = %v, want ErrNonFinite", bad, err)
+		}
+	}
+}
+
+// TestDeadlineHeaderMalformed pins the deadline-header bugfix: a header
+// that is not a positive integer millisecond count answers 400 on both
+// protocols instead of silently degrading to wait-forever semantics.
+func TestDeadlineHeaderMalformed(t *testing.T) {
+	_, ts, _, _, gNew := newTestServerOpts(t, Options{BinaryProtocol: true})
+	p := gNew.Gen(rand.New(rand.NewSource(13)))
+	jsonBody, err := jsonBytes(predicateJSON{Lows: p.Lows, Highs: p.Highs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := wire.AppendRequest(nil, 0, []query.Predicate{p}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(url, ctype string, body []byte, hdr string) int {
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", ctype)
+		if hdr != "" {
+			req.Header.Set(deadlineHeader, hdr)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	// Note: leading/trailing whitespace is trimmed by net/http before the
+	// handler sees the header, so " 50" arrives as a valid "50".
+	for _, bad := range []string{"abc", "0", "-5", "1.5", "50ms"} {
+		if code := post(ts.URL+"/estimate", "application/json", jsonBody, bad); code != http.StatusBadRequest {
+			t.Errorf("json %q: status = %d, want 400", bad, code)
+		}
+		if code := post(ts.URL+"/estimate/batch", wireContentType, frame, bad); code != http.StatusBadRequest {
+			t.Errorf("batch %q: status = %d, want 400", bad, code)
+		}
+	}
+	if code := post(ts.URL+"/estimate", "application/json", jsonBody, "5000"); code != http.StatusOK {
+		t.Errorf("json valid header: status = %d, want 200", code)
+	}
+	if code := post(ts.URL+"/estimate/batch", wireContentType, frame, "5000"); code != http.StatusOK {
+		t.Errorf("batch valid header: status = %d, want 200", code)
+	}
+	if code := post(ts.URL+"/estimate", "application/json", jsonBody, ""); code != http.StatusOK {
+		t.Errorf("json no header: status = %d, want 200", code)
+	}
+}
+
+// TestJSONTrailingGarbageRejected pins the strict-decode bugfix: a body
+// that continues past its one JSON value answers 400 on /estimate and
+// /feedback. Trailing whitespace stays accepted.
+func TestJSONTrailingGarbageRejected(t *testing.T) {
+	_, ts, _, _, gNew := newTestServer(t)
+	p := gNew.Gen(rand.New(rand.NewSource(17)))
+	body, err := jsonBytes(predicateJSON{Lows: p.Lows, Highs: p.Highs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(url string, body []byte) int {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	garbage := append(append([]byte{}, body...), []byte(`{"oops":1}`)...)
+	for _, url := range []string{ts.URL + "/estimate", ts.URL + "/feedback"} {
+		if code := post(url, garbage); code != http.StatusBadRequest {
+			t.Errorf("%s trailing value: status = %d, want 400", url, code)
+		}
+		if code := post(url, append(append([]byte{}, body...), ' ', '\n')); code != http.StatusOK {
+			t.Errorf("%s trailing whitespace: status = %d, want 200", url, code)
+		}
+		if code := post(url, body); code != http.StatusOK {
+			t.Errorf("%s clean body: status = %d, want 200", url, code)
+		}
+	}
+}
+
+// TestWireStream drives the length-prefixed streaming endpoint: two good
+// frames answer two response frames, a garbage frame answers an in-band
+// FlagError frame and ends the stream.
+func TestWireStream(t *testing.T) {
+	_, ts, _, _, gNew := newTestServerOpts(t, Options{BinaryProtocol: true})
+	rng := rand.New(rand.NewSource(19))
+	p1, p2 := gNew.Gen(rng), gNew.Gen(rng)
+	var body []byte
+	var err error
+	body, err = wire.AppendRequest(body, 0, []query.Predicate{p1, p2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = wire.AppendRequest(body, 0, []query.Predicate{p1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Third frame: well-framed garbage — the decoder must answer an error
+	// frame, not a mid-stream HTTP status.
+	body = append(body, 8, 0, 0, 0)
+	body = append(body, []byte("garbage!")...)
+
+	resp, err := http.Post(ts.URL+"/estimate/batch/stream", wireContentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	b := wire.NewBuffer()
+	var rows []int
+	var errFrames int
+	for {
+		rerr := b.ReadFrame(resp.Body, 1<<20)
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			t.Fatalf("ReadFrame: %v", rerr)
+		}
+		h, cards, derr := wire.DecodeResponse(b.In, nil)
+		if derr != nil {
+			t.Fatalf("DecodeResponse: %v", derr)
+		}
+		if h.Err() {
+			errFrames++
+			continue
+		}
+		rows = append(rows, len(cards))
+	}
+	if len(rows) != 2 || rows[0] != 2 || rows[1] != 1 {
+		t.Errorf("answered rows = %v, want [2 1]", rows)
+	}
+	if errFrames != 1 {
+		t.Errorf("error frames = %d, want 1", errFrames)
+	}
+}
+
+// TestWireZeroAllocSteady is the hard zero-allocation assert on the binary
+// steady path: once the buffer pool and every replica have reached their
+// high-water shapes, a full in-process batch round trip (decode → group
+// loop → inference → encode) allocates nothing.
+func TestWireZeroAllocSteady(t *testing.T) {
+	srv, _, _, _, gNew := newTestServerOpts(t, Options{BinaryProtocol: true, Replicas: 4})
+	rng := rand.New(rand.NewSource(23))
+	preds := make([]query.Predicate, 64)
+	for i := range preds {
+		preds[i] = gNew.Gen(rng)
+	}
+	frame, err := wire.AppendRequest(nil, 0, preds, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 0, wire.HeaderSize+8*len(preds))
+	// Warm every replica (the free list is FIFO, so sequential calls rotate
+	// through all of them, growing each one's batch scratch once) and the
+	// pooled wire state.
+	for i := 0; i < 8; i++ {
+		if _, err := srv.EstimateBatchWire(dst[:0], frame, time.Time{}); err != nil {
+			t.Fatalf("warm-up: %v", err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		out, err := srv.EstimateBatchWire(dst[:0], frame, time.Time{})
+		if err != nil {
+			t.Fatalf("EstimateBatchWire: %v", err)
+		}
+		if len(out) != cap(dst) {
+			t.Fatalf("response = %d bytes, want %d", len(out), cap(dst))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady binary path allocates %v per batch, want 0", allocs)
+	}
+}

@@ -69,6 +69,14 @@ const (
 	mCacheInvalidations = "estimate_cache_invalidations_total"
 	mCacheEntries       = "estimate_cache_entries"
 
+	// Binary wire-protocol metrics (POST /estimate/batch and its streaming
+	// variant). Serve-side prefix style, like the cache metrics above.
+	mWireBatches      = "wire_batches_total"
+	mWireRows         = "wire_rows_total"
+	mWireDecodeErrors = "wire_decode_errors_total"
+	mWireBatchRows    = "wire_batch_rows"
+	mWireBufMisses    = "wire_buffer_misses_total"
+
 	// Resilience metrics (fault-tolerant annotation pipeline).
 	mAnnRetries    = "warper_annotate_retries_total"
 	mAnnTimeouts   = "warper_annotate_timeouts_total"
@@ -141,6 +149,14 @@ type Metrics struct {
 	cacheInvalidations *obs.Counter
 	cacheEntries       *obs.Gauge
 
+	// Binary wire-protocol counters, pre-created so the batch hot path
+	// increments pointers, never does a labeled registry lookup.
+	wireBatches      *obs.Counter
+	wireRows         *obs.Counter
+	wireDecodeErrors *obs.Counter
+	wireBatchRows    *obs.Histogram
+	wireBufMisses    *obs.Counter
+
 	annRetries    *obs.Counter
 	annTimeouts   *obs.Counter
 	annFailed     *obs.Counter
@@ -194,6 +210,11 @@ func NewMetrics() *Metrics {
 	r.Help(mCacheEvictions, "Live cache entries overwritten because their probe group was full.")
 	r.Help(mCacheInvalidations, "Wholesale cache invalidations: model swaps plus explicit/drift-alarm flushes.")
 	r.Help(mCacheEntries, "Cache slots holding an entry (including generation-stale ones awaiting overwrite).")
+	r.Help(mWireBatches, "Binary /estimate/batch requests (and stream frames) served.")
+	r.Help(mWireRows, "Predicates served through the binary wire protocol.")
+	r.Help(mWireDecodeErrors, "Binary frames rejected by the wire decoder (bad header, size, or non-finite bounds).")
+	r.Help(mWireBatchRows, "Binary batch sizes, in predicates per request frame.")
+	r.Help(mWireBufMisses, "Binary requests that found the wire buffer free list empty and allocated a fresh buffer.")
 	r.Help(mAnnRetries, "Annotation attempts retried by the resilience wrapper.")
 	r.Help(mAnnTimeouts, "Annotation attempts killed by the per-attempt deadline.")
 	r.Help(mAnnFailed, "Annotation calls that failed for good within a period (after retries).")
@@ -247,6 +268,13 @@ func NewMetrics() *Metrics {
 		cacheEvictions:     r.Counter(mCacheEvictions),
 		cacheInvalidations: r.Counter(mCacheInvalidations),
 		cacheEntries:       r.Gauge(mCacheEntries),
+
+		wireBatches:      r.Counter(mWireBatches),
+		wireRows:         r.Counter(mWireRows),
+		wireDecodeErrors: r.Counter(mWireDecodeErrors),
+		// Batch sizes span 1..maxWireRows; log-scale buckets from 1 up.
+		wireBatchRows: r.Histogram(mWireBatchRows, obs.HistogramOpts{Start: 1, Growth: 2, Count: 14}),
+		wireBufMisses: r.Counter(mWireBufMisses),
 
 		annRetries:    r.Counter(mAnnRetries),
 		annTimeouts:   r.Counter(mAnnTimeouts),

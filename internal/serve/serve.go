@@ -41,6 +41,7 @@ import (
 	"warper/internal/query"
 	"warper/internal/resilience"
 	"warper/internal/warper"
+	"warper/internal/wire"
 )
 
 // Options configures optional server features.
@@ -117,6 +118,12 @@ type Options struct {
 	// raises its alarm, so stale pre-drift answers cannot mask the very
 	// drift the recorder is watching.
 	CacheFlushOnAlarm bool
+	// BinaryProtocol mounts the columnar binary batch endpoints: POST
+	// /estimate/batch (one frame per request) and POST /estimate/batch/stream
+	// (length-prefixed frames on one connection). The wire format lives in
+	// internal/wire; decoded predicates view the request bytes in place and
+	// the steady path allocates nothing. Off by default.
+	BinaryProtocol bool
 }
 
 // Server wires an Adapter behind an http.Handler. All handlers are safe for
@@ -164,6 +171,11 @@ type Server struct {
 	health *healthTracker
 	// estimateTimeout is the default /estimate deadline budget (0 = none).
 	estimateTimeout time.Duration
+
+	// wireOn mounts the binary batch endpoints; wireFree is their pooled
+	// request-state free list (see binary.go).
+	wireOn   bool
+	wireFree chan *wireState
 }
 
 // statusSnapshot holds the /status fields refreshed under mu after every
@@ -242,6 +254,10 @@ func NewWithOptions(a *warper.Adapter, sch *query.Schema, opts Options) *Server 
 			// keeps measuring the live model against the live data.
 			s.rec.onDriftAlarm = s.InvalidateEstimateCache
 		}
+	}
+	if opts.BinaryProtocol {
+		s.wireOn = true
+		s.wireFree = make(chan *wireState, wirePoolSize)
 	}
 	s.refreshStatusLocked()
 	return s
@@ -526,6 +542,10 @@ func (s *Server) refreshStatusLocked() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /estimate", s.instrument("estimate", s.handleEstimate))
+	if s.wireOn {
+		mux.HandleFunc("POST /estimate/batch", s.instrument("estimate_batch", s.handleEstimateBatch))
+		mux.HandleFunc("POST /estimate/batch/stream", s.instrument("estimate_stream", s.handleEstimateStream))
+	}
 	mux.HandleFunc("POST /feedback", s.instrument("feedback", s.handleFeedback))
 	mux.HandleFunc("POST /period", s.instrument("period", s.handlePeriod))
 	mux.HandleFunc("GET /status", s.instrument("status", s.handleStatus))
@@ -562,6 +582,20 @@ func (w *statusWriter) WriteHeader(code int) {
 func (w *statusWriter) Write(b []byte) (int, error) {
 	w.wrote = true
 	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the wrapped writer (when it can flush) so the streaming
+// batch endpoint can push each response frame as soon as it is encoded.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer so http.NewResponseController can
+// reach its EnableFullDuplex/deadline controls through this wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter {
+	return w.ResponseWriter
 }
 
 // instrument wraps a handler with panic recovery, request counting, latency
@@ -609,6 +643,14 @@ func (s *Server) decodePredicate(pj predicateJSON) (query.Predicate, error) {
 		return query.Predicate{}, fmt.Errorf("predicate needs %d lows and highs, got %d/%d",
 			d, len(pj.Lows), len(pj.Highs))
 	}
+	// Finiteness must be checked before Normalize: Normalize clamps ±Inf
+	// into the schema's domain (masking it) and NaN survives its min/max
+	// clamp — a NaN bound would flow into the feature vector, poison the
+	// cache entry for that key, and produce garbage cardinalities silently.
+	// Shared check with the binary decoder (wire.DecodeBatch).
+	if wire.CheckFinite(pj.Lows) != nil || wire.CheckFinite(pj.Highs) != nil {
+		return query.Predicate{}, wire.ErrNonFinite
+	}
 	p := query.Predicate{Lows: pj.Lows, Highs: pj.Highs}
 	return p.Normalize(s.sch), nil
 }
@@ -631,19 +673,51 @@ type estimateResponse struct {
 const deadlineHeader = "X-Warper-Deadline-Ms"
 
 // estimateDeadline resolves one request's deadline budget: the header
-// override when present and positive, else the -estimate-timeout default;
-// zero means unbudgeted.
-func (s *Server) estimateDeadline(r *http.Request) time.Time {
+// override when present, else the -estimate-timeout default; zero means
+// unbudgeted. A header that is not a positive integer millisecond count is
+// an error the caller answers with 400 — silently ignoring a client typo
+// would degrade that client to wait-forever semantics unnoticed.
+func (s *Server) estimateDeadline(r *http.Request) (time.Time, error) {
+	d, err := s.estimateBudgetDur(r)
+	if err != nil || d <= 0 {
+		return time.Time{}, err
+	}
+	return time.Now().Add(d), nil
+}
+
+// estimateBudgetDur resolves the deadline budget as a duration — the
+// streaming batch endpoint restarts the budget per frame, so it needs the
+// duration, not one absolute deadline for the connection's lifetime.
+func (s *Server) estimateBudgetDur(r *http.Request) (time.Duration, error) {
 	d := s.estimateTimeout
 	if h := r.Header.Get(deadlineHeader); h != "" {
-		if ms, err := strconv.Atoi(h); err == nil && ms > 0 {
-			d = time.Duration(ms) * time.Millisecond
+		ms, err := strconv.Atoi(h)
+		if err != nil || ms <= 0 {
+			//lint:allow hotpathalloc malformed-request rejection; the error never forms on the steady path
+			return 0, fmt.Errorf("%s: %q is not a positive integer millisecond count",
+				deadlineHeader, h)
 		}
+		d = time.Duration(ms) * time.Millisecond
 	}
-	if d <= 0 {
-		return time.Time{}
+	return d, nil
+}
+
+// decodeJSONStrict decodes exactly one JSON value from body into v: a
+// second Decode must report io.EOF, otherwise the body carried trailing
+// bytes after its payload ({"lows":[…]}{"oops"}) and the request is
+// rejected. The binary decoder enforces the same contract with its exact
+// frame-length check; both report wire.ErrTrailingData.
+//
+//lint:allow hotpathalloc HTTP decode boundary; the zero-alloc envelope covers the estimate core, not the JSON codec
+func decodeJSONStrict(body io.Reader, v any) error {
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(v); err != nil {
+		return err
 	}
-	return time.Now().Add(d)
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return wire.ErrTrailingData
+	}
+	return nil
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -653,8 +727,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	tr.EnterStage("decode")
 	r.Body = http.MaxBytesReader(w, r.Body, maxPeriodBody) //lint:allow hotpathalloc HTTP decode boundary; one body-cap wrapper per request, same codec layer as the decoder below
 	var req estimateRequest
-	//lint:allow hotpathalloc HTTP decode boundary; the zero-alloc envelope covers the estimate core, not the JSON codec
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeJSONStrict(r.Body, &req); err != nil {
 		s.rec.tracer.Finish(tr)
 		httpError(w, decodeErrorCode(err), "decode: %v", err)
 		return
@@ -665,10 +738,16 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	deadline, err := s.estimateDeadline(r)
+	if err != nil {
+		s.rec.tracer.Finish(tr)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	// The estimate runs on a checked-out replica (or through the batching
 	// coalescer) — no serving mutex anywhere on this path. The health state
 	// decides the admission rule; the deadline budgets the replica wait.
-	card, out := s.estimateBudget(p, tr, s.estimateDeadline(r))
+	card, out := s.estimateBudget(p, tr, deadline)
 	if out.Shed {
 		s.rec.tracer.Finish(tr)
 		// A shed is a promise the server will recover if clients back off;
@@ -712,7 +791,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	// answer 413 instead of being decoded unboundedly.
 	r.Body = http.MaxBytesReader(w, r.Body, maxPeriodBody)
 	var req feedbackRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeJSONStrict(r.Body, &req); err != nil {
 		httpError(w, decodeErrorCode(err), "decode: %v", err)
 		return
 	}

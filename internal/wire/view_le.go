@@ -1,0 +1,29 @@
+//go:build 386 || amd64 || amd64p32 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm
+
+// Little-endian hosts: the frame's float64 blocks already hold the
+// in-memory representation, so the decoder can view them in place and
+// skip the copy entirely — this is what makes the binary path zero-copy.
+
+package wire
+
+import "unsafe"
+
+// floatView reinterprets b as a []float64 without copying. It fails (and
+// the caller falls back to a decoding copy) only when b's length is not a
+// multiple of 8 or its base pointer is not 8-byte aligned — heap-allocated
+// byte slices are pointer-aligned, and every offset this package views at
+// (HeaderSize, the highs block, a framed response body) is a multiple of 8.
+func floatView(b []byte) ([]float64, bool) {
+	if len(b)%8 != 0 {
+		return nil, false
+	}
+	n := len(b) / 8
+	if n == 0 {
+		return nil, true
+	}
+	p := unsafe.Pointer(unsafe.SliceData(b))
+	if uintptr(p)%8 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*float64)(p), n), true
+}

@@ -1,0 +1,14 @@
+//go:build !(386 || amd64 || amd64p32 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm)
+
+// Big-endian hosts cannot view the little-endian wire blocks in place;
+// every float goes through an explicit byte-order decode into the
+// buffer's pooled slab instead.
+
+package wire
+
+func floatView(b []byte) ([]float64, bool) {
+	if len(b) == 0 {
+		return nil, true
+	}
+	return nil, false
+}

@@ -19,6 +19,12 @@
 #                           hit/miss/invalidate micros, zero-alloc hit
 #                           assert, byte-identity across a mid-run swap
 #                           → BENCH_PR9.json
+#   bench.sh wire   [...]   binary-protocol benchmark: the columnar
+#                           /estimate/batch endpoint against scalar JSON
+#                           over HTTP (uncached), zero-alloc batch assert,
+#                           a GOMAXPROCS>=4 multi-core pass, byte-identity
+#                           across a mid-run swap
+#                           → BENCH_PR10.json
 #
 # With no suite argument, micro runs (the historical default). Remaining
 # arguments pass through: -quick for the CI smoke variant, -out for the
@@ -41,6 +47,10 @@ overload)
 	;;
 zipf)
 	mode="-servebench -zipf 1.1"
+	shift
+	;;
+wire)
+	mode="-servebench -binary"
 	shift
 	;;
 esac

@@ -31,10 +31,13 @@ WARPER_CHAOS=1 WARPER_EVENTS_OUT="$(pwd)/artifacts/EVENTS_chaos.json" \
 	go test -race -count=1 -run 'Chaos|Faulty|Degraded|Overload' \
 	./internal/serve ./internal/resilience ./internal/warper
 
-# The committed estimate-cache benchmark report (make bench-serve) rides
-# along with the CI artifact upload when present.
+# The committed estimate-cache and binary-protocol benchmark reports
+# (make bench-serve) ride along with the CI artifact upload when present.
 if [ -f BENCH_PR9.json ]; then
 	cp BENCH_PR9.json artifacts/
+fi
+if [ -f BENCH_PR10.json ]; then
+	cp BENCH_PR10.json artifacts/
 fi
 
 echo "OK"
